@@ -1,0 +1,78 @@
+//! End-to-end solver benchmarks: the `thm41-measured` and `related-work`
+//! experiments as Criterion targets (wall-time per solve, by Δ and by
+//! parameter strategy).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use deco_core::solver::{solve_two_delta_minus_one, SolverConfig, Strategy};
+use deco_graph::generators;
+
+fn ids(n: usize) -> Vec<u64> {
+    (1..=n as u64).collect()
+}
+
+/// Solve time as a function of Δ at roughly fixed edge count.
+fn bench_solver_by_degree(c: &mut Criterion) {
+    let mut group = c.benchmark_group("solver/degree-sweep");
+    group.sample_size(10);
+    for d in [4usize, 8, 16, 32] {
+        let n = (4096 / d).max(d + 2);
+        let n = if n * d % 2 == 1 { n + 1 } else { n };
+        let g = generators::random_regular(n, d, 17 + d as u64);
+        group.bench_with_input(BenchmarkId::from_parameter(d), &g, |b, g| {
+            b.iter(|| {
+                let res =
+                    solve_two_delta_minus_one(g, &ids(g.num_nodes()), SolverConfig::default());
+                assert!(res.coloring.is_complete());
+                res.solution.cost.actual_rounds()
+            });
+        });
+    }
+    group.finish();
+}
+
+/// Solve time by parameter strategy (the related-work ablation).
+fn bench_solver_strategies(c: &mut Criterion) {
+    let mut group = c.benchmark_group("solver/strategy-ablation");
+    group.sample_size(10);
+    let g = generators::random_regular(256, 12, 23);
+    for (name, strategy) in [
+        ("paper", Strategy::Paper),
+        ("kuhn20", Strategy::Kuhn20),
+        ("constant-p3", Strategy::ConstantP(3)),
+    ] {
+        let cfg = SolverConfig { strategy, ..SolverConfig::default() };
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let res = solve_two_delta_minus_one(&g, &ids(g.num_nodes()), cfg.clone());
+                res.solution.cost.actual_rounds()
+            });
+        });
+    }
+    group.finish();
+}
+
+/// Solve time as a function of n at fixed Δ (the log* n story: work should
+/// scale ~linearly in m, rounds stay flat).
+fn bench_solver_by_n(c: &mut Criterion) {
+    let mut group = c.benchmark_group("solver/n-sweep");
+    group.sample_size(10);
+    for n in [128usize, 512, 2048] {
+        let g = generators::random_regular(n, 8, 31);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &g, |b, g| {
+            b.iter(|| {
+                let res =
+                    solve_two_delta_minus_one(g, &ids(g.num_nodes()), SolverConfig::default());
+                res.solution.cost.actual_rounds()
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_solver_by_degree,
+    bench_solver_strategies,
+    bench_solver_by_n
+);
+criterion_main!(benches);

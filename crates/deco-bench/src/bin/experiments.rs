@@ -1,0 +1,34 @@
+//! CLI dispatcher for the experiment harness.
+//!
+//! Usage: `experiments [all | <id> ...]`; with no arguments, lists the ids.
+
+use deco_bench::experiments;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        eprintln!("usage: experiments [all | <id> ...]\navailable experiments:");
+        for (id, _) in experiments::all() {
+            eprintln!("  {id}");
+        }
+        std::process::exit(2);
+    }
+    let ids: Vec<&str> = if args.iter().any(|a| a == "all") {
+        experiments::all().into_iter().map(|(id, _)| id).collect()
+    } else {
+        args.iter().map(String::as_str).collect()
+    };
+    for id in ids {
+        match experiments::by_id(id) {
+            Some(runner) => {
+                let start = std::time::Instant::now();
+                println!("{}", runner());
+                println!("[{id} completed in {:?}]\n", start.elapsed());
+            }
+            None => {
+                eprintln!("unknown experiment: {id}");
+                std::process::exit(2);
+            }
+        }
+    }
+}

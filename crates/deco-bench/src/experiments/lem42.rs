@@ -1,0 +1,97 @@
+//! `lem42` — Lemma 4.2's three inequalities, measured per sweep:
+//! (a) sub-instances solved per sweep ≤ the `O(β²)` class count;
+//! (b) every active edge retains slack > β;
+//! (c) the residual maximum edge degree halves.
+
+use crate::table::{fnum, Table};
+use crate::workloads::ids_for;
+use deco_algos::edge_adapter;
+use deco_core::defective::defective_palette;
+use deco_core::instance::{self, ListInstance};
+use deco_core::slack;
+use deco_core::solver::{Solver, SolverConfig};
+use deco_graph::coloring::Color;
+use deco_graph::{generators, EdgeId};
+use deco_local::CostNode;
+use std::fmt::Write as _;
+
+/// Runs the experiment and returns the report.
+pub fn run() -> String {
+    let mut out = String::from("# lem42 — slack reduction invariants (Lemma 4.2)\n\n");
+    let mut t = Table::new([
+        "graph", "β", "sweep", "Δ̄ before", "Δ̄ after", "bound Δ̄/2", "classes used/total",
+        "min active slack (> β)", "halving",
+    ]);
+    let solver = Solver::new(SolverConfig::default());
+    let mut sweeps_total = 0u64;
+
+    for (gname, g, beta) in [
+        ("regular(60,10)", generators::random_regular(60, 10, 3), 1u32),
+        ("regular(60,10)", generators::random_regular(60, 10, 3), 2),
+        ("gnp(80,0.15)", generators::gnp(80, 0.15, 4), 1),
+        ("complete(16)", generators::complete(16), 2),
+    ] {
+        let x = edge_adapter::linial_edge_coloring(&g, &ids_for(&g)).expect("linial");
+        let xc: Vec<u32> = g.edges().map(|e| x.coloring.get(e).unwrap()).collect();
+        let xp = x.palette as u32;
+        let mut inst = instance::two_delta_minus_one(&g);
+        let mut cur_x = xc;
+        let mut map: Vec<EdgeId> = g.edges().collect();
+        let mut final_colors: Vec<Option<Color>> = vec![None; g.num_edges()];
+        let mut sweep_no = 0;
+        while inst.graph().num_edges() > 0 && inst.max_edge_degree() > 4 {
+            sweep_no += 1;
+            sweeps_total += 1;
+            let dbar = inst.max_edge_degree();
+            let mut inner = |si: &ListInstance, sx: &[u32]| -> (Vec<Color>, CostNode) {
+                let sol = solver.solve_instance(si, sx, xp);
+                (sol.colors, sol.cost)
+            };
+            let sw = slack::sweep(&inst, &cur_x, xp, beta, &mut inner);
+            for (local, &orig) in map.iter().enumerate() {
+                if let Some(c) = sw.colors[local] {
+                    final_colors[orig.index()] = Some(c);
+                }
+            }
+            let res = slack::residual_after_sweep(&inst, &cur_x, &sw.colors);
+            let after = res.instance.max_edge_degree();
+            let halves = after <= dbar / 2;
+            t.row([
+                gname.to_string(),
+                beta.to_string(),
+                sweep_no.to_string(),
+                dbar.to_string(),
+                after.to_string(),
+                (dbar / 2).to_string(),
+                format!("{}/{}", sw.stats.classes_nonempty, defective_palette(beta)),
+                fnum(sw.stats.min_active_slack),
+                if halves { "OK".into() } else { "VIOLATED".to_string() },
+            ]);
+            assert!(halves, "Lemma 4.2 degree halving violated");
+            assert!(sw.stats.min_active_slack > f64::from(beta));
+            map = res.edge_map.iter().map(|&le| map[le.index()]).collect();
+            inst = res.instance;
+            cur_x = res.x_coloring;
+        }
+    }
+    out.push_str(&t.render());
+    let _ = writeln!(
+        out,
+        "\n{sweeps_total} sweeps executed; every sweep satisfied all three\n\
+         Lemma 4.2 inequalities. The `classes used/total` column shows the\n\
+         O(β²·log Δ̄) bound on sequentially-solved slack-β instances: per\n\
+         sweep at most 24β²+6β classes, and the number of sweeps is ≤ log Δ̄\n\
+         by the halving column."
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn lemma42_invariants_hold() {
+        let r = super::run();
+        assert!(!r.contains("VIOLATED"), "{r}");
+        assert!(r.contains("sweeps executed"));
+    }
+}

@@ -1,0 +1,80 @@
+//! `lem43` — Eq. (2) of Lemma 4.3, measured: the degree/list trade-off of
+//! the subspace assignment, `deg′(e)·|L_e| / (|L′_e|·deg(e)) ≤ 24·H_q·log p`.
+
+use crate::table::{fnum, Table};
+use deco_algos::greedy;
+use deco_core::instance::{self, ListInstance};
+use deco_core::space;
+use deco_graph::coloring::Color;
+use deco_graph::generators;
+use deco_local::CostNode;
+use std::fmt::Write as _;
+
+fn greedy_assign(inst: &ListInstance, _x: &[u32]) -> (Vec<Color>, CostNode) {
+    let lists: Vec<Vec<Color>> = inst.lists().iter().map(|l| l.as_slice().to_vec()).collect();
+    let coloring =
+        greedy::greedy_list_edge_coloring(inst.graph(), &lists, greedy::EdgeOrder::ById)
+            .expect("assignment instances are (deg+1)-list");
+    (inst.graph().edges().map(|e| coloring.get(e).unwrap()).collect(), CostNode::leaf("g", 1))
+}
+
+/// Runs the experiment and returns the report.
+pub fn run() -> String {
+    let mut out = String::from("# lem43 — color space reduction, Eq. (2) (Lemma 4.3)\n\n");
+    let mut t = Table::new([
+        "graph", "C", "p", "q", "slack S", "argmax/E1/E2", "phases", "max Eq.(2) ratio",
+        "bound 24·H_q·log p", "sub-instances (deg+1)",
+    ]);
+    let mut worst_fraction: f64 = 0.0;
+    for (gname, g, c, p, s, seed) in [
+        ("regular(48,10)", generators::random_regular(48, 10, 1), 4000u32, 4u32, 80.0, 2u64),
+        ("regular(48,10)", generators::random_regular(48, 10, 1), 4000, 8, 120.0, 3),
+        ("complete(14)", generators::complete(14), 6000, 5, 130.0, 4),
+        ("gnp(60,0.25)", generators::gnp(60, 0.25, 5), 12000, 6, 150.0, 6),
+        ("powerlaw(120)", generators::power_law(120, 2.4, 30.0, 7), 12000, 4, 90.0, 8),
+        // q = 16 activates the E⁽¹⁾ phase machinery (levels ≥ 4 need
+        // ⌊log q⌋ ≥ 4): slack ≥ 24·H₁₆·log 16 ≈ 325 on a Δ̄ = 32 graph.
+        ("complete(18)", generators::complete(18), 16384, 16, 330.0, 9),
+    ] {
+        let inst = instance::random_with_slack(&g, c, s, seed);
+        let x: Vec<u32> = {
+            let col = greedy::greedy_edge_coloring(&g, greedy::EdgeOrder::ById);
+            g.edges().map(|e| col.get(e).unwrap()).collect()
+        };
+        let red = space::reduce_color_space(&inst, p, &x, &mut greedy_assign);
+        let all_feasible =
+            red.sub_instances.iter().all(|si| si.instance.validate_slack(1.0).is_ok());
+        worst_fraction = worst_fraction.max(red.stats.eq2_max_ratio / red.stats.eq2_bound);
+        t.row([
+            gname.to_string(),
+            c.to_string(),
+            p.to_string(),
+            red.stats.q.to_string(),
+            fnum(s),
+            format!("{}/{}/{}", red.stats.argmax_edges, red.stats.e1_edges, red.stats.e2_edges),
+            red.stats.phases_run.to_string(),
+            fnum(red.stats.eq2_max_ratio),
+            fnum(red.stats.eq2_bound),
+            if all_feasible { "all OK".into() } else { "VIOLATED".to_string() },
+        ]);
+    }
+    out.push_str(&t.render());
+    let _ = writeln!(
+        out,
+        "\nworst observed Eq.(2) ratio is {} of the proven bound — the bound\n\
+         holds with a large margin on these instances (it is worst-case over\n\
+         adversarial structures). Every per-subspace residual remained a\n\
+         (deg+1)-list instance, as Lemma 4.3 requires for the recursion.",
+        fnum(worst_fraction)
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn eq2_holds_everywhere() {
+        let r = super::run();
+        assert!(!r.contains("VIOLATED"), "{r}");
+    }
+}

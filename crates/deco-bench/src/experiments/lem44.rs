@@ -1,0 +1,107 @@
+//! `lem44` — tightness of the harmonic partition bound (Lemma 4.4):
+//! adversarial geometric lists drive `k·H_q`-normalized intersections close
+//! to the bound; random lists sit far from it.
+
+use crate::table::{fnum, Table};
+use deco_core::lists::{lemma44_witness, ColorList, SubspacePartition};
+use deco_local::math::harmonic;
+use rand::prelude::*;
+use rand::rngs::StdRng;
+use std::fmt::Write as _;
+
+/// The "quality" of a witness: the k-th largest intersection divided by the
+/// guaranteed threshold `|L|/(k·H_q)` (≥ 1 always; ≈ 1 means tight).
+fn witness_quality(list: &ColorList, part: &SubspacePartition) -> f64 {
+    let (k, idx) = lemma44_witness(list, part);
+    let hq = harmonic(u64::from(part.num_subspaces()));
+    let kth = idx
+        .iter()
+        .map(|&i| {
+            let (lo, hi) = part.range(i);
+            list.count_in_range(lo, hi)
+        })
+        .min()
+        .expect("witness nonempty") as f64;
+    kth / (list.len() as f64 / (k as f64 * hq))
+}
+
+/// Runs the experiment and returns the report.
+pub fn run() -> String {
+    let mut out = String::from("# lem44 — harmonic partition bound tightness (Lemma 4.4)\n\n");
+    let mut t = Table::new(["list family", "C", "p", "q", "k", "quality (≥ 1, 1 = tight)"]);
+
+    // Adversarial harmonic-decay list: block i gets ~ |L|/(i·H_q) colors —
+    // exactly the profile that makes the lemma tight.
+    for (c, p) in [(240u32, 4u32), (240, 8), (960, 16)] {
+        let part = SubspacePartition::new(c, p);
+        let q = part.num_subspaces();
+        let hq = harmonic(u64::from(q));
+        let block = part.block_size() as usize;
+        let mut colors = Vec::new();
+        let budget_per_rank: Vec<usize> =
+            (1..=q as usize).map(|i| (block as f64 / (i as f64 * hq) * q as f64 / 4.0).min(block as f64) as usize).collect();
+        for i in 0..q {
+            let (lo, _) = part.range(i);
+            let take = budget_per_rank[i as usize].min(block);
+            colors.extend(lo..lo + take as u32);
+        }
+        if colors.is_empty() {
+            colors.push(0);
+        }
+        let list = ColorList::new(colors);
+        let (k, _) = lemma44_witness(&list, &part);
+        t.row([
+            "harmonic decay".to_string(),
+            c.to_string(),
+            p.to_string(),
+            q.to_string(),
+            k.to_string(),
+            fnum(witness_quality(&list, &part)),
+        ]);
+    }
+
+    // Random lists: quality well above 1.
+    let mut rng = StdRng::seed_from_u64(44);
+    let mut min_quality = f64::INFINITY;
+    let mut mean_quality = 0.0;
+    let trials = 3000;
+    for _ in 0..trials {
+        let c = rng.gen_range(16..=512u32);
+        let p = rng.gen_range(2..=c.min(32));
+        let part = SubspacePartition::new(c, p);
+        let len = rng.gen_range(1..=c as usize);
+        let mut colors: Vec<u32> = (0..c).collect();
+        colors.shuffle(&mut rng);
+        colors.truncate(len);
+        let quality = witness_quality(&ColorList::new(colors), &part);
+        assert!(quality >= 1.0 - 1e-9, "Lemma 4.4 violated: quality {quality}");
+        min_quality = min_quality.min(quality);
+        mean_quality += quality / trials as f64;
+    }
+    t.row([
+        format!("uniform random × {trials}"),
+        "16..512".to_string(),
+        "2..32".to_string(),
+        "-".to_string(),
+        "-".to_string(),
+        format!("min {}, mean {}", fnum(min_quality), fnum(mean_quality)),
+    ]);
+    out.push_str(&t.render());
+    let _ = writeln!(
+        out,
+        "\nquality = (k-th largest intersection) / (|L|/(k·H_q)): the lemma\n\
+         guarantees ≥ 1. Harmonic-decay adversarial lists approach the bound;\n\
+         uniform lists sit far above it — the harmonic normalization is what\n\
+         makes the bound universal."
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn bound_is_never_violated() {
+        let r = super::run();
+        assert!(r.contains("quality ="));
+    }
+}

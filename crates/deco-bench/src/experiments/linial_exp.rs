@@ -1,0 +1,67 @@
+//! `linial` — Linial's initial coloring [Lin87], the `O(log* n)` substrate
+//! of §4.3: palette is O(Δ̄²) and rounds are flat in `n`.
+
+use crate::table::Table;
+use crate::workloads::{cycle_sweep, ids_for};
+use deco_algos::edge_adapter;
+use deco_graph::generators;
+use std::fmt::Write as _;
+
+/// Runs the experiment and returns the report.
+pub fn run() -> String {
+    let mut out = String::from("# linial — initial O(Δ̄²)-edge-coloring in O(log* n) rounds\n\n");
+
+    // Part 1: rounds vs n at fixed Δ (cycles: Δ̄ = 2).
+    out.push_str("## rounds vs n at Δ = 2 (log*-flatness)\n\n");
+    let mut t = Table::new(["n", "rounds", "palette"]);
+    let mut max_rounds = 0;
+    for w in cycle_sweep(&[16, 64, 256, 1024, 4096, 16384, 65536]) {
+        let res = edge_adapter::linial_edge_coloring(&w.graph, &ids_for(&w.graph))
+            .expect("linial terminates");
+        max_rounds = max_rounds.max(res.rounds);
+        t.row([
+            w.graph.num_nodes().to_string(),
+            res.rounds.to_string(),
+            res.palette.to_string(),
+        ]);
+    }
+    out.push_str(&t.render());
+    let _ = writeln!(
+        out,
+        "\nrounds stay ≤ {max_rounds} while n grows 4096×: the log* n term.\n"
+    );
+
+    // Part 2: palette vs Δ̄ (random regular graphs).
+    out.push_str("## palette vs Δ̄ (O(Δ̄²) guarantee)\n\n");
+    let mut t2 = Table::new(["graph", "Δ̄", "palette", "palette/Δ̄²", "rounds"]);
+    for d in [3usize, 6, 10, 16, 24] {
+        let n = (4000 / d).max(d + 2);
+        let n = if n * d % 2 == 1 { n + 1 } else { n };
+        let g = generators::random_regular(n, d, 7 + d as u64);
+        let res = edge_adapter::linial_edge_coloring(&g, &ids_for(&g)).expect("linial");
+        let dbar = g.max_edge_degree() as f64;
+        t2.row([
+            format!("regular({n},{d})"),
+            format!("{}", g.max_edge_degree()),
+            res.palette.to_string(),
+            format!("{:.2}", res.palette as f64 / (dbar * dbar)),
+            res.rounds.to_string(),
+        ]);
+    }
+    out.push_str(&t2.render());
+    out.push_str(
+        "\npalette/Δ̄² stays bounded by a small constant (the fixpoint is q²\n\
+         for a prime q = Θ(Δ̄)), matching [Lin87]'s O(Δ̄²) with the concrete\n\
+         polynomial-family constant.\n",
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn linial_report_runs() {
+        let r = super::run();
+        assert!(r.contains("log* n term"));
+    }
+}

@@ -1,0 +1,43 @@
+//! Experiment implementations — one module per artifact of the paper
+//! (figure or quantitative claim). Each exposes `run() -> String`, returning
+//! the report the `experiments` binary prints; EXPERIMENTS.md embeds those
+//! reports.
+
+pub mod defcol;
+pub mod fig_partition;
+pub mod fig_slack_walkthrough;
+pub mod fig_virtual;
+pub mod lem42;
+pub mod lem43;
+pub mod lem44;
+pub mod lem45;
+pub mod linial_exp;
+pub mod related_work;
+pub mod thm41_budget;
+pub mod thm41_measured;
+
+/// An experiment runner: produces the report text.
+pub type Runner = fn() -> String;
+
+/// All experiment ids in canonical order, with their runners.
+pub fn all() -> Vec<(&'static str, Runner)> {
+    vec![
+        ("fig1-4", fig_slack_walkthrough::run as fn() -> String),
+        ("fig5", fig_partition::run),
+        ("fig6", fig_virtual::run),
+        ("thm41-budget", thm41_budget::run),
+        ("thm41-measured", thm41_measured::run),
+        ("lem42", lem42::run),
+        ("lem43", lem43::run),
+        ("lem44", lem44::run),
+        ("lem45", lem45::run),
+        ("def-col", defcol::run),
+        ("linial", linial_exp::run),
+        ("related-work", related_work::run),
+    ]
+}
+
+/// Looks up an experiment by id.
+pub fn by_id(id: &str) -> Option<Runner> {
+    all().into_iter().find(|(name, _)| *name == id).map(|(_, f)| f)
+}

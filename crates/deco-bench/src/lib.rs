@@ -1,0 +1,14 @@
+//! # deco-bench — experiment harness and benchmarks
+//!
+//! Regenerates every figure and quantitative claim of the paper (the
+//! experiment index lives in `DESIGN.md` §4). Run
+//! `cargo run -p deco-bench --release --bin experiments -- all` to produce
+//! the reports embedded in `EXPERIMENTS.md`, or pass an experiment id
+//! (`fig5`, `thm41-budget`, …) for a single one.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod table;
+pub mod workloads;

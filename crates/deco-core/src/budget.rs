@@ -1,0 +1,332 @@
+//! Fixed-schedule round budgets: exact evaluation of the paper's
+//! recurrences, plus the comparator curves from the related-work discussion.
+//!
+//! A LOCAL algorithm runs on a fixed schedule: every subroutine is allotted
+//! its worst-case number of rounds, computable by all nodes from globally
+//! known parameters. This module evaluates those schedules *exactly* from
+//! the recurrences of Lemmas 4.2/4.3/4.5 — so the Theorem 4.1 growth curve
+//! `log^{O(log log Δ̄)} Δ̄` can be plotted for Δ̄ up to 2⁶⁴ without
+//! simulating a graph of that degree.
+//!
+//! Two kinds of curves:
+//!
+//! * **Exact budgets** ([`BudgetEvaluator`]) — the full recurrence with the
+//!   paper's constants (`β = α·log^{4c} Δ̄`, `24·H_{2p}·log p` slack loss,
+//!   `24β²+6β` defective classes). These make the constants story honest:
+//!   the asymptotic win only materializes at astronomical Δ̄.
+//! * **Θ-shape curves** ([`theta`]) — the leading-order forms
+//!   (`log^{log log} Δ̄`, `2^{√log Δ̄}`, `√Δ̄·polylog`, `Δ̄`, `Δ̄²`) with unit
+//!   constants, which is the comparison the paper itself makes (who wins,
+//!   where the crossovers fall).
+
+use crate::defective::defective_palette;
+use crate::solver::space_requirement;
+use deco_local::math::{log_star, next_prime};
+use std::collections::HashMap;
+
+/// Parameters of the exact budget evaluation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BudgetParams {
+    /// The paper's constant α in `β = α·log^{4c} Δ̄`.
+    pub alpha: f64,
+    /// Degree at or below which the base case runs.
+    pub base_dbar: f64,
+    /// Palette at or below which space reduction stops.
+    pub small_palette: f64,
+    /// The `log* X` term (depends only on the ID space; X = O(Δ̄²)).
+    pub log_star_x: f64,
+}
+
+impl Default for BudgetParams {
+    fn default() -> Self {
+        BudgetParams { alpha: 1.0, base_dbar: 8.0, small_palette: 12.0, log_star_x: 5.0 }
+    }
+}
+
+/// Memoized evaluator of the paper's round recurrences.
+#[derive(Debug, Default)]
+pub struct BudgetEvaluator {
+    params: BudgetParams,
+    memo_deg1: HashMap<(u64, u64), f64>,
+    memo_slack: HashMap<(u64, u64, u64), f64>,
+}
+
+impl BudgetEvaluator {
+    /// Creates an evaluator.
+    pub fn new(params: BudgetParams) -> BudgetEvaluator {
+        BudgetEvaluator { params, ..BudgetEvaluator::default() }
+    }
+
+    /// `T(Δ̄, 1, C)` — scheduled rounds of the full (deg+1)-list solver.
+    pub fn t_deg1(&mut self, dbar: f64, c: f64) -> f64 {
+        // T(Δ̄, S, C) = T(min(Δ̄, ⌈C/S⌉−1), S, C): the palette caps the degree.
+        let dbar = dbar.min((c - 1.0).max(0.0));
+        if dbar <= self.params.base_dbar {
+            return self.base_cost(dbar);
+        }
+        let key = (dbar.to_bits(), c.to_bits());
+        if let Some(&v) = self.memo_deg1.get(&key) {
+            return v;
+        }
+        // Lemma 4.2: defective coloring (O(log* X)) + all O(β²) classes,
+        // each allotted 1 + T(Δ̄/2β, β, C), then recurse on Δ̄/2.
+        let beta = self.beta(dbar, c);
+        let classes = if beta < 13_000.0 {
+            f64::from(defective_palette(beta as u32 + 1))
+        } else {
+            24.0 * beta * beta + 6.0 * beta
+        };
+        let defective_rounds = self.params.log_star_x + 25.0;
+        let sweep = defective_rounds
+            + classes * (1.0 + self.t_slack(dbar / (2.0 * beta), beta, c));
+        let total = sweep + self.t_deg1(dbar / 2.0, c);
+        self.memo_deg1.insert(key, total);
+        total
+    }
+
+    /// `T(Δ̄, S, C)` — scheduled rounds with list slack `S`.
+    pub fn t_slack(&mut self, dbar: f64, s: f64, c: f64) -> f64 {
+        let dbar = dbar.min(((c / s).ceil() - 1.0).max(0.0));
+        if dbar <= self.params.base_dbar || c <= self.params.small_palette {
+            return self.t_deg1(dbar, c);
+        }
+        let key = (dbar.to_bits(), s.to_bits(), c.to_bits());
+        if let Some(&v) = self.memo_slack.get(&key) {
+            return v;
+        }
+        let p = dbar.sqrt().floor().max(2.0);
+        let req = space_requirement(c.min(f64::from(u32::MAX)) as u32, p as u32);
+        let total = if s < req || 2.0 * p - 1.0 >= dbar {
+            // Slack too small for a Lemma 4.3 step: solve as slack-1.
+            self.t_deg1(dbar, c)
+        } else {
+            // Lemma 4.3: (log p)·(1 + T(2p−1, 1, 2p)) for the assignment,
+            // then the q sub-instances run in parallel (max = same bound).
+            let assign = p.log2().max(1.0) * (1.0 + self.t_deg1(2.0 * p - 1.0, 2.0 * p));
+            assign + self.t_slack(dbar, s / req, (c / p).ceil())
+        };
+        self.memo_slack.insert(key, total);
+        total
+    }
+
+    /// Base case `T(O(1), ·, ·)`: Linial from X (`O(log* X)`) + eliminating
+    /// the fixpoint palette's classes (a constant depending on Δ̄ ≤ base).
+    fn base_cost(&self, dbar: f64) -> f64 {
+        let q = next_prime((2.0 * dbar.max(1.0)) as u64);
+        self.params.log_star_x + (q * q) as f64
+    }
+
+    fn beta(&self, dbar: f64, c: f64) -> f64 {
+        let c_exp = (c.max(2.0).ln() / dbar.max(2.0).ln()).max(1.0);
+        (self.params.alpha * dbar.log2().max(1.0).powf(4.0 * c_exp)).max(1.0)
+    }
+}
+
+/// Leading-order Θ-shape curves (unit constants) for the related-work
+/// comparison the paper makes in §1. `ls` is the `log* n` additive term.
+pub mod theta {
+    use deco_local::math::log_star;
+
+    /// This paper: `log^{log log Δ̄} Δ̄ + log* n`.
+    pub fn balliu_kuhn_olivetti(dbar: f64, ls: f64) -> f64 {
+        if dbar < 4.0 {
+            return 1.0 + ls;
+        }
+        let l = dbar.log2();
+        l.powf(l.log2().max(1.0)) + ls
+    }
+
+    /// Kuhn SODA'20: `2^{√log Δ̄} + log* n`.
+    pub fn kuhn20(dbar: f64, ls: f64) -> f64 {
+        if dbar < 2.0 {
+            return 1.0 + ls;
+        }
+        2f64.powf(dbar.log2().sqrt()) + ls
+    }
+
+    /// Fraigniaud–Heinrich–Kosowski'16 (+BEG'18): `√Δ̄·log Δ̄·log* Δ̄ + log* n`.
+    pub fn fhk16(dbar: f64, ls: f64) -> f64 {
+        if dbar < 2.0 {
+            return 1.0 + ls;
+        }
+        let lstar = f64::from(log_star(dbar));
+        dbar.sqrt() * dbar.log2() * lstar.max(1.0) + ls
+    }
+
+    /// Panconesi–Rizzi'01 / BE'09-family: `Δ̄ + log* n`.
+    pub fn pr01(dbar: f64, ls: f64) -> f64 {
+        dbar + ls
+    }
+
+    /// Linial + one-class-at-a-time: `Δ̄² + log* n`.
+    pub fn linial_trivial(dbar: f64, ls: f64) -> f64 {
+        dbar * dbar + ls
+    }
+
+    /// Log-domain curves: `ln T` as a function of `L = log₂ Δ̄`.
+    ///
+    /// The crossover between this paper and Kuhn'20 sits near
+    /// `Δ̄ ≈ 2^65536` — far beyond what `f64` can represent directly — so
+    /// the honest asymptotic comparison is made on `ln T(L)`.
+    pub mod log_domain {
+        const LN2: f64 = std::f64::consts::LN_2;
+
+        /// `ln(L^{log₂ L}) = log₂(L)·ln(L)` — this paper.
+        pub fn balliu_kuhn_olivetti(l: f64) -> f64 {
+            let l = l.max(2.0);
+            l.log2() * l.ln()
+        }
+
+        /// `ln(2^{√L}) = √L·ln 2` — Kuhn'20.
+        pub fn kuhn20(l: f64) -> f64 {
+            l.max(1.0).sqrt() * LN2
+        }
+
+        /// `ln(2^{L/2}·L·log* ) ≈ (L/2)·ln2 + ln L` — FHK'16.
+        pub fn fhk16(l: f64) -> f64 {
+            l / 2.0 * LN2 + l.max(2.0).ln()
+        }
+
+        /// `ln(2^L) = L·ln2` — PR'01.
+        pub fn pr01(l: f64) -> f64 {
+            l * LN2
+        }
+
+        /// `ln(2^{2L}) = 2L·ln2` — Linial + trivial reduction.
+        pub fn linial_trivial(l: f64) -> f64 {
+            2.0 * l * LN2
+        }
+    }
+}
+
+/// Crossover finder: the smallest `Δ̄ = 2^k` (k in `4..=max_pow`) where
+/// `a(Δ̄) < b(Δ̄)`, if any.
+pub fn crossover_pow2<A, B>(a: A, b: B, max_pow: u32) -> Option<u64>
+where
+    A: Fn(f64) -> f64,
+    B: Fn(f64) -> f64,
+{
+    (4..=max_pow).map(|k| 1u64 << k).find(|&d| a(d as f64) < b(d as f64))
+}
+
+/// `log*₂ x`, re-exported for the experiment harness.
+pub fn log_star_of(x: f64) -> u32 {
+    log_star(x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use deco_local::math::harmonic;
+
+    #[test]
+    fn exact_budget_grows_over_wide_range() {
+        // Exact budgets need not be locally monotone (parameter regimes
+        // switch discretely), but they must be finite, positive, and grow
+        // across decades.
+        let mut ev = BudgetEvaluator::new(BudgetParams::default());
+        for k in 4..=32 {
+            let d = 2f64.powi(k);
+            let t = ev.t_deg1(d, 2.0 * d);
+            assert!(t.is_finite() && t > 0.0, "k={k}");
+        }
+        let small = ev.t_deg1(2f64.powi(6), 2f64.powi(7));
+        let large = ev.t_deg1(2f64.powi(30), 2f64.powi(31));
+        assert!(large > 10.0 * small, "budget must grow substantially with Δ̄");
+    }
+
+    #[test]
+    fn exact_budget_handles_huge_dbar() {
+        let mut ev = BudgetEvaluator::new(BudgetParams::default());
+        let t = ev.t_deg1(2f64.powi(64), 2f64.powi(65));
+        assert!(t.is_finite(), "2^64 budget must evaluate");
+        assert!(t > 1e6);
+    }
+
+    #[test]
+    fn quasi_polylog_grows_slower_than_every_poly() {
+        // log^{log log d} d / d^ε → 0 for ε = 1/4; the decline only starts
+        // around L = log₂ d ≈ 320 (where (log L)² < L/4), so test deep in
+        // the f64 range.
+        let at = |d: f64| theta::balliu_kuhn_olivetti(d, 0.0) / d.powf(0.25);
+        assert!(at(2f64.powf(400.0)) < at(2f64.powf(16.0)));
+        assert!(at(2f64.powf(700.0)) < at(2f64.powf(400.0)));
+    }
+
+    #[test]
+    fn theta_ordering_at_plottable_dbar() {
+        // In any directly plottable range (Δ̄ ≤ 2^64, unit constants) the
+        // honest ordering is kuhn20 < ours < fhk16 < pr01 < linial²: the
+        // asymptotic win over Kuhn'20 needs Δ̄ ≈ 2^65536 (see log_domain).
+        let d = 2f64.powi(48);
+        let ls = 5.0;
+        let ours = theta::balliu_kuhn_olivetti(d, ls);
+        let k20 = theta::kuhn20(d, ls);
+        let fhk = theta::fhk16(d, ls);
+        let pr = theta::pr01(d, ls);
+        let lin = theta::linial_trivial(d, ls);
+        assert!(k20 < ours, "{k20} !< {ours}");
+        assert!(ours < fhk, "{ours} !< {fhk}");
+        assert!(fhk < pr);
+        assert!(pr < lin);
+    }
+
+    #[test]
+    fn log_domain_crossover_vs_kuhn20_near_l_65536() {
+        // ln T_ours(L) = log₂(L)·ln L vs ln T_kuhn(L) = √L·ln 2: the
+        // crossover sits almost exactly at L = 2^16 (i.e. Δ̄ ≈ 2^65536).
+        use theta::log_domain as ld;
+        assert!(ld::balliu_kuhn_olivetti(4096.0) > ld::kuhn20(4096.0));
+        assert!(ld::balliu_kuhn_olivetti(131_072.0) < ld::kuhn20(131_072.0));
+        // Against FHK/PR01/linial the log-domain win is already at tiny L.
+        assert!(ld::balliu_kuhn_olivetti(64.0) < ld::fhk16(64.0));
+        assert!(ld::balliu_kuhn_olivetti(64.0) < ld::pr01(64.0));
+        assert!(ld::balliu_kuhn_olivetti(64.0) < ld::linial_trivial(64.0));
+    }
+
+    #[test]
+    fn crossover_against_linear_exists() {
+        let cross = crossover_pow2(
+            |d| theta::balliu_kuhn_olivetti(d, 0.0),
+            |d| theta::pr01(d, 0.0),
+            64,
+        );
+        assert!(cross.is_some(), "ours must eventually beat O(Δ̄)");
+    }
+
+    #[test]
+    fn crossover_finder_basics() {
+        let c = crossover_pow2(|d| d, |d| d * d, 16);
+        assert_eq!(c, Some(16));
+        let none = crossover_pow2(|d| d * d, |d| d, 8);
+        assert_eq!(none, None);
+    }
+
+    #[test]
+    fn exact_budget_reflects_alpha() {
+        let mut small = BudgetEvaluator::new(BudgetParams { alpha: 1.0, ..Default::default() });
+        let mut big = BudgetEvaluator::new(BudgetParams { alpha: 8.0, ..Default::default() });
+        let d = 2f64.powi(20);
+        assert!(small.t_deg1(d, 2.0 * d) < big.t_deg1(d, 2.0 * d));
+    }
+
+    #[test]
+    fn slack_caps_degree_by_palette() {
+        let mut ev = BudgetEvaluator::new(BudgetParams::default());
+        // With S ≥ C the degree collapses to 0 → base cost only.
+        let t = ev.t_slack(1e9, 1e6, 1e6);
+        assert!(t <= ev.base_cost(0.0) + 1.0);
+    }
+
+    #[test]
+    fn requirement_uses_actual_partition_q() {
+        let r = space_requirement(1 << 20, 1 << 10);
+        let upper = 24.0 * harmonic(2 << 10) * 10.0;
+        assert!(r <= upper + 1e-9);
+    }
+
+    #[test]
+    fn log_star_reexport() {
+        assert_eq!(log_star_of(65536.0), 4);
+    }
+}

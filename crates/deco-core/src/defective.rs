@@ -1,0 +1,272 @@
+//! The `deg(e)/2β`-defective `O(β²)`-edge-coloring of Section 4.1.
+//!
+//! Construction (verbatim from the paper):
+//!
+//! 1. Every node `v` partitions its incident edges into `⌈deg(v)/4β⌉` groups
+//!    of at most `4β` edges, numbering the edges inside each group with
+//!    distinct values `1..=4β`, and sends each edge its value.
+//! 2. An edge that received values `i` and `j` (sorted `i ≤ j`) takes the
+//!    *temporary color* `(i, j)`. Inside one group, at most two edges share
+//!    a temporary color (the one numbered `i` and the one numbered `j`), so
+//!    same-temporary-color edges sharing a group form disjoint paths and
+//!    cycles.
+//! 3. 3-color those paths/cycles in `O(log* X)` rounds (from the initial
+//!    `X`-edge-coloring), using [`deco_algos::deg2`].
+//! 4. Final color = `(i, j, path color)` — at most `3·4β(4β+1)/2 = 24β²+6β`
+//!    colors.
+//!
+//! The defect of `e = {u, v}` is at most `⌈deg(u)/4β⌉ + ⌈deg(v)/4β⌉ − 2 ≤
+//! deg(e)/2β`: inside `e`'s own groups the path coloring separates it from
+//! its temporary-color twins, and every *other* group contributes at most
+//! one edge with `e`'s final color.
+
+use deco_algos::deg2;
+use deco_graph::{EdgeId, Graph, GraphBuilder, NodeId};
+use deco_local::{CostNode, IdAssignment, Network};
+use std::collections::HashMap;
+
+/// Result of the §4.1 defective edge coloring.
+#[derive(Debug, Clone)]
+pub struct DefectiveColoring {
+    /// Color of every edge, in `0..num_colors`.
+    pub colors: Vec<u32>,
+    /// Palette bound `3·4β(4β+1)/2 = 24β² + 6β`.
+    pub num_colors: u32,
+    /// The β parameter used.
+    pub beta: u32,
+    /// Round cost: 1 (value exchange) + the path/cycle 3-coloring schedule.
+    pub cost: CostNode,
+}
+
+/// Palette bound of [`defective_edge_coloring`] for a given β:
+/// `3·4β(4β+1)/2 = 24β² + 6β`.
+///
+/// # Panics
+///
+/// Panics if the bound exceeds `u32::MAX` (β beyond ~13 000; the solver
+/// clamps β to Δ̄+1 long before that, since β > Δ̄ already forces zero
+/// defect).
+pub fn defective_palette(beta: u32) -> u32 {
+    let g = 4 * u64::from(beta);
+    u32::try_from(3 * (g * (g + 1) / 2)).expect("defective palette must fit in u32")
+}
+
+/// Per-edge defect bound `⌈deg(u)/4β⌉ + ⌈deg(v)/4β⌉ − 2` (≤ `deg(e)/2β`).
+pub fn defect_bound(g: &Graph, e: EdgeId, beta: u32) -> usize {
+    let [u, v] = g.endpoints(e);
+    let k = 4 * beta as usize;
+    g.degree(u).div_ceil(k) + g.degree(v).div_ceil(k) - 2
+}
+
+/// Computes a `deg(e)/2β`-defective edge coloring with at most `24β² + 6β`
+/// colors in `O(log* X)` rounds, given a proper `X`-edge-coloring
+/// `x_coloring` (with palette bound `x_palette`).
+///
+/// # Panics
+///
+/// Panics if `beta == 0`, if `x_coloring` has the wrong length, or (in
+/// debug builds) if `x_coloring` is not a proper edge coloring.
+pub fn defective_edge_coloring(
+    g: &Graph,
+    beta: u32,
+    x_coloring: &[u32],
+    x_palette: u32,
+) -> DefectiveColoring {
+    assert!(beta >= 1, "beta must be at least 1");
+    assert_eq!(x_coloring.len(), g.num_edges(), "one initial color per edge");
+    debug_assert!(
+        deco_graph::coloring::check_edge_coloring(
+            g,
+            &deco_graph::coloring::EdgeColoring::from_complete(x_coloring.to_vec())
+        )
+        .is_ok(),
+        "x_coloring must be a proper edge coloring"
+    );
+    let group_cap = 4 * beta as usize;
+
+    // Step 1: group + number each edge at both endpoints (adjacency order is
+    // the node's local port order, so this is a 0-round local computation;
+    // exchanging the values costs 1 round).
+    //
+    // side_value[e][s] ∈ 1..=4β, side_group[e][s]: group index at endpoint s
+    // (s = 0 for the smaller endpoint, 1 for the larger).
+    let m = g.num_edges();
+    let mut side_value = vec![[0u32; 2]; m];
+    let mut side_group = vec![[0u32; 2]; m];
+    for v in g.nodes() {
+        for (pos, adj) in g.adjacent(v).iter().enumerate() {
+            let e = adj.edge;
+            let side = usize::from(g.endpoints(e)[1] == v);
+            debug_assert_eq!(g.endpoints(e)[side], v);
+            side_value[e.index()][side] = (pos % group_cap) as u32 + 1;
+            side_group[e.index()][side] = (pos / group_cap) as u32;
+        }
+    }
+
+    // Step 2: temporary colors (i ≤ j).
+    let temp: Vec<(u32, u32)> = (0..m)
+        .map(|ei| {
+            let [a, b] = side_value[ei];
+            if a <= b {
+                (a, b)
+            } else {
+                (b, a)
+            }
+        })
+        .collect();
+
+    // Step 3: conflict graph — same temporary color AND a shared group.
+    // Within one (node, group, temp-color) bucket there are at most 2 edges.
+    let mut conflict = GraphBuilder::new(m);
+    for v in g.nodes() {
+        // bucket key: (group at v, temp color) -> edges.
+        let mut buckets: HashMap<(u32, (u32, u32)), Vec<EdgeId>> = HashMap::new();
+        for adj in g.adjacent(v) {
+            let e = adj.edge;
+            let side = usize::from(g.endpoints(e)[1] == v);
+            let key = (side_group[e.index()][side], temp[e.index()]);
+            buckets.entry(key).or_default().push(e);
+        }
+        for (key, edges) in buckets {
+            assert!(
+                edges.len() <= 2,
+                "at most 2 edges per (group, temp color) bucket; key={key:?}"
+            );
+            if edges.len() == 2 {
+                conflict.add_edge(NodeId(edges[0].0), NodeId(edges[1].0));
+            }
+        }
+    }
+    let conflict = conflict.build().expect("bucket pairs are distinct edges");
+    debug_assert!(conflict.max_degree() <= 2, "conflict components are paths/cycles");
+
+    // 3-color the conflict graph from the X-edge-coloring. Conflicting edges
+    // share a node of g, so the X-coloring is proper on the conflict graph;
+    // one conflict-graph round costs O(1) rounds of g (shared-node relay).
+    let initial: Vec<u64> = x_coloring.iter().map(|&c| u64::from(c)).collect();
+    let net = Network::new(&conflict, IdAssignment::Sequential);
+    let three = deg2::three_color_max_deg2(&net, initial, u64::from(x_palette).max(2))
+        .expect("deg2 schedule always terminates");
+
+    // Step 4: final colors.
+    let colors: Vec<u32> = (0..m)
+        .map(|ei| {
+            let (i, j) = temp[ei];
+            // pair index for 1 ≤ i ≤ j ≤ 4β, dense in 0..4β(4β+1)/2.
+            let pair = (j - 1) * j / 2 + (i - 1);
+            pair * 3 + u32::from(three.colors[ei])
+        })
+        .collect();
+    let num_colors = defective_palette(beta);
+    debug_assert!(colors.iter().all(|&c| c < num_colors));
+
+    let cost = CostNode::seq(
+        format!("defective-edge-coloring(β={beta})"),
+        vec![
+            CostNode::leaf("exchange group values", 1),
+            CostNode::leaf("3-color conflict paths/cycles", three.rounds),
+        ],
+    );
+    DefectiveColoring { colors, num_colors, beta, cost }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use deco_algos::edge_adapter;
+    use deco_graph::{coloring, generators};
+
+    fn x_coloring_for(g: &Graph) -> (Vec<u32>, u32) {
+        let ids: Vec<u64> = (1..=g.num_nodes() as u64).collect();
+        let res = edge_adapter::linial_edge_coloring(g, &ids).expect("linial terminates");
+        let colors: Vec<u32> = g.edges().map(|e| res.coloring.get(e).unwrap()).collect();
+        (colors, res.palette as u32)
+    }
+
+    fn check_defective(g: &Graph, beta: u32) -> DefectiveColoring {
+        let (xc, xp) = x_coloring_for(g);
+        let d = defective_edge_coloring(g, beta, &xc, xp);
+        assert_eq!(d.num_colors, defective_palette(beta));
+        assert!(d.colors.iter().all(|&c| c < d.num_colors));
+        // Defect bounds: both the sharp ⌈·⌉ form and the paper's deg/2β.
+        let defects = coloring::edge_defects(g, &d.colors);
+        for e in g.edges() {
+            let sharp = defect_bound(g, e, beta);
+            assert!(
+                defects[e.index()] <= sharp,
+                "defect {} of {e} exceeds sharp bound {sharp} (β={beta})",
+                defects[e.index()]
+            );
+            assert!(
+                defects[e.index()] as f64 <= g.edge_degree(e) as f64 / (2.0 * beta as f64),
+                "defect of {e} exceeds deg(e)/2β"
+            );
+        }
+        d
+    }
+
+    #[test]
+    fn small_beta_on_dense_graphs() {
+        check_defective(&generators::complete(12), 1);
+        check_defective(&generators::complete(12), 2);
+        check_defective(&generators::complete_bipartite(8, 8), 1);
+    }
+
+    #[test]
+    fn regular_graphs_various_beta() {
+        let g = generators::random_regular(40, 8, 3);
+        for beta in [1, 2, 3] {
+            check_defective(&g, beta);
+        }
+    }
+
+    #[test]
+    fn large_beta_gives_proper_coloring() {
+        // β ≥ deg(e)/2 forces defect < 1, i.e. a proper coloring.
+        let g = generators::random_regular(20, 4, 5);
+        let d = check_defective(&g, 4);
+        let defects = coloring::edge_defects(&g, &d.colors);
+        assert!(defects.iter().all(|&x| x == 0), "defects must vanish for large β");
+    }
+
+    #[test]
+    fn skewed_degrees() {
+        check_defective(&generators::star(17), 1);
+        check_defective(&generators::caterpillar(10, 6), 1);
+        check_defective(&generators::power_law(120, 2.5, 20.0, 2), 1);
+    }
+
+    #[test]
+    fn rounds_are_logstar() {
+        let g = generators::random_regular(60, 6, 7);
+        let d = check_defective(&g, 2);
+        assert!(
+            d.cost.actual_rounds() <= 40,
+            "O(log* X) rounds expected, got {}",
+            d.cost.actual_rounds()
+        );
+    }
+
+    #[test]
+    fn palette_formula() {
+        assert_eq!(defective_palette(1), 30); // 3·(4·5/2)
+        assert_eq!(defective_palette(2), 108); // 3·(8·9/2)
+    }
+
+    #[test]
+    fn empty_and_tiny_graphs() {
+        let g = Graph::empty(3);
+        let d = defective_edge_coloring(&g, 1, &[], 2);
+        assert!(d.colors.is_empty());
+        let g = generators::path(2);
+        let d = defective_edge_coloring(&g, 1, &[0], 2);
+        assert_eq!(d.colors.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "beta must be at least 1")]
+    fn rejects_beta_zero() {
+        let g = generators::path(3);
+        let _ = defective_edge_coloring(&g, 0, &[0, 1], 2);
+    }
+}

@@ -1,0 +1,344 @@
+//! Lemma 4.2 — reducing slack-1 (list size `deg(e)+1`) instances to
+//! slack-β instances.
+//!
+//! One *sweep* implements steps 2–3 of the Lemma 4.2 algorithm:
+//!
+//! 1. compute a `deg(e)/2β`-defective edge coloring with `O(β²)` classes;
+//! 2. iterate over the classes; in class `i`, every member edge removes the
+//!    colors already used by its neighbors from its list, marks itself
+//!    *active* if more than `deg(e)/2` colors remain, and the active
+//!    subgraph — whose defective degree is ≤ `deg(e)/2β`, so every active
+//!    list has slack > β — is handed to the slack-β solver;
+//! 3. edges left uncolored are returned to the caller, which recurses on
+//!    the residual instance ([`residual_after_sweep`]); the residual maximum
+//!    edge degree provably halves.
+//!
+//! The caller (the Theorem 4.1 solver) loops sweeps until everything is
+//! colored, giving
+//! `T(Δ̄,1,C) ≤ O(β²·log Δ̄)·T(Δ̄,β,C) + O(log Δ̄·log* X)`.
+
+use crate::defective::{defective_edge_coloring, defective_palette};
+use crate::instance::ListInstance;
+use crate::lists::ColorList;
+use deco_graph::coloring::Color;
+use deco_graph::{EdgeId, EdgeSubgraph};
+use deco_local::CostNode;
+
+/// The inner solver a sweep hands active classes to. Receives a slack-β
+/// instance together with its restricted initial `X`-edge-coloring, and must
+/// return a complete valid coloring plus its round cost.
+pub type InnerSolver<'a> =
+    dyn FnMut(&ListInstance, &[u32]) -> (Vec<Color>, CostNode) + 'a;
+
+/// Statistics of one Lemma 4.2 sweep, used by the experiment harness to
+/// verify the lemma's inequalities empirically.
+#[derive(Debug, Clone, Default)]
+pub struct SweepStats {
+    /// Defective palette size (total classes, empty or not) — the `O(β²)`.
+    pub classes_total: u64,
+    /// Classes that actually contained uncolored edges.
+    pub classes_nonempty: u64,
+    /// Edges colored by inner solvers during the sweep.
+    pub colored: usize,
+    /// Edges that were members of a processed class but inactive.
+    pub inactive: usize,
+    /// Minimum observed slack `|L′_e| / deg′(e)` among active edges with
+    /// positive active degree (must exceed β; ∞ if none).
+    pub min_active_slack: f64,
+}
+
+/// Result of one sweep over the defective classes.
+#[derive(Debug, Clone)]
+pub struct SweepOutcome {
+    /// Per-edge colors assigned during this sweep (`None` = still open).
+    pub colors: Vec<Option<Color>>,
+    /// Round cost of the sweep (defective coloring + per-class work).
+    pub cost: CostNode,
+    /// Verification statistics.
+    pub stats: SweepStats,
+}
+
+/// Runs one Lemma 4.2 sweep on `inst` with parameter `beta`, using `inner`
+/// to solve each active class (a slack-β instance).
+///
+/// # Panics
+///
+/// Panics if an invariant of the lemma fails: an active class without
+/// slack > β, or an inner solution that is improper or off-list.
+pub fn sweep(
+    inst: &ListInstance,
+    x_coloring: &[u32],
+    x_palette: u32,
+    beta: u32,
+    inner: &mut InnerSolver<'_>,
+) -> SweepOutcome {
+    let g = inst.graph();
+    let m = g.num_edges();
+    let defective = defective_edge_coloring(g, beta, x_coloring, x_palette);
+    let num_classes = defective_palette(beta);
+
+    // Bucket edges by defective class; iterate nonempty classes in class
+    // order (empty classes cost schedule rounds but no work — the budget
+    // side is accounted in `budget.rs`). Buckets are sparse: with the
+    // paper's β the palette is far larger than the edge count.
+    let mut buckets: std::collections::BTreeMap<u32, Vec<EdgeId>> =
+        std::collections::BTreeMap::new();
+    for e in g.edges() {
+        buckets.entry(defective.colors[e.index()]).or_default().push(e);
+    }
+
+    let mut colors: Vec<Option<Color>> = vec![None; m];
+    let mut stats = SweepStats {
+        classes_total: u64::from(num_classes),
+        min_active_slack: f64::INFINITY,
+        ..SweepStats::default()
+    };
+    let mut class_costs: Vec<CostNode> = Vec::new();
+
+    for (&class, members) in buckets.iter() {
+        debug_assert!(!members.is_empty(), "buckets are created non-empty");
+        stats.classes_nonempty += 1;
+        // Step 3(a)+(b): residual lists against already-colored neighbors;
+        // actives have |L′| > deg(e)/2. Learning neighbor colors costs one
+        // round.
+        let mut active: Vec<EdgeId> = Vec::new();
+        let mut active_lists: Vec<ColorList> = Vec::new();
+        for &e in members {
+            let mut list = inst.list(e).clone();
+            let used: Vec<Color> =
+                g.edge_neighbors(e).filter_map(|f| colors[f.index()]).collect();
+            list.remove_all(&used);
+            if list.len() as f64 > g.edge_degree(e) as f64 / 2.0 {
+                active.push(e);
+                active_lists.push(list);
+            } else {
+                stats.inactive += 1;
+            }
+        }
+        if active.is_empty() {
+            class_costs.push(CostNode::leaf(format!("class {class}: learn colors"), 1));
+            continue;
+        }
+
+        // Step 3(c): solve P(Δ̄/2β, β, C) on the active subgraph.
+        let sub = EdgeSubgraph::from_edge_ids(g, &active);
+        let sub_inst = ListInstance::new_unchecked(
+            sub.graph().clone(),
+            active_lists,
+            inst.palette(),
+        );
+        // Invariant (paper, "Enough slack"): |L′_e| > β·deg′(e).
+        for se in sub_inst.graph().edges() {
+            let deg_sub = sub_inst.graph().edge_degree(se);
+            let len = sub_inst.list(se).len();
+            assert!(
+                len as f64 > beta as f64 * deg_sub as f64,
+                "active edge lost its slack: |L'|={len}, β·deg'={}",
+                beta as usize * deg_sub
+            );
+            if deg_sub > 0 {
+                stats.min_active_slack =
+                    stats.min_active_slack.min(len as f64 / deg_sub as f64);
+            }
+        }
+        let sub_x: Vec<u32> =
+            sub.edge_map().iter().map(|pe| x_coloring[pe.index()]).collect();
+        let (sub_colors, sub_cost) = inner(&sub_inst, &sub_x);
+        debug_assert!(
+            sub_inst
+                .check_solution(&deco_graph::coloring::EdgeColoring::from_complete(
+                    sub_colors.clone()
+                ))
+                .is_ok(),
+            "inner solver returned an invalid coloring"
+        );
+        for (idx, &pe) in sub.edge_map().iter().enumerate() {
+            colors[pe.index()] = Some(sub_colors[idx]);
+        }
+        stats.colored += active.len();
+        class_costs.push(CostNode::seq(
+            format!("class {class}: learn + solve slack-β"),
+            vec![CostNode::leaf("learn neighbor colors", 1), sub_cost],
+        ));
+    }
+
+    debug_assert!(
+        deco_graph::coloring::check_partial_edge_coloring(
+            g,
+            &deco_graph::coloring::EdgeColoring::from_vec(colors.clone())
+        )
+        .is_ok(),
+        "sweep produced adjacent same-colored edges"
+    );
+
+    let cost = CostNode::seq(
+        format!("lemma-4.2 sweep(β={beta})"),
+        std::iter::once(defective.cost.clone()).chain(class_costs).collect(),
+    );
+    SweepOutcome { colors, cost, stats }
+}
+
+/// Residual instance after a sweep: the uncolored subgraph with lists
+/// reduced by the colors of colored neighbors.
+#[derive(Debug, Clone)]
+pub struct Residual {
+    /// The residual instance (again a (deg+1)-list instance).
+    pub instance: ListInstance,
+    /// Map from residual edge ids to the swept instance's edge ids.
+    pub edge_map: Vec<EdgeId>,
+    /// The initial `X`-coloring restricted to the residual edges.
+    pub x_coloring: Vec<u32>,
+}
+
+/// Builds the residual instance from a partial coloring of `inst`.
+///
+/// The returned instance satisfies the (deg+1)-list property: a colored
+/// neighbor removes at most one list color *and* one unit of degree.
+///
+/// # Panics
+///
+/// Panics if the residual violates the (deg+1)-list property (which would
+/// indicate the partial coloring was not produced honestly).
+pub fn residual_after_sweep(
+    inst: &ListInstance,
+    x_coloring: &[u32],
+    colors: &[Option<Color>],
+) -> Residual {
+    let g = inst.graph();
+    let open: Vec<EdgeId> = g.edges().filter(|e| colors[e.index()].is_none()).collect();
+    let sub = EdgeSubgraph::from_edge_ids(g, &open);
+    let mut lists = Vec::with_capacity(open.len());
+    for &e in &open {
+        let mut list = inst.list(e).clone();
+        let used: Vec<Color> =
+            g.edge_neighbors(e).filter_map(|f| colors[f.index()]).collect();
+        list.remove_all(&used);
+        lists.push(list);
+    }
+    let instance =
+        ListInstance::new_unchecked(sub.graph().clone(), lists, inst.palette());
+    assert!(
+        instance.validate_slack(1.0).is_ok(),
+        "residual instance must remain a (deg+1)-list instance"
+    );
+    let x_restricted: Vec<u32> =
+        sub.edge_map().iter().map(|pe| x_coloring[pe.index()]).collect();
+    Residual { instance, edge_map: sub.edge_map().to_vec(), x_coloring: x_restricted }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instance;
+    use deco_algos::edge_adapter;
+    use deco_graph::generators;
+
+    fn x_for(g: &deco_graph::Graph) -> (Vec<u32>, u32) {
+        let ids: Vec<u64> = (1..=g.num_nodes() as u64).collect();
+        let res = edge_adapter::linial_edge_coloring(g, &ids).unwrap();
+        (
+            g.edges().map(|e| res.coloring.get(e).unwrap()).collect(),
+            res.palette as u32,
+        )
+    }
+
+    /// An inner "solver" that greedily colors the slack-β instance — valid
+    /// for tests because slack > β ≥ 1 implies (deg+1)-lists.
+    fn greedy_inner(inst: &ListInstance, _x: &[u32]) -> (Vec<Color>, CostNode) {
+        let lists: Vec<Vec<Color>> =
+            inst.lists().iter().map(|l| l.as_slice().to_vec()).collect();
+        let coloring = deco_algos::greedy::greedy_list_edge_coloring(
+            inst.graph(),
+            &lists,
+            deco_algos::greedy::EdgeOrder::ById,
+        )
+        .expect("slack-β instances are greedily solvable");
+        let colors: Vec<Color> =
+            inst.graph().edges().map(|e| coloring.get(e).unwrap()).collect();
+        (colors, CostNode::leaf("greedy-inner", 1))
+    }
+
+    #[test]
+    fn sweep_colors_edges_and_respects_invariants() {
+        let g = generators::random_regular(30, 6, 1);
+        let inst = instance::two_delta_minus_one(&g);
+        let (xc, xp) = x_for(&g);
+        let out = sweep(&inst, &xc, xp, 1, &mut greedy_inner);
+        assert!(out.stats.colored > 0, "a sweep must make progress");
+        assert!(out.stats.min_active_slack > 1.0);
+        assert_eq!(out.stats.classes_total, u64::from(defective_palette(1)));
+        // Partial coloring is proper and on-list.
+        for e in g.edges() {
+            if let Some(c) = out.colors[e.index()] {
+                assert!(inst.list(e).contains(c));
+            }
+        }
+    }
+
+    #[test]
+    fn residual_degree_halves() {
+        let g = generators::random_regular(40, 8, 2);
+        let inst = instance::two_delta_minus_one(&g);
+        let (xc, xp) = x_for(&g);
+        let out = sweep(&inst, &xc, xp, 1, &mut greedy_inner);
+        let res = residual_after_sweep(&inst, &xc, &out.colors);
+        let dbar = inst.max_edge_degree();
+        assert!(
+            res.instance.max_edge_degree() <= dbar / 2,
+            "residual Δ̄ {} must be ≤ Δ̄/2 = {}",
+            res.instance.max_edge_degree(),
+            dbar / 2
+        );
+    }
+
+    #[test]
+    fn repeated_sweeps_terminate() {
+        let g = generators::gnp(40, 0.25, 3);
+        let mut inst = instance::two_delta_minus_one(&g);
+        let (mut xc, xp) = x_for(&g);
+        let mut final_colors: Vec<Option<Color>> = vec![None; g.num_edges()];
+        let mut maps: Vec<EdgeId> = g.edges().collect();
+        let mut sweeps = 0;
+        while inst.graph().num_edges() > 0 {
+            let out = sweep(&inst, &xc, xp, 1, &mut greedy_inner);
+            for (local, &orig) in maps.iter().enumerate() {
+                if let Some(c) = out.colors[local] {
+                    final_colors[orig.index()] = Some(c);
+                }
+            }
+            let res = residual_after_sweep(&inst, &xc, &out.colors);
+            maps = res.edge_map.iter().map(|&le| maps[le.index()]).collect();
+            inst = res.instance;
+            xc = res.x_coloring;
+            sweeps += 1;
+            assert!(sweeps <= 2 + (g.max_edge_degree() as f64).log2().ceil() as u32 + 1);
+        }
+        // Full coloring is proper and on-list.
+        let full = deco_graph::coloring::EdgeColoring::from_vec(final_colors);
+        let orig_inst = instance::two_delta_minus_one(&g);
+        orig_inst.check_solution(&full).expect("complete proper list coloring");
+    }
+
+    #[test]
+    fn sweep_on_empty_graph() {
+        let g = deco_graph::Graph::empty(3);
+        let inst = instance::two_delta_minus_one(&g);
+        let out = sweep(&inst, &[], 2, 1, &mut greedy_inner);
+        assert_eq!(out.stats.classes_nonempty, 0);
+        assert_eq!(out.colors.len(), 0);
+    }
+
+    #[test]
+    fn residual_lists_shrink_with_neighbors() {
+        // Path of 3 edges; color the middle edge, residual lists of the two
+        // outer edges must drop that color.
+        let g = generators::path(4);
+        let inst = instance::two_delta_minus_one(&g);
+        let colors = vec![None, Some(1), None];
+        let res = residual_after_sweep(&inst, &[0, 1, 2], &colors);
+        assert_eq!(res.instance.graph().num_edges(), 2);
+        for e in res.instance.graph().edges() {
+            assert!(!res.instance.list(e).contains(1));
+        }
+    }
+}

@@ -1,0 +1,594 @@
+//! The Theorem 4.1 solver: `(deg(e)+1)`-list edge coloring in
+//! `log^{O(log log Δ)} Δ + O(log* n)` LOCAL rounds.
+//!
+//! Recursion structure (§4.3 of the paper):
+//!
+//! * [`Solver::solve_instance`] solves slack-1 instances via Lemma 4.2
+//!   sweeps: a `deg(e)/2β`-defective coloring splits the instance into
+//!   `O(β²)` classes whose active subgraphs have slack > β and degree
+//!   ≤ Δ̄/2β; the residual degree halves per sweep.
+//! * Slack-β instances go through Lemma 4.3 color space reductions with
+//!   `p ≈ √Δ̄`: the subspace assignment itself is a small recursive
+//!   `(deg+1)`-list instance on a virtual graph with Δ̄ ≤ 2p−1 ≈ 2√Δ̄ — the
+//!   polynomial degree reduction that yields the `O(log log Δ)` recursion
+//!   depth — and the per-subspace residuals (palette `C/p`, slack divided
+//!   by `24·H_{2p}·log p`) recurse in parallel.
+//! * Instances with constant degree (or constant palette) bottom out in the
+//!   classic base case: Linial's coloring from the initial `X`-edge-coloring
+//!   (`O(log* X)` rounds) followed by a constant number of class-elimination
+//!   rounds.
+//!
+//! The solver is *always correct* for any parameter choice: whenever a
+//! space reduction's slack requirement is not met (small `β` in clamped
+//! practical runs), it falls back to the slack-1 path, which needs nothing
+//! but (deg+1)-lists. Parameter strategies reproduce the paper's schedule
+//! ([`Strategy::Paper`]), Kuhn SODA'20-shaped parameters
+//! ([`Strategy::Kuhn20`]), or fixed small parameters
+//! ([`Strategy::ConstantP`]) for ablation.
+
+use crate::instance::ListInstance;
+use crate::lists::{ColorList, SubspacePartition};
+use crate::slack;
+use crate::space;
+use deco_algos::{class_elimination, edge_adapter, linial};
+use deco_graph::coloring::{Color, EdgeColoring};
+use deco_graph::{EdgeId, Graph, LineGraph};
+use deco_local::math::harmonic;
+use deco_local::{CostNode, Network};
+use std::cell::RefCell;
+
+/// Parameter strategies for β (Lemma 4.2) and p (Lemma 4.3).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Strategy {
+    /// The paper's schedule: `β = α·log^{4c} Δ̄`, `p = ⌊√Δ̄⌋`.
+    Paper,
+    /// Kuhn SODA'20-shaped schedule: `β = α·2^{√log Δ̄}`, `p = 2^{⌈√log C⌉}`
+    /// (one-level color space reduction geometry; reproduces the
+    /// `2^{O(√log Δ)}` recursion shape inside the same machinery).
+    Kuhn20,
+    /// Fixed `p`; `β` is set to the single-step slack requirement
+    /// `⌈α·24·H_{2p}·log p⌉`. Ablation baseline.
+    ConstantP(u32),
+}
+
+/// Solver configuration.
+#[derive(Debug, Clone)]
+pub struct SolverConfig {
+    /// Parameter strategy.
+    pub strategy: Strategy,
+    /// The paper's "large enough constant" α multiplying β.
+    pub alpha: f64,
+    /// Maximum edge degree treated as the O(1) base case.
+    pub base_dbar: usize,
+    /// Palette size at or below which space reduction stops.
+    pub small_palette: u32,
+    /// Optional clamp on β for bounded-round practical runs (correctness is
+    /// unaffected; slack shortfalls fall back to the slack-1 path).
+    pub beta_cap: Option<u32>,
+    /// Optional clamp on p.
+    pub p_cap: Option<u32>,
+    /// Hard recursion depth limit (safety net; the recursion provably
+    /// terminates well before this).
+    pub max_depth: u32,
+}
+
+impl Default for SolverConfig {
+    fn default() -> Self {
+        SolverConfig {
+            strategy: Strategy::Paper,
+            alpha: 1.0,
+            base_dbar: 8,
+            small_palette: 12,
+            beta_cap: Some(4),
+            p_cap: Some(16),
+            max_depth: 256,
+        }
+    }
+}
+
+impl SolverConfig {
+    /// The paper's parameters without practical clamps: exactly the
+    /// Theorem 4.1 schedule (rounds grow enormous, work stays proportional
+    /// to the number of edges).
+    pub fn faithful(alpha: f64) -> SolverConfig {
+        SolverConfig {
+            strategy: Strategy::Paper,
+            alpha,
+            beta_cap: None,
+            p_cap: None,
+            ..SolverConfig::default()
+        }
+    }
+}
+
+/// Counters describing a solve, used by tests and the experiment harness.
+#[derive(Debug, Clone, Default)]
+pub struct SolveStats {
+    /// Lemma 4.2 sweeps executed.
+    pub sweeps: u64,
+    /// Defective classes that contained edges (work was done).
+    pub classes_nonempty: u64,
+    /// Total defective classes scheduled (including empty ones).
+    pub classes_total: u64,
+    /// Lemma 4.3 space reductions executed.
+    pub space_reductions: u64,
+    /// Recursive subspace-assignment solves (virtual graphs + E⁽²⁾).
+    pub assign_solves: u64,
+    /// Times a slack instance fell back to the slack-1 path because the
+    /// slack requirement `S ≥ 24·H_q·log p` was not met.
+    pub slack_fallbacks: u64,
+    /// Base cases executed.
+    pub base_cases: u64,
+    /// Worst Eq. (2) ratio observed across all space reductions.
+    pub eq2_worst_ratio: f64,
+    /// Maximum recursion depth reached.
+    pub max_depth_seen: u32,
+}
+
+/// A complete solve: colors (per instance edge), round cost, statistics.
+#[derive(Debug, Clone)]
+pub struct Solution {
+    /// One color per edge, drawn from that edge's list.
+    pub colors: Vec<Color>,
+    /// Structured round cost of the whole computation.
+    pub cost: CostNode,
+    /// Execution counters.
+    pub stats: SolveStats,
+}
+
+/// The Theorem 4.1 solver.
+#[derive(Debug)]
+pub struct Solver {
+    config: SolverConfig,
+    stats: RefCell<SolveStats>,
+}
+
+impl Solver {
+    /// Creates a solver with the given configuration.
+    pub fn new(config: SolverConfig) -> Solver {
+        Solver { config, stats: RefCell::new(SolveStats::default()) }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &SolverConfig {
+        &self.config
+    }
+
+    /// Solves a `(deg(e)+1)`-list edge coloring instance given an initial
+    /// proper `X`-edge-coloring of the instance graph.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inst` is not a (deg+1)-list instance or `x_coloring` is
+    /// not proper with palette `x_palette`.
+    pub fn solve_instance(
+        &self,
+        inst: &ListInstance,
+        x_coloring: &[u32],
+        x_palette: u32,
+    ) -> Solution {
+        inst.validate_slack(1.0).expect("instance must be (deg+1)-list");
+        *self.stats.borrow_mut() = SolveStats::default();
+        let (colors, cost) = self.solve_deg1(inst, x_coloring, x_palette, 0);
+        debug_assert!(inst
+            .check_solution(&EdgeColoring::from_complete(colors.clone()))
+            .is_ok());
+        Solution { colors, cost, stats: self.stats.borrow().clone() }
+    }
+
+    fn note_depth(&self, depth: u32) {
+        assert!(depth < self.config.max_depth, "recursion depth limit exceeded");
+        let mut s = self.stats.borrow_mut();
+        s.max_depth_seen = s.max_depth_seen.max(depth);
+    }
+
+    /// Slack-1 path (Lemma 4.2 + base case).
+    fn solve_deg1(
+        &self,
+        inst: &ListInstance,
+        x_coloring: &[u32],
+        x_palette: u32,
+        depth: u32,
+    ) -> (Vec<Color>, CostNode) {
+        self.note_depth(depth);
+        let m = inst.graph().num_edges();
+        if m == 0 {
+            return (Vec::new(), CostNode::free("empty instance"));
+        }
+        let dbar = inst.max_edge_degree();
+        if dbar <= self.config.base_dbar {
+            return self.base_case(inst, x_coloring, x_palette);
+        }
+        let beta = self.beta_for(dbar, inst.palette());
+
+        // Lemma 4.2 loop: sweep, write back, recurse on the residual.
+        let mut final_colors: Vec<Option<Color>> = vec![None; m];
+        let mut cur = inst.clone();
+        let mut cur_x = x_coloring.to_vec();
+        let mut map: Vec<EdgeId> = inst.graph().edges().collect();
+        let mut costs: Vec<CostNode> = Vec::new();
+        loop {
+            let cur_dbar = cur.max_edge_degree();
+            if cur.graph().num_edges() == 0 {
+                break;
+            }
+            if cur_dbar <= self.config.base_dbar {
+                let (colors, cost) = self.base_case(&cur, &cur_x, x_palette);
+                for (local, &orig) in map.iter().enumerate() {
+                    final_colors[orig.index()] = Some(colors[local]);
+                }
+                costs.push(cost);
+                break;
+            }
+            self.stats.borrow_mut().sweeps += 1;
+            let mut inner = |si: &ListInstance, sx: &[u32]| {
+                self.solve_with_slack(si, sx, x_palette, f64::from(beta), depth + 1)
+            };
+            let out = slack::sweep(&cur, &cur_x, x_palette, beta, &mut inner);
+            {
+                let mut s = self.stats.borrow_mut();
+                s.classes_nonempty += out.stats.classes_nonempty;
+                s.classes_total += out.stats.classes_total;
+            }
+            for (local, &orig) in map.iter().enumerate() {
+                if let Some(c) = out.colors[local] {
+                    final_colors[orig.index()] = Some(c);
+                }
+            }
+            costs.push(out.cost);
+            let res = slack::residual_after_sweep(&cur, &cur_x, &out.colors);
+            assert!(
+                res.instance.max_edge_degree() <= cur_dbar / 2,
+                "Lemma 4.2: residual degree must halve ({} -> {})",
+                cur_dbar,
+                res.instance.max_edge_degree()
+            );
+            map = res.edge_map.iter().map(|&le| map[le.index()]).collect();
+            cur = res.instance;
+            cur_x = res.x_coloring;
+        }
+        let colors: Vec<Color> =
+            final_colors.into_iter().map(|c| c.expect("all edges colored")).collect();
+        (colors, CostNode::seq(format!("solve-slack1(Δ̄={dbar}, β={beta})"), costs))
+    }
+
+    /// Slack-S path (Lemma 4.3 / Lemma 4.5 unrolled one step at a time).
+    fn solve_with_slack(
+        &self,
+        inst: &ListInstance,
+        x_coloring: &[u32],
+        x_palette: u32,
+        slack_value: f64,
+        depth: u32,
+    ) -> (Vec<Color>, CostNode) {
+        self.note_depth(depth);
+        let dbar = inst.max_edge_degree();
+        let c_palette = inst.palette();
+        if inst.graph().num_edges() == 0 {
+            return (Vec::new(), CostNode::free("empty instance"));
+        }
+        if dbar <= self.config.base_dbar || c_palette <= self.config.small_palette {
+            return self.solve_deg1(inst, x_coloring, x_palette, depth);
+        }
+        let p = self.p_for(dbar, c_palette);
+        let feasible = p >= 2
+            && p <= c_palette
+            && 2 * p as usize - 1 < dbar
+            && slack_value >= space_requirement(c_palette, p);
+        if !feasible {
+            self.stats.borrow_mut().slack_fallbacks += 1;
+            return self.solve_deg1(inst, x_coloring, x_palette, depth);
+        }
+
+        self.stats.borrow_mut().space_reductions += 1;
+        let mut assign = |ai: &ListInstance, ax: &[u32]| {
+            self.stats.borrow_mut().assign_solves += 1;
+            self.solve_deg1(ai, ax, x_palette, depth + 1)
+        };
+        let red = space::reduce_color_space(inst, p, x_coloring, &mut assign);
+        {
+            let mut s = self.stats.borrow_mut();
+            s.eq2_worst_ratio = s.eq2_worst_ratio.max(red.stats.eq2_max_ratio);
+        }
+
+        // Per-subspace residuals: disjoint color ranges, so they run in
+        // parallel; each retains slack ≥ S / (24·H_q·log p).
+        let new_slack = slack_value / space_requirement(c_palette, p);
+        let mut colors: Vec<Option<Color>> = vec![None; inst.graph().num_edges()];
+        let mut children: Vec<CostNode> = Vec::new();
+        for sub in &red.sub_instances {
+            sub.instance
+                .validate_slack(1.0)
+                .expect("slack requirement keeps residuals (deg+1)-feasible");
+            let (sub_colors, sub_cost) = self.solve_with_slack(
+                &sub.instance,
+                &sub.x_coloring,
+                x_palette,
+                new_slack,
+                depth + 1,
+            );
+            for (idx, &pe) in sub.edge_map.iter().enumerate() {
+                colors[pe.index()] = Some(sub_colors[idx] + sub.color_offset);
+            }
+            children.push(sub_cost);
+        }
+        let cost = CostNode::seq(
+            format!("solve-slack-S(Δ̄={dbar}, C={c_palette}, p={p})"),
+            vec![red.cost, CostNode::par("parallel subspace instances", children)],
+        );
+        let colors: Vec<Color> =
+            colors.into_iter().map(|c| c.expect("subspaces cover all edges")).collect();
+        debug_assert!(inst
+            .check_solution(&EdgeColoring::from_complete(colors.clone()))
+            .is_ok());
+        (colors, cost)
+    }
+
+    /// Base case `T(O(1), S, C) = O(log* X)`: Linial from the initial
+    /// `X`-coloring, then one class-elimination round per (constantly many)
+    /// class.
+    fn base_case(
+        &self,
+        inst: &ListInstance,
+        x_coloring: &[u32],
+        x_palette: u32,
+    ) -> (Vec<Color>, CostNode) {
+        self.stats.borrow_mut().base_cases += 1;
+        let g = inst.graph();
+        if g.num_edges() == 0 {
+            return (Vec::new(), CostNode::free("empty base case"));
+        }
+        let lg = LineGraph::of(g);
+        // Linial on the line graph from the X-coloring (IDs are unused by
+        // the protocol; the network just needs some for bookkeeping).
+        let net = Network::new(lg.graph(), deco_local::IdAssignment::Sequential);
+        let initial: Vec<u64> = x_coloring.iter().map(|&c| u64::from(c)).collect();
+        let lin = linial::color_from_initial(&net, initial, u64::from(x_palette).max(2))
+            .expect("fixed schedule terminates");
+        let palette = u32::try_from(lin.palette).expect("constant-degree palettes are small");
+        let lists: Vec<Vec<Color>> =
+            inst.lists().iter().map(|l| l.as_slice().to_vec()).collect();
+        let (colors, elim_rounds) =
+            class_elimination::list_color_by_classes(lg.graph(), &lists, &lin.colors, palette);
+        let cost = CostNode::seq(
+            format!("base-case(Δ̄={})", g.max_edge_degree()),
+            vec![
+                CostNode::leaf("Linial from X-coloring (log* X)", lin.rounds),
+                CostNode::leaf("eliminate O(1) classes", elim_rounds),
+            ],
+        );
+        (colors, cost)
+    }
+
+    fn beta_for(&self, dbar: usize, c_palette: u32) -> u32 {
+        let log_d = (dbar as f64).log2().max(1.0);
+        let c_exp = palette_exponent(c_palette, dbar);
+        let raw = match self.config.strategy {
+            Strategy::Paper => self.config.alpha * log_d.powf(4.0 * c_exp),
+            Strategy::Kuhn20 => self.config.alpha * 2f64.powf(log_d.sqrt()),
+            Strategy::ConstantP(p0) => {
+                self.config.alpha * space_requirement(c_palette, p0.max(2))
+            }
+        };
+        let beta = if raw >= u32::MAX as f64 { u32::MAX } else { raw.ceil().max(1.0) as u32 };
+        // β > Δ̄ adds nothing: defects are integral, so deg(e)/2β < 1 (a
+        // proper coloring) is already reached at β = Δ̄; clamping keeps the
+        // defective palette representable while preserving every guarantee.
+        let beta = beta.min(dbar as u32 + 1);
+        match self.config.beta_cap {
+            Some(cap) => beta.min(cap).max(1),
+            None => beta.max(1),
+        }
+    }
+
+    fn p_for(&self, dbar: usize, c_palette: u32) -> u32 {
+        let raw = match self.config.strategy {
+            Strategy::Paper => (dbar as f64).sqrt().floor() as u32,
+            Strategy::Kuhn20 => {
+                let log_c = f64::from(c_palette).log2().max(1.0);
+                2f64.powf(log_c.sqrt().ceil()) as u32
+            }
+            Strategy::ConstantP(p0) => p0,
+        };
+        let p = raw.clamp(2, c_palette);
+        match self.config.p_cap {
+            Some(cap) => p.min(cap).max(2),
+            None => p,
+        }
+    }
+}
+
+/// Exponent `c` with `C ≤ Δ̄^c` (at least 1), from §4.3.
+fn palette_exponent(c_palette: u32, dbar: usize) -> f64 {
+    let ld = (dbar.max(2) as f64).ln();
+    (f64::from(c_palette.max(2)).ln() / ld).max(1.0)
+}
+
+/// The slack divisor / requirement of one Lemma 4.3 step:
+/// `24·H_q·log₂ p` for the actual `q` of the partition.
+pub fn space_requirement(c_palette: u32, p: u32) -> f64 {
+    let p = p.clamp(2, c_palette.max(2));
+    let q = if c_palette >= p {
+        SubspacePartition::new(c_palette, p).num_subspaces()
+    } else {
+        c_palette.max(1)
+    };
+    24.0 * harmonic(u64::from(q)) * f64::from(p).log2().max(1.0)
+}
+
+/// End-to-end pipeline result for a raw graph (includes the initial
+/// Linial `X`-edge-coloring the paper assumes).
+#[derive(Debug, Clone)]
+pub struct PipelineResult {
+    /// The solved coloring (complete, proper, on-list).
+    pub coloring: EdgeColoring,
+    /// The palette of the initial `X`-edge-coloring (`X = O(Δ̄²)`).
+    pub x_palette: u32,
+    /// Rounds of the initial coloring (`O(log* n)`).
+    pub x_rounds: u64,
+    /// The main solve.
+    pub solution: Solution,
+}
+
+/// Solves the `(2Δ−1)`-edge coloring problem on `g` end to end: Linial
+/// initial coloring (`O(log* n)`) + the Theorem 4.1 solver.
+pub fn solve_two_delta_minus_one(
+    g: &Graph,
+    node_ids: &[u64],
+    config: SolverConfig,
+) -> PipelineResult {
+    let inst = crate::instance::two_delta_minus_one(g);
+    solve_pipeline(g, inst, node_ids, config)
+}
+
+/// Solves an arbitrary `(deg(e)+1)`-list instance over `g` end to end.
+///
+/// # Panics
+///
+/// Panics if `inst.graph()` differs structurally from `g` or the instance
+/// is not (deg+1)-feasible.
+pub fn solve_pipeline(
+    g: &Graph,
+    inst: ListInstance,
+    node_ids: &[u64],
+    config: SolverConfig,
+) -> PipelineResult {
+    assert_eq!(inst.graph().num_edges(), g.num_edges(), "instance must match graph");
+    let x = edge_adapter::linial_edge_coloring(g, node_ids).expect("Linial terminates");
+    let x_coloring: Vec<u32> =
+        g.edges().map(|e| x.coloring.get(e).expect("complete")).collect();
+    let x_palette = u32::try_from(x.palette).expect("X = O(Δ̄²) fits u32");
+    let solver = Solver::new(config);
+    let solution = solver.solve_instance(&inst, &x_coloring, x_palette);
+    let coloring = EdgeColoring::from_complete(solution.colors.clone());
+    inst.check_solution(&coloring).expect("solver output must be valid");
+    PipelineResult { coloring, x_palette, x_rounds: x.rounds, solution }
+}
+
+/// Builds the (deg+1)-list instance view of an explicit list set.
+pub fn instance_from_lists(g: &Graph, lists: Vec<Vec<Color>>, palette: u32) -> ListInstance {
+    let lists = lists.into_iter().map(ColorList::new).collect();
+    ListInstance::new_unchecked(g.clone(), lists, palette)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instance;
+    use deco_graph::generators;
+
+    fn ids_for(g: &Graph) -> Vec<u64> {
+        (1..=g.num_nodes() as u64).collect()
+    }
+
+    fn solve_and_check(g: &Graph, config: SolverConfig) -> PipelineResult {
+        let res = solve_two_delta_minus_one(g, &ids_for(g), config);
+        let bound = (2 * g.max_degree()).saturating_sub(1).max(1);
+        assert!(res.coloring.distinct_colors() <= bound);
+        res
+    }
+
+    #[test]
+    fn solves_small_dense_graphs() {
+        for g in [
+            generators::complete(10),
+            generators::complete_bipartite(7, 7),
+            generators::petersen(),
+        ] {
+            solve_and_check(&g, SolverConfig::default());
+        }
+    }
+
+    #[test]
+    fn solves_regular_graphs_default_config() {
+        for (n, d, seed) in [(40, 6, 1), (60, 10, 2), (30, 16, 3)] {
+            let g = generators::random_regular(n, d, seed);
+            let res = solve_and_check(&g, SolverConfig::default());
+            assert!(res.solution.stats.sweeps > 0);
+        }
+    }
+
+    #[test]
+    fn solves_with_faithful_parameters() {
+        // Faithful (unclamped) paper parameters: rounds charged are huge but
+        // the work is proportional to the edges — must still terminate.
+        let g = generators::random_regular(40, 12, 4);
+        let res = solve_and_check(&g, SolverConfig::faithful(1.0));
+        assert!(res.solution.stats.sweeps > 0);
+        // β = log^4(Δ̄) is far above Δ̄ here, so classes are mostly empty.
+        assert!(res.solution.stats.classes_total > res.solution.stats.classes_nonempty);
+    }
+
+    #[test]
+    fn list_instance_pipeline() {
+        let g = generators::random_regular(30, 8, 5);
+        let inst = instance::random_deg_plus_one(&g, 3 * g.max_edge_degree() as u32, 6);
+        let res = solve_pipeline(&g, inst.clone(), &ids_for(&g), SolverConfig::default());
+        inst.check_solution(&res.coloring).expect("on-list proper coloring");
+    }
+
+    #[test]
+    fn space_reduction_kicks_in_with_enough_slack() {
+        // Force the slack path: big palette, huge slack, moderate degree.
+        let g = generators::random_regular(36, 12, 7);
+        let inst = instance::random_with_slack(&g, 6000, 130.0, 8);
+        let x = edge_adapter::linial_edge_coloring(&g, &ids_for(&g)).unwrap();
+        let xc: Vec<u32> = g.edges().map(|e| x.coloring.get(e).unwrap()).collect();
+        let solver = Solver::new(SolverConfig {
+            beta_cap: None,
+            p_cap: None,
+            small_palette: 8,
+            base_dbar: 6,
+            ..SolverConfig::default()
+        });
+        // Drive solve_with_slack directly via a tiny shim: use solve_instance
+        // on the slack instance (slack ≥ 1 implies (deg+1)), then also check
+        // the slack path is exercised through sweeps' inner calls.
+        let sol = solver.solve_instance(&inst, &xc, x.palette as u32);
+        inst.check_solution(&EdgeColoring::from_complete(sol.colors)).unwrap();
+    }
+
+    #[test]
+    fn kuhn20_and_constantp_strategies_solve() {
+        let g = generators::random_regular(40, 8, 9);
+        for strategy in [Strategy::Kuhn20, Strategy::ConstantP(3)] {
+            let cfg = SolverConfig { strategy, ..SolverConfig::default() };
+            solve_and_check(&g, cfg);
+        }
+    }
+
+    #[test]
+    fn sparse_graphs_hit_base_case_directly() {
+        let g = generators::cycle(200);
+        let res = solve_and_check(&g, SolverConfig::default());
+        assert_eq!(res.solution.stats.sweeps, 0);
+        assert_eq!(res.solution.stats.base_cases, 1);
+        // O(log* n) + O(1): tiny round count.
+        assert!(res.solution.cost.actual_rounds() < 200);
+    }
+
+    #[test]
+    fn cost_tree_is_structured() {
+        let g = generators::random_regular(30, 10, 11);
+        let res = solve_and_check(&g, SolverConfig::default());
+        assert!(res.solution.cost.size() > 3);
+        assert!(res.solution.cost.actual_rounds() > 0);
+        let rendered = res.solution.cost.render();
+        assert!(rendered.contains("solve-slack1"));
+    }
+
+    #[test]
+    fn deterministic_given_same_inputs() {
+        let g = generators::random_regular(24, 6, 13);
+        let a = solve_two_delta_minus_one(&g, &ids_for(&g), SolverConfig::default());
+        let b = solve_two_delta_minus_one(&g, &ids_for(&g), SolverConfig::default());
+        assert_eq!(a.solution.colors, b.solution.colors);
+        assert_eq!(a.solution.cost.actual_rounds(), b.solution.cost.actual_rounds());
+    }
+
+    #[test]
+    fn empty_and_tiny() {
+        solve_and_check(&Graph::empty(4), SolverConfig::default());
+        solve_and_check(&generators::path(2), SolverConfig::default());
+    }
+}

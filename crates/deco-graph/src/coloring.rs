@@ -1,0 +1,307 @@
+//! Coloring containers and validators.
+//!
+//! Colorings are stored as dense per-node or per-edge `Option<Color>` arrays
+//! (`None` = not yet colored). The validators here are the *oracles* the
+//! whole workspace tests against: whatever the distributed algorithms do,
+//! [`check_edge_coloring`] / [`check_vertex_coloring`] have the final word.
+
+use crate::{EdgeId, Graph, NodeId};
+use std::collections::HashSet;
+use std::fmt;
+
+/// A color. Palettes are dense `0..C` unless stated otherwise.
+pub type Color = u32;
+
+/// A (possibly partial) edge coloring: `colors[e] = Some(c)` or `None`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EdgeColoring {
+    colors: Vec<Option<Color>>,
+}
+
+impl EdgeColoring {
+    /// All-uncolored coloring for a graph with `m` edges.
+    pub fn uncolored(m: usize) -> EdgeColoring {
+        EdgeColoring { colors: vec![None; m] }
+    }
+
+    /// Wraps an existing color vector.
+    pub fn from_vec(colors: Vec<Option<Color>>) -> EdgeColoring {
+        EdgeColoring { colors }
+    }
+
+    /// Builds a complete coloring from one color per edge.
+    pub fn from_complete(colors: Vec<Color>) -> EdgeColoring {
+        EdgeColoring { colors: colors.into_iter().map(Some).collect() }
+    }
+
+    /// Color of edge `e`, if assigned.
+    #[inline]
+    pub fn get(&self, e: EdgeId) -> Option<Color> {
+        self.colors[e.index()]
+    }
+
+    /// Assigns color `c` to edge `e` (overwrites).
+    #[inline]
+    pub fn set(&mut self, e: EdgeId, c: Color) {
+        self.colors[e.index()] = Some(c);
+    }
+
+    /// Removes the color of `e`.
+    #[inline]
+    pub fn clear(&mut self, e: EdgeId) {
+        self.colors[e.index()] = None;
+    }
+
+    /// Whether every edge has a color.
+    pub fn is_complete(&self) -> bool {
+        self.colors.iter().all(Option::is_some)
+    }
+
+    /// Number of uncolored edges.
+    pub fn uncolored_count(&self) -> usize {
+        self.colors.iter().filter(|c| c.is_none()).count()
+    }
+
+    /// Number of distinct colors in use.
+    pub fn distinct_colors(&self) -> usize {
+        self.colors.iter().flatten().collect::<HashSet<_>>().len()
+    }
+
+    /// Largest color in use, if any edge is colored.
+    pub fn max_color(&self) -> Option<Color> {
+        self.colors.iter().flatten().copied().max()
+    }
+
+    /// The raw per-edge array.
+    pub fn as_slice(&self) -> &[Option<Color>] {
+        &self.colors
+    }
+
+    /// Number of edges this coloring covers.
+    pub fn len(&self) -> usize {
+        self.colors.len()
+    }
+
+    /// Whether the coloring covers zero edges.
+    pub fn is_empty(&self) -> bool {
+        self.colors.is_empty()
+    }
+}
+
+/// A violation found by a coloring validator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ColoringViolation {
+    /// Two adjacent edges share a color.
+    AdjacentEdgesSameColor {
+        /// First offending edge.
+        e: EdgeId,
+        /// Second offending edge (adjacent to `e`).
+        f: EdgeId,
+        /// The shared color.
+        color: Color,
+    },
+    /// Two adjacent nodes share a color.
+    AdjacentNodesSameColor {
+        /// First offending node.
+        u: NodeId,
+        /// Second offending node (adjacent to `u`).
+        v: NodeId,
+        /// The shared color.
+        color: Color,
+    },
+    /// An edge (or node) that was required to be colored is not.
+    Uncolored {
+        /// Dense index of the uncolored element.
+        index: usize,
+    },
+}
+
+impl fmt::Display for ColoringViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ColoringViolation::AdjacentEdgesSameColor { e, f: g, color } => {
+                write!(f, "adjacent edges {e} and {g} both have color {color}")
+            }
+            ColoringViolation::AdjacentNodesSameColor { u, v, color } => {
+                write!(f, "adjacent nodes {u} and {v} both have color {color}")
+            }
+            ColoringViolation::Uncolored { index } => {
+                write!(f, "element {index} is uncolored")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ColoringViolation {}
+
+/// Checks that `coloring` is a proper *partial* edge coloring: no two
+/// adjacent colored edges share a color. Uncolored edges are allowed.
+///
+/// # Errors
+///
+/// Returns the first [`ColoringViolation`] found.
+pub fn check_partial_edge_coloring(
+    g: &Graph,
+    coloring: &EdgeColoring,
+) -> Result<(), ColoringViolation> {
+    assert_eq!(coloring.len(), g.num_edges(), "coloring length mismatch");
+    // Per node, check its incident colored edges are pairwise distinct. This
+    // covers all adjacencies and runs in O(Σ deg(v) log deg(v)).
+    for v in g.nodes() {
+        let mut seen: Vec<(Color, EdgeId)> = g
+            .incident_edges(v)
+            .filter_map(|e| coloring.get(e).map(|c| (c, e)))
+            .collect();
+        seen.sort_unstable();
+        for w in seen.windows(2) {
+            if w[0].0 == w[1].0 {
+                return Err(ColoringViolation::AdjacentEdgesSameColor {
+                    e: w[0].1,
+                    f: w[1].1,
+                    color: w[0].0,
+                });
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Checks that `coloring` is a proper *complete* edge coloring.
+///
+/// # Errors
+///
+/// Returns a [`ColoringViolation`] if any edge is uncolored or any two
+/// adjacent edges share a color.
+pub fn check_edge_coloring(g: &Graph, coloring: &EdgeColoring) -> Result<(), ColoringViolation> {
+    if let Some(idx) = coloring.as_slice().iter().position(Option::is_none) {
+        return Err(ColoringViolation::Uncolored { index: idx });
+    }
+    check_partial_edge_coloring(g, coloring)
+}
+
+/// Checks a proper complete vertex coloring (`colors[v]` for every node).
+///
+/// # Errors
+///
+/// Returns a [`ColoringViolation`] if two adjacent nodes share a color.
+pub fn check_vertex_coloring(g: &Graph, colors: &[Color]) -> Result<(), ColoringViolation> {
+    assert_eq!(colors.len(), g.num_nodes(), "colors length mismatch");
+    for e in g.edges() {
+        let [u, v] = g.endpoints(e);
+        if colors[u.index()] == colors[v.index()] {
+            return Err(ColoringViolation::AdjacentNodesSameColor {
+                u,
+                v,
+                color: colors[u.index()],
+            });
+        }
+    }
+    Ok(())
+}
+
+/// Defect of each edge under a (possibly improper) complete edge coloring:
+/// `defect[e]` = number of edges adjacent to `e` with the same color.
+///
+/// A proper coloring has all-zero defects; a `f(e)`-defective coloring in the
+/// paper's sense satisfies `defect[e] ≤ f(e)` for all `e`.
+pub fn edge_defects(g: &Graph, colors: &[Color]) -> Vec<usize> {
+    assert_eq!(colors.len(), g.num_edges(), "colors length mismatch");
+    let mut defect = vec![0usize; g.num_edges()];
+    for v in g.nodes() {
+        // Count same-color pairs among edges incident to v.
+        let inc: Vec<EdgeId> = g.incident_edges(v).collect();
+        let mut by_color: std::collections::HashMap<Color, usize> = Default::default();
+        for &e in &inc {
+            *by_color.entry(colors[e.index()]).or_insert(0) += 1;
+        }
+        for &e in &inc {
+            let same = by_color[&colors[e.index()]];
+            // Edges sharing color with e at this endpoint (excluding e).
+            defect[e.index()] += same - 1;
+        }
+    }
+    defect
+}
+
+/// Number of distinct values in a complete color array.
+pub fn distinct_colors(colors: &[Color]) -> usize {
+    colors.iter().collect::<HashSet<_>>().len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn proper_coloring_of_path_passes() {
+        let g = generators::path(4); // edges e0,e1,e2 in a line
+        let c = EdgeColoring::from_complete(vec![0, 1, 0]);
+        assert!(check_edge_coloring(&g, &c).is_ok());
+    }
+
+    #[test]
+    fn improper_coloring_is_caught() {
+        let g = generators::path(3); // e0={0,1}, e1={1,2} adjacent
+        let c = EdgeColoring::from_complete(vec![5, 5]);
+        let err = check_edge_coloring(&g, &c).unwrap_err();
+        assert!(matches!(err, ColoringViolation::AdjacentEdgesSameColor { color: 5, .. }));
+    }
+
+    #[test]
+    fn incomplete_coloring_is_caught() {
+        let g = generators::path(3);
+        let mut c = EdgeColoring::uncolored(2);
+        c.set(EdgeId(0), 1);
+        let err = check_edge_coloring(&g, &c).unwrap_err();
+        assert_eq!(err, ColoringViolation::Uncolored { index: 1 });
+        // But it is a valid *partial* coloring.
+        assert!(check_partial_edge_coloring(&g, &c).is_ok());
+    }
+
+    #[test]
+    fn vertex_coloring_checker() {
+        let g = generators::cycle(4);
+        assert!(check_vertex_coloring(&g, &[0, 1, 0, 1]).is_ok());
+        assert!(check_vertex_coloring(&g, &[0, 1, 0, 0]).is_err());
+    }
+
+    #[test]
+    fn defects_on_monochromatic_star() {
+        let g = generators::star(4);
+        let defects = edge_defects(&g, &[7, 7, 7, 7]);
+        // Every edge conflicts with the 3 others at the center.
+        assert_eq!(defects, vec![3, 3, 3, 3]);
+    }
+
+    #[test]
+    fn defects_zero_for_proper() {
+        let g = generators::cycle(6);
+        let colors = vec![0, 1, 0, 1, 0, 1];
+        assert!(edge_defects(&g, &colors).iter().all(|&d| d == 0));
+    }
+
+    #[test]
+    fn defects_mixed() {
+        // Path 0-1-2-3 with colors [a, a, b]: e0,e1 conflict; e2 clean.
+        let g = generators::path(4);
+        let defects = edge_defects(&g, &[0, 0, 1]);
+        assert_eq!(defects, vec![1, 1, 0]);
+    }
+
+    #[test]
+    fn coloring_accessors() {
+        let mut c = EdgeColoring::uncolored(3);
+        assert!(!c.is_complete());
+        assert_eq!(c.uncolored_count(), 3);
+        c.set(EdgeId(0), 2);
+        c.set(EdgeId(1), 2);
+        c.set(EdgeId(2), 4);
+        assert!(c.is_complete());
+        assert_eq!(c.distinct_colors(), 2);
+        assert_eq!(c.max_color(), Some(4));
+        c.clear(EdgeId(2));
+        assert_eq!(c.uncolored_count(), 1);
+        assert!(!c.is_empty());
+    }
+}

@@ -1,0 +1,68 @@
+//! Graphviz DOT export, used by the figure-reproduction examples.
+
+use crate::coloring::EdgeColoring;
+use crate::Graph;
+use std::fmt::Write as _;
+
+/// Palette of visually distinct X11 color names for DOT output.
+const DOT_COLORS: &[&str] = &[
+    "red", "blue", "green3", "orange", "purple", "brown", "cyan3", "magenta", "gold3",
+    "gray40", "darkgreen", "navy", "salmon3", "turquoise4", "olive",
+];
+
+/// Renders `g` as an undirected Graphviz DOT string.
+///
+/// If `coloring` is given, colored edges are drawn with a per-color pen
+/// color and labelled with the color index; uncolored edges are dashed.
+pub fn to_dot(g: &Graph, name: &str, coloring: Option<&EdgeColoring>) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "graph {name} {{");
+    let _ = writeln!(out, "  layout=neato; overlap=false; node [shape=circle, fontsize=10];");
+    for v in g.nodes() {
+        let _ = writeln!(out, "  {} [label=\"{}\"];", v.0, v.0);
+    }
+    for e in g.edges() {
+        let [u, v] = g.endpoints(e);
+        match coloring.and_then(|c| c.get(e)) {
+            Some(c) => {
+                let color = DOT_COLORS[c as usize % DOT_COLORS.len()];
+                let _ = writeln!(
+                    out,
+                    "  {} -- {} [color={color}, label=\"{c}\", fontcolor={color}, penwidth=2];",
+                    u.0, v.0
+                );
+            }
+            None => {
+                let _ = writeln!(out, "  {} -- {} [style=dashed, color=gray];", u.0, v.0);
+            }
+        }
+    }
+    let _ = writeln!(out, "}}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+    use crate::EdgeId;
+
+    #[test]
+    fn dot_contains_all_edges() {
+        let g = generators::cycle(4);
+        let dot = to_dot(&g, "c4", None);
+        assert!(dot.starts_with("graph c4 {"));
+        assert_eq!(dot.matches(" -- ").count(), 4);
+        assert!(dot.contains("style=dashed"));
+    }
+
+    #[test]
+    fn dot_renders_colors() {
+        let g = generators::path(3);
+        let mut c = EdgeColoring::uncolored(2);
+        c.set(EdgeId(0), 0);
+        let dot = to_dot(&g, "p3", Some(&c));
+        assert!(dot.contains("label=\"0\""));
+        assert!(dot.contains("style=dashed"));
+    }
+}

@@ -1,0 +1,92 @@
+//! Strongly typed node and edge identifiers.
+//!
+//! Graphs in `deco` index nodes and edges densely from zero. Newtypes keep
+//! the two index spaces from being confused (C-NEWTYPE) — mixing them up is
+//! the classic bug in line-graph-heavy code like edge coloring.
+
+use std::fmt;
+
+/// Index of a node in a [`Graph`](crate::Graph), dense in `0..n`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct NodeId(pub u32);
+
+/// Index of an undirected edge in a [`Graph`](crate::Graph), dense in `0..m`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct EdgeId(pub u32);
+
+impl NodeId {
+    /// Returns the index as a `usize`, for container indexing.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl EdgeId {
+    /// Returns the index as a `usize`, for container indexing.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl From<u32> for NodeId {
+    fn from(value: u32) -> Self {
+        NodeId(value)
+    }
+}
+
+impl From<u32> for EdgeId {
+    fn from(value: u32) -> Self {
+        EdgeId(value)
+    }
+}
+
+impl From<usize> for NodeId {
+    fn from(value: usize) -> Self {
+        NodeId(u32::try_from(value).expect("node index exceeds u32::MAX"))
+    }
+}
+
+impl From<usize> for EdgeId {
+    fn from(value: usize) -> Self {
+        EdgeId(u32::try_from(value).expect("edge index exceeds u32::MAX"))
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+impl fmt::Display for EdgeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "e{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_id_roundtrip() {
+        let v = NodeId::from(17u32);
+        assert_eq!(v.index(), 17);
+        assert_eq!(v.to_string(), "v17");
+    }
+
+    #[test]
+    fn edge_id_roundtrip() {
+        let e = EdgeId::from(3usize);
+        assert_eq!(e.index(), 3);
+        assert_eq!(e.to_string(), "e3");
+    }
+
+    #[test]
+    fn ordering_follows_index() {
+        assert!(NodeId(1) < NodeId(2));
+        assert!(EdgeId(0) < EdgeId(9));
+    }
+}

@@ -1,0 +1,156 @@
+//! Plain-text edge-list serialization.
+//!
+//! Format: first line `n m`, then `m` lines `u v`. Lines starting with `#`
+//! are comments. This keeps example inputs human-editable without pulling in
+//! a serialization framework.
+
+use crate::{Graph, GraphBuilder, NodeId};
+use std::fmt;
+
+/// Error from [`parse_edge_list`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseGraphError {
+    /// The header line `n m` is missing or malformed.
+    BadHeader(String),
+    /// An edge line is malformed.
+    BadEdgeLine {
+        /// 1-based line number of the offending line.
+        line_no: usize,
+        /// The offending line's text.
+        line: String,
+    },
+    /// Declared edge count does not match the number of edge lines.
+    EdgeCountMismatch {
+        /// Edge count from the header.
+        declared: usize,
+        /// Number of edge lines actually present.
+        found: usize,
+    },
+    /// The edges do not form a valid simple graph.
+    InvalidGraph(crate::BuildGraphError),
+}
+
+impl fmt::Display for ParseGraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseGraphError::BadHeader(l) => write!(f, "bad header line: {l:?}"),
+            ParseGraphError::BadEdgeLine { line_no, line } => {
+                write!(f, "bad edge on line {line_no}: {line:?}")
+            }
+            ParseGraphError::EdgeCountMismatch { declared, found } => {
+                write!(f, "header declared {declared} edges but found {found}")
+            }
+            ParseGraphError::InvalidGraph(e) => write!(f, "invalid graph: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ParseGraphError {}
+
+impl From<crate::BuildGraphError> for ParseGraphError {
+    fn from(e: crate::BuildGraphError) -> Self {
+        ParseGraphError::InvalidGraph(e)
+    }
+}
+
+/// Serializes `g` in the `n m` + edge-lines format.
+pub fn to_edge_list(g: &Graph) -> String {
+    let mut out = format!("{} {}\n", g.num_nodes(), g.num_edges());
+    for [u, v] in g.edge_list() {
+        out.push_str(&format!("{} {}\n", u.0, v.0));
+    }
+    out
+}
+
+/// Parses the `n m` + edge-lines format produced by [`to_edge_list`].
+///
+/// # Errors
+///
+/// Returns [`ParseGraphError`] on malformed input or an invalid graph.
+pub fn parse_edge_list(text: &str) -> Result<Graph, ParseGraphError> {
+    let mut lines = text
+        .lines()
+        .enumerate()
+        .map(|(i, l)| (i + 1, l.trim()))
+        .filter(|(_, l)| !l.is_empty() && !l.starts_with('#'));
+    let (_, header) = lines
+        .next()
+        .ok_or_else(|| ParseGraphError::BadHeader("<empty input>".into()))?;
+    let mut parts = header.split_whitespace();
+    let n: usize = parts
+        .next()
+        .and_then(|t| t.parse().ok())
+        .ok_or_else(|| ParseGraphError::BadHeader(header.into()))?;
+    let m: usize = parts
+        .next()
+        .and_then(|t| t.parse().ok())
+        .ok_or_else(|| ParseGraphError::BadHeader(header.into()))?;
+    if parts.next().is_some() {
+        return Err(ParseGraphError::BadHeader(header.into()));
+    }
+
+    let mut builder = GraphBuilder::new(n);
+    let mut found = 0usize;
+    for (line_no, line) in lines {
+        let mut parts = line.split_whitespace();
+        let bad = || ParseGraphError::BadEdgeLine { line_no, line: line.into() };
+        let u: u32 = parts.next().and_then(|t| t.parse().ok()).ok_or_else(bad)?;
+        let v: u32 = parts.next().and_then(|t| t.parse().ok()).ok_or_else(bad)?;
+        if parts.next().is_some() {
+            return Err(bad());
+        }
+        builder.add_edge(NodeId(u), NodeId(v));
+        found += 1;
+    }
+    if found != m {
+        return Err(ParseGraphError::EdgeCountMismatch { declared: m, found });
+    }
+    Ok(builder.build()?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn roundtrip() {
+        let g = generators::petersen();
+        let text = to_edge_list(&g);
+        let h = parse_edge_list(&text).unwrap();
+        assert_eq!(g, h);
+    }
+
+    #[test]
+    fn comments_and_blanks_ignored() {
+        let text = "# a graph\n\n3 2\n0 1\n# middle\n1 2\n";
+        let g = parse_edge_list(text).unwrap();
+        assert_eq!(g.num_nodes(), 3);
+        assert_eq!(g.num_edges(), 2);
+    }
+
+    #[test]
+    fn bad_header_rejected() {
+        assert!(matches!(parse_edge_list("x y\n"), Err(ParseGraphError::BadHeader(_))));
+        assert!(matches!(parse_edge_list(""), Err(ParseGraphError::BadHeader(_))));
+        assert!(matches!(parse_edge_list("3 1 7\n0 1\n"), Err(ParseGraphError::BadHeader(_))));
+    }
+
+    #[test]
+    fn bad_edge_line_rejected() {
+        let err = parse_edge_list("2 1\n0\n").unwrap_err();
+        assert!(matches!(err, ParseGraphError::BadEdgeLine { .. }));
+    }
+
+    #[test]
+    fn count_mismatch_rejected() {
+        let err = parse_edge_list("3 2\n0 1\n").unwrap_err();
+        assert_eq!(err, ParseGraphError::EdgeCountMismatch { declared: 2, found: 1 });
+    }
+
+    #[test]
+    fn invalid_graph_rejected() {
+        let err = parse_edge_list("2 1\n0 0\n").unwrap_err();
+        assert!(matches!(err, ParseGraphError::InvalidGraph(_)));
+    }
+}

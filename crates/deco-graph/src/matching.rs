@@ -1,0 +1,137 @@
+//! Matchings and the matching view of edge colorings.
+//!
+//! A proper edge coloring partitions the edges into matchings (one per
+//! color) — that equivalence is what makes edge coloring a scheduling
+//! primitive: each color class can run simultaneously.
+
+use crate::coloring::EdgeColoring;
+use crate::{EdgeId, Graph};
+
+/// Whether `edges` is a matching in `g` (no two share an endpoint).
+pub fn is_matching(g: &Graph, edges: &[EdgeId]) -> bool {
+    let mut used = vec![false; g.num_nodes()];
+    for &e in edges {
+        let [u, v] = g.endpoints(e);
+        if used[u.index()] || used[v.index()] {
+            return false;
+        }
+        used[u.index()] = true;
+        used[v.index()] = true;
+    }
+    true
+}
+
+/// Whether `edges` is a *maximal* matching: a matching no edge of `g` can
+/// extend.
+pub fn is_maximal_matching(g: &Graph, edges: &[EdgeId]) -> bool {
+    if !is_matching(g, edges) {
+        return false;
+    }
+    let mut used = vec![false; g.num_nodes()];
+    for &e in edges {
+        let [u, v] = g.endpoints(e);
+        used[u.index()] = true;
+        used[v.index()] = true;
+    }
+    g.edges().all(|e| {
+        let [u, v] = g.endpoints(e);
+        used[u.index()] || used[v.index()]
+    })
+}
+
+/// Greedy maximal matching in edge-id order (centralized utility).
+pub fn greedy_maximal_matching(g: &Graph) -> Vec<EdgeId> {
+    let mut used = vec![false; g.num_nodes()];
+    let mut matching = Vec::new();
+    for e in g.edges() {
+        let [u, v] = g.endpoints(e);
+        if !used[u.index()] && !used[v.index()] {
+            used[u.index()] = true;
+            used[v.index()] = true;
+            matching.push(e);
+        }
+    }
+    matching
+}
+
+/// Splits a complete edge coloring into its color classes, indexed by color
+/// `0..=max_color` (classes of unused colors are empty).
+///
+/// For a *proper* coloring, every class is a matching — checked by
+/// [`classes_are_matchings`].
+///
+/// # Panics
+///
+/// Panics if the coloring is incomplete.
+pub fn color_classes(g: &Graph, coloring: &EdgeColoring) -> Vec<Vec<EdgeId>> {
+    let max = coloring.max_color().map_or(0, |c| c as usize);
+    let mut classes = vec![Vec::new(); max + 1];
+    for e in g.edges() {
+        let c = coloring.get(e).expect("coloring must be complete");
+        classes[c as usize].push(e);
+    }
+    classes
+}
+
+/// Whether every color class of a complete coloring is a matching —
+/// equivalent to the coloring being proper.
+pub fn classes_are_matchings(g: &Graph, coloring: &EdgeColoring) -> bool {
+    color_classes(g, coloring).iter().all(|class| is_matching(g, class))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn matching_detection() {
+        let g = generators::path(5); // e0={0,1}, e1={1,2}, e2={2,3}, e3={3,4}
+        assert!(is_matching(&g, &[EdgeId(0), EdgeId(2)]));
+        assert!(!is_matching(&g, &[EdgeId(0), EdgeId(1)]));
+        assert!(is_matching(&g, &[]));
+    }
+
+    #[test]
+    fn maximality() {
+        let g = generators::path(5);
+        assert!(is_maximal_matching(&g, &[EdgeId(0), EdgeId(2)]));
+        // {e0, e3} leaves e1..e2 both blocked? e1 touches node1 (used), e2
+        // touches node 3 (used) -> maximal.
+        assert!(is_maximal_matching(&g, &[EdgeId(0), EdgeId(3)]));
+        // {e1} alone: e3 = {3,4} is free to add -> not maximal.
+        assert!(!is_maximal_matching(&g, &[EdgeId(1)]));
+    }
+
+    #[test]
+    fn greedy_is_maximal_on_families() {
+        for g in [
+            generators::complete(9),
+            generators::gnp(60, 0.1, 3),
+            generators::petersen(),
+            generators::random_regular(40, 5, 4),
+        ] {
+            let m = greedy_maximal_matching(&g);
+            assert!(is_maximal_matching(&g, &m));
+        }
+    }
+
+    #[test]
+    fn proper_coloring_classes_are_matchings() {
+        let g = generators::cycle(6);
+        let proper = EdgeColoring::from_complete(vec![0, 1, 0, 1, 0, 1]);
+        assert!(classes_are_matchings(&g, &proper));
+        let improper = EdgeColoring::from_complete(vec![0, 0, 1, 1, 0, 1]);
+        assert!(!classes_are_matchings(&g, &improper));
+    }
+
+    #[test]
+    fn classes_partition_edges() {
+        let g = generators::complete(6);
+        let c = crate::coloring::EdgeColoring::from_complete(
+            g.edges().map(|e| e.0 % 5).collect(),
+        );
+        let classes = color_classes(&g, &c);
+        assert_eq!(classes.iter().map(Vec::len).sum::<usize>(), g.num_edges());
+    }
+}

@@ -1,0 +1,175 @@
+//! Locality verification.
+//!
+//! The defining property of a `T`-round LOCAL algorithm is that the output
+//! of node `v` is a function of the radius-`T` ball around `v` (topology +
+//! IDs). [`check_locality`] tests this operationally: it perturbs the graph
+//! strictly outside the ball (removing edges whose endpoints are both at
+//! distance > `T`), reruns the algorithm, and requires `v`'s output to be
+//! unchanged.
+//!
+//! The perturbation keeps `n` and the ID assignment fixed and only picks
+//! edges whose removal does not change the maximum degree, so the global
+//! knowledge available to the algorithm (`n`, `Δ`, ID bound) is identical in
+//! both runs.
+
+use deco_graph::{traversal, EdgeId, Graph, NodeId};
+use std::fmt;
+
+/// A detected locality violation: removing an edge entirely outside the
+/// radius-`radius` ball of `node` changed that node's output.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LocalityViolation {
+    /// The node whose output changed.
+    pub node: NodeId,
+    /// The far-away edge whose removal changed the output.
+    pub removed_edge: EdgeId,
+    /// The claimed locality radius.
+    pub radius: usize,
+}
+
+impl fmt::Display for LocalityViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "output of {} changed after removing {} outside its radius-{} ball",
+            self.node, self.removed_edge, self.radius
+        )
+    }
+}
+
+impl std::error::Error for LocalityViolation {}
+
+/// Checks that `run_fn`'s per-node outputs have locality radius ≤ `radius`
+/// at each node in `victims`.
+///
+/// `run_fn` receives a graph and the (unchanged) ID array and must return
+/// one output per node. It should derive any global parameters it uses
+/// (`n`, ID bound) from those arguments; the checker guarantees `n`, the
+/// IDs, and the max degree are identical across the perturbed runs.
+///
+/// For each victim `v`, up to `max_perturbations` far edges are removed one
+/// at a time (edges with both endpoints at distance > `radius` from `v`
+/// whose removal preserves the maximum degree).
+///
+/// # Errors
+///
+/// Returns the first [`LocalityViolation`] found.
+pub fn check_locality<O, F>(
+    g: &Graph,
+    ids: &[u64],
+    radius: usize,
+    victims: &[NodeId],
+    max_perturbations: usize,
+    run_fn: F,
+) -> Result<(), LocalityViolation>
+where
+    O: PartialEq + Clone,
+    F: Fn(&Graph, &[u64]) -> Vec<O>,
+{
+    let baseline = run_fn(g, ids);
+    let delta = g.max_degree();
+    for &v in victims {
+        let dist = traversal::bfs_distances(g, v);
+        let far_edges: Vec<EdgeId> = g
+            .edges()
+            .filter(|&e| {
+                let [a, b] = g.endpoints(e);
+                let da = dist[a.index()];
+                let db = dist[b.index()];
+                da > radius && db > radius
+            })
+            .take(max_perturbations)
+            .collect();
+        for e in far_edges {
+            let pruned = remove_edge(g, e);
+            if pruned.max_degree() != delta {
+                continue; // removal would change global knowledge Δ; skip
+            }
+            let outputs = run_fn(&pruned, ids);
+            if outputs[v.index()] != baseline[v.index()] {
+                return Err(LocalityViolation { node: v, removed_edge: e, radius });
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Returns a copy of `g` with edge `e` removed (node set unchanged).
+pub fn remove_edge(g: &Graph, e: EdgeId) -> Graph {
+    let edges = g
+        .edges()
+        .filter(|&f| f != e)
+        .map(|f| {
+            let [u, v] = g.endpoints(f);
+            (u.index(), v.index())
+        })
+        .collect::<Vec<_>>();
+    Graph::from_edges(g.num_nodes(), edges).expect("removing an edge keeps the graph simple")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use deco_graph::generators;
+
+    #[test]
+    fn remove_edge_keeps_nodes() {
+        let g = generators::cycle(5);
+        let h = remove_edge(&g, EdgeId(2));
+        assert_eq!(h.num_nodes(), 5);
+        assert_eq!(h.num_edges(), 4);
+    }
+
+    #[test]
+    fn local_algorithm_passes() {
+        // "Output = own id" is 0-local.
+        let g = generators::path(10);
+        let ids: Vec<u64> = (1..=10).collect();
+        let result = check_locality(&g, &ids, 0, &[NodeId(0), NodeId(5)], 4, |g, ids| {
+            g.nodes().map(|v| ids[v.index()]).collect::<Vec<u64>>()
+        });
+        assert!(result.is_ok());
+    }
+
+    #[test]
+    fn one_local_algorithm_passes_at_radius_one() {
+        // "Output = sum of ids within distance 1" is 1-local.
+        let g = generators::grid(5, 5);
+        let ids: Vec<u64> = (1..=25).collect();
+        let result = check_locality(&g, &ids, 1, &[NodeId(12), NodeId(0)], 6, |g, ids| {
+            g.nodes()
+                .map(|v| {
+                    ids[v.index()]
+                        + g.neighbors(v).map(|w| ids[w.index()]).sum::<u64>()
+                })
+                .collect::<Vec<u64>>()
+        });
+        assert!(result.is_ok());
+    }
+
+    #[test]
+    fn global_algorithm_is_caught() {
+        // "Output = number of edges" is not local at all.
+        let g = generators::cycle(12);
+        let ids: Vec<u64> = (1..=12).collect();
+        let result = check_locality(&g, &ids, 1, &[NodeId(0)], 8, |g, _| {
+            vec![g.num_edges() as u64; g.num_nodes()]
+        });
+        assert!(result.is_err());
+        let v = result.unwrap_err();
+        assert_eq!(v.node, NodeId(0));
+        assert_eq!(v.radius, 1);
+    }
+
+    #[test]
+    fn perturbations_preserving_delta_only() {
+        // On a star there are no far edges at all from the center, so the
+        // check passes vacuously even for a global function.
+        let g = generators::star(5);
+        let ids: Vec<u64> = (1..=6).collect();
+        let result = check_locality(&g, &ids, 1, &[NodeId(0)], 8, |g, _| {
+            vec![g.num_edges() as u64; g.num_nodes()]
+        });
+        assert!(result.is_ok());
+    }
+}

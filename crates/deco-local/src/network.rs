@@ -1,0 +1,211 @@
+//! Port-numbered synchronous networks (the LOCAL model, §2.2 of the paper).
+//!
+//! A [`Network`] wraps a communication graph plus a unique-identifier
+//! assignment from `{1, …, n^O(1)}`. Nodes know `n`, `Δ`, and their own ID;
+//! they communicate with neighbors through numbered ports. All of this is
+//! exactly the knowledge the LOCAL model grants.
+
+use deco_graph::{Adjacent, Graph, NodeId};
+use rand::prelude::*;
+use rand::rngs::StdRng;
+
+/// How unique IDs are assigned to nodes, for adversarial testing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IdAssignment {
+    /// Node `v` gets ID `v + 1` (the friendly default).
+    Sequential,
+    /// Node `v` gets ID `n − v` (reversed; breaks algorithms that assume
+    /// id order correlates with construction order).
+    Reversed,
+    /// A seeded random permutation of `{1, …, n}`.
+    Shuffled(u64),
+    /// Seeded random *sparse* distinct IDs in `{1, …, n²}` — exercises the
+    /// `n^{O(1)}` ID space the model allows.
+    SparseRandom(u64),
+}
+
+/// A LOCAL-model network: graph + ID assignment.
+#[derive(Debug, Clone)]
+pub struct Network<'g> {
+    graph: &'g Graph,
+    ids: Vec<u64>,
+    // Cached global knowledge (ctx() is on the per-node per-round hot path).
+    max_degree: usize,
+    max_id: u64,
+}
+
+impl<'g> Network<'g> {
+    /// Builds a network over `graph` with the given ID assignment.
+    pub fn new(graph: &'g Graph, assignment: IdAssignment) -> Network<'g> {
+        let n = graph.num_nodes();
+        let ids = match assignment {
+            IdAssignment::Sequential => (1..=n as u64).collect(),
+            IdAssignment::Reversed => (1..=n as u64).rev().collect(),
+            IdAssignment::Shuffled(seed) => {
+                let mut ids: Vec<u64> = (1..=n as u64).collect();
+                ids.shuffle(&mut StdRng::seed_from_u64(seed));
+                ids
+            }
+            IdAssignment::SparseRandom(seed) => {
+                let mut rng = StdRng::seed_from_u64(seed);
+                let bound = (n as u64).max(2).pow(2);
+                let mut set = std::collections::HashSet::with_capacity(n);
+                let mut ids = Vec::with_capacity(n);
+                while ids.len() < n {
+                    let candidate = rng.gen_range(1..=bound);
+                    if set.insert(candidate) {
+                        ids.push(candidate);
+                    }
+                }
+                ids
+            }
+        };
+        Network::with_cached(graph, ids)
+    }
+
+    /// Builds a network with explicit IDs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ids` has the wrong length, contains zero, or has
+    /// duplicates.
+    pub fn with_ids(graph: &'g Graph, ids: Vec<u64>) -> Network<'g> {
+        assert_eq!(ids.len(), graph.num_nodes(), "one ID per node required");
+        let mut sorted = ids.clone();
+        sorted.sort_unstable();
+        assert!(sorted.first().copied().unwrap_or(1) >= 1, "IDs must be >= 1");
+        assert!(sorted.windows(2).all(|w| w[0] != w[1]), "IDs must be distinct");
+        Network::with_cached(graph, ids)
+    }
+
+    fn with_cached(graph: &'g Graph, ids: Vec<u64>) -> Network<'g> {
+        let max_degree = graph.max_degree();
+        let max_id = ids.iter().copied().max().unwrap_or(1);
+        Network { graph, ids, max_degree, max_id }
+    }
+
+    /// The underlying communication graph.
+    #[inline]
+    pub fn graph(&self) -> &'g Graph {
+        self.graph
+    }
+
+    /// The unique ID of node `v`.
+    #[inline]
+    pub fn id(&self, v: NodeId) -> u64 {
+        self.ids[v.index()]
+    }
+
+    /// All IDs, indexed by node.
+    #[inline]
+    pub fn ids(&self) -> &[u64] {
+        &self.ids
+    }
+
+    /// The largest ID in use (an upper bound every node may know, standing
+    /// in for the public bound `n^{O(1)}`).
+    pub fn max_id(&self) -> u64 {
+        self.max_id
+    }
+
+    /// The knowledge context handed to node `v`'s program.
+    pub fn ctx(&self, v: NodeId) -> NodeCtx<'_> {
+        NodeCtx {
+            node: v,
+            id: self.id(v),
+            n: self.graph.num_nodes(),
+            max_degree: self.max_degree,
+            id_bound: self.max_id,
+            ports: self.graph.adjacent(v),
+        }
+    }
+}
+
+/// What a node knows at the start of a LOCAL computation: its ID, the global
+/// parameters `n` and `Δ`, an upper bound on IDs, and its ports.
+///
+/// Note the ports expose only *local* connectivity — `ports[i].neighbor` is
+/// used by the runner for delivery, while well-behaved programs should treat
+/// port indices as opaque and learn about neighbors through messages.
+#[derive(Debug, Clone, Copy)]
+pub struct NodeCtx<'a> {
+    /// The node this context belongs to (dense simulator index).
+    pub node: NodeId,
+    /// The node's unique ID in `{1, …, id_bound}`.
+    pub id: u64,
+    /// Number of nodes in the network (globally known in LOCAL).
+    pub n: usize,
+    /// Maximum degree Δ of the network (globally known in LOCAL).
+    pub max_degree: usize,
+    /// Public upper bound on node IDs (`n^{O(1)}`).
+    pub id_bound: u64,
+    /// This node's ports: `ports[i]` connects to a neighbor via an edge.
+    pub ports: &'a [Adjacent],
+}
+
+impl NodeCtx<'_> {
+    /// Degree of this node.
+    #[inline]
+    pub fn degree(&self) -> usize {
+        self.ports.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use deco_graph::generators;
+
+    #[test]
+    fn sequential_ids() {
+        let g = generators::path(4);
+        let net = Network::new(&g, IdAssignment::Sequential);
+        assert_eq!(net.ids(), &[1, 2, 3, 4]);
+        assert_eq!(net.max_id(), 4);
+    }
+
+    #[test]
+    fn reversed_ids() {
+        let g = generators::path(3);
+        let net = Network::new(&g, IdAssignment::Reversed);
+        assert_eq!(net.ids(), &[3, 2, 1]);
+    }
+
+    #[test]
+    fn shuffled_ids_are_a_permutation() {
+        let g = generators::cycle(10);
+        let net = Network::new(&g, IdAssignment::Shuffled(5));
+        let mut ids = net.ids().to_vec();
+        ids.sort_unstable();
+        assert_eq!(ids, (1..=10).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn sparse_ids_are_distinct_and_bounded() {
+        let g = generators::cycle(20);
+        let net = Network::new(&g, IdAssignment::SparseRandom(9));
+        let mut ids = net.ids().to_vec();
+        ids.sort_unstable();
+        assert!(ids.windows(2).all(|w| w[0] < w[1]));
+        assert!(*ids.last().unwrap() <= 400);
+        assert!(ids[0] >= 1);
+    }
+
+    #[test]
+    fn ctx_exposes_model_knowledge() {
+        let g = generators::star(3);
+        let net = Network::new(&g, IdAssignment::Sequential);
+        let ctx = net.ctx(NodeId(0));
+        assert_eq!(ctx.degree(), 3);
+        assert_eq!(ctx.n, 4);
+        assert_eq!(ctx.max_degree, 3);
+        assert_eq!(ctx.id, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "distinct")]
+    fn with_ids_rejects_duplicates() {
+        let g = generators::path(3);
+        let _ = Network::with_ids(&g, vec![1, 1, 2]);
+    }
+}

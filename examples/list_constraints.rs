@@ -1,0 +1,73 @@
+//! The (deg(e)+1)-list generalization: heterogeneous per-edge constraints.
+//! Here, links in a radio network each support only a subset of frequency
+//! channels (hardware bands, regulatory masks); as long as every link offers
+//! deg(e)+1 channels, the solver finds a conflict-free assignment *from each
+//! link's own list* — the problem the paper actually solves (Theorem 4.1 is
+//! stated for lists, not just the uniform 2Δ−1 palette).
+//!
+//! Run with: `cargo run --release --example list_constraints`
+
+use deco::core_alg::instance;
+use deco::core_alg::solver::{solve_pipeline, SolverConfig};
+use deco::graph::generators;
+use rand::prelude::*;
+use rand::rngs::StdRng;
+
+fn main() {
+    let g = generators::power_law(300, 2.5, 24.0, 3);
+    let ids: Vec<u64> = (1..=g.num_nodes() as u64).collect();
+    println!("radio network: {g}");
+
+    // 64 channels total; each link e draws a random allowed set of exactly
+    // deg(e)+1 channels, biased to its own spectral "band" — heterogeneous
+    // and adversarially tight (one channel of slack).
+    let channels: u32 = 2 * g.max_edge_degree() as u32 + 8;
+    let mut rng = StdRng::seed_from_u64(99);
+    let lists: Vec<Vec<u32>> = g
+        .edges()
+        .map(|e| {
+            let need = g.edge_degree(e) + 1;
+            let band = rng.gen_range(0..4u32);
+            let mut pool: Vec<u32> = (0..channels)
+                .filter(|c| c % 4 == band || rng.gen_bool(0.3))
+                .collect();
+            pool.shuffle(&mut rng);
+            while pool.len() < need {
+                let extra = rng.gen_range(0..channels);
+                if !pool.contains(&extra) {
+                    pool.push(extra);
+                }
+            }
+            pool.truncate(need);
+            pool
+        })
+        .collect();
+    let avg_list: f64 =
+        lists.iter().map(Vec::len).sum::<usize>() as f64 / lists.len() as f64;
+    println!(
+        "channels: {channels}; per-link allowed sets of exactly deg(e)+1 channels \
+         (avg {avg_list:.1})"
+    );
+
+    let inst = instance::ListInstance::new(
+        g.clone(),
+        lists.iter().cloned().map(deco::core_alg::ColorList::new).collect(),
+        channels,
+    )
+    .expect("lists are (deg+1)-feasible by construction");
+
+    let result = solve_pipeline(&g, inst, &ids, SolverConfig::default());
+    println!(
+        "assigned channels to {} links in {} adaptive rounds; {} distinct channels used",
+        g.num_edges(),
+        result.solution.cost.actual_rounds(),
+        result.coloring.distinct_colors()
+    );
+
+    // Verify every link's channel is in its own allowed set.
+    for e in g.edges() {
+        let c = result.coloring.get(e).expect("complete");
+        assert!(lists[e.index()].contains(&c), "link {e} assigned a disallowed channel");
+    }
+    println!("all channel assignments respect the per-link allowed sets");
+}

@@ -1,0 +1,17 @@
+//! Reproduces the paper's Figures 1–4 as DOT files: the Lemma 4.2
+//! walkthrough on a small instance (defective classes, per-class coloring,
+//! recursion on the residual).
+//!
+//! Run with: `cargo run --release --example trace_figures`
+//! Render with: `neato -Tpng target/figures/fig_stage1_defective.dot -o fig1.png`
+
+fn main() {
+    let report = deco_bench_report();
+    println!("{report}");
+}
+
+// The figure walkthrough lives in the bench crate's experiment module; the
+// example re-exports it as a runnable binary for convenience.
+fn deco_bench_report() -> String {
+    deco_bench::experiments::fig_slack_walkthrough::run()
+}

@@ -1,0 +1,1 @@
+pub use deco_core as core_alg; pub use deco_graph as graph; pub use deco_local as local; pub use deco_algos as algos;

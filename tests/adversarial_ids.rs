@@ -1,0 +1,77 @@
+//! The LOCAL model grants adversarial unique IDs from an `n^{O(1)}` space;
+//! correctness must not depend on the friendly sequential assignment.
+
+use deco::algos::{deg2, linial};
+use deco::core_alg::solver::{solve_two_delta_minus_one, SolverConfig};
+use deco::graph::{coloring, generators};
+use deco::local::{IdAssignment, Network};
+
+const ASSIGNMENTS: [IdAssignment; 4] = [
+    IdAssignment::Sequential,
+    IdAssignment::Reversed,
+    IdAssignment::Shuffled(77),
+    IdAssignment::SparseRandom(78),
+];
+
+#[test]
+fn linial_under_adversarial_ids() {
+    let g = generators::random_regular(80, 7, 1);
+    for assignment in ASSIGNMENTS {
+        let net = Network::new(&g, assignment);
+        let res = linial::color_from_ids(&net).expect("terminates");
+        coloring::check_vertex_coloring(&g, &res.colors).expect("proper");
+        // Sparse ids enlarge the schedule by at most a couple of rounds.
+        assert!(res.rounds <= 8, "rounds {} too large for {assignment:?}", res.rounds);
+    }
+}
+
+#[test]
+fn deg2_under_adversarial_ids() {
+    let g = generators::disjoint_union(&[generators::cycle(33), generators::path(20)]);
+    for assignment in ASSIGNMENTS {
+        let net = Network::new(&g, assignment);
+        let initial = net.ids().to_vec();
+        let m0 = net.max_id() + 1;
+        let res = deg2::three_color_max_deg2(&net, initial, m0).expect("terminates");
+        let as_u32: Vec<u32> = res.colors.iter().map(|&c| u32::from(c)).collect();
+        coloring::check_vertex_coloring(&g, &as_u32).expect("proper 3-coloring");
+    }
+}
+
+#[test]
+fn solver_under_adversarial_ids() {
+    let g = generators::random_regular(60, 9, 3);
+    for assignment in ASSIGNMENTS {
+        let net = Network::new(&g, assignment);
+        let ids = net.ids().to_vec();
+        let res = solve_two_delta_minus_one(&g, &ids, SolverConfig::default());
+        coloring::check_edge_coloring(&g, &res.coloring).expect("proper");
+        assert!(res.coloring.distinct_colors() < 2 * 9);
+    }
+}
+
+#[test]
+fn outputs_depend_only_on_ids_not_assignment_enum() {
+    // Two different routes to the same ID vector must give identical output.
+    let g = generators::cycle(40);
+    let net = Network::new(&g, IdAssignment::Sequential);
+    let explicit = Network::with_ids(&g, (1..=40).collect());
+    let a = linial::color_from_ids(&net).unwrap();
+    let b = linial::color_from_ids(&explicit).unwrap();
+    assert_eq!(a.colors, b.colors);
+    assert_eq!(a.rounds, b.rounds);
+}
+
+#[test]
+fn relabeled_graph_still_solves() {
+    // Structure-preserving relabeling with fresh ids: outputs differ but
+    // validity is invariant.
+    let g = generators::random_regular(50, 6, 5);
+    let perm = generators::random_permutation(50, 9);
+    let h = generators::relabel(&g, &perm);
+    let ids: Vec<u64> = (1..=50).collect();
+    let res_g = solve_two_delta_minus_one(&g, &ids, SolverConfig::default());
+    let res_h = solve_two_delta_minus_one(&h, &ids, SolverConfig::default());
+    coloring::check_edge_coloring(&g, &res_g.coloring).expect("proper on g");
+    coloring::check_edge_coloring(&h, &res_h.coloring).expect("proper on h");
+}

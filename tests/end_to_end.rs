@@ -1,0 +1,148 @@
+//! End-to-end integration: the full pipeline (Linial initial coloring +
+//! Theorem 4.1 solver) across graph families, list shapes, and parameter
+//! strategies.
+
+use deco::core_alg::instance;
+use deco::core_alg::solver::{
+    solve_pipeline, solve_two_delta_minus_one, SolverConfig, Strategy,
+};
+use deco::graph::{generators, Graph};
+
+fn ids(g: &Graph) -> Vec<u64> {
+    (1..=g.num_nodes() as u64).collect()
+}
+
+fn check_2d1(g: &Graph, cfg: SolverConfig) {
+    let res = solve_two_delta_minus_one(g, &ids(g), cfg);
+    assert!(res.coloring.is_complete());
+    deco::graph::coloring::check_edge_coloring(g, &res.coloring).expect("proper");
+    if g.num_edges() > 0 {
+        let bound = (2 * g.max_degree() - 1).max(1);
+        assert!(
+            res.coloring.distinct_colors() <= bound,
+            "used {} colors > 2Δ−1 = {bound}",
+            res.coloring.distinct_colors()
+        );
+    }
+}
+
+#[test]
+fn family_sweep_default_config() {
+    for g in [
+        generators::complete(12),
+        generators::complete_bipartite(9, 9),
+        generators::petersen(),
+        generators::torus(8, 8),
+        generators::hypercube(5),
+        generators::grid(12, 12),
+        generators::caterpillar(20, 5),
+        generators::binary_tree(6),
+        generators::random_regular(100, 9, 1),
+        generators::random_regular(64, 21, 2),
+        generators::gnp(150, 0.08, 3),
+        generators::power_law(200, 2.4, 32.0, 4),
+        generators::random_tree(150, 5),
+        generators::star(30),
+        generators::cycle(97),
+    ] {
+        check_2d1(&g, SolverConfig::default());
+    }
+}
+
+#[test]
+fn strategy_sweep() {
+    let g = generators::random_regular(80, 12, 7);
+    for strategy in [
+        Strategy::Paper,
+        Strategy::Kuhn20,
+        Strategy::ConstantP(2),
+        Strategy::ConstantP(5),
+    ] {
+        check_2d1(&g, SolverConfig { strategy, ..SolverConfig::default() });
+    }
+}
+
+#[test]
+fn faithful_parameters_small_graphs() {
+    // Unclamped paper parameters (β = α·log^{4c} Δ̄): rounds charged are
+    // enormous, but the executed work must stay proportional to the edges.
+    for alpha in [1.0, 4.0] {
+        let g = generators::random_regular(48, 10, 9);
+        check_2d1(&g, SolverConfig::faithful(alpha));
+    }
+}
+
+#[test]
+fn faithful_rounds_within_scheduled_budget() {
+    use deco::core_alg::budget::{BudgetEvaluator, BudgetParams};
+    let g = generators::random_regular(60, 12, 11);
+    let res = solve_two_delta_minus_one(&g, &ids(&g), SolverConfig::faithful(1.0));
+    let mut ev = BudgetEvaluator::new(BudgetParams::default());
+    let budget = ev.t_deg1(g.max_edge_degree() as f64, (2 * g.max_degree() - 1) as f64);
+    let actual = res.solution.cost.actual_rounds() as f64;
+    assert!(
+        actual <= budget,
+        "adaptive rounds {actual} must be within the scheduled budget {budget}"
+    );
+}
+
+#[test]
+fn tight_deg_plus_one_lists() {
+    // The hardest list shape: exactly deg(e)+1 colors from the tightest
+    // shared palette Δ̄+1.
+    for seed in 0..5u64 {
+        let g = generators::gnp(60, 0.15, seed);
+        if g.num_edges() == 0 {
+            continue;
+        }
+        let inst = instance::random_deg_plus_one(&g, g.max_edge_degree() as u32 + 1, seed);
+        let res = solve_pipeline(&g, inst.clone(), &ids(&g), SolverConfig::default());
+        inst.check_solution(&res.coloring).expect("valid list coloring");
+    }
+}
+
+#[test]
+fn disjoint_unions_and_degenerate_graphs() {
+    let g = generators::disjoint_union(&[
+        generators::complete(6),
+        generators::cycle(11),
+        generators::path(2),
+        Graph::empty(4),
+        generators::star(8),
+    ]);
+    check_2d1(&g, SolverConfig::default());
+    check_2d1(&Graph::empty(1), SolverConfig::default());
+    check_2d1(&generators::path(2), SolverConfig::default());
+}
+
+#[test]
+fn rounds_scale_with_degree_not_n() {
+    // Fix Δ, grow n by 16x: adaptive rounds must stay nearly flat (the
+    // log* n term); this is the locality promise of the whole construction.
+    let r_small = {
+        let g = generators::random_regular(64, 6, 13);
+        let res = solve_two_delta_minus_one(&g, &ids(&g), SolverConfig::default());
+        res.x_rounds + res.solution.cost.actual_rounds()
+    };
+    let r_large = {
+        let g = generators::random_regular(1024, 6, 14);
+        let res = solve_two_delta_minus_one(&g, &ids(&g), SolverConfig::default());
+        res.x_rounds + res.solution.cost.actual_rounds()
+    };
+    assert!(
+        r_large <= r_small * 2 + 10,
+        "rounds exploded with n: {r_small} -> {r_large}"
+    );
+}
+
+#[test]
+fn solver_stats_are_coherent() {
+    let g = generators::random_regular(80, 14, 15);
+    let res = solve_two_delta_minus_one(&g, &ids(&g), SolverConfig::default());
+    let s = &res.solution.stats;
+    assert!(s.sweeps >= 1);
+    assert!(s.classes_nonempty <= s.classes_total);
+    assert!(s.base_cases >= 1);
+    assert!(s.max_depth_seen >= 1);
+    assert!(res.solution.cost.actual_rounds() > 0);
+}

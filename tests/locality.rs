@@ -1,0 +1,55 @@
+//! Operational locality verification: a `T`-round LOCAL algorithm's output
+//! at `v` is a function of the radius-`T` ball around `v`. We perturb the
+//! graph strictly outside the ball and demand unchanged outputs.
+
+use deco::algos::{deg2, linial};
+use deco::graph::{generators, NodeId};
+use deco::local::locality::check_locality;
+use deco::local::Network;
+
+#[test]
+fn linial_is_local_at_its_schedule_radius() {
+    // Radius = number of reduction rounds; on a long cycle there is plenty
+    // of "far away" graph to perturb.
+    let g = generators::cycle(120);
+    let ids: Vec<u64> = (1..=120).collect();
+    let rounds = {
+        let net = Network::with_ids(&g, ids.clone());
+        linial::color_from_ids(&net).expect("terminates").rounds
+    };
+    let victims = [NodeId(0), NodeId(30), NodeId(60)];
+    check_locality(&g, &ids, rounds as usize, &victims, 6, |g, ids| {
+        let net = Network::with_ids(g, ids.to_vec());
+        linial::color_from_ids(&net).expect("terminates").colors
+    })
+    .expect("Linial must be T-local");
+}
+
+#[test]
+fn deg2_three_coloring_is_local() {
+    let g = generators::cycle(200);
+    let ids: Vec<u64> = (1..=200).collect();
+    let rounds = {
+        let net = Network::with_ids(&g, ids.clone());
+        deg2::three_color_max_deg2(&net, ids.clone(), 201).expect("terminates").rounds
+    };
+    let victims = [NodeId(10), NodeId(100)];
+    check_locality(&g, &ids, rounds as usize, &victims, 4, |g, ids| {
+        let net = Network::with_ids(g, ids.to_vec());
+        deg2::three_color_max_deg2(&net, ids.to_vec(), 201)
+            .expect("terminates")
+            .colors
+    })
+    .expect("deg-2 3-coloring must be T-local");
+}
+
+#[test]
+fn non_local_function_is_rejected_by_checker() {
+    // Negative control: "number of edges in the graph" is global.
+    let g = generators::cycle(60);
+    let ids: Vec<u64> = (1..=60).collect();
+    let err = check_locality(&g, &ids, 2, &[NodeId(0)], 8, |g, _| {
+        vec![g.num_edges(); g.num_nodes()]
+    });
+    assert!(err.is_err(), "global functions must fail the locality check");
+}

@@ -1,0 +1,120 @@
+//! Property-based tests on the core invariants, with proptest-driven
+//! random graphs, lists, and partitions.
+
+use deco::core_alg::defective::{defect_bound, defective_edge_coloring, defective_palette};
+use deco::core_alg::instance;
+use deco::core_alg::lists::{lemma44_witness, level_of, ColorList, SubspacePartition};
+use deco::core_alg::solver::{solve_pipeline, SolverConfig};
+use deco::graph::{coloring, generators, Graph};
+use deco::local::math::harmonic;
+use proptest::prelude::*;
+
+/// Random simple graph strategy: G(n, m) with bounded size.
+fn arb_graph() -> impl Strategy<Value = Graph> {
+    (3usize..40, any::<u64>()).prop_map(|(n, seed)| {
+        let max_m = n * (n - 1) / 2;
+        let m = (seed as usize % (2 * n)).min(max_m);
+        generators::gnm(n, m, seed)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn solver_always_produces_valid_list_colorings(g in arb_graph(), seed in any::<u64>()) {
+        prop_assume!(g.num_edges() > 0);
+        let palette = g.max_edge_degree() as u32 + 1 + (seed % 7) as u32;
+        let inst = instance::random_deg_plus_one(&g, palette, seed);
+        let ids: Vec<u64> = (1..=g.num_nodes() as u64).collect();
+        let res = solve_pipeline(&g, inst.clone(), &ids, SolverConfig::default());
+        prop_assert!(inst.check_solution(&res.coloring).is_ok());
+    }
+
+    #[test]
+    fn defective_coloring_respects_bounds(g in arb_graph(), beta in 1u32..5) {
+        prop_assume!(g.num_edges() > 0);
+        // Any proper edge coloring works as the X-coloring; greedy is fine.
+        let x = deco::algos::greedy::greedy_edge_coloring(
+            &g, deco::algos::greedy::EdgeOrder::ById);
+        let xc: Vec<u32> = g.edges().map(|e| x.get(e).unwrap()).collect();
+        let xp = xc.iter().max().unwrap() + 1;
+        let d = defective_edge_coloring(&g, beta, &xc, xp.max(2));
+        prop_assert!(d.colors.iter().all(|&c| c < defective_palette(beta)));
+        let defects = coloring::edge_defects(&g, &d.colors);
+        for e in g.edges() {
+            prop_assert!(defects[e.index()] <= defect_bound(&g, e, beta));
+        }
+    }
+
+    #[test]
+    fn lemma44_holds_for_arbitrary_lists(
+        raw in proptest::collection::vec(0u32..600, 1..200),
+        p in 2u32..40,
+    ) {
+        let list = ColorList::new(raw);
+        let c = 600u32;
+        let p = p.min(c);
+        let part = SubspacePartition::new(c, p);
+        let (k, idx) = lemma44_witness(&list, &part);
+        let hq = harmonic(u64::from(part.num_subspaces()));
+        prop_assert_eq!(idx.len(), k);
+        for &i in &idx {
+            let (lo, hi) = part.range(i);
+            prop_assert!(
+                list.count_in_range(lo, hi) as f64 >= list.len() as f64 / (k as f64 * hq) - 1e-9
+            );
+        }
+        // level_of must agree with a direct witness: 2^level indices exist.
+        let info = level_of(&list, &part);
+        prop_assert!(info.indices.len() >= 1usize << info.level);
+    }
+
+    #[test]
+    fn partitions_tile_the_palette(c in 2u32..2000, p_raw in 2u32..64) {
+        let p = p_raw.min(c);
+        let part = SubspacePartition::new(c, p);
+        prop_assert!(part.num_subspaces() <= 2 * p);
+        let mut covered = 0u32;
+        for i in 0..part.num_subspaces() {
+            let (lo, hi) = part.range(i);
+            prop_assert_eq!(lo, covered);
+            prop_assert!(hi > lo);
+            covered = hi;
+        }
+        prop_assert_eq!(covered, c);
+        // subspace_of is the inverse of range.
+        for color in [0, c / 3, c / 2, c - 1] {
+            let i = part.subspace_of(color);
+            let (lo, hi) = part.range(i);
+            prop_assert!(lo <= color && color < hi);
+        }
+    }
+
+    #[test]
+    fn greedy_list_coloring_never_fails_on_deg_plus_one(g in arb_graph(), seed in any::<u64>()) {
+        prop_assume!(g.num_edges() > 0);
+        let inst = instance::random_deg_plus_one(&g, g.max_edge_degree() as u32 + 2, seed);
+        let lists: Vec<Vec<u32>> =
+            inst.lists().iter().map(|l| l.as_slice().to_vec()).collect();
+        let res = deco::algos::greedy::greedy_list_edge_coloring(
+            &g, &lists, deco::algos::greedy::EdgeOrder::Random(seed));
+        prop_assert!(res.is_ok());
+    }
+
+    #[test]
+    fn edge_coloring_validators_agree_with_defects(g in arb_graph(), seed in any::<u64>()) {
+        prop_assume!(g.num_edges() > 0);
+        // A random (possibly improper) coloring: checker errors iff some
+        // defect is positive.
+        let colors: Vec<u32> = (0..g.num_edges()).map(|i| {
+            ((seed >> (i % 48)) % 4) as u32
+        }).collect();
+        let defects = coloring::edge_defects(&g, &colors);
+        let proper = coloring::check_edge_coloring(
+            &g,
+            &coloring::EdgeColoring::from_complete(colors),
+        );
+        prop_assert_eq!(proper.is_ok(), defects.iter().all(|&d| d == 0));
+    }
+}
