@@ -20,14 +20,16 @@
 //!   output with the same round charge (used at scale).
 
 use deco_graph::Graph;
-use deco_local::{run, Network, NodeCtx, NodeProgram, Protocol, RunError};
+use deco_local::{Executor, Network, NodeCtx, NodeProgram, Protocol, RunError, SerialExecutor};
 use std::collections::HashSet;
 
 /// Validates the precondition `|lists[v]| ≥ deg(v) + 1` for all nodes.
 ///
 /// Returns the index of the first violating node, if any.
 pub fn find_list_too_small(h: &Graph, lists: &[Vec<u32>]) -> Option<usize> {
-    h.nodes().find(|&v| lists[v.index()].len() <= h.degree(v)).map(|v| v.index())
+    h.nodes()
+        .find(|&v| lists[v.index()].len() <= h.degree(v))
+        .map(|v| v.index())
 }
 
 /// Centralized sweep equivalent of [`ByClassesProtocol`].
@@ -53,7 +55,10 @@ pub fn list_color_by_classes(
         find_list_too_small(h, lists).is_none(),
         "every list must exceed the node's degree"
     );
-    assert!(initial.iter().all(|&c| c < num_classes), "initial colors must be < num_classes");
+    assert!(
+        initial.iter().all(|&c| c < num_classes),
+        "initial colors must be < num_classes"
+    );
 
     // Nodes sorted by class; stable order within a class is irrelevant for
     // correctness (classes are independent sets) but we keep node order for
@@ -64,8 +69,7 @@ pub fn list_color_by_classes(
     let mut colors: Vec<Option<u32>> = vec![None; h.num_nodes()];
     for &v in &order {
         let vid = deco_graph::NodeId::from(v);
-        let forbidden: HashSet<u32> =
-            h.neighbors(vid).filter_map(|w| colors[w.index()]).collect();
+        let forbidden: HashSet<u32> = h.neighbors(vid).filter_map(|w| colors[w.index()]).collect();
         debug_assert!(
             h.neighbors(vid).all(|w| initial[w.index()] != initial[v]),
             "initial coloring must be proper"
@@ -77,7 +81,13 @@ pub fn list_color_by_classes(
             .expect("list larger than degree always has a free color");
         colors[v] = Some(pick);
     }
-    (colors.into_iter().map(|c| c.expect("all nodes colored")).collect(), u64::from(num_classes))
+    (
+        colors
+            .into_iter()
+            .map(|c| c.expect("all nodes colored"))
+            .collect(),
+        u64::from(num_classes),
+    )
 }
 
 /// Message-passing protocol for list coloring by class sweep.
@@ -166,12 +176,35 @@ pub fn list_color_by_classes_mp(
     initial: Vec<u32>,
     num_classes: u32,
 ) -> Result<(Vec<u32>, u64), RunError> {
+    list_color_by_classes_mp_with(&SerialExecutor, net, lists, initial, num_classes)
+}
+
+/// [`list_color_by_classes_mp`] on an explicit [`Executor`].
+///
+/// # Errors
+///
+/// Propagates [`RunError`] from the executor.
+///
+/// # Panics
+///
+/// Panics if some list is not larger than the node's degree.
+pub fn list_color_by_classes_mp_with<E: Executor>(
+    executor: &E,
+    net: &Network<'_>,
+    lists: Vec<Vec<u32>>,
+    initial: Vec<u32>,
+    num_classes: u32,
+) -> Result<(Vec<u32>, u64), RunError> {
     assert!(
         find_list_too_small(net.graph(), &lists).is_none(),
         "every list must exceed the node's degree"
     );
-    let protocol = ByClassesProtocol { lists, initial, num_classes };
-    let outcome = run(net, &protocol, u64::from(num_classes) + 2)?;
+    let protocol = ByClassesProtocol {
+        lists,
+        initial,
+        num_classes,
+    };
+    let outcome = executor.execute(net, &protocol, u64::from(num_classes) + 2)?;
     Ok((outcome.outputs, outcome.rounds))
 }
 
@@ -185,11 +218,7 @@ mod tests {
 
     /// Random (deg+1)-lists over palette `c_max`, plus a proper initial
     /// coloring (greedy by index — fine for tests).
-    fn random_instance(
-        h: &Graph,
-        c_max: u32,
-        seed: u64,
-    ) -> (Vec<Vec<u32>>, Vec<u32>, u32) {
+    fn random_instance(h: &Graph, c_max: u32, seed: u64) -> (Vec<Vec<u32>>, Vec<u32>, u32) {
         let mut rng = StdRng::seed_from_u64(seed);
         let lists = h
             .nodes()
@@ -205,8 +234,7 @@ mod tests {
         // Greedy proper initial coloring with ≤ Δ+1 classes.
         let mut initial = vec![u32::MAX; h.num_nodes()];
         for v in h.nodes() {
-            let used: HashSet<u32> =
-                h.neighbors(v).map(|w| initial[w.index()]).collect();
+            let used: HashSet<u32> = h.neighbors(v).map(|w| initial[w.index()]).collect();
             initial[v.index()] = (0..).find(|c| !used.contains(c)).unwrap();
         }
         let num_classes = initial.iter().max().copied().unwrap_or(0) + 1;

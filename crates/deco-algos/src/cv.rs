@@ -12,7 +12,7 @@
 //! conflict components are unrooted paths *and cycles*.
 
 use deco_graph::{Graph, NodeId};
-use deco_local::{run, Network, NodeCtx, NodeProgram, Protocol, RunError};
+use deco_local::{Executor, Network, NodeCtx, NodeProgram, Protocol, RunError, SerialExecutor};
 
 /// Number of Cole–Vishkin halving steps needed from `bits`-bit colors to
 /// reach the 6-color (3-bit) fixpoint.
@@ -68,7 +68,10 @@ impl CvForestColoring {
     pub fn new(parent: Vec<Option<NodeId>>, id_bits: u32) -> CvForestColoring {
         // cv_steps reaches 3-bit colors (< 8); one extra step lands in the
         // true CV fixpoint {0..5}, which the three elimination phases need.
-        CvForestColoring { parent, steps: cv_steps(id_bits.max(4)) + 1 }
+        CvForestColoring {
+            parent,
+            steps: cv_steps(id_bits.max(4)) + 1,
+        }
     }
 
     /// Rounds of the fixed schedule: CV steps + 3 elimination phases of 2
@@ -96,7 +99,9 @@ impl NodeProgram for CvForestProgram {
     }
 
     fn receive(&mut self, _ctx: &NodeCtx<'_>, inbox: &[Option<Msg>]) {
-        let parent_color = self.parent_port.map(|p| inbox[p].expect("parent always sends"));
+        let parent_color = self
+            .parent_port
+            .map(|p| inbox[p].expect("parent always sends"));
         match self.phase {
             Phase::Reduce(remaining) => {
                 // Roots fabricate a reference that differs in bit 0.
@@ -152,7 +157,11 @@ impl NodeProgram for CvForestProgram {
                             .expect("≤ 2 forbidden colors in {0,1,2}");
                     }
                     self.shifted = false;
-                    self.phase = if target > 3 { Phase::Eliminate(target - 1) } else { Phase::Done };
+                    self.phase = if target > 3 {
+                        Phase::Eliminate(target - 1)
+                    } else {
+                        Phase::Done
+                    };
                 }
             }
             Phase::Done => {}
@@ -211,11 +220,27 @@ pub fn three_color_rooted_forest(
     net: &Network<'_>,
     parent: Vec<Option<NodeId>>,
 ) -> Result<ForestColoring, RunError> {
+    three_color_rooted_forest_with(&SerialExecutor, net, parent)
+}
+
+/// [`three_color_rooted_forest`] on an explicit [`Executor`].
+///
+/// # Errors
+///
+/// Propagates [`RunError`] from the executor.
+pub fn three_color_rooted_forest_with<E: Executor>(
+    executor: &E,
+    net: &Network<'_>,
+    parent: Vec<Option<NodeId>>,
+) -> Result<ForestColoring, RunError> {
     let id_bits = 64 - net.max_id().leading_zeros();
     let protocol = CvForestColoring::new(parent, id_bits);
     let budget = protocol.rounds();
-    let outcome = run(net, &protocol, budget + 2)?;
-    Ok(ForestColoring { colors: outcome.outputs, rounds: outcome.rounds })
+    let outcome = executor.execute(net, &protocol, budget + 2)?;
+    Ok(ForestColoring {
+        colors: outcome.outputs,
+        rounds: outcome.rounds,
+    })
 }
 
 /// Derives a parent assignment for a forest graph by rooting every
@@ -276,7 +301,10 @@ mod tests {
     #[test]
     fn colors_random_trees() {
         for seed in 0..5 {
-            check(&generators::random_tree(200, seed), IdAssignment::Shuffled(seed));
+            check(
+                &generators::random_tree(200, seed),
+                IdAssignment::Shuffled(seed),
+            );
         }
     }
 

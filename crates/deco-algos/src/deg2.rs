@@ -10,7 +10,7 @@
 //! class is an independent set.
 
 use crate::linial::{self, LinialSchedule};
-use deco_local::{run, Network, NodeCtx, NodeProgram, Protocol, RunError};
+use deco_local::{Executor, Network, NodeCtx, NodeProgram, Protocol, RunError, SerialExecutor};
 
 /// Protocol: 3-color a max-degree-≤2 graph from a proper initial coloring.
 #[derive(Debug, Clone)]
@@ -116,12 +116,36 @@ pub fn three_color_max_deg2(
     initial: Vec<u64>,
     m0: u64,
 ) -> Result<ThreeColoring, RunError> {
-    assert!(net.graph().max_degree() <= 2, "graph must have max degree <= 2");
+    three_color_max_deg2_with(&SerialExecutor, net, initial, m0)
+}
+
+/// [`three_color_max_deg2`] on an explicit [`Executor`].
+///
+/// # Errors
+///
+/// Propagates [`RunError`] from the executor.
+///
+/// # Panics
+///
+/// Panics if the graph has a node of degree > 2.
+pub fn three_color_max_deg2_with<E: Executor>(
+    executor: &E,
+    net: &Network<'_>,
+    initial: Vec<u64>,
+    m0: u64,
+) -> Result<ThreeColoring, RunError> {
+    assert!(
+        net.graph().max_degree() <= 2,
+        "graph must have max degree <= 2"
+    );
     let protocol = ThreeColorDeg2::new(initial, m0);
     let budget = protocol.rounds();
-    let outcome = run(net, &protocol, budget + 1)?;
+    let outcome = executor.execute(net, &protocol, budget + 1)?;
     debug_assert_eq!(outcome.rounds, budget);
-    Ok(ThreeColoring { colors: outcome.outputs, rounds: outcome.rounds })
+    Ok(ThreeColoring {
+        colors: outcome.outputs,
+        rounds: outcome.rounds,
+    })
 }
 
 #[cfg(test)]
@@ -177,7 +201,10 @@ mod tests {
         let r_small = check(&generators::cycle(50), IdAssignment::Sequential).rounds;
         let r_large = check(&generators::cycle(5000), IdAssignment::Sequential).rounds;
         // The log* n term moves by at most a couple of rounds.
-        assert!(r_large <= r_small + 3, "rounds grew: {r_small} -> {r_large}");
+        assert!(
+            r_large <= r_small + 3,
+            "rounds grew: {r_small} -> {r_large}"
+        );
     }
 
     #[test]

@@ -9,7 +9,7 @@
 use crate::linial;
 use deco_graph::coloring::EdgeColoring;
 use deco_graph::{Graph, LineGraph};
-use deco_local::{Network, RunError};
+use deco_local::{Executor, Network, RunError, SerialExecutor};
 
 /// Unique edge IDs computable locally from endpoint node IDs: the pairing
 /// `a·(B+1) + b` for endpoint ids `a < b` with global bound `B`. Values are
@@ -62,6 +62,20 @@ pub struct LinialEdgeResult {
 ///
 /// Propagates [`RunError`] from the runner.
 pub fn linial_edge_coloring(g: &Graph, node_ids: &[u64]) -> Result<LinialEdgeResult, RunError> {
+    linial_edge_coloring_with(&SerialExecutor, g, node_ids)
+}
+
+/// [`linial_edge_coloring`] on an explicit [`Executor`] — the protocol on
+/// `L(G)` runs on whatever substrate the caller provides.
+///
+/// # Errors
+///
+/// Propagates [`RunError`] from the executor.
+pub fn linial_edge_coloring_with<E: Executor>(
+    executor: &E,
+    g: &Graph,
+    node_ids: &[u64],
+) -> Result<LinialEdgeResult, RunError> {
     let lg = LineGraph::of(g);
     let eids = edge_ids_by_pairing(g, node_ids);
     if g.num_edges() == 0 {
@@ -74,7 +88,7 @@ pub fn linial_edge_coloring(g: &Graph, node_ids: &[u64]) -> Result<LinialEdgeRes
     let net = Network::with_ids(lg.graph(), eids.clone());
     let bound = node_ids.iter().copied().max().unwrap_or(1);
     let m0 = (bound + 1) * (bound + 1);
-    let res = linial::color_from_initial(&net, eids, m0)?;
+    let res = linial::color_from_initial_with(executor, &net, eids, m0)?;
     Ok(LinialEdgeResult {
         coloring: EdgeColoring::from_complete(res.colors),
         palette: res.palette,

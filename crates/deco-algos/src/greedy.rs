@@ -41,9 +41,13 @@ fn ordered_edges(g: &Graph, order: EdgeOrder) -> Vec<EdgeId> {
 pub fn greedy_edge_coloring(g: &Graph, order: EdgeOrder) -> EdgeColoring {
     let mut coloring = EdgeColoring::uncolored(g.num_edges());
     for e in ordered_edges(g, order) {
-        let used: HashSet<Color> =
-            g.edge_neighbors(e).filter_map(|f| coloring.get(f)).collect();
-        let c = (0..).find(|c| !used.contains(c)).expect("unbounded palette");
+        let used: HashSet<Color> = g
+            .edge_neighbors(e)
+            .filter_map(|f| coloring.get(f))
+            .collect();
+        let c = (0..)
+            .find(|c| !used.contains(c))
+            .expect("unbounded palette");
         coloring.set(e, c);
     }
     coloring
@@ -65,8 +69,10 @@ pub fn greedy_list_edge_coloring(
     assert_eq!(lists.len(), g.num_edges(), "one list per edge");
     let mut coloring = EdgeColoring::uncolored(g.num_edges());
     for e in ordered_edges(g, order) {
-        let used: HashSet<Color> =
-            g.edge_neighbors(e).filter_map(|f| coloring.get(f)).collect();
+        let used: HashSet<Color> = g
+            .edge_neighbors(e)
+            .filter_map(|f| coloring.get(f))
+            .collect();
         match lists[e.index()].iter().copied().find(|c| !used.contains(c)) {
             Some(c) => coloring.set(e, c),
             None => return Err(e),
@@ -102,7 +108,11 @@ mod tests {
     #[test]
     fn orders_agree_on_validity_not_on_colors() {
         let g = generators::gnp(40, 0.15, 3);
-        for order in [EdgeOrder::ById, EdgeOrder::ByDegreeDesc, EdgeOrder::Random(5)] {
+        for order in [
+            EdgeOrder::ById,
+            EdgeOrder::ByDegreeDesc,
+            EdgeOrder::Random(5),
+        ] {
             let c = greedy_edge_coloring(&g, order);
             coloring::check_edge_coloring(&g, &c).expect("proper");
         }
@@ -112,8 +122,10 @@ mod tests {
     fn list_coloring_succeeds_on_deg_plus_one_lists() {
         let g = generators::random_regular(24, 4, 4);
         // Give each edge the list {0, …, deg(e)} (deg+1 colors).
-        let lists: Vec<Vec<Color>> =
-            g.edges().map(|e| (0..=g.edge_degree(e) as Color).collect()).collect();
+        let lists: Vec<Vec<Color>> = g
+            .edges()
+            .map(|e| (0..=g.edge_degree(e) as Color).collect())
+            .collect();
         let c = greedy_list_edge_coloring(&g, &lists, EdgeOrder::ById).expect("always solvable");
         coloring::check_edge_coloring(&g, &c).expect("proper");
         for e in g.edges() {

@@ -20,7 +20,7 @@
 
 use crate::palette_u64_to_u32;
 use deco_local::math::next_prime;
-use deco_local::{run, Network, NodeCtx, NodeProgram, Protocol, RunError};
+use deco_local::{Executor, Network, NodeCtx, NodeProgram, Protocol, RunError, SerialExecutor};
 
 /// One round of the reduction schedule: reduce from `m` colors to `q²`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -78,7 +78,12 @@ fn best_step(m: u64, delta: u64) -> Option<ReductionStep> {
         }
         let m_after = q * q;
         if m_after < m && best.as_ref().is_none_or(|b| m_after < b.m_after) {
-            best = Some(ReductionStep { q, d, m_before: m, m_after });
+            best = Some(ReductionStep {
+                q,
+                d,
+                m_before: m,
+                m_after,
+            });
         }
     }
     best
@@ -94,7 +99,10 @@ pub fn schedule(m0: u64, delta: u64) -> LinialSchedule {
         m = step.m_after;
         steps.push(step);
     }
-    LinialSchedule { steps, final_palette: m.min(m0.max(2)) }
+    LinialSchedule {
+        steps,
+        final_palette: m.min(m0.max(2)),
+    }
 }
 
 /// The palette size Linial's algorithm stabilizes at for maximum degree
@@ -122,7 +130,10 @@ impl LinialProtocol {
     /// Panics if `initial` is empty of colors... never: accepts any values;
     /// callers must ensure the initial coloring is proper and `< m0`.
     pub fn new(initial: Vec<u64>, m0: u64, delta: u64) -> LinialProtocol {
-        LinialProtocol { initial, schedule: schedule(m0, delta) }
+        LinialProtocol {
+            initial,
+            schedule: schedule(m0, delta),
+        }
     }
 }
 
@@ -168,8 +179,9 @@ pub fn reduce_color(color: u64, neighbor_colors: &[u64], step: ReductionStep) ->
     );
     for x in 0..q {
         let own = poly_eval(color, q, d, x);
-        let clash =
-            neighbor_colors.iter().any(|&nc| nc != color && poly_eval(nc, q, d, x) == own);
+        let clash = neighbor_colors
+            .iter()
+            .any(|&nc| nc != color && poly_eval(nc, q, d, x) == own);
         if !clash {
             let new_color = x * q + own;
             debug_assert!(new_color < step.m_after);
@@ -190,7 +202,11 @@ impl NodeProgram for LinialProgram {
     fn receive(&mut self, ctx: &NodeCtx<'_>, inbox: &[Option<u64>]) {
         let step = self.schedule.steps[self.step_idx];
         let neighbor_colors: Vec<u64> = inbox.iter().flatten().copied().collect();
-        debug_assert_eq!(neighbor_colors.len(), ctx.degree(), "all neighbors must report");
+        debug_assert_eq!(
+            neighbor_colors.len(),
+            ctx.degree(),
+            "all neighbors must report"
+        );
         self.color = reduce_color(self.color, &neighbor_colors, step);
         self.step_idx += 1;
     }
@@ -231,9 +247,21 @@ pub struct LinialResult {
 /// Propagates [`RunError`] from the runner (cannot happen with the fixed
 /// schedule unless the schedule itself is wrong).
 pub fn color_from_ids(net: &Network<'_>) -> Result<LinialResult, RunError> {
+    color_from_ids_with(&SerialExecutor, net)
+}
+
+/// [`color_from_ids`] on an explicit [`Executor`] (engine or serial).
+///
+/// # Errors
+///
+/// Propagates [`RunError`] from the executor.
+pub fn color_from_ids_with<E: Executor>(
+    executor: &E,
+    net: &Network<'_>,
+) -> Result<LinialResult, RunError> {
     let ids: Vec<u64> = net.ids().to_vec();
     let m0 = net.max_id() + 1;
-    color_from_initial(net, ids, m0)
+    color_from_initial_with(executor, net, ids, m0)
 }
 
 /// Runs Linial's reduction on `net` from an explicit proper initial
@@ -251,12 +279,33 @@ pub fn color_from_initial(
     initial: Vec<u64>,
     m0: u64,
 ) -> Result<LinialResult, RunError> {
-    debug_assert!(initial.iter().all(|&c| c < m0), "initial colors must be < m0");
+    color_from_initial_with(&SerialExecutor, net, initial, m0)
+}
+
+/// [`color_from_initial`] on an explicit [`Executor`] (engine or serial).
+///
+/// # Errors
+///
+/// Propagates [`RunError`] from the executor.
+///
+/// # Panics
+///
+/// Panics (in debug builds) if the initial coloring is improper.
+pub fn color_from_initial_with<E: Executor>(
+    executor: &E,
+    net: &Network<'_>,
+    initial: Vec<u64>,
+    m0: u64,
+) -> Result<LinialResult, RunError> {
+    debug_assert!(
+        initial.iter().all(|&c| c < m0),
+        "initial colors must be < m0"
+    );
     let delta = net.graph().max_degree() as u64;
     let protocol = LinialProtocol::new(initial, m0, delta);
     let sched_rounds = protocol.schedule.rounds();
     let palette = protocol.schedule.final_palette;
-    let outcome = run(net, &protocol, sched_rounds + 1)?;
+    let outcome = executor.execute(net, &protocol, sched_rounds + 1)?;
     debug_assert_eq!(outcome.rounds, sched_rounds);
     Ok(LinialResult {
         colors: palette_u64_to_u32(&outcome.outputs),
@@ -288,7 +337,11 @@ mod tests {
             assert!(w[1].m_after < w[1].m_before);
         }
         // O(Δ²): fixpoint is q² for a prime q ≤ 2·(2Δ) by Bertrand.
-        assert!(s.final_palette <= 16 * 10 * 10 + 200, "got {}", s.final_palette);
+        assert!(
+            s.final_palette <= 16 * 10 * 10 + 200,
+            "got {}",
+            s.final_palette
+        );
     }
 
     #[test]
@@ -307,7 +360,11 @@ mod tests {
     fn rounds_grow_very_slowly() {
         // log*-type behavior: even from 2^60 colors only a handful of steps.
         let s = schedule(1u64 << 60, 8);
-        assert!(s.rounds() <= 8, "expected O(log*) steps, got {}", s.rounds());
+        assert!(
+            s.rounds() <= 8,
+            "expected O(log*) steps, got {}",
+            s.rounds()
+        );
     }
 
     fn run_and_check(g: &deco_graph::Graph, assignment: IdAssignment) -> LinialResult {
@@ -324,7 +381,11 @@ mod tests {
     fn colors_cycle_properly() {
         let g = generators::cycle(50);
         let res = run_and_check(&g, IdAssignment::Sequential);
-        assert!(res.palette <= 25, "Δ=2 fixpoint is 25 colors, got {}", res.palette);
+        assert!(
+            res.palette <= 25,
+            "Δ=2 fixpoint is 25 colors, got {}",
+            res.palette
+        );
     }
 
     #[test]
@@ -332,7 +393,11 @@ mod tests {
         let g = generators::random_regular(60, 6, 3);
         let res = run_and_check(&g, IdAssignment::Shuffled(1));
         // Fixpoint q for Δ=6: next_prime(6·2)=13 with d=2 etc. Palette O(Δ²).
-        assert!(res.palette <= 4 * 36 + 120, "palette {} too large", res.palette);
+        assert!(
+            res.palette <= 4 * 36 + 120,
+            "palette {} too large",
+            res.palette
+        );
     }
 
     #[test]
@@ -346,7 +411,13 @@ mod tests {
     fn complete_graph_needs_n_colors() {
         let g = generators::complete(8);
         let res = run_and_check(&g, IdAssignment::Reversed);
-        assert!(res.colors.iter().collect::<std::collections::HashSet<_>>().len() == 8);
+        assert!(
+            res.colors
+                .iter()
+                .collect::<std::collections::HashSet<_>>()
+                .len()
+                == 8
+        );
     }
 
     #[test]

@@ -9,7 +9,7 @@
 //! (for edge coloring: the line graph), with per-node RNGs seeded
 //! deterministically from `(seed, id)` so simulations are reproducible.
 
-use deco_local::{run, Network, NodeCtx, NodeProgram, Protocol, RunError};
+use deco_local::{Executor, Network, NodeCtx, NodeProgram, Protocol, RunError, SerialExecutor};
 use rand::prelude::*;
 use rand::rngs::StdRng;
 use std::collections::HashSet;
@@ -73,10 +73,19 @@ impl NodeProgram for LubyProgram {
             return vec![Some(LubyMsg::Final { color: c }); ctx.degree()];
         }
         self.refresh_available();
-        debug_assert!(!self.available.is_empty(), "list exceeds degree, cannot empty");
+        debug_assert!(
+            !self.available.is_empty(),
+            "list exceeds degree, cannot empty"
+        );
         let pick = self.available[self.rng.gen_range(0..self.available.len())];
         self.proposal = Some(pick);
-        vec![Some(LubyMsg::Proposal { id: ctx.id, color: pick }); ctx.degree()]
+        vec![
+            Some(LubyMsg::Proposal {
+                id: ctx.id,
+                color: pick
+            });
+            ctx.degree()
+        ]
     }
 
     fn receive(&mut self, ctx: &NodeCtx<'_>, inbox: &[Option<LubyMsg>]) {
@@ -95,9 +104,9 @@ impl NodeProgram for LubyProgram {
         }
         // Keep the proposal unless a strictly higher-id neighbor proposed
         // the same color.
-        let beaten = inbox.iter().flatten().any(|msg| {
-            matches!(msg, LubyMsg::Proposal { id, color } if *color == mine && *id > ctx.id)
-        });
+        let beaten = inbox.iter().flatten().any(
+            |msg| matches!(msg, LubyMsg::Proposal { id, color } if *color == mine && *id > ctx.id),
+        );
         if !beaten {
             self.finalized = Some(mine);
         }
@@ -153,6 +162,25 @@ pub fn luby_list_coloring(
     seed: u64,
     max_rounds: u64,
 ) -> Result<LubyResult, RunError> {
+    luby_list_coloring_with(&SerialExecutor, net, lists, seed, max_rounds)
+}
+
+/// [`luby_list_coloring`] on an explicit [`Executor`].
+///
+/// # Errors
+///
+/// Returns [`RunError`] if the run exceeds `max_rounds`.
+///
+/// # Panics
+///
+/// Panics if some list is not larger than the node's degree.
+pub fn luby_list_coloring_with<E: Executor>(
+    executor: &E,
+    net: &Network<'_>,
+    lists: Vec<Vec<u32>>,
+    seed: u64,
+    max_rounds: u64,
+) -> Result<LubyResult, RunError> {
     for v in net.graph().nodes() {
         assert!(
             lists[v.index()].len() > net.graph().degree(v),
@@ -160,8 +188,11 @@ pub fn luby_list_coloring(
         );
     }
     let protocol = LubyListColoring { lists, seed };
-    let outcome = run(net, &protocol, max_rounds)?;
-    Ok(LubyResult { colors: outcome.outputs, rounds: outcome.rounds })
+    let outcome = executor.execute(net, &protocol, max_rounds)?;
+    Ok(LubyResult {
+        colors: outcome.outputs,
+        rounds: outcome.rounds,
+    })
 }
 
 #[cfg(test)]
@@ -209,8 +240,7 @@ mod tests {
         let g = generators::cycle(30);
         let net = Network::new(&g, IdAssignment::Shuffled(5));
         // Each node gets a distinct 3-color window: still > deg = 2.
-        let lists: Vec<Vec<u32>> =
-            g.nodes().map(|v| (v.0..v.0 + 3).collect()).collect();
+        let lists: Vec<Vec<u32>> = g.nodes().map(|v| (v.0..v.0 + 3).collect()).collect();
         let res = luby_list_coloring(&net, lists.clone(), 3, 10_000).unwrap();
         coloring::check_vertex_coloring(&g, &res.colors).expect("proper");
         for v in g.nodes() {

@@ -27,10 +27,15 @@ fn x_palette(x: &[u32]) -> u32 {
 
 fn greedy_inner(inst: &ListInstance, _x: &[u32]) -> (Vec<Color>, CostNode) {
     let lists: Vec<Vec<Color>> = inst.lists().iter().map(|l| l.as_slice().to_vec()).collect();
-    let coloring =
-        greedy::greedy_list_edge_coloring(inst.graph(), &lists, greedy::EdgeOrder::ById)
-            .expect("feasible");
-    (inst.graph().edges().map(|e| coloring.get(e).unwrap()).collect(), CostNode::leaf("g", 1))
+    let coloring = greedy::greedy_list_edge_coloring(inst.graph(), &lists, greedy::EdgeOrder::ById)
+        .expect("feasible");
+    (
+        inst.graph()
+            .edges()
+            .map(|e| coloring.get(e).unwrap())
+            .collect(),
+        CostNode::leaf("g", 1),
+    )
 }
 
 fn bench_defective(c: &mut Criterion) {
@@ -70,7 +75,9 @@ fn bench_space_reduction(c: &mut Criterion) {
             b.iter(|| {
                 let mut assign = greedy_inner;
                 let assign: &mut space::AssignSolver<'_> = &mut assign;
-                space::reduce_color_space(&inst, p, &x, assign).sub_instances.len()
+                space::reduce_color_space(&inst, p, &x, assign)
+                    .sub_instances
+                    .len()
             });
         });
     }

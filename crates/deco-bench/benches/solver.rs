@@ -40,7 +40,10 @@ fn bench_solver_strategies(c: &mut Criterion) {
         ("kuhn20", Strategy::Kuhn20),
         ("constant-p3", Strategy::ConstantP(3)),
     ] {
-        let cfg = SolverConfig { strategy, ..SolverConfig::default() };
+        let cfg = SolverConfig {
+            strategy,
+            ..SolverConfig::default()
+        };
         group.bench_function(name, |b| {
             b.iter(|| {
                 let res = solve_two_delta_minus_one(&g, &ids(g.num_nodes()), cfg.clone());

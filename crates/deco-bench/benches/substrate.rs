@@ -54,13 +54,8 @@ fn bench_class_elimination(c: &mut Criterion) {
     let lists: Vec<Vec<u32>> = lg.graph().nodes().map(|_| (0..bound).collect()).collect();
     c.bench_function("class-elimination regular(512,8)", |b| {
         b.iter(|| {
-            class_elimination::list_color_by_classes(
-                lg.graph(),
-                &lists,
-                &initial,
-                x.palette as u32,
-            )
-            .1
+            class_elimination::list_color_by_classes(lg.graph(), &lists, &initial, x.palette as u32)
+                .1
         });
     });
 }

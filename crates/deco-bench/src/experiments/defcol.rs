@@ -12,8 +12,13 @@ use std::fmt::Write as _;
 pub fn run() -> String {
     let mut out = String::from("# def-col — defective edge coloring (§4.1)\n\n");
     let mut t = Table::new([
-        "graph", "Δ̄", "β", "colors used / palette 24β²+6β", "max defect ratio (≤ 1)",
-        "rounds", "proper?",
+        "graph",
+        "Δ̄",
+        "β",
+        "colors used / palette 24β²+6β",
+        "max defect ratio (≤ 1)",
+        "rounds",
+        "proper?",
     ]);
     let graphs: Vec<(&str, Graph)> = vec![
         ("regular(80,12)", generators::random_regular(80, 12, 1)),
@@ -34,8 +39,7 @@ pub fn run() -> String {
                 .edges()
                 .filter(|&e| g.edge_degree(e) > 0)
                 .map(|e| {
-                    defects[e.index()] as f64
-                        / (g.edge_degree(e) as f64 / (2.0 * f64::from(beta)))
+                    defects[e.index()] as f64 / (g.edge_degree(e) as f64 / (2.0 * f64::from(beta)))
                 })
                 .fold(0.0f64, f64::max);
             assert!(max_ratio <= 1.0 + 1e-9, "defect bound violated");
@@ -48,7 +52,11 @@ pub fn run() -> String {
                 format!("{used} / {}", defective_palette(beta)),
                 fnum(max_ratio),
                 d.cost.actual_rounds().to_string(),
-                if proper { "yes (defect 0)".into() } else { "defective".to_string() },
+                if proper {
+                    "yes (defect 0)".into()
+                } else {
+                    "defective".to_string()
+                },
             ]);
         }
     }

@@ -1,0 +1,173 @@
+//! `engine-matrix` — the round-execution engine across the scenario matrix:
+//! differential correctness (engine ≡ serial runner, observationally) plus
+//! wall-clock comparison of the serial runner vs the flat-mailbox engine at
+//! one and many threads.
+
+use crate::table::Table;
+use deco_engine::protocols::{FloodMax, PortEcho};
+use deco_engine::{
+    Executor, GraphSpec, IdFlavor, ParallelExecutor, Scenario, ScenarioMatrix, SerialExecutor,
+};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// Runs the experiment and returns the report.
+pub fn run() -> String {
+    let mut out = String::from(
+        "# engine-matrix — parallel engine vs serial runner across the scenario matrix\n\n",
+    );
+
+    // Part 1: differential correctness sweep over the full standard matrix.
+    let matrix = ScenarioMatrix::standard(2026);
+    let mut checked = 0usize;
+    let mut messages = 0u64;
+    for s in matrix.iter() {
+        let g = s.graph();
+        let net = s.network(&g);
+        let serial = SerialExecutor
+            .execute(&net, &FloodMax { radius: 4 }, 50)
+            .unwrap();
+        let engine = ParallelExecutor::auto()
+            .execute(&net, &FloodMax { radius: 4 }, 50)
+            .unwrap();
+        assert_eq!(serial.outputs, engine.outputs, "{}", s.name);
+        assert_eq!(serial.rounds, engine.rounds, "{}", s.name);
+        assert_eq!(serial.messages, engine.messages, "{}", s.name);
+        checked += 1;
+        messages += serial.messages;
+    }
+    let _ = writeln!(
+        out,
+        "## differential sweep\n\n{checked} scenarios (families × sizes × ID flavors), \
+         {messages} messages delivered per executor: engine outputs, round counts, and\n\
+         message counts identical to the serial reference on every scenario.\n",
+    );
+
+    // Part 2: throughput on large workloads.
+    out.push_str("## throughput (large graphs)\n\n");
+    let mut t = Table::new([
+        "workload",
+        "protocol",
+        "serial",
+        "engine-1t",
+        "engine-auto",
+        "speedup (auto vs serial)",
+    ]);
+    let workloads = [
+        (GraphSpec::RandomRegular { n: 10_000, d: 32 }, 4u64),
+        (
+            GraphSpec::Gnp {
+                n: 20_000,
+                p: 0.001,
+            },
+            4,
+        ),
+        (GraphSpec::PowerLaw { n: 30_000 }, 4),
+    ];
+    for (spec, radius) in workloads {
+        let scenario = Scenario::new(spec, IdFlavor::Shuffled, 7);
+        let g = scenario.graph();
+        let net = scenario.network(&g);
+        let (st, so) = time(|| {
+            SerialExecutor
+                .execute(&net, &FloodMax { radius }, 50)
+                .unwrap()
+        });
+        let (e1, r1) = time(|| {
+            ParallelExecutor::with_threads(1)
+                .execute(&net, &FloodMax { radius }, 50)
+                .unwrap()
+        });
+        let (ea, ra) = time(|| {
+            ParallelExecutor::auto()
+                .execute(&net, &FloodMax { radius }, 50)
+                .unwrap()
+        });
+        assert_eq!(so.outputs, r1.outputs);
+        assert_eq!(so.outputs, ra.outputs);
+        t.row([
+            scenario.spec.label(),
+            format!("flood(r={radius})"),
+            format!("{st:.1?}"),
+            format!("{e1:.1?}"),
+            format!("{ea:.1?}"),
+            format!("{:.2}x", st.as_secs_f64() / ea.as_secs_f64()),
+        ]);
+
+        let (st2, so2) = time(|| {
+            SerialExecutor
+                .execute(&net, &PortEcho { rounds: 3 }, 10)
+                .unwrap()
+        });
+        let (ea2, ra2) = time(|| {
+            ParallelExecutor::auto()
+                .execute(&net, &PortEcho { rounds: 3 }, 10)
+                .unwrap()
+        });
+        assert_eq!(so2.outputs, ra2.outputs);
+        t.row([
+            scenario.spec.label(),
+            "port-echo(3)".to_string(),
+            format!("{st2:.1?}"),
+            "-".to_string(),
+            format!("{ea2:.1?}"),
+            format!("{:.2}x", st2.as_secs_f64() / ea2.as_secs_f64()),
+        ]);
+    }
+    out.push_str(&t.render());
+    out.push_str(
+        "\nThe engine's flat CSR mailboxes + precomputed mirror table remove the\n\
+         per-round nested allocations and O(deg) delivery scans of the serial\n\
+         runner; threading splits both phases over degree-balanced node ranges\n\
+         with identical observable behavior.\n",
+    );
+
+    // Part 3: solver pipeline on the engine substrate.
+    out.push_str("\n## Theorem 4.1 pipeline on the engine\n\n");
+    let scenario = Scenario::new(
+        GraphSpec::RandomRegular { n: 512, d: 16 },
+        IdFlavor::Sequential,
+        3,
+    );
+    let g = scenario.graph();
+    let ids: Vec<u64> = (1..=g.num_nodes() as u64).collect();
+    let cfg = deco_core::solver::SolverConfig::default();
+    let (ts, rs) = time(|| deco_core::solver::solve_two_delta_minus_one(&g, &ids, cfg.clone()));
+    let (te, re) = time(|| {
+        deco_core::solver::solve_two_delta_minus_one_with(
+            &ParallelExecutor::auto(),
+            &g,
+            &ids,
+            cfg.clone(),
+        )
+    });
+    assert_eq!(
+        rs.solution.colors, re.solution.colors,
+        "executor must not change results"
+    );
+    let _ = writeln!(
+        out,
+        "regular(n=512,d=16), default config: serial executor {ts:.1?}, engine executor \
+         {te:.1?};\nidentical colorings ({} colors, {} rounds charged).",
+        rs.coloring.distinct_colors(),
+        rs.solution.cost.actual_rounds(),
+    );
+    out
+}
+
+fn time<T>(f: impl FnOnce() -> T) -> (std::time::Duration, T) {
+    let start = Instant::now();
+    let value = f();
+    (start.elapsed(), value)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn report_mentions_scenarios_and_speedups() {
+        let r = super::run();
+        assert!(r.contains("differential sweep"));
+        assert!(r.contains("identical to the serial reference"));
+        assert!(r.contains("speedup"));
+    }
+}

@@ -19,7 +19,11 @@ pub fn run() -> String {
     let mut t = Table::new(["subspace", "range", "|L ∩ C_i|"]);
     for i in 0..part.num_subspaces() {
         let (lo, hi) = part.range(i);
-        t.row([format!("C{}", i + 1), format!("{{{lo}..{}}}", hi - 1), sizes[i as usize].to_string()]);
+        t.row([
+            format!("C{}", i + 1),
+            format!("{{{lo}..{}}}", hi - 1),
+            sizes[i as usize].to_string(),
+        ]);
     }
     out.push_str(&t.render());
 
@@ -31,7 +35,11 @@ pub fn run() -> String {
     ));
     out.push_str(&format!(
         "measured: k = {k}, I = {{{}}} (1-based) — matches (k ≥ 2 with C1, C2 included)\n",
-        indices.iter().map(|i| (i + 1).to_string()).collect::<Vec<_>>().join(",")
+        indices
+            .iter()
+            .map(|i| (i + 1).to_string())
+            .collect::<Vec<_>>()
+            .join(",")
     ));
     let info = level_of(&list, &part);
     out.push_str(&format!(
@@ -84,9 +92,17 @@ pub fn run() -> String {
 
     // Adversarial geometric list: mass concentrated on one subspace.
     let part = SubspacePartition::new(256, 16);
-    let geo = ColorList::new((0..16).chain(16..24).chain(32..36).chain(64..66).collect::<Vec<_>>());
+    let geo = ColorList::new(
+        (0..16)
+            .chain(16..24)
+            .chain(32..36)
+            .chain(64..66)
+            .collect::<Vec<_>>(),
+    );
     let (k_geo, _) = lemma44_witness(&geo, &part);
-    out.push_str(&format!("\nadversarial geometric list (sizes 16,8,4,2): k = {k_geo}\n"));
+    out.push_str(&format!(
+        "\nadversarial geometric list (sizes 16,8,4,2): k = {k_geo}\n"
+    ));
     out
 }
 
@@ -95,7 +111,10 @@ mod tests {
     #[test]
     fn report_confirms_paper_example() {
         let r = super::run();
-        assert!(r.contains("violations = 0"), "Lemma 4.4 must hold everywhere:\n{r}");
+        assert!(
+            r.contains("violations = 0"),
+            "Lemma 4.4 must hold everywhere:\n{r}"
+        );
         assert!(r.contains("measured: k = "));
     }
 }

@@ -60,7 +60,13 @@ pub fn run() -> String {
     let mut final_colors: Vec<Option<Color>> = vec![None; g.num_edges()];
     let mut stage = 0usize;
     let mut t = Table::new([
-        "stage", "Δ̄", "edges", "classes nonempty", "colored", "inactive", "residual Δ̄",
+        "stage",
+        "Δ̄",
+        "edges",
+        "classes nonempty",
+        "colored",
+        "inactive",
+        "residual Δ̄",
     ]);
     while cur.graph().num_edges() > 0 {
         stage += 1;
@@ -84,8 +90,7 @@ pub fn run() -> String {
         }
         let sweep = slack::sweep(&cur, &cur_x, xp, 1, &mut inner);
         // Figure 1: the defective classes = the sweep's class structure.
-        let defective =
-            deco_core::defective::defective_edge_coloring(cur.graph(), 1, &cur_x, xp);
+        let defective = deco_core::defective::defective_edge_coloring(cur.graph(), 1, &cur_x, xp);
         save_dot(
             &format!("fig_stage{stage}_defective.dot"),
             dot::to_dot(
@@ -113,12 +118,18 @@ pub fn run() -> String {
             stage.to_string(),
             dbar.to_string(),
             cur.graph().num_edges().to_string(),
-            format!("{}/{}", sweep.stats.classes_nonempty, sweep.stats.classes_total),
+            format!(
+                "{}/{}",
+                sweep.stats.classes_nonempty, sweep.stats.classes_total
+            ),
             sweep.stats.colored.to_string(),
             sweep.stats.inactive.to_string(),
             res.instance.max_edge_degree().to_string(),
         ]);
-        assert!(res.instance.max_edge_degree() <= dbar / 2, "Figure 4's halving claim");
+        assert!(
+            res.instance.max_edge_degree() <= dbar / 2,
+            "Figure 4's halving claim"
+        );
         map = res.edge_map.iter().map(|&le| map[le.index()]).collect();
         cur = res.instance;
         cur_x = res.x_coloring;
@@ -126,7 +137,8 @@ pub fn run() -> String {
     out.push_str(&t.render());
 
     let coloring = EdgeColoring::from_vec(final_colors);
-    inst.check_solution(&coloring).expect("walkthrough must end in a valid coloring");
+    inst.check_solution(&coloring)
+        .expect("walkthrough must end in a valid coloring");
     save_dot("fig_final.dot", dot::to_dot(&g, "final", Some(&coloring)));
     let _ = writeln!(
         out,

@@ -24,7 +24,12 @@ pub fn run() -> String {
          subspace assignment is a (deg+1)-list edge coloring instance.\n\n",
     );
     let mut t = Table::new([
-        "graph", "ℓ", "cap 2^{ℓ−2}", "virt nodes", "virt edges", "virt Δ",
+        "graph",
+        "ℓ",
+        "cap 2^{ℓ−2}",
+        "virt nodes",
+        "virt edges",
+        "virt Δ",
         "virt Δ̄ (bound 2^{ℓ−1}−2)",
     ]);
     let graphs: Vec<(&str, Graph)> = vec![

@@ -19,14 +19,25 @@ use std::fmt::Write as _;
 pub fn run() -> String {
     let mut out = String::from("# lem42 — slack reduction invariants (Lemma 4.2)\n\n");
     let mut t = Table::new([
-        "graph", "β", "sweep", "Δ̄ before", "Δ̄ after", "bound Δ̄/2", "classes used/total",
-        "min active slack (> β)", "halving",
+        "graph",
+        "β",
+        "sweep",
+        "Δ̄ before",
+        "Δ̄ after",
+        "bound Δ̄/2",
+        "classes used/total",
+        "min active slack (> β)",
+        "halving",
     ]);
     let solver = Solver::new(SolverConfig::default());
     let mut sweeps_total = 0u64;
 
     for (gname, g, beta) in [
-        ("regular(60,10)", generators::random_regular(60, 10, 3), 1u32),
+        (
+            "regular(60,10)",
+            generators::random_regular(60, 10, 3),
+            1u32,
+        ),
         ("regular(60,10)", generators::random_regular(60, 10, 3), 2),
         ("gnp(80,0.15)", generators::gnp(80, 0.15, 4), 1),
         ("complete(16)", generators::complete(16), 2),
@@ -65,7 +76,11 @@ pub fn run() -> String {
                 (dbar / 2).to_string(),
                 format!("{}/{}", sw.stats.classes_nonempty, defective_palette(beta)),
                 fnum(sw.stats.min_active_slack),
-                if halves { "OK".into() } else { "VIOLATED".to_string() },
+                if halves {
+                    "OK".into()
+                } else {
+                    "VIOLATED".to_string()
+                },
             ]);
             assert!(halves, "Lemma 4.2 degree halving violated");
             assert!(sw.stats.min_active_slack > f64::from(beta));

@@ -12,29 +12,77 @@ use std::fmt::Write as _;
 
 fn greedy_assign(inst: &ListInstance, _x: &[u32]) -> (Vec<Color>, CostNode) {
     let lists: Vec<Vec<Color>> = inst.lists().iter().map(|l| l.as_slice().to_vec()).collect();
-    let coloring =
-        greedy::greedy_list_edge_coloring(inst.graph(), &lists, greedy::EdgeOrder::ById)
-            .expect("assignment instances are (deg+1)-list");
-    (inst.graph().edges().map(|e| coloring.get(e).unwrap()).collect(), CostNode::leaf("g", 1))
+    let coloring = greedy::greedy_list_edge_coloring(inst.graph(), &lists, greedy::EdgeOrder::ById)
+        .expect("assignment instances are (deg+1)-list");
+    (
+        inst.graph()
+            .edges()
+            .map(|e| coloring.get(e).unwrap())
+            .collect(),
+        CostNode::leaf("g", 1),
+    )
 }
 
 /// Runs the experiment and returns the report.
 pub fn run() -> String {
     let mut out = String::from("# lem43 — color space reduction, Eq. (2) (Lemma 4.3)\n\n");
     let mut t = Table::new([
-        "graph", "C", "p", "q", "slack S", "argmax/E1/E2", "phases", "max Eq.(2) ratio",
-        "bound 24·H_q·log p", "sub-instances (deg+1)",
+        "graph",
+        "C",
+        "p",
+        "q",
+        "slack S",
+        "argmax/E1/E2",
+        "phases",
+        "max Eq.(2) ratio",
+        "bound 24·H_q·log p",
+        "sub-instances (deg+1)",
     ]);
     let mut worst_fraction: f64 = 0.0;
     for (gname, g, c, p, s, seed) in [
-        ("regular(48,10)", generators::random_regular(48, 10, 1), 4000u32, 4u32, 80.0, 2u64),
-        ("regular(48,10)", generators::random_regular(48, 10, 1), 4000, 8, 120.0, 3),
+        (
+            "regular(48,10)",
+            generators::random_regular(48, 10, 1),
+            4000u32,
+            4u32,
+            80.0,
+            2u64,
+        ),
+        (
+            "regular(48,10)",
+            generators::random_regular(48, 10, 1),
+            4000,
+            8,
+            120.0,
+            3,
+        ),
         ("complete(14)", generators::complete(14), 6000, 5, 130.0, 4),
-        ("gnp(60,0.25)", generators::gnp(60, 0.25, 5), 12000, 6, 150.0, 6),
-        ("powerlaw(120)", generators::power_law(120, 2.4, 30.0, 7), 12000, 4, 90.0, 8),
+        (
+            "gnp(60,0.25)",
+            generators::gnp(60, 0.25, 5),
+            12000,
+            6,
+            150.0,
+            6,
+        ),
+        (
+            "powerlaw(120)",
+            generators::power_law(120, 2.4, 30.0, 7),
+            12000,
+            4,
+            90.0,
+            8,
+        ),
         // q = 16 activates the E⁽¹⁾ phase machinery (levels ≥ 4 need
         // ⌊log q⌋ ≥ 4): slack ≥ 24·H₁₆·log 16 ≈ 325 on a Δ̄ = 32 graph.
-        ("complete(18)", generators::complete(18), 16384, 16, 330.0, 9),
+        (
+            "complete(18)",
+            generators::complete(18),
+            16384,
+            16,
+            330.0,
+            9,
+        ),
     ] {
         let inst = instance::random_with_slack(&g, c, s, seed);
         let x: Vec<u32> = {
@@ -42,8 +90,10 @@ pub fn run() -> String {
             g.edges().map(|e| col.get(e).unwrap()).collect()
         };
         let red = space::reduce_color_space(&inst, p, &x, &mut greedy_assign);
-        let all_feasible =
-            red.sub_instances.iter().all(|si| si.instance.validate_slack(1.0).is_ok());
+        let all_feasible = red
+            .sub_instances
+            .iter()
+            .all(|si| si.instance.validate_slack(1.0).is_ok());
         worst_fraction = worst_fraction.max(red.stats.eq2_max_ratio / red.stats.eq2_bound);
         t.row([
             gname.to_string(),
@@ -51,11 +101,18 @@ pub fn run() -> String {
             p.to_string(),
             red.stats.q.to_string(),
             fnum(s),
-            format!("{}/{}/{}", red.stats.argmax_edges, red.stats.e1_edges, red.stats.e2_edges),
+            format!(
+                "{}/{}/{}",
+                red.stats.argmax_edges, red.stats.e1_edges, red.stats.e2_edges
+            ),
             red.stats.phases_run.to_string(),
             fnum(red.stats.eq2_max_ratio),
             fnum(red.stats.eq2_bound),
-            if all_feasible { "all OK".into() } else { "VIOLATED".to_string() },
+            if all_feasible {
+                "all OK".into()
+            } else {
+                "VIOLATED".to_string()
+            },
         ]);
     }
     out.push_str(&t.render());

@@ -28,7 +28,14 @@ fn witness_quality(list: &ColorList, part: &SubspacePartition) -> f64 {
 /// Runs the experiment and returns the report.
 pub fn run() -> String {
     let mut out = String::from("# lem44 — harmonic partition bound tightness (Lemma 4.4)\n\n");
-    let mut t = Table::new(["list family", "C", "p", "q", "k", "quality (≥ 1, 1 = tight)"]);
+    let mut t = Table::new([
+        "list family",
+        "C",
+        "p",
+        "q",
+        "k",
+        "quality (≥ 1, 1 = tight)",
+    ]);
 
     // Adversarial harmonic-decay list: block i gets ~ |L|/(i·H_q) colors —
     // exactly the profile that makes the lemma tight.
@@ -38,8 +45,9 @@ pub fn run() -> String {
         let hq = harmonic(u64::from(q));
         let block = part.block_size() as usize;
         let mut colors = Vec::new();
-        let budget_per_rank: Vec<usize> =
-            (1..=q as usize).map(|i| (block as f64 / (i as f64 * hq) * q as f64 / 4.0).min(block as f64) as usize).collect();
+        let budget_per_rank: Vec<usize> = (1..=q as usize)
+            .map(|i| (block as f64 / (i as f64 * hq) * q as f64 / 4.0).min(block as f64) as usize)
+            .collect();
         for i in 0..q {
             let (lo, _) = part.range(i);
             let take = budget_per_rank[i as usize].min(block);
@@ -74,7 +82,10 @@ pub fn run() -> String {
         colors.shuffle(&mut rng);
         colors.truncate(len);
         let quality = witness_quality(&ColorList::new(colors), &part);
-        assert!(quality >= 1.0 - 1e-9, "Lemma 4.4 violated: quality {quality}");
+        assert!(
+            quality >= 1.0 - 1e-9,
+            "Lemma 4.4 violated: quality {quality}"
+        );
         min_quality = min_quality.min(quality);
         mean_quality += quality / trials as f64;
     }

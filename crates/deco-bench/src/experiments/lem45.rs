@@ -15,10 +15,15 @@ use std::fmt::Write as _;
 
 fn greedy_assign(inst: &ListInstance, _x: &[u32]) -> (Vec<Color>, CostNode) {
     let lists: Vec<Vec<Color>> = inst.lists().iter().map(|l| l.as_slice().to_vec()).collect();
-    let coloring =
-        greedy::greedy_list_edge_coloring(inst.graph(), &lists, greedy::EdgeOrder::ById)
-            .expect("assignment instances are (deg+1)-list");
-    (inst.graph().edges().map(|e| coloring.get(e).unwrap()).collect(), CostNode::leaf("g", 1))
+    let coloring = greedy::greedy_list_edge_coloring(inst.graph(), &lists, greedy::EdgeOrder::ById)
+        .expect("assignment instances are (deg+1)-list");
+    (
+        inst.graph()
+            .edges()
+            .map(|e| coloring.get(e).unwrap())
+            .collect(),
+        CostNode::leaf("g", 1),
+    )
 }
 
 /// Runs the experiment and returns the report.
@@ -48,7 +53,12 @@ pub fn run() -> String {
     };
 
     let mut t = Table::new([
-        "step", "max palette C_i", "instances", "min slack", "req(C_i,p)", "all (deg+1)?",
+        "step",
+        "max palette C_i",
+        "instances",
+        "min slack",
+        "req(C_i,p)",
+        "all (deg+1)?",
     ]);
     let mut current: Vec<(ListInstance, Vec<u32>)> = vec![(inst0, x)];
     let mut chain_ok = true;
@@ -76,7 +86,11 @@ pub fn run() -> String {
             next.len().to_string(),
             fnum(min_slack),
             fnum(space_requirement(max_palette.max(2), p)),
-            if all_ok { "yes".into() } else { "NO".to_string() },
+            if all_ok {
+                "yes".into()
+            } else {
+                "NO".to_string()
+            },
         ]);
         current = next;
     }
@@ -88,8 +102,7 @@ pub fn run() -> String {
     // only ever intersect the list).
     let mut solved_edges = 0usize;
     for (inst, _) in &current {
-        let lists: Vec<Vec<Color>> =
-            inst.lists().iter().map(|l| l.as_slice().to_vec()).collect();
+        let lists: Vec<Vec<Color>> = inst.lists().iter().map(|l| l.as_slice().to_vec()).collect();
         let coloring =
             greedy::greedy_list_edge_coloring(inst.graph(), &lists, greedy::EdgeOrder::ById)
                 .expect("leaf instances are (deg+1)-feasible");

@@ -4,6 +4,7 @@
 //! reports.
 
 pub mod defcol;
+pub mod engine_matrix;
 pub mod fig_partition;
 pub mod fig_slack_walkthrough;
 pub mod fig_virtual;
@@ -34,10 +35,14 @@ pub fn all() -> Vec<(&'static str, Runner)> {
         ("def-col", defcol::run),
         ("linial", linial_exp::run),
         ("related-work", related_work::run),
+        ("engine-matrix", engine_matrix::run),
     ]
 }
 
 /// Looks up an experiment by id.
 pub fn by_id(id: &str) -> Option<Runner> {
-    all().into_iter().find(|(name, _)| *name == id).map(|(_, f)| f)
+    all()
+        .into_iter()
+        .find(|(name, _)| *name == id)
+        .map(|(_, f)| f)
 }

@@ -27,7 +27,12 @@ pub fn run() -> String {
         ("gnp(300,0.04)", generators::gnp(300, 0.04, 3)),
     ];
     let mut t = Table::new([
-        "graph", "Δ̄", "algorithm", "adaptive rounds", "classes used/scheduled", "colors",
+        "graph",
+        "Δ̄",
+        "algorithm",
+        "adaptive rounds",
+        "classes used/scheduled",
+        "colors",
         "deterministic?",
     ]);
     for (name, g) in &graphs {

@@ -20,8 +20,13 @@ pub fn run() -> String {
     out.push_str("\n## Θ-shape curves (unit constants, log* n term = 5)\n\n");
     let ls = 5.0;
     let mut t = Table::new([
-        "Δ̄", "ours log^{loglog}Δ̄", "Kuhn20 2^{√logΔ̄}", "FHK16 √Δ̄·polylog", "PR01 Δ̄",
-        "Lin87 Δ̄²", "winner",
+        "Δ̄",
+        "ours log^{loglog}Δ̄",
+        "Kuhn20 2^{√logΔ̄}",
+        "FHK16 √Δ̄·polylog",
+        "PR01 Δ̄",
+        "Lin87 Δ̄²",
+        "winner",
     ]);
     for k in (4..=64).step_by(6) {
         let d = 2f64.powi(k);
@@ -53,7 +58,9 @@ pub fn run() -> String {
     out.push_str("\n## Log-domain comparison (ln T as a function of L = log₂ Δ̄)\n\n");
     use theta::log_domain as ld;
     let mut t2 = Table::new(["L = log₂ Δ̄", "ln T ours", "ln T kuhn20", "leader"]);
-    for l in [16.0, 64.0, 256.0, 1024.0, 4096.0, 16384.0, 65536.0, 262144.0] {
+    for l in [
+        16.0, 64.0, 256.0, 1024.0, 4096.0, 16384.0, 65536.0, 262144.0,
+    ] {
         let a = ld::balliu_kuhn_olivetti(l);
         let b = ld::kuhn20(l);
         t2.row([
@@ -84,7 +91,12 @@ pub fn run() -> String {
         let d = 2f64.powi(k);
         let exact = ev.t_deg1(d, 2.0 * d);
         let shape = theta::balliu_kuhn_olivetti(d, ls);
-        t3.row([format!("2^{k}"), fnum(exact), fnum(shape), fnum(exact / shape)]);
+        t3.row([
+            format!("2^{k}"),
+            fnum(exact),
+            fnum(shape),
+            fnum(exact / shape),
+        ]);
     }
     out.push_str(&t3.render());
     out.push_str(

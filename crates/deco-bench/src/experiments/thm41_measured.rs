@@ -19,8 +19,16 @@ pub fn run() -> String {
          skipped); the faithful scheduled budgets are in thm41-budget.\n\n",
     );
     let mut t = Table::new([
-        "workload", "n", "m", "Δ̄", "X rounds", "solver rounds", "colors ≤ 2Δ−1", "sweeps",
-        "Luby rounds", "wall ms",
+        "workload",
+        "n",
+        "m",
+        "Δ̄",
+        "X rounds",
+        "solver rounds",
+        "colors ≤ 2Δ−1",
+        "sweeps",
+        "Luby rounds",
+        "wall ms",
     ]);
     for scale in [200usize, 800] {
         for w in mixed_suite(scale, 42) {
@@ -36,11 +44,13 @@ pub fn run() -> String {
 
             // Luby baseline on the line graph with the same (2Δ−1) palette.
             let lg = LineGraph::of(g);
-            let lists: Vec<Vec<u32>> =
-                lg.graph().nodes().map(|_| (0..bound as u32).collect()).collect();
+            let lists: Vec<Vec<u32>> = lg
+                .graph()
+                .nodes()
+                .map(|_| (0..bound as u32).collect())
+                .collect();
             let net = Network::new(lg.graph(), IdAssignment::Shuffled(7));
-            let lres =
-                luby::luby_list_coloring(&net, lists, 99, 100_000).expect("luby terminates");
+            let lres = luby::luby_list_coloring(&net, lists, 99, 100_000).expect("luby terminates");
 
             t.row([
                 w.name.clone(),

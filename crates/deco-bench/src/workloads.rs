@@ -18,7 +18,10 @@ pub struct Workload {
 
 impl Workload {
     fn new(name: impl Into<String>, graph: Graph) -> Workload {
-        Workload { name: name.into(), graph }
+        Workload {
+            name: name.into(),
+            graph,
+        }
     }
 }
 
@@ -31,7 +34,10 @@ pub fn ids_for(g: &Graph) -> Vec<u64> {
 pub fn mixed_suite(n: usize, seed: u64) -> Vec<Workload> {
     let d = 8.min(n - 1);
     vec![
-        Workload::new(format!("regular(n={n},d={d})"), generators::random_regular(n, d, seed)),
+        Workload::new(
+            format!("regular(n={n},d={d})"),
+            generators::random_regular(n, d, seed),
+        ),
         Workload::new(
             format!("gnp(n={n},p=8/n)"),
             generators::gnp(n, (8.0 / n as f64).min(1.0), seed + 1),
@@ -93,7 +99,10 @@ mod tests {
         for (w, &d) in suite.iter().zip([4usize, 8, 16].iter()) {
             assert_eq!(w.graph.max_degree(), d);
             let m = w.graph.num_edges();
-            assert!((256..=1200).contains(&m), "edge count {m} off target for d={d}");
+            assert!(
+                (256..=1200).contains(&m),
+                "edge count {m} off target for d={d}"
+            );
         }
     }
 

@@ -39,7 +39,12 @@ pub struct BudgetParams {
 
 impl Default for BudgetParams {
     fn default() -> Self {
-        BudgetParams { alpha: 1.0, base_dbar: 8.0, small_palette: 12.0, log_star_x: 5.0 }
+        BudgetParams {
+            alpha: 1.0,
+            base_dbar: 8.0,
+            small_palette: 12.0,
+            log_star_x: 5.0,
+        }
     }
 }
 
@@ -54,7 +59,10 @@ pub struct BudgetEvaluator {
 impl BudgetEvaluator {
     /// Creates an evaluator.
     pub fn new(params: BudgetParams) -> BudgetEvaluator {
-        BudgetEvaluator { params, ..BudgetEvaluator::default() }
+        BudgetEvaluator {
+            params,
+            ..BudgetEvaluator::default()
+        }
     }
 
     /// `T(Δ̄, 1, C)` — scheduled rounds of the full (deg+1)-list solver.
@@ -77,8 +85,7 @@ impl BudgetEvaluator {
             24.0 * beta * beta + 6.0 * beta
         };
         let defective_rounds = self.params.log_star_x + 25.0;
-        let sweep = defective_rounds
-            + classes * (1.0 + self.t_slack(dbar / (2.0 * beta), beta, c));
+        let sweep = defective_rounds + classes * (1.0 + self.t_slack(dbar / (2.0 * beta), beta, c));
         let total = sweep + self.t_deg1(dbar / 2.0, c);
         self.memo_deg1.insert(key, total);
         total
@@ -206,7 +213,9 @@ where
     A: Fn(f64) -> f64,
     B: Fn(f64) -> f64,
 {
-    (4..=max_pow).map(|k| 1u64 << k).find(|&d| a(d as f64) < b(d as f64))
+    (4..=max_pow)
+        .map(|k| 1u64 << k)
+        .find(|&d| a(d as f64) < b(d as f64))
 }
 
 /// `log*₂ x`, re-exported for the experiment harness.
@@ -232,7 +241,10 @@ mod tests {
         }
         let small = ev.t_deg1(2f64.powi(6), 2f64.powi(7));
         let large = ev.t_deg1(2f64.powi(30), 2f64.powi(31));
-        assert!(large > 10.0 * small, "budget must grow substantially with Δ̄");
+        assert!(
+            large > 10.0 * small,
+            "budget must grow substantially with Δ̄"
+        );
     }
 
     #[test]
@@ -304,8 +316,14 @@ mod tests {
 
     #[test]
     fn exact_budget_reflects_alpha() {
-        let mut small = BudgetEvaluator::new(BudgetParams { alpha: 1.0, ..Default::default() });
-        let mut big = BudgetEvaluator::new(BudgetParams { alpha: 8.0, ..Default::default() });
+        let mut small = BudgetEvaluator::new(BudgetParams {
+            alpha: 1.0,
+            ..Default::default()
+        });
+        let mut big = BudgetEvaluator::new(BudgetParams {
+            alpha: 8.0,
+            ..Default::default()
+        });
         let d = 2f64.powi(20);
         assert!(small.t_deg1(d, 2.0 * d) < big.t_deg1(d, 2.0 * d));
     }

@@ -73,7 +73,11 @@ pub fn defective_edge_coloring(
     x_palette: u32,
 ) -> DefectiveColoring {
     assert!(beta >= 1, "beta must be at least 1");
-    assert_eq!(x_coloring.len(), g.num_edges(), "one initial color per edge");
+    assert_eq!(
+        x_coloring.len(),
+        g.num_edges(),
+        "one initial color per edge"
+    );
     debug_assert!(
         deco_graph::coloring::check_edge_coloring(
             g,
@@ -138,7 +142,10 @@ pub fn defective_edge_coloring(
         }
     }
     let conflict = conflict.build().expect("bucket pairs are distinct edges");
-    debug_assert!(conflict.max_degree() <= 2, "conflict components are paths/cycles");
+    debug_assert!(
+        conflict.max_degree() <= 2,
+        "conflict components are paths/cycles"
+    );
 
     // 3-color the conflict graph from the X-edge-coloring. Conflicting edges
     // share a node of g, so the X-coloring is proper on the conflict graph;
@@ -167,7 +174,12 @@ pub fn defective_edge_coloring(
             CostNode::leaf("3-color conflict paths/cycles", three.rounds),
         ],
     );
-    DefectiveColoring { colors, num_colors, beta, cost }
+    DefectiveColoring {
+        colors,
+        num_colors,
+        beta,
+        cost,
+    }
 }
 
 #[cfg(test)]
@@ -226,7 +238,10 @@ mod tests {
         let g = generators::random_regular(20, 4, 5);
         let d = check_defective(&g, 4);
         let defects = coloring::edge_defects(&g, &d.colors);
-        assert!(defects.iter().all(|&x| x == 0), "defects must vanish for large β");
+        assert!(
+            defects.iter().all(|&x| x == 0),
+            "defects must vanish for large β"
+        );
     }
 
     #[test]

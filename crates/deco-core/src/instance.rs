@@ -58,7 +58,11 @@ impl fmt::Display for InstanceError {
             InstanceError::ColorOutOfPalette { edge, color } => {
                 write!(f, "edge {edge} lists color {color} outside the palette")
             }
-            InstanceError::InsufficientSlack { edge, list_len, required_exclusive } => {
+            InstanceError::InsufficientSlack {
+                edge,
+                list_len,
+                required_exclusive,
+            } => {
                 write!(
                     f,
                     "edge {edge} has a list of {list_len} colors, needs more than \
@@ -85,7 +89,11 @@ impl ListInstance {
                 edges: graph.num_edges(),
             });
         }
-        let inst = ListInstance { graph, lists, palette };
+        let inst = ListInstance {
+            graph,
+            lists,
+            palette,
+        };
         inst.validate_palette()?;
         inst.validate_slack(1.0)?;
         Ok(inst)
@@ -95,7 +103,11 @@ impl ListInstance {
     /// still the caller's responsibility; checked in debug builds).
     pub fn new_unchecked(graph: Graph, lists: Vec<ColorList>, palette: u32) -> Self {
         assert_eq!(lists.len(), graph.num_edges(), "one list per edge");
-        let inst = ListInstance { graph, lists, palette };
+        let inst = ListInstance {
+            graph,
+            lists,
+            palette,
+        };
         debug_assert!(inst.validate_palette().is_ok());
         inst
     }
@@ -308,7 +320,10 @@ mod tests {
         let g = generators::path(3);
         let lists = vec![ColorList::new(vec![0, 99]), ColorList::new(vec![1, 2])];
         let err = ListInstance::new(g, lists, 3).unwrap_err();
-        assert!(matches!(err, InstanceError::ColorOutOfPalette { color: 99, .. }));
+        assert!(matches!(
+            err,
+            InstanceError::ColorOutOfPalette { color: 99, .. }
+        ));
     }
 
     #[test]

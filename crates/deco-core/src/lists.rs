@@ -27,7 +27,9 @@ impl ColorList {
 
     /// The contiguous list `{lo, …, hi−1}`.
     pub fn range(lo: Color, hi: Color) -> ColorList {
-        ColorList { colors: (lo..hi).collect() }
+        ColorList {
+            colors: (lo..hi).collect(),
+        }
     }
 
     /// Number of colors in the list.
@@ -90,7 +92,9 @@ impl ColorList {
     pub fn restrict_to_range(&self, lo: Color, hi: Color) -> ColorList {
         let a = self.colors.partition_point(|&c| c < lo);
         let b = self.colors.partition_point(|&c| c < hi);
-        ColorList { colors: self.colors[a..b].to_vec() }
+        ColorList {
+            colors: self.colors[a..b].to_vec(),
+        }
     }
 
     /// The raw sorted slice.
@@ -325,7 +329,10 @@ mod tests {
     fn partition_respects_lemma43_bounds() {
         for (c, p) in [(100u32, 7u32), (17, 4), (5, 2), (1000, 31), (8, 8), (9, 4)] {
             let part = SubspacePartition::new(c, p);
-            assert!(part.num_subspaces() <= 2 * p, "q too large for C={c}, p={p}");
+            assert!(
+                part.num_subspaces() <= 2 * p,
+                "q too large for C={c}, p={p}"
+            );
             for i in 0..part.num_subspaces() {
                 let (lo, hi) = part.range(i);
                 assert!(hi > lo, "empty block");

@@ -27,8 +27,7 @@ use deco_local::CostNode;
 /// The inner solver a sweep hands active classes to. Receives a slack-β
 /// instance together with its restricted initial `X`-edge-coloring, and must
 /// return a complete valid coloring plus its round cost.
-pub type InnerSolver<'a> =
-    dyn FnMut(&ListInstance, &[u32]) -> (Vec<Color>, CostNode) + 'a;
+pub type InnerSolver<'a> = dyn FnMut(&ListInstance, &[u32]) -> (Vec<Color>, CostNode) + 'a;
 
 /// Statistics of one Lemma 4.2 sweep, used by the experiment harness to
 /// verify the lemma's inequalities empirically.
@@ -84,7 +83,10 @@ pub fn sweep(
     let mut buckets: std::collections::BTreeMap<u32, Vec<EdgeId>> =
         std::collections::BTreeMap::new();
     for e in g.edges() {
-        buckets.entry(defective.colors[e.index()]).or_default().push(e);
+        buckets
+            .entry(defective.colors[e.index()])
+            .or_default()
+            .push(e);
     }
 
     let mut colors: Vec<Option<Color>> = vec![None; m];
@@ -105,8 +107,10 @@ pub fn sweep(
         let mut active_lists: Vec<ColorList> = Vec::new();
         for &e in members {
             let mut list = inst.list(e).clone();
-            let used: Vec<Color> =
-                g.edge_neighbors(e).filter_map(|f| colors[f.index()]).collect();
+            let used: Vec<Color> = g
+                .edge_neighbors(e)
+                .filter_map(|f| colors[f.index()])
+                .collect();
             list.remove_all(&used);
             if list.len() as f64 > g.edge_degree(e) as f64 / 2.0 {
                 active.push(e);
@@ -122,11 +126,8 @@ pub fn sweep(
 
         // Step 3(c): solve P(Δ̄/2β, β, C) on the active subgraph.
         let sub = EdgeSubgraph::from_edge_ids(g, &active);
-        let sub_inst = ListInstance::new_unchecked(
-            sub.graph().clone(),
-            active_lists,
-            inst.palette(),
-        );
+        let sub_inst =
+            ListInstance::new_unchecked(sub.graph().clone(), active_lists, inst.palette());
         // Invariant (paper, "Enough slack"): |L′_e| > β·deg′(e).
         for se in sub_inst.graph().edges() {
             let deg_sub = sub_inst.graph().edge_degree(se);
@@ -137,12 +138,14 @@ pub fn sweep(
                 beta as usize * deg_sub
             );
             if deg_sub > 0 {
-                stats.min_active_slack =
-                    stats.min_active_slack.min(len as f64 / deg_sub as f64);
+                stats.min_active_slack = stats.min_active_slack.min(len as f64 / deg_sub as f64);
             }
         }
-        let sub_x: Vec<u32> =
-            sub.edge_map().iter().map(|pe| x_coloring[pe.index()]).collect();
+        let sub_x: Vec<u32> = sub
+            .edge_map()
+            .iter()
+            .map(|pe| x_coloring[pe.index()])
+            .collect();
         let (sub_colors, sub_cost) = inner(&sub_inst, &sub_x);
         debug_assert!(
             sub_inst
@@ -173,9 +176,15 @@ pub fn sweep(
 
     let cost = CostNode::seq(
         format!("lemma-4.2 sweep(β={beta})"),
-        std::iter::once(defective.cost.clone()).chain(class_costs).collect(),
+        std::iter::once(defective.cost.clone())
+            .chain(class_costs)
+            .collect(),
     );
-    SweepOutcome { colors, cost, stats }
+    SweepOutcome {
+        colors,
+        cost,
+        stats,
+    }
 }
 
 /// Residual instance after a sweep: the uncolored subgraph with lists
@@ -210,20 +219,28 @@ pub fn residual_after_sweep(
     let mut lists = Vec::with_capacity(open.len());
     for &e in &open {
         let mut list = inst.list(e).clone();
-        let used: Vec<Color> =
-            g.edge_neighbors(e).filter_map(|f| colors[f.index()]).collect();
+        let used: Vec<Color> = g
+            .edge_neighbors(e)
+            .filter_map(|f| colors[f.index()])
+            .collect();
         list.remove_all(&used);
         lists.push(list);
     }
-    let instance =
-        ListInstance::new_unchecked(sub.graph().clone(), lists, inst.palette());
+    let instance = ListInstance::new_unchecked(sub.graph().clone(), lists, inst.palette());
     assert!(
         instance.validate_slack(1.0).is_ok(),
         "residual instance must remain a (deg+1)-list instance"
     );
-    let x_restricted: Vec<u32> =
-        sub.edge_map().iter().map(|pe| x_coloring[pe.index()]).collect();
-    Residual { instance, edge_map: sub.edge_map().to_vec(), x_coloring: x_restricted }
+    let x_restricted: Vec<u32> = sub
+        .edge_map()
+        .iter()
+        .map(|pe| x_coloring[pe.index()])
+        .collect();
+    Residual {
+        instance,
+        edge_map: sub.edge_map().to_vec(),
+        x_coloring: x_restricted,
+    }
 }
 
 #[cfg(test)]
@@ -245,16 +262,18 @@ mod tests {
     /// An inner "solver" that greedily colors the slack-β instance — valid
     /// for tests because slack > β ≥ 1 implies (deg+1)-lists.
     fn greedy_inner(inst: &ListInstance, _x: &[u32]) -> (Vec<Color>, CostNode) {
-        let lists: Vec<Vec<Color>> =
-            inst.lists().iter().map(|l| l.as_slice().to_vec()).collect();
+        let lists: Vec<Vec<Color>> = inst.lists().iter().map(|l| l.as_slice().to_vec()).collect();
         let coloring = deco_algos::greedy::greedy_list_edge_coloring(
             inst.graph(),
             &lists,
             deco_algos::greedy::EdgeOrder::ById,
         )
         .expect("slack-β instances are greedily solvable");
-        let colors: Vec<Color> =
-            inst.graph().edges().map(|e| coloring.get(e).unwrap()).collect();
+        let colors: Vec<Color> = inst
+            .graph()
+            .edges()
+            .map(|e| coloring.get(e).unwrap())
+            .collect();
         (colors, CostNode::leaf("greedy-inner", 1))
     }
 
@@ -316,7 +335,9 @@ mod tests {
         // Full coloring is proper and on-list.
         let full = deco_graph::coloring::EdgeColoring::from_vec(final_colors);
         let orig_inst = instance::two_delta_minus_one(&g);
-        orig_inst.check_solution(&full).expect("complete proper list coloring");
+        orig_inst
+            .check_solution(&full)
+            .expect("complete proper list coloring");
     }
 
     #[test]

@@ -34,7 +34,7 @@ use deco_algos::{class_elimination, edge_adapter, linial};
 use deco_graph::coloring::{Color, EdgeColoring};
 use deco_graph::{EdgeId, Graph, LineGraph};
 use deco_local::math::harmonic;
-use deco_local::{CostNode, Network};
+use deco_local::{CostNode, Executor, Network, SerialExecutor};
 use std::cell::RefCell;
 
 /// Parameter strategies for β (Lemma 4.2) and p (Lemma 4.3).
@@ -136,17 +136,33 @@ pub struct Solution {
     pub stats: SolveStats,
 }
 
-/// The Theorem 4.1 solver.
+/// The Theorem 4.1 solver, generic over the [`Executor`] that runs its
+/// message-passing sub-protocols (the Linial base-case runs). Defaults to
+/// the serial reference executor; pass the `deco-engine` executor via
+/// [`Solver::with_executor`] for large instances.
 #[derive(Debug)]
-pub struct Solver {
+pub struct Solver<E: Executor = SerialExecutor> {
     config: SolverConfig,
     stats: RefCell<SolveStats>,
+    executor: E,
 }
 
 impl Solver {
-    /// Creates a solver with the given configuration.
+    /// Creates a solver with the given configuration on the serial
+    /// reference executor.
     pub fn new(config: SolverConfig) -> Solver {
-        Solver { config, stats: RefCell::new(SolveStats::default()) }
+        Solver::with_executor(config, SerialExecutor)
+    }
+}
+
+impl<E: Executor> Solver<E> {
+    /// Creates a solver that runs its protocol executions on `executor`.
+    pub fn with_executor(config: SolverConfig, executor: E) -> Solver<E> {
+        Solver {
+            config,
+            stats: RefCell::new(SolveStats::default()),
+            executor,
+        }
     }
 
     /// The active configuration.
@@ -167,17 +183,25 @@ impl Solver {
         x_coloring: &[u32],
         x_palette: u32,
     ) -> Solution {
-        inst.validate_slack(1.0).expect("instance must be (deg+1)-list");
+        inst.validate_slack(1.0)
+            .expect("instance must be (deg+1)-list");
         *self.stats.borrow_mut() = SolveStats::default();
         let (colors, cost) = self.solve_deg1(inst, x_coloring, x_palette, 0);
         debug_assert!(inst
             .check_solution(&EdgeColoring::from_complete(colors.clone()))
             .is_ok());
-        Solution { colors, cost, stats: self.stats.borrow().clone() }
+        Solution {
+            colors,
+            cost,
+            stats: self.stats.borrow().clone(),
+        }
     }
 
     fn note_depth(&self, depth: u32) {
-        assert!(depth < self.config.max_depth, "recursion depth limit exceeded");
+        assert!(
+            depth < self.config.max_depth,
+            "recursion depth limit exceeded"
+        );
         let mut s = self.stats.borrow_mut();
         s.max_depth_seen = s.max_depth_seen.max(depth);
     }
@@ -247,9 +271,14 @@ impl Solver {
             cur = res.instance;
             cur_x = res.x_coloring;
         }
-        let colors: Vec<Color> =
-            final_colors.into_iter().map(|c| c.expect("all edges colored")).collect();
-        (colors, CostNode::seq(format!("solve-slack1(Δ̄={dbar}, β={beta})"), costs))
+        let colors: Vec<Color> = final_colors
+            .into_iter()
+            .map(|c| c.expect("all edges colored"))
+            .collect();
+        (
+            colors,
+            CostNode::seq(format!("solve-slack1(Δ̄={dbar}, β={beta})"), costs),
+        )
     }
 
     /// Slack-S path (Lemma 4.3 / Lemma 4.5 unrolled one step at a time).
@@ -314,10 +343,15 @@ impl Solver {
         }
         let cost = CostNode::seq(
             format!("solve-slack-S(Δ̄={dbar}, C={c_palette}, p={p})"),
-            vec![red.cost, CostNode::par("parallel subspace instances", children)],
+            vec![
+                red.cost,
+                CostNode::par("parallel subspace instances", children),
+            ],
         );
-        let colors: Vec<Color> =
-            colors.into_iter().map(|c| c.expect("subspaces cover all edges")).collect();
+        let colors: Vec<Color> = colors
+            .into_iter()
+            .map(|c| c.expect("subspaces cover all edges"))
+            .collect();
         debug_assert!(inst
             .check_solution(&EdgeColoring::from_complete(colors.clone()))
             .is_ok());
@@ -343,11 +377,15 @@ impl Solver {
         // the protocol; the network just needs some for bookkeeping).
         let net = Network::new(lg.graph(), deco_local::IdAssignment::Sequential);
         let initial: Vec<u64> = x_coloring.iter().map(|&c| u64::from(c)).collect();
-        let lin = linial::color_from_initial(&net, initial, u64::from(x_palette).max(2))
-            .expect("fixed schedule terminates");
+        let lin = linial::color_from_initial_with(
+            &self.executor,
+            &net,
+            initial,
+            u64::from(x_palette).max(2),
+        )
+        .expect("fixed schedule terminates");
         let palette = u32::try_from(lin.palette).expect("constant-degree palettes are small");
-        let lists: Vec<Vec<Color>> =
-            inst.lists().iter().map(|l| l.as_slice().to_vec()).collect();
+        let lists: Vec<Vec<Color>> = inst.lists().iter().map(|l| l.as_slice().to_vec()).collect();
         let (colors, elim_rounds) =
             class_elimination::list_color_by_classes(lg.graph(), &lists, &lin.colors, palette);
         let cost = CostNode::seq(
@@ -366,11 +404,13 @@ impl Solver {
         let raw = match self.config.strategy {
             Strategy::Paper => self.config.alpha * log_d.powf(4.0 * c_exp),
             Strategy::Kuhn20 => self.config.alpha * 2f64.powf(log_d.sqrt()),
-            Strategy::ConstantP(p0) => {
-                self.config.alpha * space_requirement(c_palette, p0.max(2))
-            }
+            Strategy::ConstantP(p0) => self.config.alpha * space_requirement(c_palette, p0.max(2)),
         };
-        let beta = if raw >= u32::MAX as f64 { u32::MAX } else { raw.ceil().max(1.0) as u32 };
+        let beta = if raw >= u32::MAX as f64 {
+            u32::MAX
+        } else {
+            raw.ceil().max(1.0) as u32
+        };
         // β > Δ̄ adds nothing: defects are integral, so deg(e)/2β < 1 (a
         // proper coloring) is already reached at β = Δ̄; clamping keeps the
         // defective palette representable while preserving every guarantee.
@@ -441,6 +481,18 @@ pub fn solve_two_delta_minus_one(
     solve_pipeline(g, inst, node_ids, config)
 }
 
+/// [`solve_two_delta_minus_one`] with the protocol executions running on an
+/// explicit [`Executor`].
+pub fn solve_two_delta_minus_one_with<E: Executor + Copy>(
+    executor: &E,
+    g: &Graph,
+    node_ids: &[u64],
+    config: SolverConfig,
+) -> PipelineResult {
+    let inst = crate::instance::two_delta_minus_one(g);
+    solve_pipeline_with(executor, g, inst, node_ids, config)
+}
+
 /// Solves an arbitrary `(deg(e)+1)`-list instance over `g` end to end.
 ///
 /// # Panics
@@ -453,16 +505,48 @@ pub fn solve_pipeline(
     node_ids: &[u64],
     config: SolverConfig,
 ) -> PipelineResult {
-    assert_eq!(inst.graph().num_edges(), g.num_edges(), "instance must match graph");
-    let x = edge_adapter::linial_edge_coloring(g, node_ids).expect("Linial terminates");
-    let x_coloring: Vec<u32> =
-        g.edges().map(|e| x.coloring.get(e).expect("complete")).collect();
+    solve_pipeline_with(&SerialExecutor, g, inst, node_ids, config)
+}
+
+/// [`solve_pipeline`] with every message-passing protocol execution (the
+/// initial Linial edge coloring and the solver's base-case runs) on an
+/// explicit [`Executor`]. The solver itself is deterministic, so results
+/// are identical for every executor — only the substrate speed changes.
+///
+/// # Panics
+///
+/// Panics if `inst.graph()` differs structurally from `g` or the instance
+/// is not (deg+1)-feasible.
+pub fn solve_pipeline_with<E: Executor + Copy>(
+    executor: &E,
+    g: &Graph,
+    inst: ListInstance,
+    node_ids: &[u64],
+    config: SolverConfig,
+) -> PipelineResult {
+    assert_eq!(
+        inst.graph().num_edges(),
+        g.num_edges(),
+        "instance must match graph"
+    );
+    let x =
+        edge_adapter::linial_edge_coloring_with(executor, g, node_ids).expect("Linial terminates");
+    let x_coloring: Vec<u32> = g
+        .edges()
+        .map(|e| x.coloring.get(e).expect("complete"))
+        .collect();
     let x_palette = u32::try_from(x.palette).expect("X = O(Δ̄²) fits u32");
-    let solver = Solver::new(config);
+    let solver = Solver::with_executor(config, *executor);
     let solution = solver.solve_instance(&inst, &x_coloring, x_palette);
     let coloring = EdgeColoring::from_complete(solution.colors.clone());
-    inst.check_solution(&coloring).expect("solver output must be valid");
-    PipelineResult { coloring, x_palette, x_rounds: x.rounds, solution }
+    inst.check_solution(&coloring)
+        .expect("solver output must be valid");
+    PipelineResult {
+        coloring,
+        x_palette,
+        x_rounds: x.rounds,
+        solution,
+    }
 }
 
 /// Builds the (deg+1)-list instance view of an explicit list set.
@@ -524,7 +608,8 @@ mod tests {
         let g = generators::random_regular(30, 8, 5);
         let inst = instance::random_deg_plus_one(&g, 3 * g.max_edge_degree() as u32, 6);
         let res = solve_pipeline(&g, inst.clone(), &ids_for(&g), SolverConfig::default());
-        inst.check_solution(&res.coloring).expect("on-list proper coloring");
+        inst.check_solution(&res.coloring)
+            .expect("on-list proper coloring");
     }
 
     #[test]
@@ -545,14 +630,18 @@ mod tests {
         // on the slack instance (slack ≥ 1 implies (deg+1)), then also check
         // the slack path is exercised through sweeps' inner calls.
         let sol = solver.solve_instance(&inst, &xc, x.palette as u32);
-        inst.check_solution(&EdgeColoring::from_complete(sol.colors)).unwrap();
+        inst.check_solution(&EdgeColoring::from_complete(sol.colors))
+            .unwrap();
     }
 
     #[test]
     fn kuhn20_and_constantp_strategies_solve() {
         let g = generators::random_regular(40, 8, 9);
         for strategy in [Strategy::Kuhn20, Strategy::ConstantP(3)] {
-            let cfg = SolverConfig { strategy, ..SolverConfig::default() };
+            let cfg = SolverConfig {
+                strategy,
+                ..SolverConfig::default()
+            };
             solve_and_check(&g, cfg);
         }
     }
@@ -583,7 +672,10 @@ mod tests {
         let a = solve_two_delta_minus_one(&g, &ids_for(&g), SolverConfig::default());
         let b = solve_two_delta_minus_one(&g, &ids_for(&g), SolverConfig::default());
         assert_eq!(a.solution.colors, b.solution.colors);
-        assert_eq!(a.solution.cost.actual_rounds(), b.solution.cost.actual_rounds());
+        assert_eq!(
+            a.solution.cost.actual_rounds(),
+            b.solution.cost.actual_rounds()
+        );
     }
 
     #[test]

@@ -39,8 +39,7 @@ use std::collections::HashMap;
 /// Solver callback for the small recursive assignment instances
 /// ((deg+1)-list edge coloring with palette ≤ 2p). Receives the instance and
 /// its restricted initial `X`-edge-coloring.
-pub type AssignSolver<'a> =
-    dyn FnMut(&ListInstance, &[u32]) -> (Vec<Color>, CostNode) + 'a;
+pub type AssignSolver<'a> = dyn FnMut(&ListInstance, &[u32]) -> (Vec<Color>, CostNode) + 'a;
 
 /// One per-subspace residual instance produced by the reduction.
 #[derive(Debug, Clone)]
@@ -117,7 +116,10 @@ pub fn reduce_color_space(
     let log_p = (f64::from(p)).log2().max(1.0);
     let eq2_bound = 24.0 * hq * log_p;
 
-    let levels: Vec<LevelInfo> = g.edges().map(|e| level_of(inst.list(e), &partition)).collect();
+    let levels: Vec<LevelInfo> = g
+        .edges()
+        .map(|e| level_of(inst.list(e), &partition))
+        .collect();
 
     let mut assignment: Vec<Option<u32>> = vec![None; m];
     let mut stats = SpaceStats {
@@ -167,8 +169,11 @@ pub fn reduce_color_space(
     // --- E⁽¹⁾ phases ℓ = 4..⌊log q⌋. ---
     let max_level = floor_log2(u64::from(q));
     for l in 4..=max_level {
-        let active: Vec<EdgeId> =
-            e1.iter().copied().filter(|e| levels[e.index()].level == l).collect();
+        let active: Vec<EdgeId> = e1
+            .iter()
+            .copied()
+            .filter(|e| levels[e.index()].level == l)
+            .collect();
         if active.is_empty() {
             continue;
         }
@@ -271,8 +276,10 @@ pub fn reduce_color_space(
         ));
     }
 
-    let assignment: Vec<u32> =
-        assignment.into_iter().map(|a| a.expect("every edge assigned")).collect();
+    let assignment: Vec<u32> = assignment
+        .into_iter()
+        .map(|a| a.expect("every edge assigned"))
+        .collect();
 
     // --- Verify Eq. (2) for every edge. ---
     for e in g.edges() {
@@ -284,10 +291,11 @@ pub fn reduce_color_space(
         if deg == 0 {
             continue;
         }
-        let deg_new =
-            g.edge_neighbors(e).filter(|f| assignment[f.index()] == ie).count();
-        let ratio =
-            deg_new as f64 * inst.list(e).len() as f64 / (l_new as f64 * deg as f64);
+        let deg_new = g
+            .edge_neighbors(e)
+            .filter(|f| assignment[f.index()] == ie)
+            .count();
+        let ratio = deg_new as f64 * inst.list(e).len() as f64 / (l_new as f64 * deg as f64);
         stats.eq2_max_ratio = stats.eq2_max_ratio.max(ratio);
         assert!(
             ratio <= eq2_bound + 1e-9,
@@ -298,8 +306,7 @@ pub fn reduce_color_space(
     // --- Build the per-subspace residual instances. ---
     let mut sub_instances = Vec::new();
     for i in 0..q {
-        let members: Vec<EdgeId> =
-            g.edges().filter(|e| assignment[e.index()] == i).collect();
+        let members: Vec<EdgeId> = g.edges().filter(|e| assignment[e.index()] == i).collect();
         if members.is_empty() {
             continue;
         }
@@ -329,7 +336,12 @@ pub fn reduce_color_space(
     }
 
     let cost = CostNode::seq(format!("lemma-4.3 space reduction(p={p})"), cost_children);
-    SpaceReduction { assignment, sub_instances, cost, stats }
+    SpaceReduction {
+        assignment,
+        sub_instances,
+        cost,
+        stats,
+    }
 }
 
 /// Builds the phase-ℓ virtual graph: nodes are (real node, group) pairs
@@ -348,7 +360,9 @@ pub fn build_virtual_graph(g: &Graph, active: &[EdgeId], group_cap: usize) -> Gr
         let mut count = 0usize;
         let mut current_vid = u32::MAX;
         for adj in g.adjacent(v) {
-            let Some(&ai) = active_set.get(&adj.edge) else { continue };
+            let Some(&ai) = active_set.get(&adj.edge) else {
+                continue;
+            };
             if count.is_multiple_of(group_cap) {
                 current_vid = next_vid;
                 next_vid += 1;
@@ -376,12 +390,15 @@ mod tests {
     /// Greedy assignment solver — valid because the recursive instances are
     /// (deg+1)-list instances.
     fn greedy_assign(inst: &ListInstance, _x: &[u32]) -> (Vec<Color>, CostNode) {
-        let lists: Vec<Vec<Color>> =
-            inst.lists().iter().map(|l| l.as_slice().to_vec()).collect();
+        let lists: Vec<Vec<Color>> = inst.lists().iter().map(|l| l.as_slice().to_vec()).collect();
         let coloring =
             greedy::greedy_list_edge_coloring(inst.graph(), &lists, greedy::EdgeOrder::ById)
                 .expect("(deg+1)-list instances are greedily solvable");
-        let colors = inst.graph().edges().map(|e| coloring.get(e).unwrap()).collect();
+        let colors = inst
+            .graph()
+            .edges()
+            .map(|e| coloring.get(e).unwrap())
+            .collect();
         (colors, CostNode::leaf("greedy-assign", 1))
     }
 
@@ -462,7 +479,11 @@ mod tests {
         let active: Vec<EdgeId> = g.edges().collect();
         let vg = build_virtual_graph(&g, &active, 4);
         assert_eq!(vg.num_edges(), 10);
-        assert!(vg.max_degree() <= 4, "virtual degree {} > cap", vg.max_degree());
+        assert!(
+            vg.max_degree() <= 4,
+            "virtual degree {} > cap",
+            vg.max_degree()
+        );
         // Star center splits into ⌈10/4⌉ = 3 virtual copies + 10 leaves.
         assert_eq!(vg.num_nodes(), 13);
     }
@@ -475,8 +496,16 @@ mod tests {
         let inst = instance::random_with_slack(&g, 16384, 330.0, 21);
         let x = x_for(&g);
         let red = reduce_color_space(&inst, 16, &x, &mut greedy_assign);
-        assert!(red.stats.e1_edges > 0, "E(1) must be nonempty: {:?}", red.stats);
-        assert!(red.stats.phases_run >= 1, "phases must run: {:?}", red.stats);
+        assert!(
+            red.stats.e1_edges > 0,
+            "E(1) must be nonempty: {:?}",
+            red.stats
+        );
+        assert!(
+            red.stats.phases_run >= 1,
+            "phases must run: {:?}",
+            red.stats
+        );
         assert!(red.stats.min_je_surplus >= 0, "|J_e| ≥ 2^(ℓ−1) violated");
         assert!(red.stats.eq2_max_ratio <= red.stats.eq2_bound);
         for sub in &red.sub_instances {

@@ -1,0 +1,379 @@
+//! The parallel round executor.
+//!
+//! [`ParallelExecutor`] runs the same synchronous schedule as the serial
+//! reference runner — send, deliver, receive, repeat — but on a different
+//! substrate:
+//!
+//! * **Flat mailboxes.** All ports live in one CSR-packed arena
+//!   ([`MailboxPlan`]); the send phase writes each node's outgoing messages
+//!   directly into its slot range, and the receive phase reads each inbox
+//!   entry from the sender's slot through the precomputed mirror table —
+//!   O(1) per message, no per-round allocation, no adjacency scans.
+//! * **Phase parallelism.** Nodes are partitioned into contiguous ranges
+//!   balanced by degree; each phase runs one scoped thread per range over
+//!   disjoint `&mut` slices, with the scope join as the barrier between
+//!   phases. The partition is a pure function of the graph and thread
+//!   count, so results are bit-identical for every thread count — including
+//!   one — and identical to [`deco_local::runner::run`].
+//!
+//! Determinism is not best-effort here; it is the contract. The
+//! differential suite in `tests/` runs every scenario of the matrix on both
+//! executors and demands equal outputs, round counts, and message counts.
+
+use crate::mailbox::{DoubleBuffer, MailboxPlan};
+use crate::par::{split_by_weight, split_mut_by_ranges};
+use deco_local::network::Network;
+use deco_local::runner::{NodeProgram, Protocol, RunError, RunOutcome};
+use deco_local::Executor;
+use std::ops::Range;
+
+/// Arena slots below which [`ParallelExecutor::auto`] degrades to one range
+/// (the spawn/join cost of a phase dwarfs the work; the flat mailbox fast
+/// path still applies). An explicit [`ParallelExecutor::with_threads`]
+/// request is always honored, so tests can force the threaded path on
+/// arbitrarily small graphs. Outputs are identical either way.
+const MIN_PARALLEL_SLOTS: usize = 4096;
+
+/// Multi-threaded, flat-mailbox implementation of [`Executor`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ParallelExecutor {
+    threads: usize,
+}
+
+impl Default for ParallelExecutor {
+    fn default() -> Self {
+        ParallelExecutor::auto()
+    }
+}
+
+impl ParallelExecutor {
+    /// Uses all available hardware parallelism.
+    pub fn auto() -> ParallelExecutor {
+        ParallelExecutor { threads: 0 }
+    }
+
+    /// Uses exactly `threads` worker threads (1 = single-threaded engine,
+    /// still on the flat-mailbox fast path). Unlike
+    /// [`ParallelExecutor::auto`], the request is honored even on tiny
+    /// graphs — this is what lets the differential suite drive the threaded
+    /// path on every scenario of the matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads` is 0 (use [`ParallelExecutor::auto`]).
+    pub fn with_threads(threads: usize) -> ParallelExecutor {
+        assert!(
+            threads > 0,
+            "thread count must be positive; use auto() for hardware default"
+        );
+        ParallelExecutor { threads }
+    }
+
+    fn effective_threads(&self, slots: usize, n: usize) -> usize {
+        if self.threads != 0 {
+            return self.threads.min(n.max(1));
+        }
+        if slots < MIN_PARALLEL_SLOTS {
+            1
+        } else {
+            std::thread::available_parallelism()
+                .map_or(1, usize::from)
+                .min(n.max(1))
+        }
+    }
+}
+
+impl Executor for ParallelExecutor {
+    fn execute<P>(
+        &self,
+        net: &Network<'_>,
+        protocol: &P,
+        max_rounds: u64,
+    ) -> Result<RunOutcome<<P::Program as NodeProgram>::Output>, RunError>
+    where
+        P: Protocol,
+        P::Program: Send,
+        <P::Program as NodeProgram>::Msg: Send + Sync,
+        <P::Program as NodeProgram>::Output: Send,
+    {
+        let g = net.graph();
+        let n = g.num_nodes();
+        let plan = MailboxPlan::new(g);
+        let weights: Vec<usize> = g.nodes().map(|v| g.degree(v)).collect();
+        let threads = self.effective_threads(plan.num_slots(), n);
+        let ranges = split_by_weight(&weights, threads);
+
+        let mut programs: Vec<P::Program> =
+            (0..n).map(|v| protocol.spawn(&net.ctx(v.into()))).collect();
+        let mut outputs: Vec<Option<<P::Program as NodeProgram>::Output>> = (0..n)
+            .map(|v| programs[v].output(&net.ctx(v.into())))
+            .collect();
+        // Halting state mirrored into plain bools so the send phase can
+        // share it across threads without requiring `Output: Sync`.
+        let mut halted: Vec<bool> = outputs.iter().map(Option::is_some).collect();
+
+        let mut bufs: DoubleBuffer<<P::Program as NodeProgram>::Msg> =
+            DoubleBuffer::new(plan.num_slots());
+        let mut rounds = 0u64;
+        let mut messages = 0u64;
+
+        while halted.iter().any(|h| !h) {
+            if rounds >= max_rounds {
+                return Err(RunError::RoundLimitExceeded {
+                    limit: max_rounds,
+                    still_running: halted.iter().filter(|h| !**h).count(),
+                });
+            }
+            messages += send_phase::<P>(
+                net,
+                &plan,
+                &ranges,
+                &halted,
+                &mut programs,
+                bufs.current_mut(),
+            );
+            receive_phase::<P>(
+                net,
+                &plan,
+                &ranges,
+                bufs.current(),
+                &mut programs,
+                &mut outputs,
+                &mut halted,
+            );
+            bufs.swap();
+            rounds += 1;
+        }
+
+        Ok(RunOutcome {
+            outputs: outputs
+                .into_iter()
+                .map(|o| o.expect("loop exits when all nodes have halted"))
+                .collect(),
+            rounds,
+            messages,
+        })
+    }
+}
+
+/// Send phase: every active node writes its outgoing messages into its own
+/// arena slot range; halted nodes' ranges are cleared. Returns the number
+/// of messages sent (= delivered, since every written `Some` is read).
+fn send_phase<P>(
+    net: &Network<'_>,
+    plan: &MailboxPlan,
+    ranges: &[Range<usize>],
+    halted: &[bool],
+    programs: &mut [P::Program],
+    arena: &mut [Option<<P::Program as NodeProgram>::Msg>],
+) -> u64
+where
+    P: Protocol,
+    P::Program: Send,
+    <P::Program as NodeProgram>::Msg: Send + Sync,
+{
+    let slot_ranges: Vec<Range<usize>> = ranges
+        .iter()
+        .map(|r| plan.offsets()[r.start]..plan.offsets()[r.end])
+        .collect();
+    let prog_chunks = split_mut_by_ranges(programs, ranges);
+    let arena_chunks = split_mut_by_ranges(arena, &slot_ranges);
+
+    let run_chunk = |range: Range<usize>,
+                     progs: &mut [P::Program],
+                     slots: &mut [Option<<P::Program as NodeProgram>::Msg>]|
+     -> u64 {
+        let chunk_base = plan.offsets()[range.start];
+        let mut sent = 0u64;
+        for v in range.clone() {
+            let ctx = net.ctx(v.into());
+            let deg = ctx.degree();
+            let local = plan.offset(v.into()) - chunk_base;
+            let slots = &mut slots[local..local + deg];
+            if halted[v] {
+                for s in slots {
+                    *s = None;
+                }
+                continue;
+            }
+            let out = progs[v - range.start].send(&ctx);
+            let mut it = out.into_iter();
+            for s in slots {
+                // Matches the serial runner's `resize_with(degree)`: missing
+                // entries become None, surplus entries are dropped.
+                *s = it.next().flatten();
+                if s.is_some() {
+                    sent += 1;
+                }
+            }
+        }
+        sent
+    };
+
+    if ranges.len() <= 1 {
+        return match (
+            prog_chunks.into_iter().next(),
+            arena_chunks.into_iter().next(),
+        ) {
+            (Some(progs), Some(slots)) => run_chunk(ranges[0].clone(), progs, slots),
+            _ => 0,
+        };
+    }
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = ranges
+            .iter()
+            .zip(prog_chunks)
+            .zip(arena_chunks)
+            .map(|((range, progs), slots)| {
+                let range = range.clone();
+                let run_chunk = &run_chunk;
+                scope.spawn(move || run_chunk(range, progs, slots))
+            })
+            .collect();
+        // Join in spawn order: the total is a sum, so the count is
+        // deterministic regardless of completion order.
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("send worker panicked"))
+            .sum()
+    })
+}
+
+/// Receive phase: every active node gathers its inbox by reading the
+/// mirror slot of each port from the send arena, processes it, and
+/// re-evaluates its output.
+fn receive_phase<P>(
+    net: &Network<'_>,
+    plan: &MailboxPlan,
+    ranges: &[Range<usize>],
+    arena: &[Option<<P::Program as NodeProgram>::Msg>],
+    programs: &mut [P::Program],
+    outputs: &mut [Option<<P::Program as NodeProgram>::Output>],
+    halted: &mut [bool],
+) where
+    P: Protocol,
+    P::Program: Send,
+    <P::Program as NodeProgram>::Msg: Send + Sync,
+    <P::Program as NodeProgram>::Output: Send,
+{
+    let prog_chunks = split_mut_by_ranges(programs, ranges);
+    let out_chunks = split_mut_by_ranges(outputs, ranges);
+    let halted_chunks = split_mut_by_ranges(halted, ranges);
+
+    let run_chunk = |range: Range<usize>,
+                     progs: &mut [P::Program],
+                     outs: &mut [Option<<P::Program as NodeProgram>::Output>],
+                     halts: &mut [bool]| {
+        // One inbox scratch buffer per worker, reused across its nodes.
+        let mut inbox: Vec<Option<<P::Program as NodeProgram>::Msg>> = Vec::new();
+        for v in range.clone() {
+            let i = v - range.start;
+            if halts[i] {
+                continue;
+            }
+            let ctx = net.ctx(v.into());
+            inbox.clear();
+            inbox.extend(plan.slots(v.into()).map(|k| arena[plan.mirror(k)].clone()));
+            progs[i].receive(&ctx, &inbox);
+            outs[i] = progs[i].output(&ctx);
+            halts[i] = outs[i].is_some();
+        }
+    };
+
+    if ranges.len() <= 1 {
+        if let (Some(progs), Some(outs), Some(halts)) = (
+            prog_chunks.into_iter().next(),
+            out_chunks.into_iter().next(),
+            halted_chunks.into_iter().next(),
+        ) {
+            run_chunk(ranges[0].clone(), progs, outs, halts);
+        }
+        return;
+    }
+    std::thread::scope(|scope| {
+        for (((range, progs), outs), halts) in ranges
+            .iter()
+            .zip(prog_chunks)
+            .zip(out_chunks)
+            .zip(halted_chunks)
+        {
+            let range = range.clone();
+            let run_chunk = &run_chunk;
+            scope.spawn(move || run_chunk(range, progs, outs, halts));
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use deco_local::network::IdAssignment;
+    use deco_local::SerialExecutor;
+
+    use crate::protocols::FloodMax;
+    use deco_graph::generators;
+
+    fn assert_identical<O: PartialEq + std::fmt::Debug>(a: &RunOutcome<O>, b: &RunOutcome<O>) {
+        assert_eq!(a.outputs, b.outputs);
+        assert_eq!(a.rounds, b.rounds);
+        assert_eq!(a.messages, b.messages);
+    }
+
+    #[test]
+    fn matches_serial_on_a_cycle() {
+        let g = generators::cycle(50);
+        let net = Network::new(&g, IdAssignment::Shuffled(3));
+        let serial = SerialExecutor
+            .execute(&net, &FloodMax { radius: 7 }, 100)
+            .unwrap();
+        for threads in [1, 2, 5] {
+            let engine = ParallelExecutor::with_threads(threads)
+                .execute(&net, &FloodMax { radius: 7 }, 100)
+                .unwrap();
+            assert_identical(&serial, &engine);
+        }
+    }
+
+    #[test]
+    fn zero_round_protocols_short_circuit() {
+        let g = generators::path(4);
+        let net = Network::new(&g, IdAssignment::Sequential);
+        let out = ParallelExecutor::auto()
+            .execute(&net, &FloodMax { radius: 0 }, 5)
+            .unwrap();
+        assert_eq!(out.rounds, 0);
+        assert_eq!(out.messages, 0);
+        assert_eq!(out.outputs, vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn round_limit_error_matches_serial() {
+        let g = generators::path(3);
+        let net = Network::new(&g, IdAssignment::Sequential);
+        let serial = SerialExecutor
+            .execute(&net, &FloodMax { radius: 50 }, 5)
+            .unwrap_err();
+        let engine = ParallelExecutor::with_threads(2)
+            .execute(&net, &FloodMax { radius: 50 }, 5)
+            .unwrap_err();
+        assert_eq!(serial, engine);
+    }
+
+    #[test]
+    fn empty_graph_executes() {
+        let g = deco_graph::Graph::empty(3);
+        let net = Network::new(&g, IdAssignment::Sequential);
+        let out = ParallelExecutor::auto()
+            .execute(&net, &FloodMax { radius: 2 }, 5)
+            .unwrap();
+        // Radius > 0 on isolated nodes: rounds pass without messages.
+        assert_eq!(out.messages, 0);
+        assert_eq!(out.outputs, vec![1, 2, 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_threads_rejected() {
+        let _ = ParallelExecutor::with_threads(0);
+    }
+}

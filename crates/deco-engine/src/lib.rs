@@ -1,0 +1,41 @@
+//! # deco-engine — high-throughput round execution for LOCAL protocols
+//!
+//! The serial runner in `deco-local` defines the model; this crate makes it
+//! fast without changing a single observable bit:
+//!
+//! * [`mailbox`] — CSR-packed flat mailbox arenas with a precomputed
+//!   mirror table: O(1) message delivery, zero per-round allocation,
+//!   double-buffered across rounds.
+//! * [`engine`] — [`ParallelExecutor`], which runs the send and receive
+//!   phases across scoped threads over degree-balanced node ranges.
+//!   Parallelism is observationally invisible: outputs, round counts,
+//!   message counts, and errors are identical to the serial runner for
+//!   every protocol, network, and thread count (enforced by the
+//!   differential suite in `tests/`).
+//! * [`scenario`] — the scenario matrix: graph families × sizes ×
+//!   ID-assignment flavors enumerated from one base seed, with per-scenario
+//!   named RNG streams (ixa-style), so sweeps and benchmarks share one
+//!   declared source of workloads.
+//! * [`protocols`] — stock substrate-stressing protocols used by the
+//!   differential suite and the benches.
+//!
+//! Threading is built on `std::thread::scope` (the build environment has no
+//! crates.io access, so `rayon` is unavailable; see `par.rs` for the exact
+//! swap-in point if that changes).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod engine;
+pub mod mailbox;
+pub mod par;
+pub mod protocols;
+pub mod scenario;
+
+pub use engine::ParallelExecutor;
+pub use mailbox::MailboxPlan;
+pub use scenario::{GraphSpec, IdFlavor, Scenario, ScenarioMatrix};
+
+// Re-exported so engine users name the contract without importing
+// deco-local explicitly.
+pub use deco_local::{Executor, SerialExecutor};

@@ -1,0 +1,168 @@
+//! Flat CSR-packed mailbox arenas.
+//!
+//! The serial runner allocates `Vec<Vec<Option<Msg>>>` outboxes and inboxes
+//! every round and resolves each delivery with a linear scan. The engine
+//! instead lays every port of every node out in one flat arena — slot
+//! `offset(v) + j` is node `v`'s port `j` — and precomputes, once per
+//! execution, the *mirror* of each slot: the arena index of the same edge at
+//! the other endpoint. Delivery then needs no data movement at all: the
+//! inbox of `(v, j)` *is* the outbox slot `mirror[offset(v) + j]`, read in
+//! O(1).
+//!
+//! Two arenas are kept and swapped every round (double buffering). Today
+//! the phases alternate strictly, every active slot is rewritten each
+//! round, and only the current buffer is ever read — functionally one arena
+//! would suffice. The second buffer exists so a pipelined mode can overlap
+//! `send(r+1)` with `receive(r)` without reallocation; until that lands its
+//! cost is one extra arena allocated once per execution.
+
+use deco_graph::{Graph, NodeId};
+
+/// Precomputed arena geometry for one graph: per-node slot offsets and the
+/// slot-level mirror table.
+#[derive(Debug, Clone)]
+pub struct MailboxPlan {
+    /// `offsets[v] .. offsets[v+1]` is node `v`'s slot range (CSR prefix
+    /// sums over degrees); `offsets[n]` is the arena length `2m`.
+    offsets: Vec<usize>,
+    /// `mirror[offsets[v] + j]` is the arena slot of the same edge at the
+    /// other endpoint. An involution without fixed points.
+    mirror: Vec<usize>,
+}
+
+impl MailboxPlan {
+    /// Builds the plan for `g` in O(n + m) from the graph's precomputed
+    /// CSR offsets and mirror-port table.
+    pub fn new(g: &Graph) -> MailboxPlan {
+        let n = g.num_nodes();
+        let mut offsets = Vec::with_capacity(n + 1);
+        for v in g.nodes() {
+            offsets.push(g.adjacency_offset(v));
+        }
+        offsets.push(g.degree_sum());
+        let mut mirror = vec![0usize; offsets[n]];
+        for v in g.nodes() {
+            let base = offsets[v.index()];
+            for (j, (adj, &back)) in g.adjacent(v).iter().zip(g.back_ports(v)).enumerate() {
+                mirror[base + j] = offsets[adj.neighbor.index()] + back as usize;
+            }
+        }
+        MailboxPlan { offsets, mirror }
+    }
+
+    /// Total number of slots (`2m`).
+    #[inline]
+    pub fn num_slots(&self) -> usize {
+        *self.offsets.last().expect("offsets always has n+1 entries")
+    }
+
+    /// First slot of node `v`.
+    #[inline]
+    pub fn offset(&self, v: NodeId) -> usize {
+        self.offsets[v.index()]
+    }
+
+    /// Slot range of node `v`.
+    #[inline]
+    pub fn slots(&self, v: NodeId) -> std::ops::Range<usize> {
+        self.offsets[v.index()]..self.offsets[v.index() + 1]
+    }
+
+    /// The mirror slot of arena slot `k` (same edge, other endpoint).
+    #[inline]
+    pub fn mirror(&self, k: usize) -> usize {
+        self.mirror[k]
+    }
+
+    /// The raw offsets array (`n + 1` prefix sums).
+    #[inline]
+    pub fn offsets(&self) -> &[usize] {
+        &self.offsets
+    }
+}
+
+/// A pair of flat message arenas, swapped across rounds.
+#[derive(Debug)]
+pub struct DoubleBuffer<M> {
+    cur: Vec<Option<M>>,
+    prev: Vec<Option<M>>,
+}
+
+impl<M> DoubleBuffer<M> {
+    /// Allocates both arenas with `slots` entries, all `None`.
+    pub fn new(slots: usize) -> DoubleBuffer<M> {
+        DoubleBuffer {
+            cur: (0..slots).map(|_| None).collect(),
+            prev: (0..slots).map(|_| None).collect(),
+        }
+    }
+
+    /// The buffer the current round writes (send) and reads (receive).
+    #[inline]
+    pub fn current(&self) -> &[Option<M>] {
+        &self.cur
+    }
+
+    /// Mutable view of the current buffer, for the send phase.
+    #[inline]
+    pub fn current_mut(&mut self) -> &mut [Option<M>] {
+        &mut self.cur
+    }
+
+    /// Swaps the buffers at a round boundary.
+    #[inline]
+    pub fn swap(&mut self) {
+        std::mem::swap(&mut self.cur, &mut self.prev);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use deco_graph::generators;
+
+    #[test]
+    fn mirror_is_a_fixed_point_free_involution() {
+        for g in [
+            generators::cycle(7),
+            generators::complete(6),
+            generators::star(5),
+            generators::random_regular(24, 5, 3),
+            generators::disjoint_union(&[generators::path(4), generators::cycle(3)]),
+        ] {
+            let plan = MailboxPlan::new(&g);
+            assert_eq!(plan.num_slots(), g.degree_sum());
+            for k in 0..plan.num_slots() {
+                assert_ne!(plan.mirror(k), k, "a slot never mirrors itself");
+                assert_eq!(plan.mirror(plan.mirror(k)), k, "mirror is an involution");
+            }
+        }
+    }
+
+    #[test]
+    fn mirror_connects_the_two_endpoints_of_each_edge() {
+        let g = generators::random_regular(16, 4, 9);
+        let plan = MailboxPlan::new(&g);
+        for v in g.nodes() {
+            for (j, adj) in g.adjacent(v).iter().enumerate() {
+                let k = plan.offset(v) + j;
+                let mk = plan.mirror(k);
+                // The mirror slot lies in the neighbor's range and names the
+                // same edge from the other side.
+                assert!(plan.slots(adj.neighbor).contains(&mk));
+                let back_port = mk - plan.offset(adj.neighbor);
+                assert_eq!(g.adjacent(adj.neighbor)[back_port].edge, adj.edge);
+            }
+        }
+    }
+
+    #[test]
+    fn double_buffer_swaps() {
+        let mut buf: DoubleBuffer<u32> = DoubleBuffer::new(3);
+        buf.current_mut()[1] = Some(7);
+        buf.swap();
+        assert_eq!(buf.current(), &[None, None, None]);
+        buf.swap();
+        assert_eq!(buf.current()[1], Some(7));
+    }
+}

@@ -1,0 +1,135 @@
+//! Deterministic data-parallel helpers over contiguous node ranges.
+//!
+//! The engine's parallelism is intentionally simple: nodes are split into
+//! contiguous ranges balanced by degree sum, and each phase (send, receive)
+//! runs one scoped thread per range with mutable access only to that
+//! range's disjoint slices. Because the partition is a pure function of the
+//! graph and thread count, and because the phases are separated by the
+//! scope join (a full barrier), the execution is deterministic and
+//! observationally identical to the serial loop for *any* thread count —
+//! parallelism never changes outputs, round counts, or message counts,
+//! only wall-clock time.
+//!
+//! Implemented on `std::thread::scope` rather than `rayon`: the build
+//! environment has no registry access, and scoped threads cover everything
+//! a barrier-synchronized round engine needs. Should `rayon` become
+//! available, only this module would change.
+
+use std::ops::Range;
+
+/// Splits `0..weights.len()` into at most `parts` contiguous ranges whose
+/// weight sums are approximately balanced (each range closes once it
+/// reaches `ceil(total/parts)`). Empty ranges are never produced; fewer
+/// than `parts` ranges are returned when items run out.
+///
+/// Deterministic: depends only on `weights` and `parts`.
+pub fn split_by_weight(weights: &[usize], parts: usize) -> Vec<Range<usize>> {
+    let n = weights.len();
+    let parts = parts.max(1);
+    if n == 0 {
+        return Vec::new();
+    }
+    if parts == 1 {
+        return std::iter::once(0..n).collect();
+    }
+    let total: usize = weights.iter().sum();
+    // +n: count each item once so zero-weight nodes still spread out.
+    let target = (total + n).div_ceil(parts);
+    let mut ranges = Vec::with_capacity(parts);
+    let mut start = 0usize;
+    let mut acc = 0usize;
+    for (i, &w) in weights.iter().enumerate() {
+        acc += w + 1;
+        let remaining_parts = parts - ranges.len();
+        let is_last_part = remaining_parts == 1;
+        if !is_last_part && acc >= target {
+            ranges.push(start..i + 1);
+            start = i + 1;
+            acc = 0;
+        }
+    }
+    if start < n {
+        ranges.push(start..n);
+    }
+    ranges
+}
+
+/// Splits `slice` into consecutive chunks sized by `ranges` (which must
+/// tile `0..slice.len()` in order) and returns them as independent `&mut`
+/// slices, enabling one thread per chunk.
+///
+/// # Panics
+///
+/// Panics if the ranges are not consecutive starting at 0.
+pub fn split_mut_by_ranges<'a, T>(
+    mut slice: &'a mut [T],
+    ranges: &[Range<usize>],
+) -> Vec<&'a mut [T]> {
+    let mut out = Vec::with_capacity(ranges.len());
+    let mut consumed = 0usize;
+    for r in ranges {
+        assert_eq!(
+            r.start, consumed,
+            "ranges must tile the slice consecutively"
+        );
+        let (head, tail) = slice.split_at_mut(r.end - r.start);
+        out.push(head);
+        slice = tail;
+        consumed = r.end;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn split_tiles_the_index_space() {
+        for (n, parts) in [(0usize, 4usize), (1, 4), (5, 2), (100, 7), (8, 16), (64, 1)] {
+            let weights = vec![3usize; n];
+            let ranges = split_by_weight(&weights, parts);
+            let mut next = 0usize;
+            for r in &ranges {
+                assert_eq!(r.start, next);
+                assert!(r.end > r.start, "no empty ranges");
+                next = r.end;
+            }
+            assert_eq!(next, n, "ranges must cover 0..n");
+            assert!(ranges.len() <= parts.max(1));
+        }
+    }
+
+    #[test]
+    fn split_balances_skewed_weights() {
+        // One heavy node at the front must not drag everything into part 0.
+        let mut weights = vec![1usize; 99];
+        weights.insert(0, 1000);
+        let ranges = split_by_weight(&weights, 4);
+        assert!(ranges.len() >= 2, "skewed weights still split: {ranges:?}");
+        assert_eq!(ranges[0], 0..1, "heavy head isolated");
+    }
+
+    #[test]
+    fn split_is_deterministic() {
+        let weights: Vec<usize> = (0..500).map(|i| (i * 37) % 23).collect();
+        assert_eq!(split_by_weight(&weights, 8), split_by_weight(&weights, 8));
+    }
+
+    #[test]
+    fn split_mut_hands_out_disjoint_chunks() {
+        let mut data: Vec<u32> = (0..10).collect();
+        let ranges = vec![0..3, 3..7, 7..10];
+        let chunks = split_mut_by_ranges(&mut data, &ranges);
+        assert_eq!(chunks.len(), 3);
+        assert_eq!(chunks[0], &[0, 1, 2]);
+        assert_eq!(chunks[2], &[7, 8, 9]);
+    }
+
+    #[test]
+    #[should_panic(expected = "consecutively")]
+    fn split_mut_rejects_gaps() {
+        let mut data = [0u8; 5];
+        let _ = split_mut_by_ranges(&mut data, &[0..2, 3..5]);
+    }
+}

@@ -1,0 +1,368 @@
+//! The scenario matrix: one declared source of truth for workloads.
+//!
+//! Correctness sweeps and benchmarks used to each hand-roll their own
+//! `(graph family, size, ID assignment, seed)` combinations, which made
+//! coverage impossible to audit. A [`Scenario`] bundles those choices; a
+//! [`ScenarioMatrix`] enumerates the cross product of graph families ×
+//! sizes × ID-assignment flavors from a single base seed.
+//!
+//! Seeding follows the design of ixa's random module: every random
+//! quantity draws from a *named stream* ([`Scenario::stream`]) whose seed
+//! is derived deterministically from `(base seed, scenario name, stream
+//! label)`. Two scenarios never share a stream, adding a stream never
+//! shifts an existing one, and rerunning the matrix reproduces every graph
+//! and ID assignment bit for bit — on any platform (the generators and
+//! hashers underneath are deterministic by construction).
+
+use deco_graph::{generators, Graph};
+use deco_local::network::{IdAssignment, Network};
+use rand::prelude::*;
+
+/// A graph family + size, buildable from a seed.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GraphSpec {
+    /// Path `P_n`.
+    Path {
+        /// Number of nodes.
+        n: usize,
+    },
+    /// Cycle `C_n`.
+    Cycle {
+        /// Number of nodes (≥ 3).
+        n: usize,
+    },
+    /// Complete graph `K_n`.
+    Complete {
+        /// Number of nodes.
+        n: usize,
+    },
+    /// Complete bipartite `K_{a,b}`.
+    CompleteBipartite {
+        /// Left side size.
+        a: usize,
+        /// Right side size.
+        b: usize,
+    },
+    /// `w × h` grid.
+    Grid {
+        /// Width.
+        w: usize,
+        /// Height.
+        h: usize,
+    },
+    /// `d`-dimensional hypercube.
+    Hypercube {
+        /// Dimension.
+        d: u32,
+    },
+    /// Random `d`-regular graph on `n` nodes.
+    RandomRegular {
+        /// Number of nodes.
+        n: usize,
+        /// Degree.
+        d: usize,
+    },
+    /// Erdős–Rényi `G(n, p)`.
+    Gnp {
+        /// Number of nodes.
+        n: usize,
+        /// Edge probability.
+        p: f64,
+    },
+    /// Chung–Lu power-law graph.
+    PowerLaw {
+        /// Number of nodes.
+        n: usize,
+    },
+    /// Uniform random labelled tree.
+    RandomTree {
+        /// Number of nodes.
+        n: usize,
+    },
+    /// Disconnected stress case: two independent random-regular components
+    /// plus a sprinkling of isolated nodes.
+    TwoClusters {
+        /// Nodes per cluster.
+        n: usize,
+        /// Degree within each cluster.
+        d: usize,
+    },
+}
+
+impl GraphSpec {
+    /// Canonical label, used in scenario names and reports.
+    pub fn label(&self) -> String {
+        match self {
+            GraphSpec::Path { n } => format!("path(n={n})"),
+            GraphSpec::Cycle { n } => format!("cycle(n={n})"),
+            GraphSpec::Complete { n } => format!("complete(n={n})"),
+            GraphSpec::CompleteBipartite { a, b } => format!("bipartite(a={a},b={b})"),
+            GraphSpec::Grid { w, h } => format!("grid({w}x{h})"),
+            GraphSpec::Hypercube { d } => format!("hypercube(d={d})"),
+            GraphSpec::RandomRegular { n, d } => format!("regular(n={n},d={d})"),
+            GraphSpec::Gnp { n, p } => format!("gnp(n={n},p={p})"),
+            GraphSpec::PowerLaw { n } => format!("powerlaw(n={n})"),
+            GraphSpec::RandomTree { n } => format!("tree(n={n})"),
+            GraphSpec::TwoClusters { n, d } => format!("two-clusters(n={n},d={d})"),
+        }
+    }
+
+    /// Builds the graph; `seed` feeds the random families and is ignored by
+    /// the structured ones.
+    pub fn build(&self, seed: u64) -> Graph {
+        match *self {
+            GraphSpec::Path { n } => generators::path(n),
+            GraphSpec::Cycle { n } => generators::cycle(n),
+            GraphSpec::Complete { n } => generators::complete(n),
+            GraphSpec::CompleteBipartite { a, b } => generators::complete_bipartite(a, b),
+            GraphSpec::Grid { w, h } => generators::grid(w, h),
+            GraphSpec::Hypercube { d } => generators::hypercube(d),
+            GraphSpec::RandomRegular { n, d } => generators::random_regular(n, d, seed),
+            GraphSpec::Gnp { n, p } => generators::gnp(n, p, seed),
+            GraphSpec::PowerLaw { n } => {
+                generators::power_law(n, 2.5, (n as f64).sqrt().min(64.0), seed)
+            }
+            GraphSpec::RandomTree { n } => generators::random_tree(n, seed),
+            GraphSpec::TwoClusters { n, d } => generators::disjoint_union(&[
+                generators::random_regular(n, d, seed),
+                generators::random_regular(n, d, seed ^ 0xA5A5_A5A5),
+                Graph::empty(3),
+            ]),
+        }
+    }
+}
+
+/// ID-assignment flavor, the matrix axis; concrete seeds are derived per
+/// scenario.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IdFlavor {
+    /// `IdAssignment::Sequential`.
+    Sequential,
+    /// `IdAssignment::Reversed`.
+    Reversed,
+    /// `IdAssignment::Shuffled` with a scenario-derived seed.
+    Shuffled,
+    /// `IdAssignment::SparseRandom` with a scenario-derived seed.
+    SparseRandom,
+}
+
+impl IdFlavor {
+    /// All flavors, in canonical order.
+    pub const ALL: [IdFlavor; 4] = [
+        IdFlavor::Sequential,
+        IdFlavor::Reversed,
+        IdFlavor::Shuffled,
+        IdFlavor::SparseRandom,
+    ];
+
+    fn label(self) -> &'static str {
+        match self {
+            IdFlavor::Sequential => "seq",
+            IdFlavor::Reversed => "rev",
+            IdFlavor::Shuffled => "shuf",
+            IdFlavor::SparseRandom => "sparse",
+        }
+    }
+}
+
+/// One fully specified workload: graph family × size × ID flavor, plus the
+/// matrix base seed all of its random streams derive from.
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    /// Unique name: `<spec label>/<id flavor>`.
+    pub name: String,
+    /// The graph family and size.
+    pub spec: GraphSpec,
+    /// The ID-assignment flavor.
+    pub id_flavor: IdFlavor,
+    base_seed: u64,
+}
+
+impl Scenario {
+    /// Creates a scenario; `base_seed` is normally supplied by the matrix.
+    pub fn new(spec: GraphSpec, id_flavor: IdFlavor, base_seed: u64) -> Scenario {
+        Scenario {
+            name: format!("{}/{}", spec.label(), id_flavor.label()),
+            spec,
+            id_flavor,
+            base_seed,
+        }
+    }
+
+    /// The seed of this scenario's named stream `label` — an FNV-1a hash of
+    /// `(base seed, scenario name, label)`. Stable across platforms and
+    /// insertion orders (ixa-style named streams).
+    pub fn stream_seed(&self, label: &str) -> u64 {
+        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const PRIME: u64 = 0x0000_0100_0000_01B3;
+        let mut h = OFFSET;
+        for b in self
+            .base_seed
+            .to_le_bytes()
+            .iter()
+            .chain(self.name.as_bytes())
+            .chain([0xFFu8].iter())
+            .chain(label.as_bytes())
+        {
+            h = (h ^ u64::from(*b)).wrapping_mul(PRIME);
+        }
+        h
+    }
+
+    /// A fresh RNG on this scenario's named stream `label`.
+    pub fn stream(&self, label: &str) -> StdRng {
+        StdRng::seed_from_u64(self.stream_seed(label))
+    }
+
+    /// Builds the scenario's graph (stream `"graph"`).
+    pub fn graph(&self) -> Graph {
+        self.spec.build(self.stream_seed("graph"))
+    }
+
+    /// The concrete ID assignment (stream `"ids"` for the seeded flavors).
+    pub fn id_assignment(&self) -> IdAssignment {
+        match self.id_flavor {
+            IdFlavor::Sequential => IdAssignment::Sequential,
+            IdFlavor::Reversed => IdAssignment::Reversed,
+            IdFlavor::Shuffled => IdAssignment::Shuffled(self.stream_seed("ids")),
+            IdFlavor::SparseRandom => IdAssignment::SparseRandom(self.stream_seed("ids")),
+        }
+    }
+
+    /// Builds the network over an already-built `graph` of this scenario.
+    pub fn network<'g>(&self, graph: &'g Graph) -> Network<'g> {
+        Network::new(graph, self.id_assignment())
+    }
+}
+
+/// An enumerated set of scenarios — the declared coverage of a sweep.
+#[derive(Debug, Clone)]
+pub struct ScenarioMatrix {
+    scenarios: Vec<Scenario>,
+}
+
+impl ScenarioMatrix {
+    /// The standard matrix: every structured and random family at small and
+    /// medium sizes, crossed with every ID flavor.
+    pub fn standard(base_seed: u64) -> ScenarioMatrix {
+        let specs = vec![
+            GraphSpec::Path { n: 2 },
+            GraphSpec::Path { n: 33 },
+            GraphSpec::Cycle { n: 48 },
+            GraphSpec::Complete { n: 13 },
+            GraphSpec::CompleteBipartite { a: 7, b: 9 },
+            GraphSpec::Grid { w: 8, h: 5 },
+            GraphSpec::Hypercube { d: 5 },
+            GraphSpec::RandomRegular { n: 64, d: 8 },
+            GraphSpec::RandomRegular { n: 120, d: 16 },
+            GraphSpec::Gnp { n: 80, p: 0.08 },
+            GraphSpec::PowerLaw { n: 100 },
+            GraphSpec::RandomTree { n: 90 },
+            GraphSpec::TwoClusters { n: 24, d: 4 },
+        ];
+        ScenarioMatrix::cross(specs, base_seed)
+    }
+
+    /// A small matrix for fast smoke tests: one size per family, all ID
+    /// flavors.
+    pub fn smoke(base_seed: u64) -> ScenarioMatrix {
+        let specs = vec![
+            GraphSpec::Path { n: 6 },
+            GraphSpec::Cycle { n: 9 },
+            GraphSpec::Complete { n: 6 },
+            GraphSpec::RandomRegular { n: 20, d: 4 },
+            GraphSpec::RandomTree { n: 15 },
+            GraphSpec::TwoClusters { n: 8, d: 2 },
+        ];
+        ScenarioMatrix::cross(specs, base_seed)
+    }
+
+    fn cross(specs: Vec<GraphSpec>, base_seed: u64) -> ScenarioMatrix {
+        let scenarios = specs
+            .into_iter()
+            .flat_map(|spec| {
+                IdFlavor::ALL
+                    .into_iter()
+                    .map(move |flavor| Scenario::new(spec.clone(), flavor, base_seed))
+            })
+            .collect();
+        ScenarioMatrix { scenarios }
+    }
+
+    /// Iterates the scenarios in canonical order.
+    pub fn iter(&self) -> impl Iterator<Item = &Scenario> {
+        self.scenarios.iter()
+    }
+
+    /// Number of scenarios.
+    pub fn len(&self) -> usize {
+        self.scenarios.len()
+    }
+
+    /// Whether the matrix is empty.
+    pub fn is_empty(&self) -> bool {
+        self.scenarios.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_are_unique() {
+        let m = ScenarioMatrix::standard(7);
+        let mut names: Vec<&str> = m.iter().map(|s| s.name.as_str()).collect();
+        let before = names.len();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), before, "scenario names must be unique");
+    }
+
+    #[test]
+    fn streams_are_independent_and_reproducible() {
+        let m = ScenarioMatrix::smoke(11);
+        let s = m.iter().next().unwrap();
+        assert_eq!(s.stream_seed("graph"), s.stream_seed("graph"));
+        assert_ne!(s.stream_seed("graph"), s.stream_seed("ids"));
+        // Different scenarios get different streams for the same label.
+        let t = m.iter().nth(5).unwrap();
+        assert_ne!(s.stream_seed("graph"), t.stream_seed("graph"));
+        // Different base seeds shift every stream.
+        let m2 = ScenarioMatrix::smoke(12);
+        let s2 = m2.iter().next().unwrap();
+        assert_ne!(s.stream_seed("graph"), s2.stream_seed("graph"));
+    }
+
+    #[test]
+    fn graphs_rebuild_identically() {
+        let m = ScenarioMatrix::smoke(3);
+        for s in m.iter() {
+            let a = s.graph();
+            let b = s.graph();
+            assert_eq!(a.edge_list(), b.edge_list(), "{}", s.name);
+            let na = s.network(&a);
+            let nb = s.network(&b);
+            assert_eq!(na.ids(), nb.ids(), "{}", s.name);
+        }
+    }
+
+    #[test]
+    fn two_clusters_is_disconnected_with_isolated_nodes() {
+        let spec = GraphSpec::TwoClusters { n: 8, d: 2 };
+        let g = spec.build(5);
+        assert_eq!(g.num_nodes(), 19);
+        // The three trailing nodes are isolated.
+        for v in 16..19usize {
+            assert_eq!(g.degree(deco_graph::NodeId::from(v)), 0);
+        }
+    }
+
+    #[test]
+    fn standard_matrix_covers_all_flavors() {
+        let m = ScenarioMatrix::standard(1);
+        assert_eq!(m.len() % IdFlavor::ALL.len(), 0);
+        assert!(m.len() >= 40, "matrix should be broad, got {}", m.len());
+        assert!(!m.is_empty());
+    }
+}

@@ -21,7 +21,9 @@ pub struct EdgeColoring {
 impl EdgeColoring {
     /// All-uncolored coloring for a graph with `m` edges.
     pub fn uncolored(m: usize) -> EdgeColoring {
-        EdgeColoring { colors: vec![None; m] }
+        EdgeColoring {
+            colors: vec![None; m],
+        }
     }
 
     /// Wraps an existing color vector.
@@ -31,7 +33,9 @@ impl EdgeColoring {
 
     /// Builds a complete coloring from one color per edge.
     pub fn from_complete(colors: Vec<Color>) -> EdgeColoring {
-        EdgeColoring { colors: colors.into_iter().map(Some).collect() }
+        EdgeColoring {
+            colors: colors.into_iter().map(Some).collect(),
+        }
     }
 
     /// Color of edge `e`, if assigned.
@@ -245,7 +249,10 @@ mod tests {
         let g = generators::path(3); // e0={0,1}, e1={1,2} adjacent
         let c = EdgeColoring::from_complete(vec![5, 5]);
         let err = check_edge_coloring(&g, &c).unwrap_err();
-        assert!(matches!(err, ColoringViolation::AdjacentEdgesSameColor { color: 5, .. }));
+        assert!(matches!(
+            err,
+            ColoringViolation::AdjacentEdgesSameColor { color: 5, .. }
+        ));
     }
 
     #[test]

@@ -6,8 +6,21 @@ use std::fmt::Write as _;
 
 /// Palette of visually distinct X11 color names for DOT output.
 const DOT_COLORS: &[&str] = &[
-    "red", "blue", "green3", "orange", "purple", "brown", "cyan3", "magenta", "gold3",
-    "gray40", "darkgreen", "navy", "salmon3", "turquoise4", "olive",
+    "red",
+    "blue",
+    "green3",
+    "orange",
+    "purple",
+    "brown",
+    "cyan3",
+    "magenta",
+    "gold3",
+    "gray40",
+    "darkgreen",
+    "navy",
+    "salmon3",
+    "turquoise4",
+    "olive",
 ];
 
 /// Renders `g` as an undirected Graphviz DOT string.
@@ -17,7 +30,10 @@ const DOT_COLORS: &[&str] = &[
 pub fn to_dot(g: &Graph, name: &str, coloring: Option<&EdgeColoring>) -> String {
     let mut out = String::new();
     let _ = writeln!(out, "graph {name} {{");
-    let _ = writeln!(out, "  layout=neato; overlap=false; node [shape=circle, fontsize=10];");
+    let _ = writeln!(
+        out,
+        "  layout=neato; overlap=false; node [shape=circle, fontsize=10];"
+    );
     for v in g.nodes() {
         let _ = writeln!(out, "  {} [label=\"{}\"];", v.0, v.0);
     }

@@ -8,6 +8,7 @@
 //! graphs for the `Δ` dependency, and bipartite graphs for the
 //! switch-scheduling example.
 
+use crate::hashing::DetHashSet;
 use crate::{Graph, GraphBuilder, NodeId};
 use rand::prelude::*;
 use rand::rngs::StdRng;
@@ -172,7 +173,7 @@ pub fn gnm(n: usize, m: usize, seed: u64) -> Graph {
     let max_m = n * n.saturating_sub(1) / 2;
     assert!(m <= max_m, "m={m} exceeds max possible edges {max_m}");
     let mut rng = StdRng::seed_from_u64(seed);
-    let mut chosen = std::collections::HashSet::with_capacity(m * 2);
+    let mut chosen = DetHashSet::with_capacity_and_hasher(m * 2, Default::default());
     let mut edges = Vec::with_capacity(m);
     while edges.len() < m {
         let u = rng.gen_range(0..n);
@@ -203,7 +204,7 @@ pub fn random_regular(n: usize, d: usize, seed: u64) -> Graph {
     }
     // Circulant base graph: connect i to i±1, …, i±⌊d/2⌋; if d is odd also
     // to the antipode i + n/2 (n is even in that case since n·d is even).
-    let mut edge_set: std::collections::HashSet<(usize, usize)> = std::collections::HashSet::new();
+    let mut edge_set: DetHashSet<(usize, usize)> = DetHashSet::default();
     let key = |u: usize, v: usize| if u < v { (u, v) } else { (v, u) };
     for i in 0..n {
         for off in 1..=(d / 2) {
@@ -284,8 +285,9 @@ pub fn power_law(n: usize, gamma: f64, max_weight: f64, seed: u64) -> Graph {
     let mut rng = StdRng::seed_from_u64(seed);
     // Weights w_i = max_weight · (i+1)^(−1/(γ−1)), sorted descending.
     let alpha = 1.0 / (gamma - 1.0);
-    let weights: Vec<f64> =
-        (0..n).map(|i| max_weight * ((i + 1) as f64).powf(-alpha)).collect();
+    let weights: Vec<f64> = (0..n)
+        .map(|i| max_weight * ((i + 1) as f64).powf(-alpha))
+        .collect();
     let total: f64 = weights.iter().sum();
     let mut edges = Vec::new();
     for i in 0..n.saturating_sub(1) {
@@ -353,7 +355,10 @@ pub fn disjoint_union(parts: &[Graph]) -> Graph {
     for g in parts {
         for e in g.edges() {
             let [u, v] = g.endpoints(e);
-            builder.add_edge(NodeId::from(base + u.index()), NodeId::from(base + v.index()));
+            builder.add_edge(
+                NodeId::from(base + u.index()),
+                NodeId::from(base + v.index()),
+            );
         }
         base += g.num_nodes();
     }
@@ -376,7 +381,10 @@ pub fn relabel(g: &Graph, perm: &[usize]) -> Graph {
         assert!(p < perm.len() && !seen[p], "perm is not a permutation");
         seen[p] = true;
     }
-    let edges = g.edge_list().iter().map(|[u, v]| (perm[u.index()], perm[v.index()]));
+    let edges = g
+        .edge_list()
+        .iter()
+        .map(|[u, v]| (perm[u.index()], perm[v.index()]));
     Graph::from_edges(g.num_nodes(), edges).expect("relabelling preserves simplicity")
 }
 
@@ -513,7 +521,10 @@ mod tests {
                     }
                 }
             }
-            assert!(seen.iter().all(|&s| s), "tree on {n} nodes must be connected");
+            assert!(
+                seen.iter().all(|&s| s),
+                "tree on {n} nodes must be connected"
+            );
         }
     }
 

@@ -84,7 +84,10 @@ pub struct GraphBuilder {
 impl GraphBuilder {
     /// Creates a builder for a graph on `n` isolated nodes.
     pub fn new(n: usize) -> Self {
-        GraphBuilder { n, edges: Vec::new() }
+        GraphBuilder {
+            n,
+            edges: Vec::new(),
+        }
     }
 
     /// Number of nodes the built graph will have.
@@ -145,7 +148,10 @@ impl GraphBuilder {
         sorted.sort_unstable();
         for w in sorted.windows(2) {
             if w[0] == w[1] {
-                return Err(BuildGraphError::DuplicateEdge { u: w[0][0], v: w[0][1] });
+                return Err(BuildGraphError::DuplicateEdge {
+                    u: w[0][0],
+                    v: w[0][1],
+                });
             }
         }
 
@@ -163,17 +169,42 @@ impl GraphBuilder {
         }
         let mut cursor: Vec<usize> = offsets[..n].to_vec();
         let mut adjacency = vec![
-            Adjacent { neighbor: NodeId(0), edge: EdgeId(0) };
+            Adjacent {
+                neighbor: NodeId(0),
+                edge: EdgeId(0)
+            };
             normalized.len() * 2
         ];
+        // Mirror-port table, built alongside the adjacency lists: slot k of
+        // the CSR arena (node v, port j, edge e) stores the port index of e
+        // at the *other* endpoint. Message delivery becomes O(1) per message
+        // instead of an O(deg) scan of the receiver's adjacency list.
+        let mut back_ports = vec![0u32; normalized.len() * 2];
         for (idx, [u, v]) in normalized.iter().enumerate() {
             let e = EdgeId::from(idx);
-            adjacency[cursor[u.index()]] = Adjacent { neighbor: *v, edge: e };
+            let u_slot = cursor[u.index()];
+            adjacency[u_slot] = Adjacent {
+                neighbor: *v,
+                edge: e,
+            };
             cursor[u.index()] += 1;
-            adjacency[cursor[v.index()]] = Adjacent { neighbor: *u, edge: e };
+            let v_slot = cursor[v.index()];
+            adjacency[v_slot] = Adjacent {
+                neighbor: *u,
+                edge: e,
+            };
             cursor[v.index()] += 1;
+            let u_port = u_slot - offsets[u.index()];
+            let v_port = v_slot - offsets[v.index()];
+            back_ports[u_slot] = u32::try_from(v_port).expect("degree fits u32");
+            back_ports[v_slot] = u32::try_from(u_port).expect("degree fits u32");
         }
-        Ok(Graph { edges: normalized, offsets, adjacency })
+        Ok(Graph {
+            edges: normalized,
+            offsets,
+            adjacency,
+            back_ports,
+        })
     }
 }
 
@@ -195,6 +226,9 @@ pub struct Graph {
     edges: Vec<[NodeId; 2]>,
     offsets: Vec<usize>,
     adjacency: Vec<Adjacent>,
+    /// `back_ports[offsets[v] + j]` is the port index of edge
+    /// `adjacent(v)[j].edge` at the other endpoint (the "mirror port").
+    back_ports: Vec<u32>,
 }
 
 impl Graph {
@@ -218,7 +252,9 @@ impl Graph {
 
     /// An empty graph on `n` isolated nodes.
     pub fn empty(n: usize) -> Graph {
-        GraphBuilder::new(n).build().expect("empty graph is always valid")
+        GraphBuilder::new(n)
+            .build()
+            .expect("empty graph is always valid")
     }
 
     /// Number of nodes `n`.
@@ -292,11 +328,49 @@ impl Graph {
         self.adjacent(v).iter().map(|a| a.edge)
     }
 
+    /// Mirror ports of `v`, aligned with [`Graph::adjacent`]: entry `j` is
+    /// the port index of `adjacent(v)[j].edge` at the neighboring endpoint.
+    ///
+    /// Precomputed at build time; the round engines use it for O(1) message
+    /// delivery (a message leaving `v` through port `j` arrives at
+    /// `adjacent(v)[j].neighbor` through port `back_ports(v)[j]`).
+    #[inline]
+    pub fn back_ports(&self, v: NodeId) -> &[u32] {
+        &self.back_ports[self.offsets[v.index()]..self.offsets[v.index() + 1]]
+    }
+
+    /// The port index at which `adjacent(v)[port].neighbor` sees the edge
+    /// `adjacent(v)[port].edge`. O(1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `port >= degree(v)`.
+    #[inline]
+    pub fn back_port(&self, v: NodeId, port: usize) -> usize {
+        assert!(port < self.degree(v), "port {port} out of range for {v}");
+        self.back_ports[self.offsets[v.index()] + port] as usize
+    }
+
+    /// Start of `v`'s slice in the CSR adjacency arena. Together with
+    /// [`Graph::degree`] this lets executors address the flat arena
+    /// (`offset(v) + port`) without rebuilding the prefix sums.
+    #[inline]
+    pub fn adjacency_offset(&self, v: NodeId) -> usize {
+        self.offsets[v.index()]
+    }
+
     /// Looks up the edge `{u, v}` if it exists.
     pub fn edge_between(&self, u: NodeId, v: NodeId) -> Option<EdgeId> {
         // Scan the smaller adjacency list.
-        let (a, b) = if self.degree(u) <= self.degree(v) { (u, v) } else { (v, u) };
-        self.adjacent(a).iter().find(|x| x.neighbor == b).map(|x| x.edge)
+        let (a, b) = if self.degree(u) <= self.degree(v) {
+            (u, v)
+        } else {
+            (v, u)
+        };
+        self.adjacent(a)
+            .iter()
+            .find(|x| x.neighbor == b)
+            .map(|x| x.edge)
     }
 
     /// Maximum node degree Δ (0 for an empty graph).
@@ -438,6 +512,42 @@ mod tests {
         let g = Graph::from_edges(4, [(0, 1), (1, 2), (2, 3)]).unwrap();
         for e in g.edges() {
             assert_eq!(g.edge_degree(e), g.edge_neighbors(e).count());
+        }
+    }
+
+    #[test]
+    fn back_ports_mirror_the_adjacency() {
+        // On several shapes: following port j from v and then the recorded
+        // back port from the neighbor must land back on (v, j).
+        for g in [
+            triangle(),
+            Graph::from_edges(4, [(0, 1), (0, 2), (0, 3)]).unwrap(),
+            Graph::from_edges(6, [(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0), (0, 3)]).unwrap(),
+        ] {
+            for v in g.nodes() {
+                for (j, adj) in g.adjacent(v).iter().enumerate() {
+                    let back = g.back_port(v, j);
+                    let mirror = g.adjacent(adj.neighbor)[back];
+                    assert_eq!(mirror.edge, adj.edge, "same edge through the mirror port");
+                    assert_eq!(mirror.neighbor, v, "mirror port points back");
+                    assert_eq!(g.back_port(adj.neighbor, back), j, "involution");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn back_ports_agree_with_linear_scan() {
+        let g = Graph::from_edges(5, [(0, 1), (1, 2), (2, 0), (3, 1), (4, 2)]).unwrap();
+        for v in g.nodes() {
+            for (j, adj) in g.adjacent(v).iter().enumerate() {
+                let scanned = g
+                    .adjacent(adj.neighbor)
+                    .iter()
+                    .position(|a| a.edge == adj.edge)
+                    .expect("edge appears at both endpoints");
+                assert_eq!(g.back_port(v, j), scanned);
+            }
         }
     }
 

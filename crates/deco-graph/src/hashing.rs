@@ -1,0 +1,86 @@
+//! Deterministic hashing for platform-stable seeded workloads.
+//!
+//! `std::collections::HashSet`'s default `RandomState` draws a fresh sip-hash
+//! key per process. Membership answers are hasher-independent, but anything
+//! that observes iteration order — or that we may later want to snapshot,
+//! shard, or diff across machines — is not. Every seeded construction in this
+//! workspace therefore uses these fixed-key FxHash-style containers, so a
+//! given seed produces bit-identical artifacts on every platform and run.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// FxHash-style multiply-xor hasher with a fixed (zero) initial state.
+///
+/// Not DoS-resistant — inputs here are trusted simulation data, and
+/// determinism is worth more than adversarial collision resistance.
+#[derive(Debug, Default, Clone)]
+pub struct DetHasher {
+    state: u64,
+}
+
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+impl Hasher for DetHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.state
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.state = (self.state.rotate_left(5) ^ u64::from(b)).wrapping_mul(SEED);
+        }
+    }
+
+    #[inline]
+    fn write_u64(&mut self, x: u64) {
+        self.state = (self.state.rotate_left(5) ^ x).wrapping_mul(SEED);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, x: u32) {
+        self.write_u64(u64::from(x));
+    }
+
+    #[inline]
+    fn write_usize(&mut self, x: usize) {
+        self.write_u64(x as u64);
+    }
+}
+
+/// Build-hasher producing [`DetHasher`]s (fixed key, no per-process state).
+pub type DetBuildHasher = BuildHasherDefault<DetHasher>;
+
+/// A `HashSet` with deterministic, platform-stable hashing.
+pub type DetHashSet<T> = HashSet<T, DetBuildHasher>;
+
+/// A `HashMap` with deterministic, platform-stable hashing.
+pub type DetHashMap<K, V> = HashMap<K, V, DetBuildHasher>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_inputs_same_iteration_order() {
+        let build = |xs: &[u64]| {
+            let mut s: DetHashSet<u64> = DetHashSet::default();
+            s.extend(xs.iter().copied());
+            s.into_iter().collect::<Vec<_>>()
+        };
+        let a = build(&[9, 1, 8, 2, 7, 3, 100, 55]);
+        let b = build(&[9, 1, 8, 2, 7, 3, 100, 55]);
+        assert_eq!(a, b, "iteration order must be reproducible");
+    }
+
+    #[test]
+    fn map_behaves_like_a_map() {
+        let mut m: DetHashMap<u32, &str> = DetHashMap::default();
+        m.insert(1, "one");
+        m.insert(2, "two");
+        assert_eq!(m.get(&1), Some(&"one"));
+        assert_eq!(m.len(), 2);
+    }
+}

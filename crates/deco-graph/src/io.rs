@@ -93,7 +93,10 @@ pub fn parse_edge_list(text: &str) -> Result<Graph, ParseGraphError> {
     let mut found = 0usize;
     for (line_no, line) in lines {
         let mut parts = line.split_whitespace();
-        let bad = || ParseGraphError::BadEdgeLine { line_no, line: line.into() };
+        let bad = || ParseGraphError::BadEdgeLine {
+            line_no,
+            line: line.into(),
+        };
         let u: u32 = parts.next().and_then(|t| t.parse().ok()).ok_or_else(bad)?;
         let v: u32 = parts.next().and_then(|t| t.parse().ok()).ok_or_else(bad)?;
         if parts.next().is_some() {
@@ -131,9 +134,18 @@ mod tests {
 
     #[test]
     fn bad_header_rejected() {
-        assert!(matches!(parse_edge_list("x y\n"), Err(ParseGraphError::BadHeader(_))));
-        assert!(matches!(parse_edge_list(""), Err(ParseGraphError::BadHeader(_))));
-        assert!(matches!(parse_edge_list("3 1 7\n0 1\n"), Err(ParseGraphError::BadHeader(_))));
+        assert!(matches!(
+            parse_edge_list("x y\n"),
+            Err(ParseGraphError::BadHeader(_))
+        ));
+        assert!(matches!(
+            parse_edge_list(""),
+            Err(ParseGraphError::BadHeader(_))
+        ));
+        assert!(matches!(
+            parse_edge_list("3 1 7\n0 1\n"),
+            Err(ParseGraphError::BadHeader(_))
+        ));
     }
 
     #[test]
@@ -145,7 +157,13 @@ mod tests {
     #[test]
     fn count_mismatch_rejected() {
         let err = parse_edge_list("3 2\n0 1\n").unwrap_err();
-        assert_eq!(err, ParseGraphError::EdgeCountMismatch { declared: 2, found: 1 });
+        assert_eq!(
+            err,
+            ParseGraphError::EdgeCountMismatch {
+                declared: 2,
+                found: 1
+            }
+        );
     }
 
     #[test]

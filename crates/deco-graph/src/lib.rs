@@ -30,6 +30,7 @@ pub mod coloring;
 pub mod dot;
 pub mod generators;
 mod graph;
+pub mod hashing;
 mod ids;
 pub mod io;
 mod line_graph;

@@ -33,14 +33,13 @@ impl LineGraph {
             let inc = g.adjacent(v);
             for i in 0..inc.len() {
                 for j in (i + 1)..inc.len() {
-                    builder.add_edge(
-                        NodeId(inc[i].edge.0),
-                        NodeId(inc[j].edge.0),
-                    );
+                    builder.add_edge(NodeId(inc[i].edge.0), NodeId(inc[j].edge.0));
                 }
             }
         }
-        let graph = builder.build().expect("line graph of a simple graph is simple");
+        let graph = builder
+            .build()
+            .expect("line graph of a simple graph is simple");
         LineGraph { graph }
     }
 

@@ -76,7 +76,9 @@ pub fn color_classes(g: &Graph, coloring: &EdgeColoring) -> Vec<Vec<EdgeId>> {
 /// Whether every color class of a complete coloring is a matching —
 /// equivalent to the coloring being proper.
 pub fn classes_are_matchings(g: &Graph, coloring: &EdgeColoring) -> bool {
-    color_classes(g, coloring).iter().all(|class| is_matching(g, class))
+    color_classes(g, coloring)
+        .iter()
+        .all(|class| is_matching(g, class))
 }
 
 #[cfg(test)]
@@ -128,9 +130,7 @@ mod tests {
     #[test]
     fn classes_partition_edges() {
         let g = generators::complete(6);
-        let c = crate::coloring::EdgeColoring::from_complete(
-            g.edges().map(|e| e.0 % 5).collect(),
-        );
+        let c = crate::coloring::EdgeColoring::from_complete(g.edges().map(|e| e.0 % 5).collect());
         let classes = color_classes(&g, &c);
         assert_eq!(classes.iter().map(Vec::len).sum::<usize>(), g.num_edges());
     }

@@ -67,7 +67,11 @@ impl EdgeSubgraph {
         let graph = builder
             .build()
             .expect("edges taken from a valid parent graph are valid");
-        EdgeSubgraph { graph, to_parent: edges.to_vec(), from_parent }
+        EdgeSubgraph {
+            graph,
+            to_parent: edges.to_vec(),
+            from_parent,
+        }
     }
 
     /// The materialized subgraph (same node set as the parent).
@@ -108,7 +112,11 @@ impl EdgeSubgraph {
     ///
     /// Panics if `values` or `out` have the wrong length.
     pub fn scatter_to_parent<T: Clone>(&self, values: &[T], out: &mut [Option<T>]) {
-        assert_eq!(values.len(), self.graph.num_edges(), "values length mismatch");
+        assert_eq!(
+            values.len(),
+            self.graph.num_edges(),
+            "values length mismatch"
+        );
         assert_eq!(out.len(), self.from_parent.len(), "out length mismatch");
         for (idx, pe) in self.to_parent.iter().enumerate() {
             out[pe.index()] = Some(values[idx].clone());

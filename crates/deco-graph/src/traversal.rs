@@ -163,8 +163,7 @@ mod tests {
     fn diameter_of_cycle() {
         assert_eq!(diameter(&generators::cycle(8)), Some(4));
         assert_eq!(diameter(&generators::path(5)), Some(4));
-        let disconnected =
-            generators::disjoint_union(&[generators::path(2), generators::path(2)]);
+        let disconnected = generators::disjoint_union(&[generators::path(2), generators::path(2)]);
         assert_eq!(diameter(&disconnected), None);
     }
 }

@@ -98,9 +98,12 @@ impl CostNode {
     pub fn actual_rounds(&self) -> u64 {
         let child_total = match self.compose {
             Compose::Sequential => self.children.iter().map(CostNode::actual_rounds).sum(),
-            Compose::Parallel => {
-                self.children.iter().map(CostNode::actual_rounds).max().unwrap_or(0)
-            }
+            Compose::Parallel => self
+                .children
+                .iter()
+                .map(CostNode::actual_rounds)
+                .max()
+                .unwrap_or(0),
         };
         self.own_rounds + child_total
     }
@@ -125,7 +128,12 @@ impl CostNode {
             Compose::Sequential => " [seq]",
             Compose::Parallel => " [par]",
         };
-        let _ = write!(out, "{indent}{}{tag}: {} rounds", self.label, self.actual_rounds());
+        let _ = write!(
+            out,
+            "{indent}{}{tag}: {} rounds",
+            self.label,
+            self.actual_rounds()
+        );
         if let Some(b) = self.budget {
             let _ = write!(out, " (budget {b:.0})");
         }
@@ -166,7 +174,11 @@ mod tests {
     fn parallel_maxes() {
         let n = CostNode::par(
             "instances",
-            vec![CostNode::leaf("a", 2), CostNode::leaf("b", 7), CostNode::leaf("c", 1)],
+            vec![
+                CostNode::leaf("a", 2),
+                CostNode::leaf("b", 7),
+                CostNode::leaf("c", 1),
+            ],
         );
         assert_eq!(n.actual_rounds(), 7);
     }

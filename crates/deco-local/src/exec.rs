@@ -1,0 +1,115 @@
+//! The [`Executor`] abstraction: *what* runs a protocol, decoupled from
+//! *which* protocol runs.
+//!
+//! [`runner::run`](crate::runner::run) is the reference executor — a
+//! straightforward serial loop whose behavior defines the model. Faster
+//! executors (the flat-mailbox, multi-threaded engine in `deco-engine`)
+//! implement [`Executor`] and are required to be *observationally
+//! identical*: same outputs, same round count, same message count, same
+//! errors, for every protocol and network. Callers that execute protocols
+//! (the Theorem 4.1 solver, the experiment harness) take an `&impl Executor`
+//! so the substrate can be swapped without touching algorithm code.
+//!
+//! The trait bounds (`Send`/`Sync` on programs, messages, and outputs) are
+//! what a multi-threaded executor fundamentally needs; every protocol in
+//! this workspace satisfies them for free since programs are plain data.
+
+use crate::network::Network;
+use crate::runner::{self, NodeProgram, Protocol, RunError, RunOutcome};
+
+/// A strategy for running a [`Protocol`] to completion on a [`Network`].
+pub trait Executor {
+    /// Runs `protocol` on `net` until every node halts or `max_rounds` is
+    /// hit. Must be observationally identical to [`runner::run`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RunError::RoundLimitExceeded`] exactly when the serial
+    /// runner would.
+    fn execute<P>(
+        &self,
+        net: &Network<'_>,
+        protocol: &P,
+        max_rounds: u64,
+    ) -> Result<RunOutcome<<P::Program as NodeProgram>::Output>, RunError>
+    where
+        P: Protocol,
+        P::Program: Send,
+        <P::Program as NodeProgram>::Msg: Send + Sync,
+        <P::Program as NodeProgram>::Output: Send;
+}
+
+/// The reference executor: delegates to the serial [`runner::run`] loop.
+///
+/// Always available, always correct, and the differential-testing oracle
+/// for every other [`Executor`] implementation.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SerialExecutor;
+
+impl Executor for SerialExecutor {
+    fn execute<P>(
+        &self,
+        net: &Network<'_>,
+        protocol: &P,
+        max_rounds: u64,
+    ) -> Result<RunOutcome<<P::Program as NodeProgram>::Output>, RunError>
+    where
+        P: Protocol,
+        P::Program: Send,
+        <P::Program as NodeProgram>::Msg: Send + Sync,
+        <P::Program as NodeProgram>::Output: Send,
+    {
+        runner::run(net, protocol, max_rounds)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::network::{IdAssignment, NodeCtx};
+    use deco_graph::generators;
+
+    /// Trivial 1-round echo protocol for exercising the trait object-free
+    /// dispatch path.
+    struct Echo;
+    struct EchoProgram {
+        heard: u64,
+        done: bool,
+    }
+
+    impl NodeProgram for EchoProgram {
+        type Msg = u64;
+        type Output = u64;
+        fn send(&mut self, ctx: &NodeCtx<'_>) -> Vec<Option<u64>> {
+            vec![Some(self.heard); ctx.degree()]
+        }
+        fn receive(&mut self, _ctx: &NodeCtx<'_>, inbox: &[Option<u64>]) {
+            self.heard += inbox.iter().flatten().sum::<u64>();
+            self.done = true;
+        }
+        fn output(&self, _ctx: &NodeCtx<'_>) -> Option<u64> {
+            self.done.then_some(self.heard)
+        }
+    }
+
+    impl Protocol for Echo {
+        type Program = EchoProgram;
+        fn spawn(&self, ctx: &NodeCtx<'_>) -> EchoProgram {
+            EchoProgram {
+                heard: ctx.id,
+                done: false,
+            }
+        }
+    }
+
+    #[test]
+    fn serial_executor_matches_run() {
+        let g = generators::cycle(6);
+        let net = Network::new(&g, IdAssignment::Sequential);
+        let via_trait = SerialExecutor.execute(&net, &Echo, 10).unwrap();
+        let direct = runner::run(&net, &Echo, 10).unwrap();
+        assert_eq!(via_trait.outputs, direct.outputs);
+        assert_eq!(via_trait.rounds, direct.rounds);
+        assert_eq!(via_trait.messages, direct.messages);
+    }
+}

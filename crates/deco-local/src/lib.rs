@@ -23,11 +23,13 @@
 #![warn(missing_docs)]
 
 pub mod cost;
+pub mod exec;
 pub mod locality;
 pub mod math;
 pub mod network;
 pub mod runner;
 
 pub use cost::{Compose, CostNode};
+pub use exec::{Executor, SerialExecutor};
 pub use network::{IdAssignment, Network, NodeCtx};
 pub use runner::{run, NodeProgram, Protocol, RunError, RunOutcome};

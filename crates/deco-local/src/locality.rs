@@ -87,7 +87,11 @@ where
             }
             let outputs = run_fn(&pruned, ids);
             if outputs[v.index()] != baseline[v.index()] {
-                return Err(LocalityViolation { node: v, removed_edge: e, radius });
+                return Err(LocalityViolation {
+                    node: v,
+                    removed_edge: e,
+                    radius,
+                });
             }
         }
     }
@@ -138,10 +142,7 @@ mod tests {
         let ids: Vec<u64> = (1..=25).collect();
         let result = check_locality(&g, &ids, 1, &[NodeId(12), NodeId(0)], 6, |g, ids| {
             g.nodes()
-                .map(|v| {
-                    ids[v.index()]
-                        + g.neighbors(v).map(|w| ids[w.index()]).sum::<u64>()
-                })
+                .map(|v| ids[v.index()] + g.neighbors(v).map(|w| ids[w.index()]).sum::<u64>())
                 .collect::<Vec<u64>>()
         });
         assert!(result.is_ok());

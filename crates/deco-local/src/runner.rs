@@ -69,7 +69,10 @@ pub enum RunError {
 impl std::fmt::Display for RunError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            RunError::RoundLimitExceeded { limit, still_running } => write!(
+            RunError::RoundLimitExceeded {
+                limit,
+                still_running,
+            } => write!(
                 f,
                 "round limit {limit} exceeded with {still_running} node(s) still running"
             ),
@@ -92,8 +95,9 @@ pub fn run<P: Protocol>(
 ) -> Result<RunOutcome<<P::Program as NodeProgram>::Output>, RunError> {
     let g = net.graph();
     let n = g.num_nodes();
-    let mut programs: Vec<P::Program> =
-        (0..n).map(|v| protocol.spawn(&net.ctx(NodeId::from(v)))).collect();
+    let mut programs: Vec<P::Program> = (0..n)
+        .map(|v| protocol.spawn(&net.ctx(NodeId::from(v))))
+        .collect();
     let mut outputs: Vec<Option<<P::Program as NodeProgram>::Output>> = vec![None; n];
     let mut rounds = 0u64;
     let mut messages = 0u64;
@@ -136,13 +140,10 @@ pub fn run<P: Protocol>(
             for (port, slot) in outboxes[u].iter().enumerate() {
                 if let Some(msg) = slot {
                     let adj = g.adjacent(u_id)[port];
-                    let v = adj.neighbor;
-                    let back_port = g
-                        .adjacent(v)
-                        .iter()
-                        .position(|a| a.edge == adj.edge)
-                        .expect("edge appears in both endpoint adjacency lists");
-                    inboxes[v.index()][back_port] = Some(msg.clone());
+                    // O(1) delivery via the mirror-port table precomputed at
+                    // graph build time (was an O(deg) adjacency scan).
+                    let back_port = g.back_port(u_id, port);
+                    inboxes[adj.neighbor.index()][back_port] = Some(msg.clone());
                     messages += 1;
                 }
             }
@@ -159,7 +160,10 @@ pub fn run<P: Protocol>(
     }
 
     Ok(RunOutcome {
-        outputs: outputs.into_iter().map(|o| o.expect("loop exits when all halted")).collect(),
+        outputs: outputs
+            .into_iter()
+            .map(|o| o.expect("loop exits when all halted"))
+            .collect(),
         rounds,
         messages,
     })
@@ -205,7 +209,11 @@ mod tests {
     impl Protocol for MaxIdFlood {
         type Program = MaxIdProgram;
         fn spawn(&self, ctx: &NodeCtx<'_>) -> MaxIdProgram {
-            MaxIdProgram { best: ctx.id, round: 0, radius: self.radius }
+            MaxIdProgram {
+                best: ctx.id,
+                round: 0,
+                radius: self.radius,
+            }
         }
     }
 
@@ -234,7 +242,13 @@ mod tests {
         let g = generators::path(3);
         let net = Network::new(&g, IdAssignment::Sequential);
         let err = run(&net, &MaxIdFlood { radius: 50 }, 5).unwrap_err();
-        assert_eq!(err, RunError::RoundLimitExceeded { limit: 5, still_running: 3 });
+        assert_eq!(
+            err,
+            RunError::RoundLimitExceeded {
+                limit: 5,
+                still_running: 3
+            }
+        );
     }
 
     #[test]

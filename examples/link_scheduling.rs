@@ -50,7 +50,10 @@ fn main() {
     }
     println!("slot utilization (links per slot):");
     for (slot, count) in per_slot.iter().enumerate() {
-        println!("  slot {slot:2}: {count:3} links {}", "#".repeat(*count / 2));
+        println!(
+            "  slot {slot:2}: {count:3} links {}",
+            "#".repeat(*count / 2)
+        );
     }
 
     // Sanity: no node transmits twice in a slot.

@@ -42,8 +42,7 @@ fn main() {
             pool
         })
         .collect();
-    let avg_list: f64 =
-        lists.iter().map(Vec::len).sum::<usize>() as f64 / lists.len() as f64;
+    let avg_list: f64 = lists.iter().map(Vec::len).sum::<usize>() as f64 / lists.len() as f64;
     println!(
         "channels: {channels}; per-link allowed sets of exactly deg(e)+1 channels \
          (avg {avg_list:.1})"
@@ -51,7 +50,11 @@ fn main() {
 
     let inst = instance::ListInstance::new(
         g.clone(),
-        lists.iter().cloned().map(deco::core_alg::ColorList::new).collect(),
+        lists
+            .iter()
+            .cloned()
+            .map(deco::core_alg::ColorList::new)
+            .collect(),
         channels,
     )
     .expect("lists are (deg+1)-feasible by construction");
@@ -67,7 +70,10 @@ fn main() {
     // Verify every link's channel is in its own allowed set.
     for e in g.edges() {
         let c = result.coloring.get(e).expect("complete");
-        assert!(lists[e.index()].contains(&c), "link {e} assigned a disallowed channel");
+        assert!(
+            lists[e.index()].contains(&c),
+            "link {e} assigned a disallowed channel"
+        );
     }
     println!("all channel assignments respect the per-link allowed sets");
 }

@@ -34,7 +34,6 @@ fn main() {
     );
 
     // The library re-verifies internally, but let's be explicit:
-    deco::graph::coloring::check_edge_coloring(&g, &result.coloring)
-        .expect("proper edge coloring");
+    deco::graph::coloring::check_edge_coloring(&g, &result.coloring).expect("proper edge coloring");
     println!("verification: proper edge coloring OK");
 }

@@ -42,7 +42,11 @@ fn main() {
                 format!("{}→{}", i.0, o.0 - inputs as u32)
             })
             .collect();
-        println!("  cell {cell}: {} transfers: {}", matching.len(), matching.join(" "));
+        println!(
+            "  cell {cell}: {} transfers: {}",
+            matching.len(),
+            matching.join(" ")
+        );
     }
     if cells > 4 {
         println!("  … {} more cells", cells - 4);

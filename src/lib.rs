@@ -1,1 +1,18 @@
-pub use deco_core as core_alg; pub use deco_graph as graph; pub use deco_local as local; pub use deco_algos as algos;
+//! # deco — distributed edge coloring, quasi-polylogarithmic in Δ
+//!
+//! Facade over the workspace crates reproducing Balliu–Kuhn–Olivetti
+//! (PODC 2020):
+//!
+//! * [`graph`] — CSR graphs, line graphs, seeded generators, colorings.
+//! * [`local`] — the LOCAL model: networks, the serial reference runner,
+//!   the [`local::Executor`](deco_local::Executor) contract.
+//! * [`engine`] — the high-throughput round-execution engine (flat
+//!   mailboxes, deterministic multi-threading, scenario matrix).
+//! * [`algos`] — Linial, Cole–Vishkin, class elimination, Luby, greedy.
+//! * [`core_alg`] — the Theorem 4.1 solver.
+
+pub use deco_algos as algos;
+pub use deco_core as core_alg;
+pub use deco_engine as engine;
+pub use deco_graph as graph;
+pub use deco_local as local;

@@ -21,7 +21,11 @@ fn linial_under_adversarial_ids() {
         let res = linial::color_from_ids(&net).expect("terminates");
         coloring::check_vertex_coloring(&g, &res.colors).expect("proper");
         // Sparse ids enlarge the schedule by at most a couple of rounds.
-        assert!(res.rounds <= 8, "rounds {} too large for {assignment:?}", res.rounds);
+        assert!(
+            res.rounds <= 8,
+            "rounds {} too large for {assignment:?}",
+            res.rounds
+        );
     }
 }
 

@@ -3,9 +3,7 @@
 //! strategies.
 
 use deco::core_alg::instance;
-use deco::core_alg::solver::{
-    solve_pipeline, solve_two_delta_minus_one, SolverConfig, Strategy,
-};
+use deco::core_alg::solver::{solve_pipeline, solve_two_delta_minus_one, SolverConfig, Strategy};
 use deco::graph::{generators, Graph};
 
 fn ids(g: &Graph) -> Vec<u64> {
@@ -58,7 +56,13 @@ fn strategy_sweep() {
         Strategy::ConstantP(2),
         Strategy::ConstantP(5),
     ] {
-        check_2d1(&g, SolverConfig { strategy, ..SolverConfig::default() });
+        check_2d1(
+            &g,
+            SolverConfig {
+                strategy,
+                ..SolverConfig::default()
+            },
+        );
     }
 }
 
@@ -97,7 +101,8 @@ fn tight_deg_plus_one_lists() {
         }
         let inst = instance::random_deg_plus_one(&g, g.max_edge_degree() as u32 + 1, seed);
         let res = solve_pipeline(&g, inst.clone(), &ids(&g), SolverConfig::default());
-        inst.check_solution(&res.coloring).expect("valid list coloring");
+        inst.check_solution(&res.coloring)
+            .expect("valid list coloring");
     }
 }
 

@@ -31,7 +31,9 @@ fn deg2_three_coloring_is_local() {
     let ids: Vec<u64> = (1..=200).collect();
     let rounds = {
         let net = Network::with_ids(&g, ids.clone());
-        deg2::three_color_max_deg2(&net, ids.clone(), 201).expect("terminates").rounds
+        deg2::three_color_max_deg2(&net, ids.clone(), 201)
+            .expect("terminates")
+            .rounds
     };
     let victims = [NodeId(10), NodeId(100)];
     check_locality(&g, &ids, rounds as usize, &victims, 4, |g, ids| {
@@ -51,5 +53,8 @@ fn non_local_function_is_rejected_by_checker() {
     let err = check_locality(&g, &ids, 2, &[NodeId(0)], 8, |g, _| {
         vec![g.num_edges(); g.num_nodes()]
     });
-    assert!(err.is_err(), "global functions must fail the locality check");
+    assert!(
+        err.is_err(),
+        "global functions must fail the locality check"
+    );
 }

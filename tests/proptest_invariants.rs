@@ -1,5 +1,10 @@
-//! Property-based tests on the core invariants, with proptest-driven
-//! random graphs, lists, and partitions.
+//! Property-based tests on the core invariants, driven by seeded random
+//! graphs, lists, and partitions.
+//!
+//! Hand-rolled property loops instead of the `proptest` crate (unavailable
+//! offline): each property runs a fixed number of cases derived from a
+//! deterministic master RNG, so failures are exactly reproducible — the
+//! failing case prints its seed, and rerunning hits the same case.
 
 use deco::core_alg::defective::{defect_bound, defective_edge_coloring, defective_palette};
 use deco::core_alg::instance;
@@ -7,114 +12,172 @@ use deco::core_alg::lists::{lemma44_witness, level_of, ColorList, SubspacePartit
 use deco::core_alg::solver::{solve_pipeline, SolverConfig};
 use deco::graph::{coloring, generators, Graph};
 use deco::local::math::harmonic;
-use proptest::prelude::*;
+use rand::prelude::*;
 
-/// Random simple graph strategy: G(n, m) with bounded size.
-fn arb_graph() -> impl Strategy<Value = Graph> {
-    (3usize..40, any::<u64>()).prop_map(|(n, seed)| {
-        let max_m = n * (n - 1) / 2;
-        let m = (seed as usize % (2 * n)).min(max_m);
-        generators::gnm(n, m, seed)
-    })
+const CASES: u64 = 48;
+
+/// Random simple graph: G(n, m) with bounded size, seeded per case.
+fn arb_graph(rng: &mut StdRng) -> Graph {
+    let n = rng.gen_range(3..40usize);
+    let max_m = n * (n - 1) / 2;
+    let m = rng.gen_range(0..(2 * n)).min(max_m);
+    generators::gnm(n, m, rng.gen_range(0..u64::MAX))
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
+/// Runs `body` for `CASES` deterministic cases, labelling failures by case
+/// seed.
+fn for_cases(master_seed: u64, body: impl Fn(u64, &mut StdRng)) {
+    for case in 0..CASES {
+        let case_seed = master_seed ^ (case.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let mut rng = StdRng::seed_from_u64(case_seed);
+        body(case_seed, &mut rng);
+    }
+}
 
-    #[test]
-    fn solver_always_produces_valid_list_colorings(g in arb_graph(), seed in any::<u64>()) {
-        prop_assume!(g.num_edges() > 0);
+#[test]
+fn solver_always_produces_valid_list_colorings() {
+    for_cases(0xDEC0_0001, |case_seed, rng| {
+        let g = arb_graph(rng);
+        if g.num_edges() == 0 {
+            return;
+        }
+        let seed = rng.gen_range(0..u64::MAX);
         let palette = g.max_edge_degree() as u32 + 1 + (seed % 7) as u32;
         let inst = instance::random_deg_plus_one(&g, palette, seed);
         let ids: Vec<u64> = (1..=g.num_nodes() as u64).collect();
         let res = solve_pipeline(&g, inst.clone(), &ids, SolverConfig::default());
-        prop_assert!(inst.check_solution(&res.coloring).is_ok());
-    }
+        assert!(
+            inst.check_solution(&res.coloring).is_ok(),
+            "invalid coloring for case seed {case_seed}"
+        );
+    });
+}
 
-    #[test]
-    fn defective_coloring_respects_bounds(g in arb_graph(), beta in 1u32..5) {
-        prop_assume!(g.num_edges() > 0);
+#[test]
+fn defective_coloring_respects_bounds() {
+    for_cases(0xDEC0_0002, |case_seed, rng| {
+        let g = arb_graph(rng);
+        if g.num_edges() == 0 {
+            return;
+        }
+        let beta = rng.gen_range(1..5u32);
         // Any proper edge coloring works as the X-coloring; greedy is fine.
-        let x = deco::algos::greedy::greedy_edge_coloring(
-            &g, deco::algos::greedy::EdgeOrder::ById);
+        let x = deco::algos::greedy::greedy_edge_coloring(&g, deco::algos::greedy::EdgeOrder::ById);
         let xc: Vec<u32> = g.edges().map(|e| x.get(e).unwrap()).collect();
         let xp = xc.iter().max().unwrap() + 1;
         let d = defective_edge_coloring(&g, beta, &xc, xp.max(2));
-        prop_assert!(d.colors.iter().all(|&c| c < defective_palette(beta)));
+        assert!(
+            d.colors.iter().all(|&c| c < defective_palette(beta)),
+            "palette overflow for case seed {case_seed}"
+        );
         let defects = coloring::edge_defects(&g, &d.colors);
         for e in g.edges() {
-            prop_assert!(defects[e.index()] <= defect_bound(&g, e, beta));
+            assert!(
+                defects[e.index()] <= defect_bound(&g, e, beta),
+                "defect bound violated at {e} for case seed {case_seed}"
+            );
         }
-    }
+    });
+}
 
-    #[test]
-    fn lemma44_holds_for_arbitrary_lists(
-        raw in proptest::collection::vec(0u32..600, 1..200),
-        p in 2u32..40,
-    ) {
+#[test]
+fn lemma44_holds_for_arbitrary_lists() {
+    for_cases(0xDEC0_0003, |case_seed, rng| {
+        let len = rng.gen_range(1..200usize);
+        let raw: Vec<u32> = (0..len).map(|_| rng.gen_range(0..600u32)).collect();
+        let p = rng.gen_range(2..40u32);
         let list = ColorList::new(raw);
         let c = 600u32;
         let p = p.min(c);
         let part = SubspacePartition::new(c, p);
         let (k, idx) = lemma44_witness(&list, &part);
         let hq = harmonic(u64::from(part.num_subspaces()));
-        prop_assert_eq!(idx.len(), k);
+        assert_eq!(idx.len(), k, "witness arity for case seed {case_seed}");
         for &i in &idx {
             let (lo, hi) = part.range(i);
-            prop_assert!(
-                list.count_in_range(lo, hi) as f64 >= list.len() as f64 / (k as f64 * hq) - 1e-9
+            assert!(
+                list.count_in_range(lo, hi) as f64 >= list.len() as f64 / (k as f64 * hq) - 1e-9,
+                "witness density for case seed {case_seed}"
             );
         }
         // level_of must agree with a direct witness: 2^level indices exist.
         let info = level_of(&list, &part);
-        prop_assert!(info.indices.len() >= 1usize << info.level);
-    }
+        assert!(
+            info.indices.len() >= 1usize << info.level,
+            "level witness for case seed {case_seed}"
+        );
+    });
+}
 
-    #[test]
-    fn partitions_tile_the_palette(c in 2u32..2000, p_raw in 2u32..64) {
-        let p = p_raw.min(c);
+#[test]
+fn partitions_tile_the_palette() {
+    for_cases(0xDEC0_0004, |case_seed, rng| {
+        let c = rng.gen_range(2..2000u32);
+        let p = rng.gen_range(2..64u32).min(c);
         let part = SubspacePartition::new(c, p);
-        prop_assert!(part.num_subspaces() <= 2 * p);
+        assert!(
+            part.num_subspaces() <= 2 * p,
+            "subspace count for case seed {case_seed}"
+        );
         let mut covered = 0u32;
         for i in 0..part.num_subspaces() {
             let (lo, hi) = part.range(i);
-            prop_assert_eq!(lo, covered);
-            prop_assert!(hi > lo);
+            assert_eq!(lo, covered, "gap at subspace {i} for case seed {case_seed}");
+            assert!(hi > lo, "empty subspace {i} for case seed {case_seed}");
             covered = hi;
         }
-        prop_assert_eq!(covered, c);
+        assert_eq!(covered, c, "partition must tile for case seed {case_seed}");
         // subspace_of is the inverse of range.
         for color in [0, c / 3, c / 2, c - 1] {
             let i = part.subspace_of(color);
             let (lo, hi) = part.range(i);
-            prop_assert!(lo <= color && color < hi);
+            assert!(
+                lo <= color && color < hi,
+                "inverse lookup for case seed {case_seed}"
+            );
         }
-    }
+    });
+}
 
-    #[test]
-    fn greedy_list_coloring_never_fails_on_deg_plus_one(g in arb_graph(), seed in any::<u64>()) {
-        prop_assume!(g.num_edges() > 0);
+#[test]
+fn greedy_list_coloring_never_fails_on_deg_plus_one() {
+    for_cases(0xDEC0_0005, |case_seed, rng| {
+        let g = arb_graph(rng);
+        if g.num_edges() == 0 {
+            return;
+        }
+        let seed = rng.gen_range(0..u64::MAX);
         let inst = instance::random_deg_plus_one(&g, g.max_edge_degree() as u32 + 2, seed);
-        let lists: Vec<Vec<u32>> =
-            inst.lists().iter().map(|l| l.as_slice().to_vec()).collect();
+        let lists: Vec<Vec<u32>> = inst.lists().iter().map(|l| l.as_slice().to_vec()).collect();
         let res = deco::algos::greedy::greedy_list_edge_coloring(
-            &g, &lists, deco::algos::greedy::EdgeOrder::Random(seed));
-        prop_assert!(res.is_ok());
-    }
+            &g,
+            &lists,
+            deco::algos::greedy::EdgeOrder::Random(seed),
+        );
+        assert!(res.is_ok(), "greedy failed for case seed {case_seed}");
+    });
+}
 
-    #[test]
-    fn edge_coloring_validators_agree_with_defects(g in arb_graph(), seed in any::<u64>()) {
-        prop_assume!(g.num_edges() > 0);
+#[test]
+fn edge_coloring_validators_agree_with_defects() {
+    for_cases(0xDEC0_0006, |case_seed, rng| {
+        let g = arb_graph(rng);
+        if g.num_edges() == 0 {
+            return;
+        }
+        let seed = rng.gen_range(0..u64::MAX);
         // A random (possibly improper) coloring: checker errors iff some
         // defect is positive.
-        let colors: Vec<u32> = (0..g.num_edges()).map(|i| {
-            ((seed >> (i % 48)) % 4) as u32
-        }).collect();
+        let colors: Vec<u32> = (0..g.num_edges())
+            .map(|i| ((seed >> (i % 48)) % 4) as u32)
+            .collect();
         let defects = coloring::edge_defects(&g, &colors);
-        let proper = coloring::check_edge_coloring(
-            &g,
-            &coloring::EdgeColoring::from_complete(colors),
+        let proper =
+            coloring::check_edge_coloring(&g, &coloring::EdgeColoring::from_complete(colors));
+        assert_eq!(
+            proper.is_ok(),
+            defects.iter().all(|&d| d == 0),
+            "validators disagree for case seed {case_seed}"
         );
-        prop_assert_eq!(proper.is_ok(), defects.iter().all(|&d| d == 0));
-    }
+    });
 }
