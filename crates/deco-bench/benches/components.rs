@@ -9,10 +9,11 @@ use deco_core::budget::{BudgetEvaluator, BudgetParams};
 use deco_core::defective::defective_edge_coloring;
 use deco_core::instance::{self, ListInstance};
 use deco_core::lists::{level_of, ColorList, SubspacePartition};
+use deco_core::solver::{SolveBranch, SolveError, SolveStats};
 use deco_core::{slack, space};
 use deco_graph::coloring::Color;
 use deco_graph::generators;
-use deco_local::CostNode;
+use deco_local::{CostNode, SerialExecutor};
 use rand::prelude::*;
 use rand::rngs::StdRng;
 
@@ -25,17 +26,26 @@ fn x_palette(x: &[u32]) -> u32 {
     x.iter().max().map_or(2, |m| m + 1)
 }
 
-fn greedy_inner(inst: &ListInstance, _x: &[u32]) -> (Vec<Color>, CostNode) {
+fn greedy_colors(inst: &ListInstance) -> Vec<Color> {
     let lists: Vec<Vec<Color>> = inst.lists().iter().map(|l| l.as_slice().to_vec()).collect();
     let coloring = greedy::greedy_list_edge_coloring(inst.graph(), &lists, greedy::EdgeOrder::ById)
         .expect("feasible");
-    (
-        inst.graph()
-            .edges()
-            .map(|e| coloring.get(e).unwrap())
-            .collect(),
-        CostNode::leaf("g", 1),
-    )
+    inst.graph()
+        .edges()
+        .map(|e| coloring.get(e).unwrap())
+        .collect()
+}
+
+fn greedy_inner(inst: &ListInstance, _x: &[u32]) -> Result<SolveBranch, SolveError> {
+    Ok(SolveBranch {
+        colors: greedy_colors(inst),
+        cost: CostNode::leaf("g", 1),
+        stats: SolveStats::default(),
+    })
+}
+
+fn greedy_assign(inst: &ListInstance, _x: &[u32]) -> Result<(Vec<Color>, CostNode), SolveError> {
+    Ok((greedy_colors(inst), CostNode::leaf("g", 1)))
 }
 
 fn bench_defective(c: &mut Criterion) {
@@ -58,9 +68,10 @@ fn bench_sweep(c: &mut Criterion) {
     let xp = x_palette(&x);
     c.bench_function("lemma42-sweep", |b| {
         b.iter(|| {
-            let mut inner = greedy_inner;
-            let inner: &mut slack::InnerSolver<'_> = &mut inner;
-            slack::sweep(&inst, &x, xp, 1, inner).stats.colored
+            slack::sweep(&inst, &x, xp, 1, &SerialExecutor, &greedy_inner)
+                .expect("sweep succeeds")
+                .stats
+                .colored
         });
     });
 }
@@ -73,9 +84,10 @@ fn bench_space_reduction(c: &mut Criterion) {
         let x = x_coloring(&g);
         group.bench_with_input(BenchmarkId::from_parameter(p), &p, |b, &p| {
             b.iter(|| {
-                let mut assign = greedy_inner;
+                let mut assign = greedy_assign;
                 let assign: &mut space::AssignSolver<'_> = &mut assign;
                 space::reduce_color_space(&inst, p, &x, assign)
+                    .expect("reduction succeeds")
                     .sub_instances
                     .len()
             });

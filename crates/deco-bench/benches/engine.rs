@@ -92,6 +92,7 @@ fn bench_solver_pipeline_on_engine(c: &mut Criterion) {
     group.bench_function("serial-executor", |b| {
         b.iter(|| {
             solve_two_delta_minus_one_with(&SerialExecutor, &g, &ids, SolverConfig::default())
+                .expect("solver succeeds")
                 .solution
                 .cost
                 .actual_rounds()
@@ -105,6 +106,7 @@ fn bench_solver_pipeline_on_engine(c: &mut Criterion) {
                 &ids,
                 SolverConfig::default(),
             )
+            .expect("solver succeeds")
             .solution
             .cost
             .actual_rounds()

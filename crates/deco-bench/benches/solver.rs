@@ -21,7 +21,8 @@ fn bench_solver_by_degree(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::from_parameter(d), &g, |b, g| {
             b.iter(|| {
                 let res =
-                    solve_two_delta_minus_one(g, &ids(g.num_nodes()), SolverConfig::default());
+                    solve_two_delta_minus_one(g, &ids(g.num_nodes()), SolverConfig::default())
+                        .expect("solver succeeds");
                 assert!(res.coloring.is_complete());
                 res.solution.cost.actual_rounds()
             });
@@ -46,7 +47,8 @@ fn bench_solver_strategies(c: &mut Criterion) {
         };
         group.bench_function(name, |b| {
             b.iter(|| {
-                let res = solve_two_delta_minus_one(&g, &ids(g.num_nodes()), cfg.clone());
+                let res = solve_two_delta_minus_one(&g, &ids(g.num_nodes()), cfg)
+                    .expect("solver succeeds");
                 res.solution.cost.actual_rounds()
             });
         });
@@ -64,7 +66,8 @@ fn bench_solver_by_n(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::from_parameter(n), &g, |b, g| {
             b.iter(|| {
                 let res =
-                    solve_two_delta_minus_one(g, &ids(g.num_nodes()), SolverConfig::default());
+                    solve_two_delta_minus_one(g, &ids(g.num_nodes()), SolverConfig::default())
+                        .expect("solver succeeds");
                 res.solution.cost.actual_rounds()
             });
         });

@@ -132,14 +132,12 @@ pub fn run() -> String {
     let g = scenario.graph();
     let ids: Vec<u64> = (1..=g.num_nodes() as u64).collect();
     let cfg = deco_core::solver::SolverConfig::default();
-    let (ts, rs) = time(|| deco_core::solver::solve_two_delta_minus_one(&g, &ids, cfg.clone()));
+    let (ts, rs) = time(|| {
+        deco_core::solver::solve_two_delta_minus_one(&g, &ids, cfg).expect("solver succeeds")
+    });
     let (te, re) = time(|| {
-        deco_core::solver::solve_two_delta_minus_one_with(
-            &ParallelExecutor::auto(),
-            &g,
-            &ids,
-            cfg.clone(),
-        )
+        deco_core::solver::solve_two_delta_minus_one_with(&ParallelExecutor::auto(), &g, &ids, cfg)
+            .expect("solver succeeds")
     });
     assert_eq!(
         rs.solution.colors, re.solution.colors,

@@ -7,10 +7,10 @@ use crate::workloads::ids_for;
 use deco_algos::edge_adapter;
 use deco_core::instance::{self, ListInstance};
 use deco_core::slack;
-use deco_core::solver::{Solver, SolverConfig};
+use deco_core::solver::{SolveBranch, SolveError, Solver, SolverConfig};
 use deco_graph::coloring::{Color, EdgeColoring};
 use deco_graph::{dot, generators, EdgeId};
-use deco_local::CostNode;
+use deco_local::SerialExecutor;
 use std::fmt::Write as _;
 
 /// Runs the experiment and returns the report. DOT files land in
@@ -49,9 +49,8 @@ pub fn run() -> String {
 
     // The slack-β inner solver: the real Theorem 4.1 solver.
     let solver = Solver::new(SolverConfig::default());
-    let mut inner = |si: &ListInstance, sx: &[u32]| -> (Vec<Color>, CostNode) {
-        let sol = solver.solve_instance(si, sx, xp);
-        (sol.colors, sol.cost)
+    let inner = |si: &ListInstance, sx: &[u32]| -> Result<SolveBranch, SolveError> {
+        solver.solve_instance(si, sx, xp).map(SolveBranch::from)
     };
 
     let mut cur = inst.clone();
@@ -73,7 +72,9 @@ pub fn run() -> String {
         let dbar = cur.max_edge_degree();
         if dbar <= 2 {
             // Figures end once the residual is trivial; finish with the solver.
-            let sol = solver.solve_instance(&cur, &cur_x, xp);
+            let sol = solver
+                .solve_instance(&cur, &cur_x, xp)
+                .expect("solver succeeds");
             for (local, &orig) in map.iter().enumerate() {
                 final_colors[orig.index()] = Some(sol.colors[local]);
             }
@@ -88,7 +89,8 @@ pub fn run() -> String {
             ]);
             break;
         }
-        let sweep = slack::sweep(&cur, &cur_x, xp, 1, &mut inner);
+        let sweep =
+            slack::sweep(&cur, &cur_x, xp, 1, &SerialExecutor, &inner).expect("sweep succeeds");
         // Figure 1: the defective classes = the sweep's class structure.
         let defective = deco_core::defective::defective_edge_coloring(cur.graph(), 1, &cur_x, xp);
         save_dot(

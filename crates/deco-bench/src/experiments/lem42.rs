@@ -9,10 +9,10 @@ use deco_algos::edge_adapter;
 use deco_core::defective::defective_palette;
 use deco_core::instance::{self, ListInstance};
 use deco_core::slack;
-use deco_core::solver::{Solver, SolverConfig};
+use deco_core::solver::{SolveBranch, SolveError, Solver, SolverConfig};
 use deco_graph::coloring::Color;
 use deco_graph::{generators, EdgeId};
-use deco_local::CostNode;
+use deco_local::SerialExecutor;
 use std::fmt::Write as _;
 
 /// Runs the experiment and returns the report.
@@ -54,11 +54,11 @@ pub fn run() -> String {
             sweep_no += 1;
             sweeps_total += 1;
             let dbar = inst.max_edge_degree();
-            let mut inner = |si: &ListInstance, sx: &[u32]| -> (Vec<Color>, CostNode) {
-                let sol = solver.solve_instance(si, sx, xp);
-                (sol.colors, sol.cost)
+            let inner = |si: &ListInstance, sx: &[u32]| -> Result<SolveBranch, SolveError> {
+                solver.solve_instance(si, sx, xp).map(SolveBranch::from)
             };
-            let sw = slack::sweep(&inst, &cur_x, xp, beta, &mut inner);
+            let sw = slack::sweep(&inst, &cur_x, xp, beta, &SerialExecutor, &inner)
+                .expect("sweep succeeds");
             for (local, &orig) in map.iter().enumerate() {
                 if let Some(c) = sw.colors[local] {
                     final_colors[orig.index()] = Some(c);

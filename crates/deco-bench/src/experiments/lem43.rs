@@ -2,26 +2,12 @@
 //! the subspace assignment, `deg′(e)·|L_e| / (|L′_e|·deg(e)) ≤ 24·H_q·log p`.
 
 use crate::table::{fnum, Table};
+use crate::workloads::greedy_assign;
 use deco_algos::greedy;
-use deco_core::instance::{self, ListInstance};
+use deco_core::instance::{self};
 use deco_core::space;
-use deco_graph::coloring::Color;
 use deco_graph::generators;
-use deco_local::CostNode;
 use std::fmt::Write as _;
-
-fn greedy_assign(inst: &ListInstance, _x: &[u32]) -> (Vec<Color>, CostNode) {
-    let lists: Vec<Vec<Color>> = inst.lists().iter().map(|l| l.as_slice().to_vec()).collect();
-    let coloring = greedy::greedy_list_edge_coloring(inst.graph(), &lists, greedy::EdgeOrder::ById)
-        .expect("assignment instances are (deg+1)-list");
-    (
-        inst.graph()
-            .edges()
-            .map(|e| coloring.get(e).unwrap())
-            .collect(),
-        CostNode::leaf("g", 1),
-    )
-}
 
 /// Runs the experiment and returns the report.
 pub fn run() -> String {
@@ -89,7 +75,8 @@ pub fn run() -> String {
             let col = greedy::greedy_edge_coloring(&g, greedy::EdgeOrder::ById);
             g.edges().map(|e| col.get(e).unwrap()).collect()
         };
-        let red = space::reduce_color_space(&inst, p, &x, &mut greedy_assign);
+        let red = space::reduce_color_space(&inst, p, &x, &mut greedy_assign)
+            .expect("reduction succeeds");
         let all_feasible = red
             .sub_instances
             .iter()

@@ -4,27 +4,14 @@
 //! intermediate instance stays (deg+1)-feasible.
 
 use crate::table::{fnum, Table};
+use crate::workloads::greedy_assign;
 use deco_algos::greedy;
 use deco_core::instance::{self, ListInstance};
 use deco_core::solver::space_requirement;
 use deco_core::space;
 use deco_graph::coloring::Color;
 use deco_graph::generators;
-use deco_local::CostNode;
 use std::fmt::Write as _;
-
-fn greedy_assign(inst: &ListInstance, _x: &[u32]) -> (Vec<Color>, CostNode) {
-    let lists: Vec<Vec<Color>> = inst.lists().iter().map(|l| l.as_slice().to_vec()).collect();
-    let coloring = greedy::greedy_list_edge_coloring(inst.graph(), &lists, greedy::EdgeOrder::ById)
-        .expect("assignment instances are (deg+1)-list");
-    (
-        inst.graph()
-            .edges()
-            .map(|e| coloring.get(e).unwrap())
-            .collect(),
-        CostNode::leaf("g", 1),
-    )
-}
 
 /// Runs the experiment and returns the report.
 pub fn run() -> String {
@@ -71,7 +58,8 @@ pub fn run() -> String {
             if inst.graph().num_edges() == 0 {
                 continue;
             }
-            let red = space::reduce_color_space(inst, p, xc, &mut greedy_assign);
+            let red = space::reduce_color_space(inst, p, xc, &mut greedy_assign)
+                .expect("reduction succeeds");
             for sub in red.sub_instances {
                 all_ok &= sub.instance.validate_slack(1.0).is_ok();
                 max_palette = max_palette.max(sub.instance.palette());

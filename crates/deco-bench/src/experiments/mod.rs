@@ -14,6 +14,7 @@ pub mod lem44;
 pub mod lem45;
 pub mod linial_exp;
 pub mod related_work;
+pub mod solver_par;
 pub mod thm41_budget;
 pub mod thm41_measured;
 
@@ -36,6 +37,7 @@ pub fn all() -> Vec<(&'static str, Runner)> {
         ("linial", linial_exp::run),
         ("related-work", related_work::run),
         ("engine-matrix", engine_matrix::run),
+        ("solver-par", solver_par::run),
     ]
 }
 

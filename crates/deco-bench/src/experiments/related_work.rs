@@ -63,7 +63,7 @@ pub fn run() -> String {
                 },
             ),
         ] {
-            let res = solve_two_delta_minus_one(g, &ids_for(g), cfg);
+            let res = solve_two_delta_minus_one(g, &ids_for(g), cfg).expect("solver succeeds");
             t.row([
                 name.to_string(),
                 dbar.to_string(),

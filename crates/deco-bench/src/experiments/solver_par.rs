@@ -1,0 +1,136 @@
+//! `solver-par` — the parallel solver recursion across the scenario
+//! matrix, in the `engine-matrix` style: differential correctness (the
+//! solver's colors, cost tree, and merged stats must be bit-identical to
+//! the serial recursion at every thread count) plus wall-clock comparison
+//! of the serial executor vs the engine executor driving the per-subspace
+//! and per-class branch fan-out.
+
+use crate::table::Table;
+use crate::workloads::ids_for;
+use deco_core::solver::{solve_two_delta_minus_one_with, SolverConfig};
+use deco_engine::{GraphSpec, IdFlavor, ParallelExecutor, Scenario, SerialExecutor};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// Runs the experiment and returns the report.
+pub fn run() -> String {
+    let mut out = String::from(
+        "# solver-par — parallel solver recursion vs serial recursion\n\n\
+         The solver's logically-parallel branches (Lemma 4.3 per-subspace\n\
+         residuals, Lemma 4.2 per-class solves in dependency wavefronts) run\n\
+         on the executor's worker threads; per-branch SolveStats merge in\n\
+         branch order at every join. This experiment demands bit-identical\n\
+         observables at 1/2/4 threads on every workload.\n\n",
+    );
+
+    // Part 1: differential identity sweep.
+    let workloads = [
+        GraphSpec::RandomRegular { n: 120, d: 8 },
+        GraphSpec::RandomRegular { n: 80, d: 16 },
+        GraphSpec::Gnp { n: 100, p: 0.08 },
+        GraphSpec::PowerLaw { n: 150 },
+        GraphSpec::TwoClusters { n: 40, d: 4 },
+        GraphSpec::Cycle { n: 160 },
+        GraphSpec::Complete { n: 14 },
+    ];
+    let num_workloads = workloads.len();
+    let cfg = SolverConfig::default();
+    let mut checked = 0usize;
+    for (i, spec) in workloads.into_iter().enumerate() {
+        let scenario = Scenario::new(spec, IdFlavor::Shuffled, 11 + i as u64);
+        let g = scenario.graph();
+        let ids = ids_for(&g);
+        let serial =
+            solve_two_delta_minus_one_with(&SerialExecutor, &g, &ids, cfg).expect("serial solves");
+        for threads in [1usize, 2, 4] {
+            let par = solve_two_delta_minus_one_with(
+                &ParallelExecutor::with_threads(threads),
+                &g,
+                &ids,
+                cfg,
+            )
+            .expect("parallel solves");
+            assert_eq!(
+                serial.solution.colors, par.solution.colors,
+                "{}: colors diverge at t={threads}",
+                scenario.name
+            );
+            assert_eq!(
+                serial.solution.cost, par.solution.cost,
+                "{}: cost tree diverges at t={threads}",
+                scenario.name
+            );
+            assert_eq!(
+                serial.solution.stats, par.solution.stats,
+                "{}: merged stats diverge at t={threads}",
+                scenario.name
+            );
+            checked += 1;
+        }
+    }
+    let _ = writeln!(
+        out,
+        "## differential sweep\n\n{num_workloads} workloads × 3 thread counts = {checked} \
+         parallel solves:\ncolors, cost trees, and merged SolveStats identical to the serial\n\
+         recursion on every one.\n",
+    );
+
+    // Part 2: wall-clock, serial recursion vs engine-driven branches.
+    out.push_str("## wall-clock (branch fan-out)\n\n");
+    let mut t = Table::new([
+        "workload",
+        "sweeps",
+        "space reductions",
+        "serial",
+        "engine-auto",
+        "speedup",
+    ]);
+    for spec in [
+        GraphSpec::RandomRegular { n: 512, d: 16 },
+        GraphSpec::Gnp { n: 400, p: 0.05 },
+    ] {
+        let scenario = Scenario::new(spec, IdFlavor::Sequential, 3);
+        let g = scenario.graph();
+        let ids = ids_for(&g);
+        let (ts, rs) = time(|| {
+            solve_two_delta_minus_one_with(&SerialExecutor, &g, &ids, cfg).expect("solves")
+        });
+        let (tp, rp) = time(|| {
+            solve_two_delta_minus_one_with(&ParallelExecutor::auto(), &g, &ids, cfg)
+                .expect("solves")
+        });
+        assert_eq!(rs.solution.colors, rp.solution.colors);
+        t.row([
+            scenario.spec.label(),
+            rs.solution.stats.sweeps.to_string(),
+            rs.solution.stats.space_reductions.to_string(),
+            format!("{ts:.1?}"),
+            format!("{tp:.1?}"),
+            format!("{:.2}x", ts.as_secs_f64() / tp.as_secs_f64()),
+        ]);
+    }
+    out.push_str(&t.render());
+    out.push_str(
+        "\nSingle-core hosts show ~1x (the branch fan-out degrades to the\n\
+         serial order); thread scaling needs a multi-core host. Determinism\n\
+         is what this experiment pins — the speedup column is informative\n\
+         only where hardware parallelism exists.\n",
+    );
+    out
+}
+
+fn time<T>(f: impl FnOnce() -> T) -> (std::time::Duration, T) {
+    let start = Instant::now();
+    let value = f();
+    (start.elapsed(), value)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn report_confirms_identity() {
+        let r = super::run();
+        assert!(r.contains("identical to the serial"));
+        assert!(r.contains("speedup"));
+    }
+}

@@ -37,7 +37,8 @@ pub fn run() -> String {
                 continue;
             }
             let start = Instant::now();
-            let res = solve_two_delta_minus_one(g, &ids_for(g), SolverConfig::default());
+            let res = solve_two_delta_minus_one(g, &ids_for(g), SolverConfig::default())
+                .expect("solver succeeds");
             let wall = start.elapsed().as_millis();
             let bound = (2 * g.max_degree()).saturating_sub(1).max(1);
             assert!(res.coloring.distinct_colors() <= bound);

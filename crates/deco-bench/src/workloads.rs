@@ -5,7 +5,11 @@
 //! stress case), Erdős–Rényi, bipartite left-regular (switch scheduling),
 //! power-law (skewed degrees), and structured extremes (torus, complete).
 
+use deco_core::instance::ListInstance;
+use deco_core::solver::SolveError;
+use deco_graph::coloring::Color;
 use deco_graph::{generators, Graph};
+use deco_local::CostNode;
 
 /// A named, reproducible workload graph.
 #[derive(Debug, Clone)]
@@ -28,6 +32,29 @@ impl Workload {
 /// Sequential node IDs `1..=n` for a graph (the experiments' default).
 pub fn ids_for(g: &Graph) -> Vec<u64> {
     (1..=g.num_nodes() as u64).collect()
+}
+
+/// Greedy [`deco_core::space::AssignSolver`] used by experiments that
+/// exercise the Lemma 4.3 reduction in isolation — valid because the
+/// recursive assignment instances are (deg+1)-list instances.
+pub fn greedy_assign(
+    inst: &ListInstance,
+    _x: &[u32],
+) -> Result<(Vec<Color>, CostNode), SolveError> {
+    let lists: Vec<Vec<Color>> = inst.lists().iter().map(|l| l.as_slice().to_vec()).collect();
+    let coloring = deco_algos::greedy::greedy_list_edge_coloring(
+        inst.graph(),
+        &lists,
+        deco_algos::greedy::EdgeOrder::ById,
+    )
+    .expect("assignment instances are (deg+1)-list");
+    Ok((
+        inst.graph()
+            .edges()
+            .map(|e| coloring.get(e).unwrap())
+            .collect(),
+        CostNode::leaf("g", 1),
+    ))
 }
 
 /// The standard mixed suite at a given scale (`n` ≈ nodes per graph).

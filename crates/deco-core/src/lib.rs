@@ -26,7 +26,8 @@
 //!
 //! let g = generators::random_regular(40, 6, 7);
 //! let ids: Vec<u64> = (1..=40).collect();
-//! let result = solve_two_delta_minus_one(&g, &ids, SolverConfig::default());
+//! let result = solve_two_delta_minus_one(&g, &ids, SolverConfig::default())
+//!     .expect("solver succeeds");
 //! assert!(result.coloring.distinct_colors() <= 2 * 6 - 1);
 //! ```
 
@@ -43,4 +44,4 @@ pub mod space;
 
 pub use instance::ListInstance;
 pub use lists::{ColorList, SubspacePartition};
-pub use solver::{Solver, SolverConfig, Strategy};
+pub use solver::{SolveBranch, SolveError, SolveStats, Solver, SolverConfig, Strategy};

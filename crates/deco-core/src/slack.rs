@@ -16,18 +16,36 @@
 //! The caller (the Theorem 4.1 solver) loops sweeps until everything is
 //! colored, giving
 //! `T(Δ̄,1,C) ≤ O(β²·log Δ̄)·T(Δ̄,β,C) + O(log Δ̄·log* X)`.
+//!
+//! ## Parallel class execution
+//!
+//! The class iteration carries a data dependency only between *adjacent*
+//! classes: class `j`'s residual lists read the colors of neighboring edges
+//! colored by earlier classes `i < j`, and nothing else. [`sweep`] therefore
+//! schedules the classes in dependency *wavefronts* — class `j` joins wave
+//! `1 + max(wave(i))` over earlier classes `i` adjacent to it (wave 0 if
+//! none) — and hands each wave's slack-β solves to
+//! [`Executor::execute_branches`]. Classes in one wave are mutually
+//! non-adjacent, so their residual-list reads and color writes cannot
+//! interact, and every class still observes exactly the colors it would
+//! have observed in the serial class-order iteration: colors, statistics,
+//! and the cost tree are bit-identical for every executor and thread count.
 
 use crate::defective::{defective_edge_coloring, defective_palette};
 use crate::instance::ListInstance;
 use crate::lists::ColorList;
+use crate::solver::{SolveBranch, SolveError, SolveStats};
 use deco_graph::coloring::Color;
 use deco_graph::{EdgeId, EdgeSubgraph};
-use deco_local::CostNode;
+use deco_local::{CostNode, Executor};
 
 /// The inner solver a sweep hands active classes to. Receives a slack-β
 /// instance together with its restricted initial `X`-edge-coloring, and must
-/// return a complete valid coloring plus its round cost.
-pub type InnerSolver<'a> = dyn FnMut(&ListInstance, &[u32]) -> (Vec<Color>, CostNode) + 'a;
+/// return a complete valid coloring plus its cost and recursion stats
+/// ([`SolveBranch`]). Classes of one wavefront solve concurrently, hence
+/// `Fn + Sync`; errors propagate through the sweep.
+pub type InnerSolver<'a> =
+    dyn Fn(&ListInstance, &[u32]) -> Result<SolveBranch, SolveError> + Sync + 'a;
 
 /// Statistics of one Lemma 4.2 sweep, used by the experiment harness to
 /// verify the lemma's inequalities empirically.
@@ -55,38 +73,97 @@ pub struct SweepOutcome {
     pub cost: CostNode,
     /// Verification statistics.
     pub stats: SweepStats,
+    /// Recursion stats of the inner (slack-β) solves, merged in class
+    /// order — the caller folds these into its own frame.
+    pub inner_stats: SolveStats,
+}
+
+/// A class whose active sub-instance is ready to solve: everything the
+/// inner solver needs, captured before its wave fans out.
+struct PreparedClass {
+    /// Index into the class-ordered bucket list.
+    bucket: usize,
+    /// The defective class color (for cost labels).
+    class: u32,
+    /// The slack-β active sub-instance.
+    sub_inst: ListInstance,
+    /// Restricted initial `X`-coloring.
+    sub_x: Vec<u32>,
+    /// Sub-instance edge → parent edge.
+    edge_map: Vec<EdgeId>,
 }
 
 /// Runs one Lemma 4.2 sweep on `inst` with parameter `beta`, using `inner`
-/// to solve each active class (a slack-β instance).
+/// to solve each active class (a slack-β instance). Classes are scheduled
+/// in dependency wavefronts (see the module docs); each wave's inner solves
+/// run as parallel branches on `executor`, observationally identical to the
+/// serial class-order iteration.
+///
+/// # Errors
+///
+/// Propagates the first inner-solver error in wave order (class order
+/// within a wave). This is deterministic for every executor; note it can
+/// differ from strict class order only when classes in *different* waves
+/// fail in the same sweep — with the current error kind
+/// (`SolveError::DepthExceeded`), every inner solve of a sweep runs at the
+/// same depth, so all simultaneous failures carry the same value and the
+/// propagated error is identical to the serial iteration's either way.
 ///
 /// # Panics
 ///
 /// Panics if an invariant of the lemma fails: an active class without
 /// slack > β, or an inner solution that is improper or off-list.
-pub fn sweep(
+pub fn sweep<E: Executor>(
     inst: &ListInstance,
     x_coloring: &[u32],
     x_palette: u32,
     beta: u32,
-    inner: &mut InnerSolver<'_>,
-) -> SweepOutcome {
+    executor: &E,
+    inner: &InnerSolver<'_>,
+) -> Result<SweepOutcome, SolveError> {
     let g = inst.graph();
     let m = g.num_edges();
     let defective = defective_edge_coloring(g, beta, x_coloring, x_palette);
     let num_classes = defective_palette(beta);
 
-    // Bucket edges by defective class; iterate nonempty classes in class
-    // order (empty classes cost schedule rounds but no work — the budget
-    // side is accounted in `budget.rs`). Buckets are sparse: with the
-    // paper's β the palette is far larger than the edge count.
-    let mut buckets: std::collections::BTreeMap<u32, Vec<EdgeId>> =
+    // Bucket edges by defective class; the ascending class order is the
+    // serial processing order that defines the observable behavior (empty
+    // classes cost schedule rounds but no work — the budget side is
+    // accounted in `budget.rs`). Buckets are sparse: with the paper's β the
+    // palette is far larger than the edge count.
+    let mut bucket_map: std::collections::BTreeMap<u32, Vec<EdgeId>> =
         std::collections::BTreeMap::new();
     for e in g.edges() {
-        buckets
+        bucket_map
             .entry(defective.colors[e.index()])
             .or_default()
             .push(e);
+    }
+    let buckets: Vec<(u32, Vec<EdgeId>)> = bucket_map.into_iter().collect();
+
+    // Wavefront schedule: class j depends on class i < j exactly when some
+    // member of j neighbors a member of i (j's residual lists read i's
+    // colors). wave(j) = 1 + max wave over dependencies, 0 if independent.
+    let mut bucket_of: Vec<usize> = vec![usize::MAX; m];
+    for (j, (_, members)) in buckets.iter().enumerate() {
+        for &e in members {
+            bucket_of[e.index()] = j;
+        }
+    }
+    let mut wave_of: Vec<usize> = vec![0; buckets.len()];
+    let mut num_waves = 0usize;
+    for (j, (_, members)) in buckets.iter().enumerate() {
+        let mut wave = 0usize;
+        for &e in members {
+            for f in g.edge_neighbors(e) {
+                let i = bucket_of[f.index()];
+                if i < j {
+                    wave = wave.max(wave_of[i] + 1);
+                }
+            }
+        }
+        wave_of[j] = wave;
+        num_waves = num_waves.max(wave + 1);
     }
 
     let mut colors: Vec<Option<Color>> = vec![None; m];
@@ -95,74 +172,113 @@ pub fn sweep(
         min_active_slack: f64::INFINITY,
         ..SweepStats::default()
     };
-    let mut class_costs: Vec<CostNode> = Vec::new();
+    // Per-bucket results, assembled in class order after the waves so the
+    // outcome is independent of wave interleaving.
+    let mut class_costs: Vec<Option<CostNode>> = (0..buckets.len()).map(|_| None).collect();
+    let mut class_stats: Vec<Option<SolveStats>> = vec![None; buckets.len()];
 
-    for (&class, members) in buckets.iter() {
-        debug_assert!(!members.is_empty(), "buckets are created non-empty");
-        stats.classes_nonempty += 1;
-        // Step 3(a)+(b): residual lists against already-colored neighbors;
-        // actives have |L′| > deg(e)/2. Learning neighbor colors costs one
-        // round.
-        let mut active: Vec<EdgeId> = Vec::new();
-        let mut active_lists: Vec<ColorList> = Vec::new();
-        for &e in members {
-            let mut list = inst.list(e).clone();
-            let used: Vec<Color> = g
-                .edge_neighbors(e)
-                .filter_map(|f| colors[f.index()])
+    for wave in 0..num_waves {
+        // Step 3(a)+(b), for every class of this wave: residual lists
+        // against already-colored neighbors (all in earlier waves, hence
+        // complete); actives have |L′| > deg(e)/2. Learning neighbor colors
+        // costs one round.
+        let mut prepared: Vec<PreparedClass> = Vec::new();
+        for (j, (class, members)) in buckets.iter().enumerate() {
+            if wave_of[j] != wave {
+                continue;
+            }
+            debug_assert!(!members.is_empty(), "buckets are created non-empty");
+            stats.classes_nonempty += 1;
+            let mut active: Vec<EdgeId> = Vec::new();
+            let mut active_lists: Vec<ColorList> = Vec::new();
+            for &e in members {
+                let mut list = inst.list(e).clone();
+                let used: Vec<Color> = g
+                    .edge_neighbors(e)
+                    .filter_map(|f| colors[f.index()])
+                    .collect();
+                list.remove_all(&used);
+                if list.len() as f64 > g.edge_degree(e) as f64 / 2.0 {
+                    active.push(e);
+                    active_lists.push(list);
+                } else {
+                    stats.inactive += 1;
+                }
+            }
+            if active.is_empty() {
+                class_costs[j] = Some(CostNode::leaf(format!("class {class}: learn colors"), 1));
+                continue;
+            }
+
+            let sub = EdgeSubgraph::from_edge_ids(g, &active);
+            let sub_inst =
+                ListInstance::new_unchecked(sub.graph().clone(), active_lists, inst.palette());
+            // Invariant (paper, "Enough slack"): |L′_e| > β·deg′(e).
+            for se in sub_inst.graph().edges() {
+                let deg_sub = sub_inst.graph().edge_degree(se);
+                let len = sub_inst.list(se).len();
+                assert!(
+                    len as f64 > beta as f64 * deg_sub as f64,
+                    "active edge lost its slack: |L'|={len}, β·deg'={}",
+                    beta as usize * deg_sub
+                );
+                if deg_sub > 0 {
+                    stats.min_active_slack =
+                        stats.min_active_slack.min(len as f64 / deg_sub as f64);
+                }
+            }
+            let sub_x: Vec<u32> = sub
+                .edge_map()
+                .iter()
+                .map(|pe| x_coloring[pe.index()])
                 .collect();
-            list.remove_all(&used);
-            if list.len() as f64 > g.edge_degree(e) as f64 / 2.0 {
-                active.push(e);
-                active_lists.push(list);
-            } else {
-                stats.inactive += 1;
-            }
-        }
-        if active.is_empty() {
-            class_costs.push(CostNode::leaf(format!("class {class}: learn colors"), 1));
-            continue;
+            stats.colored += active.len();
+            prepared.push(PreparedClass {
+                bucket: j,
+                class: *class,
+                sub_inst,
+                sub_x,
+                edge_map: sub.edge_map().to_vec(),
+            });
         }
 
-        // Step 3(c): solve P(Δ̄/2β, β, C) on the active subgraph.
-        let sub = EdgeSubgraph::from_edge_ids(g, &active);
-        let sub_inst =
-            ListInstance::new_unchecked(sub.graph().clone(), active_lists, inst.palette());
-        // Invariant (paper, "Enough slack"): |L′_e| > β·deg′(e).
-        for se in sub_inst.graph().edges() {
-            let deg_sub = sub_inst.graph().edge_degree(se);
-            let len = sub_inst.list(se).len();
-            assert!(
-                len as f64 > beta as f64 * deg_sub as f64,
-                "active edge lost its slack: |L'|={len}, β·deg'={}",
-                beta as usize * deg_sub
-            );
-            if deg_sub > 0 {
-                stats.min_active_slack = stats.min_active_slack.min(len as f64 / deg_sub as f64);
-            }
-        }
-        let sub_x: Vec<u32> = sub
-            .edge_map()
+        // Step 3(c): solve P(Δ̄/2β, β, C) on each active subgraph. The
+        // classes of one wave are mutually non-adjacent, so their solves
+        // are independent branches; results come back in class order.
+        let weights: Vec<usize> = prepared
             .iter()
-            .map(|pe| x_coloring[pe.index()])
+            .map(|p| p.sub_inst.graph().num_edges())
             .collect();
-        let (sub_colors, sub_cost) = inner(&sub_inst, &sub_x);
-        debug_assert!(
-            sub_inst
-                .check_solution(&deco_graph::coloring::EdgeColoring::from_complete(
-                    sub_colors.clone()
-                ))
-                .is_ok(),
-            "inner solver returned an invalid coloring"
-        );
-        for (idx, &pe) in sub.edge_map().iter().enumerate() {
-            colors[pe.index()] = Some(sub_colors[idx]);
+        let results = executor.execute_branches(&weights, |k| {
+            let p = &prepared[k];
+            inner(&p.sub_inst, &p.sub_x)
+        });
+        for (p, result) in prepared.iter().zip(results) {
+            let branch = result?;
+            debug_assert!(
+                p.sub_inst
+                    .check_solution(&deco_graph::coloring::EdgeColoring::from_complete(
+                        branch.colors.clone()
+                    ))
+                    .is_ok(),
+                "inner solver returned an invalid coloring"
+            );
+            for (idx, &pe) in p.edge_map.iter().enumerate() {
+                colors[pe.index()] = Some(branch.colors[idx]);
+            }
+            class_stats[p.bucket] = Some(branch.stats);
+            class_costs[p.bucket] = Some(CostNode::seq(
+                format!("class {}: learn + solve slack-β", p.class),
+                vec![CostNode::leaf("learn neighbor colors", 1), branch.cost],
+            ));
         }
-        stats.colored += active.len();
-        class_costs.push(CostNode::seq(
-            format!("class {class}: learn + solve slack-β"),
-            vec![CostNode::leaf("learn neighbor colors", 1), sub_cost],
-        ));
+    }
+
+    // Merge the inner recursion stats in class order (deterministic; every
+    // field is commutative, so this equals any execution order).
+    let mut inner_stats = SolveStats::default();
+    for s in class_stats.into_iter().flatten() {
+        inner_stats.merge(&s);
     }
 
     debug_assert!(
@@ -177,14 +293,19 @@ pub fn sweep(
     let cost = CostNode::seq(
         format!("lemma-4.2 sweep(β={beta})"),
         std::iter::once(defective.cost.clone())
-            .chain(class_costs)
+            .chain(
+                class_costs
+                    .into_iter()
+                    .map(|c| c.expect("every nonempty class produced a cost node")),
+            )
             .collect(),
     );
-    SweepOutcome {
+    Ok(SweepOutcome {
         colors,
         cost,
         stats,
-    }
+        inner_stats,
+    })
 }
 
 /// Residual instance after a sweep: the uncolored subgraph with lists
@@ -261,7 +382,7 @@ mod tests {
 
     /// An inner "solver" that greedily colors the slack-β instance — valid
     /// for tests because slack > β ≥ 1 implies (deg+1)-lists.
-    fn greedy_inner(inst: &ListInstance, _x: &[u32]) -> (Vec<Color>, CostNode) {
+    fn greedy_inner(inst: &ListInstance, _x: &[u32]) -> Result<SolveBranch, SolveError> {
         let lists: Vec<Vec<Color>> = inst.lists().iter().map(|l| l.as_slice().to_vec()).collect();
         let coloring = deco_algos::greedy::greedy_list_edge_coloring(
             inst.graph(),
@@ -274,15 +395,27 @@ mod tests {
             .edges()
             .map(|e| coloring.get(e).unwrap())
             .collect();
-        (colors, CostNode::leaf("greedy-inner", 1))
+        Ok(SolveBranch {
+            colors,
+            cost: CostNode::leaf("greedy-inner", 1),
+            stats: SolveStats {
+                base_cases: 1,
+                ..SolveStats::default()
+            },
+        })
     }
+
+    use deco_local::SerialExecutor;
 
     #[test]
     fn sweep_colors_edges_and_respects_invariants() {
         let g = generators::random_regular(30, 6, 1);
         let inst = instance::two_delta_minus_one(&g);
         let (xc, xp) = x_for(&g);
-        let out = sweep(&inst, &xc, xp, 1, &mut greedy_inner);
+        let out = sweep(&inst, &xc, xp, 1, &SerialExecutor, &greedy_inner).unwrap();
+        // Inner stats merged once per class that reached the inner solver.
+        assert!(out.inner_stats.base_cases > 0);
+        assert!(out.inner_stats.base_cases <= out.stats.classes_nonempty);
         assert!(out.stats.colored > 0, "a sweep must make progress");
         assert!(out.stats.min_active_slack > 1.0);
         assert_eq!(out.stats.classes_total, u64::from(defective_palette(1)));
@@ -299,7 +432,7 @@ mod tests {
         let g = generators::random_regular(40, 8, 2);
         let inst = instance::two_delta_minus_one(&g);
         let (xc, xp) = x_for(&g);
-        let out = sweep(&inst, &xc, xp, 1, &mut greedy_inner);
+        let out = sweep(&inst, &xc, xp, 1, &SerialExecutor, &greedy_inner).unwrap();
         let res = residual_after_sweep(&inst, &xc, &out.colors);
         let dbar = inst.max_edge_degree();
         assert!(
@@ -319,7 +452,7 @@ mod tests {
         let mut maps: Vec<EdgeId> = g.edges().collect();
         let mut sweeps = 0;
         while inst.graph().num_edges() > 0 {
-            let out = sweep(&inst, &xc, xp, 1, &mut greedy_inner);
+            let out = sweep(&inst, &xc, xp, 1, &SerialExecutor, &greedy_inner).unwrap();
             for (local, &orig) in maps.iter().enumerate() {
                 if let Some(c) = out.colors[local] {
                     final_colors[orig.index()] = Some(c);
@@ -340,11 +473,90 @@ mod tests {
             .expect("complete proper list coloring");
     }
 
+    /// Reference oracle: the historical strictly-sequential class-order
+    /// iteration, reimplemented verbatim. The wavefront schedule must
+    /// reproduce its colors exactly.
+    fn serial_class_order_sweep(
+        inst: &ListInstance,
+        beta: u32,
+        x_coloring: &[u32],
+        x_palette: u32,
+    ) -> Vec<Option<Color>> {
+        let g = inst.graph();
+        let defective = defective_edge_coloring(g, beta, x_coloring, x_palette);
+        let mut buckets: std::collections::BTreeMap<u32, Vec<EdgeId>> =
+            std::collections::BTreeMap::new();
+        for e in g.edges() {
+            buckets
+                .entry(defective.colors[e.index()])
+                .or_default()
+                .push(e);
+        }
+        let mut colors: Vec<Option<Color>> = vec![None; g.num_edges()];
+        for members in buckets.values() {
+            let mut active: Vec<EdgeId> = Vec::new();
+            let mut active_lists: Vec<ColorList> = Vec::new();
+            for &e in members {
+                let mut list = inst.list(e).clone();
+                let used: Vec<Color> = g
+                    .edge_neighbors(e)
+                    .filter_map(|f| colors[f.index()])
+                    .collect();
+                list.remove_all(&used);
+                if list.len() as f64 > g.edge_degree(e) as f64 / 2.0 {
+                    active.push(e);
+                    active_lists.push(list);
+                }
+            }
+            if active.is_empty() {
+                continue;
+            }
+            let sub = EdgeSubgraph::from_edge_ids(g, &active);
+            let sub_inst =
+                ListInstance::new_unchecked(sub.graph().clone(), active_lists, inst.palette());
+            let sub_x: Vec<u32> = sub
+                .edge_map()
+                .iter()
+                .map(|pe| x_coloring[pe.index()])
+                .collect();
+            let branch = greedy_inner(&sub_inst, &sub_x).unwrap();
+            for (idx, &pe) in sub.edge_map().iter().enumerate() {
+                colors[pe.index()] = Some(branch.colors[idx]);
+            }
+        }
+        colors
+    }
+
+    #[test]
+    fn wavefront_schedule_matches_serial_class_order() {
+        for (g, beta) in [
+            (generators::random_regular(40, 8, 5), 1u32),
+            (generators::gnp(50, 0.15, 6), 1),
+            (generators::gnp(50, 0.15, 6), 2),
+            (generators::complete(12), 1),
+            // Disconnected: two clusters give genuinely independent classes,
+            // so waves really do hold more than one class.
+            (
+                {
+                    let a = generators::random_regular(20, 4, 7);
+                    generators::disjoint_union(&[a.clone(), a])
+                },
+                1,
+            ),
+        ] {
+            let inst = instance::two_delta_minus_one(&g);
+            let (xc, xp) = x_for(&g);
+            let out = sweep(&inst, &xc, xp, beta, &SerialExecutor, &greedy_inner).unwrap();
+            let oracle = serial_class_order_sweep(&inst, beta, &xc, xp);
+            assert_eq!(out.colors, oracle, "wavefront must be invisible");
+        }
+    }
+
     #[test]
     fn sweep_on_empty_graph() {
         let g = deco_graph::Graph::empty(3);
         let inst = instance::two_delta_minus_one(&g);
-        let out = sweep(&inst, &[], 2, 1, &mut greedy_inner);
+        let out = sweep(&inst, &[], 2, 1, &SerialExecutor, &greedy_inner).unwrap();
         assert_eq!(out.stats.classes_nonempty, 0);
         assert_eq!(out.colors.len(), 0);
     }

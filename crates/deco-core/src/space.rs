@@ -30,6 +30,7 @@
 
 use crate::instance::ListInstance;
 use crate::lists::{level_of, ColorList, LevelInfo, SubspacePartition};
+use crate::solver::SolveError;
 use deco_graph::coloring::Color;
 use deco_graph::{EdgeId, EdgeSubgraph, Graph, GraphBuilder, NodeId};
 use deco_local::math::{floor_log2, harmonic};
@@ -38,8 +39,11 @@ use std::collections::HashMap;
 
 /// Solver callback for the small recursive assignment instances
 /// ((deg+1)-list edge coloring with palette ≤ 2p). Receives the instance and
-/// its restricted initial `X`-edge-coloring.
-pub type AssignSolver<'a> = dyn FnMut(&ListInstance, &[u32]) -> (Vec<Color>, CostNode) + 'a;
+/// its restricted initial `X`-edge-coloring. The assignment phases are
+/// inherently sequential (phase ℓ reads the assignments of phases < ℓ), so
+/// this stays a single-threaded `FnMut`; errors abort the reduction.
+pub type AssignSolver<'a> =
+    dyn FnMut(&ListInstance, &[u32]) -> Result<(Vec<Color>, CostNode), SolveError> + 'a;
 
 /// One per-subspace residual instance produced by the reduction.
 #[derive(Debug, Clone)]
@@ -98,6 +102,10 @@ pub struct SpaceReduction {
 /// graphs and the `E⁽²⁾` subgraph); all have maximum edge degree ≤ `2p−1`
 /// and palette ≤ `2p`.
 ///
+/// # Errors
+///
+/// Propagates the first `assign_solver` error.
+///
 /// # Panics
 ///
 /// Panics if a proven invariant fails (`|J_e| ≥ 2^{ℓ−1}`, virtual instances
@@ -107,7 +115,7 @@ pub fn reduce_color_space(
     p: u32,
     x_coloring: &[u32],
     assign_solver: &mut AssignSolver<'_>,
-) -> SpaceReduction {
+) -> Result<SpaceReduction, SolveError> {
     let g = inst.graph();
     let m = g.num_edges();
     let partition = SubspacePartition::new(inst.palette(), p);
@@ -212,7 +220,7 @@ pub fn reduce_color_space(
             .validate_slack(1.0)
             .expect("virtual instance must be a (deg+1)-list instance");
         let vx: Vec<u32> = active.iter().map(|e| x_coloring[e.index()]).collect();
-        let (vcolors, vcost) = assign_solver(&vinst, &vx);
+        let (vcolors, vcost) = assign_solver(&vinst, &vx)?;
         debug_assert!(
             vinst
                 .check_solution(&deco_graph::coloring::EdgeColoring::from_complete(
@@ -258,7 +266,7 @@ pub fn reduce_color_space(
             .validate_slack(1.0)
             .expect("E(2) instance must be a (deg+1)-list instance");
         let x2: Vec<u32> = e2.iter().map(|e| x_coloring[e.index()]).collect();
-        let (colors2, cost2) = assign_solver(&inst2, &x2);
+        let (colors2, cost2) = assign_solver(&inst2, &x2)?;
         for (idx, &e) in e2.iter().enumerate() {
             assignment[e.index()] = Some(colors2[idx]);
         }
@@ -336,12 +344,12 @@ pub fn reduce_color_space(
     }
 
     let cost = CostNode::seq(format!("lemma-4.3 space reduction(p={p})"), cost_children);
-    SpaceReduction {
+    Ok(SpaceReduction {
         assignment,
         sub_instances,
         cost,
         stats,
-    }
+    })
 }
 
 /// Builds the phase-ℓ virtual graph: nodes are (real node, group) pairs
@@ -389,7 +397,10 @@ mod tests {
 
     /// Greedy assignment solver — valid because the recursive instances are
     /// (deg+1)-list instances.
-    fn greedy_assign(inst: &ListInstance, _x: &[u32]) -> (Vec<Color>, CostNode) {
+    fn greedy_assign(
+        inst: &ListInstance,
+        _x: &[u32],
+    ) -> Result<(Vec<Color>, CostNode), SolveError> {
         let lists: Vec<Vec<Color>> = inst.lists().iter().map(|l| l.as_slice().to_vec()).collect();
         let coloring =
             greedy::greedy_list_edge_coloring(inst.graph(), &lists, greedy::EdgeOrder::ById)
@@ -399,7 +410,7 @@ mod tests {
             .edges()
             .map(|e| coloring.get(e).unwrap())
             .collect();
-        (colors, CostNode::leaf("greedy-assign", 1))
+        Ok((colors, CostNode::leaf("greedy-assign", 1)))
     }
 
     fn x_for(g: &Graph) -> Vec<u32> {
@@ -414,7 +425,7 @@ mod tests {
         // Plenty of slack so the sub-instances stay feasible.
         let inst = instance::random_with_slack(&g, 4000, 60.0, 2);
         let x = x_for(&g);
-        let red = reduce_color_space(&inst, 4, &x, &mut greedy_assign);
+        let red = reduce_color_space(&inst, 4, &x, &mut greedy_assign).unwrap();
         assert_eq!(red.assignment.len(), g.num_edges());
         assert!(red.stats.eq2_max_ratio <= red.stats.eq2_bound);
         // Every edge appears in exactly one sub-instance.
@@ -427,7 +438,7 @@ mod tests {
         let g = generators::complete(10);
         let inst = instance::random_with_slack(&g, 2000, 40.0, 3);
         let x = x_for(&g);
-        let red = reduce_color_space(&inst, 4, &x, &mut greedy_assign);
+        let red = reduce_color_space(&inst, 4, &x, &mut greedy_assign).unwrap();
         let partition = SubspacePartition::new(inst.palette(), 4);
         for sub in &red.sub_instances {
             let (lo, hi) = partition.range(sub.subspace);
@@ -452,7 +463,7 @@ mod tests {
         let required = 24.0 * harmonic(u64::from(q)) * (f64::from(p)).log2();
         let inst = instance::random_with_slack(&g, 3000, required + 1.0, 7);
         let x = x_for(&g);
-        let red = reduce_color_space(&inst, p, &x, &mut greedy_assign);
+        let red = reduce_color_space(&inst, p, &x, &mut greedy_assign).unwrap();
         for sub in &red.sub_instances {
             sub.instance
                 .validate_slack(1.0)
@@ -465,7 +476,7 @@ mod tests {
         let g = generators::gnp(30, 0.3, 9);
         let inst = instance::random_with_slack(&g, 5000, 80.0, 11);
         let x = x_for(&g);
-        let red = reduce_color_space(&inst, 5, &x, &mut greedy_assign);
+        let red = reduce_color_space(&inst, 5, &x, &mut greedy_assign).unwrap();
         let partition = SubspacePartition::new(inst.palette(), 5);
         for e in g.edges() {
             let (lo, hi) = partition.range(red.assignment[e.index()]);
@@ -495,7 +506,7 @@ mod tests {
         let g = generators::complete(18);
         let inst = instance::random_with_slack(&g, 16384, 330.0, 21);
         let x = x_for(&g);
-        let red = reduce_color_space(&inst, 16, &x, &mut greedy_assign);
+        let red = reduce_color_space(&inst, 16, &x, &mut greedy_assign).unwrap();
         assert!(
             red.stats.e1_edges > 0,
             "E(1) must be nonempty: {:?}",
@@ -518,7 +529,7 @@ mod tests {
         let g = generators::path(5);
         let inst = instance::two_delta_minus_one(&g); // palette 3
         let x = x_for(&g);
-        let red = reduce_color_space(&inst, 3, &x, &mut greedy_assign);
+        let red = reduce_color_space(&inst, 3, &x, &mut greedy_assign).unwrap();
         assert_eq!(red.stats.q, 3);
         // With singleton subspaces, Eq. (2) still holds (trivially bounded).
         assert!(red.stats.eq2_max_ratio <= red.stats.eq2_bound);

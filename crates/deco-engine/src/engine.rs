@@ -69,6 +69,33 @@ impl ParallelExecutor {
         ParallelExecutor { threads }
     }
 
+    /// Reads the thread count from the `DECO_ENGINE_THREADS` environment
+    /// variable (unset, empty, or `0` means [`ParallelExecutor::auto`]).
+    /// This is how CI pins the engine to 1/2/4 threads across its test
+    /// matrix without touching test code.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the variable is set to something that is not a number —
+    /// a typo must not silently un-pin the thread matrix.
+    pub fn from_env() -> ParallelExecutor {
+        let Ok(raw) = std::env::var("DECO_ENGINE_THREADS") else {
+            return ParallelExecutor::auto();
+        };
+        let raw = raw.trim();
+        if raw.is_empty() {
+            return ParallelExecutor::auto();
+        }
+        let threads: usize = raw
+            .parse()
+            .unwrap_or_else(|_| panic!("DECO_ENGINE_THREADS must be a number, got {raw:?}"));
+        if threads == 0 {
+            ParallelExecutor::auto()
+        } else {
+            ParallelExecutor::with_threads(threads)
+        }
+    }
+
     fn effective_threads(&self, slots: usize, n: usize) -> usize {
         if self.threads != 0 {
             return self.threads.min(n.max(1));
@@ -153,6 +180,52 @@ impl Executor for ParallelExecutor {
             rounds,
             messages,
         })
+    }
+
+    /// Branch fan-out on scoped worker threads: branches are packed into
+    /// contiguous weight-balanced ranges ([`split_by_weight`]) and each
+    /// range runs on its own thread, writing results into its disjoint
+    /// chunk of the index-ordered result vector. Assembly by index makes
+    /// the output independent of scheduling, so this is observationally
+    /// identical to the serial default for every thread count. Branches may
+    /// recurse into the executor (nested scopes are fine); an explicit
+    /// [`ParallelExecutor::with_threads`] request is honored even for tiny
+    /// batches so tests can force the threaded path.
+    fn execute_branches<T, F>(&self, weights: &[usize], run: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(usize) -> T + Sync,
+    {
+        let n = weights.len();
+        if n <= 1 {
+            return (0..n).map(run).collect();
+        }
+        let total: usize = weights.iter().sum();
+        let threads = self.effective_threads(total, n);
+        let ranges = split_by_weight(weights, threads);
+        if ranges.len() <= 1 {
+            return (0..n).map(run).collect();
+        }
+        let mut results: Vec<Option<T>> = Vec::with_capacity(n);
+        results.resize_with(n, || None);
+        std::thread::scope(|scope| {
+            for (range, chunk) in ranges
+                .iter()
+                .zip(split_mut_by_ranges(&mut results, &ranges))
+            {
+                let run = &run;
+                let range = range.clone();
+                scope.spawn(move || {
+                    for (slot, i) in chunk.iter_mut().zip(range) {
+                        *slot = Some(run(i));
+                    }
+                });
+            }
+        });
+        results
+            .into_iter()
+            .map(|r| r.expect("every branch in a range is executed"))
+            .collect()
     }
 }
 
@@ -375,5 +448,46 @@ mod tests {
     #[should_panic(expected = "positive")]
     fn zero_threads_rejected() {
         let _ = ParallelExecutor::with_threads(0);
+    }
+
+    #[test]
+    fn branch_execution_matches_serial_default() {
+        let weights: Vec<usize> = (0..37).map(|i| (i * 13) % 7 + 1).collect();
+        let job = |i: usize| (i, (i as u64) * (i as u64) % 101);
+        let serial = SerialExecutor.execute_branches(&weights, job);
+        for threads in [1, 2, 3, 8, 64] {
+            let par = ParallelExecutor::with_threads(threads).execute_branches(&weights, job);
+            assert_eq!(serial, par, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn branch_execution_recurses_through_nested_scopes() {
+        // Each outer branch fans out again on the same executor; results
+        // must still come back in index order at both levels.
+        let exec = ParallelExecutor::with_threads(3);
+        let outer = exec.execute_branches(&[1, 1, 1, 1], |i| {
+            let inner = exec.execute_branches(&[1, 1, 1], |j| i * 10 + j);
+            inner.iter().sum::<usize>()
+        });
+        assert_eq!(outer, vec![3, 33, 63, 93]);
+    }
+
+    #[test]
+    fn branch_execution_handles_empty_and_singleton() {
+        let exec = ParallelExecutor::with_threads(4);
+        let empty: Vec<u32> = exec.execute_branches(&[], |_| unreachable!());
+        assert!(empty.is_empty());
+        assert_eq!(exec.execute_branches(&[5], |i| i + 1), vec![1]);
+    }
+
+    #[test]
+    fn from_env_defaults_to_auto() {
+        // The test environment does not set the variable, so from_env()
+        // must fall back to auto. (Value-driven behavior is covered by the
+        // CI matrix, which exports DECO_ENGINE_THREADS=1/2/4.)
+        if std::env::var("DECO_ENGINE_THREADS").is_err() {
+            assert_eq!(ParallelExecutor::from_env(), ParallelExecutor::auto());
+        }
     }
 }

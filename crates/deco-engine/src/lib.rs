@@ -7,11 +7,13 @@
 //!   mirror table: O(1) message delivery, zero per-round allocation,
 //!   double-buffered across rounds.
 //! * [`engine`] — [`ParallelExecutor`], which runs the send and receive
-//!   phases across scoped threads over degree-balanced node ranges.
-//!   Parallelism is observationally invisible: outputs, round counts,
-//!   message counts, and errors are identical to the serial runner for
-//!   every protocol, network, and thread count (enforced by the
-//!   differential suite in `tests/`).
+//!   phases across scoped threads over degree-balanced node ranges, and
+//!   fans out callers' independent branch computations (the Theorem 4.1
+//!   solver's parallel recursion) the same way via
+//!   [`Executor::execute_branches`]. Parallelism is observationally
+//!   invisible: outputs, round counts, message counts, and errors are
+//!   identical to the serial runner for every protocol, network, and
+//!   thread count (enforced by the differential suite in `tests/`).
 //! * [`scenario`] — the scenario matrix: graph families × sizes ×
 //!   ID-assignment flavors enumerated from one base seed, with per-scenario
 //!   named RNG streams (ixa-style), so sweeps and benchmarks share one

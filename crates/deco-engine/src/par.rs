@@ -18,9 +18,12 @@
 use std::ops::Range;
 
 /// Splits `0..weights.len()` into at most `parts` contiguous ranges whose
-/// weight sums are approximately balanced (each range closes once it
-/// reaches `ceil(total/parts)`). Empty ranges are never produced; fewer
-/// than `parts` ranges are returned when items run out.
+/// weight sums are approximately balanced. The per-range target is
+/// recomputed from the *remaining* weight each time a range closes: a heavy
+/// head that blows far past the initial `ceil(total/parts)` therefore does
+/// not starve the tail — the leftover items are still spread evenly over
+/// the leftover parts. Empty ranges are never produced; fewer than `parts`
+/// ranges are returned when items run out.
 ///
 /// Deterministic: depends only on `weights` and `parts`.
 pub fn split_by_weight(weights: &[usize], parts: usize) -> Vec<Range<usize>> {
@@ -32,9 +35,9 @@ pub fn split_by_weight(weights: &[usize], parts: usize) -> Vec<Range<usize>> {
     if parts == 1 {
         return std::iter::once(0..n).collect();
     }
-    let total: usize = weights.iter().sum();
     // +n: count each item once so zero-weight nodes still spread out.
-    let target = (total + n).div_ceil(parts);
+    let mut remaining: usize = weights.iter().sum::<usize>() + n;
+    let mut target = remaining.div_ceil(parts);
     let mut ranges = Vec::with_capacity(parts);
     let mut start = 0usize;
     let mut acc = 0usize;
@@ -45,7 +48,9 @@ pub fn split_by_weight(weights: &[usize], parts: usize) -> Vec<Range<usize>> {
         if !is_last_part && acc >= target {
             ranges.push(start..i + 1);
             start = i + 1;
+            remaining -= acc.min(remaining);
             acc = 0;
+            target = remaining.div_ceil(remaining_parts - 1);
         }
     }
     if start < n {
@@ -108,6 +113,26 @@ mod tests {
         let ranges = split_by_weight(&weights, 4);
         assert!(ranges.len() >= 2, "skewed weights still split: {ranges:?}");
         assert_eq!(ranges[0], 0..1, "heavy head isolated");
+    }
+
+    #[test]
+    fn split_rebalances_tail_after_heavy_head() {
+        // Regression: with a fixed target computed once from the total, a
+        // heavy head consumed most of the budget in range 0 and the entire
+        // tail collapsed into one final range holding far more than
+        // total/parts. The target must re-adapt to the remaining weight.
+        let mut weights = vec![1usize; 99];
+        weights.insert(0, 10_000);
+        let ranges = split_by_weight(&weights, 4);
+        assert_eq!(ranges.len(), 4, "tail must still split: {ranges:?}");
+        assert_eq!(ranges[0], 0..1, "heavy head isolated");
+        for r in &ranges[1..] {
+            let size = r.end - r.start;
+            assert!(
+                (30..=36).contains(&size),
+                "tail ranges must share the 99 unit items evenly: {ranges:?}"
+            );
+        }
     }
 
     #[test]

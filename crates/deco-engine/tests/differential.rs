@@ -39,15 +39,22 @@ where
     <P::Program as NodeProgram>::Output: Send + PartialEq + std::fmt::Debug,
 {
     let serial = SerialExecutor.execute(net, protocol, max_rounds);
-    for threads in THREAD_COUNTS {
-        let engine = ParallelExecutor::with_threads(threads).execute(net, protocol, max_rounds);
+    // Fixed thread counts plus the CI-pinned executor (DECO_ENGINE_THREADS;
+    // auto when unset), so the workflow's thread matrix reaches every run.
+    let mut executors: Vec<(String, ParallelExecutor)> = THREAD_COUNTS
+        .iter()
+        .map(|&t| (format!("t={t}"), ParallelExecutor::with_threads(t)))
+        .collect();
+    executors.push(("env".to_string(), ParallelExecutor::from_env()));
+    for (label, exec) in executors {
+        let engine = exec.execute(net, protocol, max_rounds);
         match (&serial, &engine) {
-            (Ok(s), Ok(e)) => assert_identical(&format!("{name} t={threads}"), s, e),
+            (Ok(s), Ok(e)) => assert_identical(&format!("{name} {label}"), s, e),
             (Err(se), Err(ee)) => {
-                assert_eq!(se, ee, "[{name} t={threads}] errors diverge")
+                assert_eq!(se, ee, "[{name} {label}] errors diverge")
             }
             (s, e) => panic!(
-                "[{name} t={threads}] one executor failed: serial ok={} engine ok={}",
+                "[{name} {label}] one executor failed: serial ok={} engine ok={}",
                 s.is_ok(),
                 e.is_ok()
             ),

@@ -26,7 +26,7 @@ pub enum Compose {
 }
 
 /// A node in the round-cost tree of an algorithm execution.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CostNode {
     /// Human-readable label ("defective-coloring", "phase 4", …).
     pub label: String,

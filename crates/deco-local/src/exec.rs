@@ -13,12 +13,24 @@
 //! The trait bounds (`Send`/`Sync` on programs, messages, and outputs) are
 //! what a multi-threaded executor fundamentally needs; every protocol in
 //! this workspace satisfies them for free since programs are plain data.
+//!
+//! Besides protocol execution, an [`Executor`] also decides how a caller's
+//! *logically parallel branches* run ([`Executor::execute_branches`]): the
+//! Theorem 4.1 solver's per-subspace residuals and per-class slack-β solves
+//! are independent sub-computations composed with `CostNode::par`, and the
+//! executor may fan them out over worker threads. The contract is the same
+//! as for protocols: results are returned in branch order, so parallelism
+//! is observationally invisible.
 
 use crate::network::Network;
 use crate::runner::{self, NodeProgram, Protocol, RunError, RunOutcome};
 
-/// A strategy for running a [`Protocol`] to completion on a [`Network`].
-pub trait Executor {
+/// A strategy for running a [`Protocol`] to completion on a [`Network`],
+/// and for executing batches of independent branch computations.
+///
+/// Executors are shared by reference across the worker threads they spawn
+/// (branches recurse into the same executor), hence the `Sync` bound.
+pub trait Executor: Sync {
     /// Runs `protocol` on `net` until every node halts or `max_rounds` is
     /// hit. Must be observationally identical to [`runner::run`].
     ///
@@ -37,6 +49,26 @@ pub trait Executor {
         P::Program: Send,
         <P::Program as NodeProgram>::Msg: Send + Sync,
         <P::Program as NodeProgram>::Output: Send;
+
+    /// Runs the independent branch computations `0..weights.len()`, where
+    /// `run(i)` produces branch `i`'s result, and returns the results **in
+    /// branch order**. `weights[i]` estimates branch `i`'s work (e.g. its
+    /// sub-instance edge count) so a threaded implementation can balance
+    /// worker loads; it must not influence any result.
+    ///
+    /// The branches must be mutually independent (no branch reads state
+    /// another branch writes). Implementations may run them in any order or
+    /// concurrently, but the returned vector is always index-ordered, so a
+    /// caller that merges results sequentially observes exactly the serial
+    /// execution. The default implementation runs the branches serially in
+    /// index order.
+    fn execute_branches<T, F>(&self, weights: &[usize], run: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(usize) -> T + Sync,
+    {
+        (0..weights.len()).map(run).collect()
+    }
 }
 
 /// The reference executor: delegates to the serial [`runner::run`] loop.
@@ -100,6 +132,15 @@ mod tests {
                 done: false,
             }
         }
+    }
+
+    #[test]
+    fn default_branch_execution_is_index_ordered() {
+        let weights = vec![3usize, 1, 4, 1, 5];
+        let out = SerialExecutor.execute_branches(&weights, |i| i * 10);
+        assert_eq!(out, vec![0, 10, 20, 30, 40]);
+        let empty: Vec<usize> = SerialExecutor.execute_branches(&[], |i| i);
+        assert!(empty.is_empty());
     }
 
     #[test]

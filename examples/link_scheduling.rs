@@ -34,7 +34,8 @@ fn main() {
     let ids: Vec<u64> = (1..=net.num_nodes() as u64).collect();
     println!("mesh network: {net}");
 
-    let result = solve_two_delta_minus_one(&net, &ids, SolverConfig::default());
+    let result =
+        solve_two_delta_minus_one(&net, &ids, SolverConfig::default()).expect("solver succeeds");
     let slots = result.coloring.max_color().map_or(0, |c| c + 1);
     println!(
         "TDMA schedule: {} links in {} slots (bound 2Δ−1 = {})",

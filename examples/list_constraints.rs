@@ -59,7 +59,7 @@ fn main() {
     )
     .expect("lists are (deg+1)-feasible by construction");
 
-    let result = solve_pipeline(&g, inst, &ids, SolverConfig::default());
+    let result = solve_pipeline(&g, inst, &ids, SolverConfig::default()).expect("solver succeeds");
     println!(
         "assigned channels to {} links in {} adaptive rounds; {} distinct channels used",
         g.num_edges(),

@@ -14,7 +14,8 @@ fn main() {
 
     // End-to-end pipeline: Linial's O(Δ̄²) initial edge coloring in
     // O(log* n) rounds, then the Balliu–Kuhn–Olivetti solver.
-    let result = solve_two_delta_minus_one(&g, &ids, SolverConfig::default());
+    let result =
+        solve_two_delta_minus_one(&g, &ids, SolverConfig::default()).expect("solver succeeds");
 
     let bound = 2 * g.max_degree() - 1;
     println!(

@@ -22,7 +22,8 @@ fn main() {
         demand.max_degree()
     );
 
-    let result = solve_two_delta_minus_one(&demand, &ids, SolverConfig::default());
+    let result =
+        solve_two_delta_minus_one(&demand, &ids, SolverConfig::default()).expect("solver succeeds");
     let cells = result.coloring.max_color().map_or(0, |c| c + 1) as usize;
     println!(
         "schedule: {} cell times (edge coloring bound 2Δ−1 = {}; Kőnig/Vizing \

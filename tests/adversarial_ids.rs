@@ -48,7 +48,8 @@ fn solver_under_adversarial_ids() {
     for assignment in ASSIGNMENTS {
         let net = Network::new(&g, assignment);
         let ids = net.ids().to_vec();
-        let res = solve_two_delta_minus_one(&g, &ids, SolverConfig::default());
+        let res =
+            solve_two_delta_minus_one(&g, &ids, SolverConfig::default()).expect("solver succeeds");
         coloring::check_edge_coloring(&g, &res.coloring).expect("proper");
         assert!(res.coloring.distinct_colors() < 2 * 9);
     }
@@ -74,8 +75,10 @@ fn relabeled_graph_still_solves() {
     let perm = generators::random_permutation(50, 9);
     let h = generators::relabel(&g, &perm);
     let ids: Vec<u64> = (1..=50).collect();
-    let res_g = solve_two_delta_minus_one(&g, &ids, SolverConfig::default());
-    let res_h = solve_two_delta_minus_one(&h, &ids, SolverConfig::default());
+    let res_g =
+        solve_two_delta_minus_one(&g, &ids, SolverConfig::default()).expect("solver succeeds");
+    let res_h =
+        solve_two_delta_minus_one(&h, &ids, SolverConfig::default()).expect("solver succeeds");
     coloring::check_edge_coloring(&g, &res_g.coloring).expect("proper on g");
     coloring::check_edge_coloring(&h, &res_h.coloring).expect("proper on h");
 }

@@ -11,7 +11,7 @@ fn ids(g: &Graph) -> Vec<u64> {
 }
 
 fn check_2d1(g: &Graph, cfg: SolverConfig) {
-    let res = solve_two_delta_minus_one(g, &ids(g), cfg);
+    let res = solve_two_delta_minus_one(g, &ids(g), cfg).expect("solver succeeds");
     assert!(res.coloring.is_complete());
     deco::graph::coloring::check_edge_coloring(g, &res.coloring).expect("proper");
     if g.num_edges() > 0 {
@@ -80,7 +80,8 @@ fn faithful_parameters_small_graphs() {
 fn faithful_rounds_within_scheduled_budget() {
     use deco::core_alg::budget::{BudgetEvaluator, BudgetParams};
     let g = generators::random_regular(60, 12, 11);
-    let res = solve_two_delta_minus_one(&g, &ids(&g), SolverConfig::faithful(1.0));
+    let res = solve_two_delta_minus_one(&g, &ids(&g), SolverConfig::faithful(1.0))
+        .expect("solver succeeds");
     let mut ev = BudgetEvaluator::new(BudgetParams::default());
     let budget = ev.t_deg1(g.max_edge_degree() as f64, (2 * g.max_degree() - 1) as f64);
     let actual = res.solution.cost.actual_rounds() as f64;
@@ -100,7 +101,8 @@ fn tight_deg_plus_one_lists() {
             continue;
         }
         let inst = instance::random_deg_plus_one(&g, g.max_edge_degree() as u32 + 1, seed);
-        let res = solve_pipeline(&g, inst.clone(), &ids(&g), SolverConfig::default());
+        let res = solve_pipeline(&g, inst.clone(), &ids(&g), SolverConfig::default())
+            .expect("solver succeeds");
         inst.check_solution(&res.coloring)
             .expect("valid list coloring");
     }
@@ -126,12 +128,14 @@ fn rounds_scale_with_degree_not_n() {
     // log* n term); this is the locality promise of the whole construction.
     let r_small = {
         let g = generators::random_regular(64, 6, 13);
-        let res = solve_two_delta_minus_one(&g, &ids(&g), SolverConfig::default());
+        let res = solve_two_delta_minus_one(&g, &ids(&g), SolverConfig::default())
+            .expect("solver succeeds");
         res.x_rounds + res.solution.cost.actual_rounds()
     };
     let r_large = {
         let g = generators::random_regular(1024, 6, 14);
-        let res = solve_two_delta_minus_one(&g, &ids(&g), SolverConfig::default());
+        let res = solve_two_delta_minus_one(&g, &ids(&g), SolverConfig::default())
+            .expect("solver succeeds");
         res.x_rounds + res.solution.cost.actual_rounds()
     };
     assert!(
@@ -143,7 +147,8 @@ fn rounds_scale_with_degree_not_n() {
 #[test]
 fn solver_stats_are_coherent() {
     let g = generators::random_regular(80, 14, 15);
-    let res = solve_two_delta_minus_one(&g, &ids(&g), SolverConfig::default());
+    let res =
+        solve_two_delta_minus_one(&g, &ids(&g), SolverConfig::default()).expect("solver succeeds");
     let s = &res.solution.stats;
     assert!(s.sweeps >= 1);
     assert!(s.classes_nonempty <= s.classes_total);

@@ -45,7 +45,8 @@ fn solver_always_produces_valid_list_colorings() {
         let palette = g.max_edge_degree() as u32 + 1 + (seed % 7) as u32;
         let inst = instance::random_deg_plus_one(&g, palette, seed);
         let ids: Vec<u64> = (1..=g.num_nodes() as u64).collect();
-        let res = solve_pipeline(&g, inst.clone(), &ids, SolverConfig::default());
+        let res = solve_pipeline(&g, inst.clone(), &ids, SolverConfig::default())
+            .expect("solver succeeds");
         assert!(
             inst.check_solution(&res.coloring).is_ok(),
             "invalid coloring for case seed {case_seed}"

@@ -1,0 +1,186 @@
+//! Differential suite for the parallel solver recursion: running the
+//! Theorem 4.1 solver with the engine executor at 1/2/4 worker threads must
+//! be observationally identical to the serial recursion — same colors, same
+//! cost tree (round counts and structure), same merged `SolveStats` — on
+//! every scenario. Plus the structured error paths: depth overruns and
+//! residual slack shortfalls surface as values, never panics.
+
+use deco::core_alg::instance;
+use deco::core_alg::solver::{
+    solve_pipeline_with, solve_two_delta_minus_one_with, SolveError, Solver, SolverConfig,
+};
+use deco::engine::{GraphSpec, IdFlavor, ParallelExecutor, Scenario, SerialExecutor};
+use deco::graph::{generators, Graph};
+
+const THREAD_COUNTS: [usize; 3] = [1, 2, 4];
+
+fn ids(g: &Graph) -> Vec<u64> {
+    (1..=g.num_nodes() as u64).collect()
+}
+
+/// Solves `g` on the serial executor and on the engine at several thread
+/// counts (plus the CI-pinned `DECO_ENGINE_THREADS` executor) and demands
+/// identical observables.
+fn differential(name: &str, g: &Graph, cfg: SolverConfig) {
+    let node_ids = ids(g);
+    let serial =
+        solve_two_delta_minus_one_with(&SerialExecutor, g, &node_ids, cfg).expect("serial solves");
+    let mut executors: Vec<(String, ParallelExecutor)> = THREAD_COUNTS
+        .iter()
+        .map(|&t| (format!("t={t}"), ParallelExecutor::with_threads(t)))
+        .collect();
+    executors.push(("env".to_string(), ParallelExecutor::from_env()));
+    for (label, exec) in executors {
+        let par = solve_two_delta_minus_one_with(&exec, g, &node_ids, cfg)
+            .expect("parallel solver succeeds");
+        assert_eq!(
+            serial.solution.colors, par.solution.colors,
+            "[{name} {label}] colors diverge"
+        );
+        assert_eq!(
+            serial.solution.cost, par.solution.cost,
+            "[{name} {label}] cost trees diverge"
+        );
+        assert_eq!(
+            serial.solution.stats, par.solution.stats,
+            "[{name} {label}] merged stats diverge"
+        );
+        assert_eq!(
+            serial.x_rounds, par.x_rounds,
+            "[{name} {label}] pipeline rounds diverge"
+        );
+    }
+}
+
+#[test]
+fn scenario_matrix_families_match_serial() {
+    // One representative of every family the scenario matrix exercises,
+    // sized so default-config solves stay fast but non-trivial.
+    let specs = [
+        GraphSpec::RandomRegular { n: 100, d: 8 },
+        GraphSpec::RandomRegular { n: 60, d: 14 },
+        GraphSpec::Gnp { n: 90, p: 0.1 },
+        GraphSpec::PowerLaw { n: 120 },
+        GraphSpec::TwoClusters { n: 30, d: 4 },
+        GraphSpec::Complete { n: 13 },
+        GraphSpec::Cycle { n: 150 },
+        GraphSpec::Path { n: 40 },
+    ];
+    for (i, spec) in specs.into_iter().enumerate() {
+        let scenario = Scenario::new(spec, IdFlavor::Shuffled, 5 + i as u64);
+        let g = scenario.graph();
+        differential(&scenario.name, &g, SolverConfig::default());
+    }
+}
+
+#[test]
+fn strategies_and_faithful_parameters_match_serial() {
+    use deco::core_alg::solver::Strategy;
+    let g = generators::random_regular(48, 8, 21);
+    for (name, cfg) in [
+        ("faithful", SolverConfig::faithful(1.0)),
+        (
+            "kuhn20",
+            SolverConfig {
+                strategy: Strategy::Kuhn20,
+                ..SolverConfig::default()
+            },
+        ),
+        (
+            "constant-p3",
+            SolverConfig {
+                strategy: Strategy::ConstantP(3),
+                ..SolverConfig::default()
+            },
+        ),
+    ] {
+        differential(name, &g, cfg);
+    }
+}
+
+#[test]
+fn list_instance_pipeline_matches_serial() {
+    let g = generators::random_regular(40, 8, 33);
+    let inst = instance::random_deg_plus_one(&g, 3 * g.max_edge_degree() as u32, 7);
+    let node_ids = ids(&g);
+    let serial = solve_pipeline_with(
+        &SerialExecutor,
+        &g,
+        inst.clone(),
+        &node_ids,
+        SolverConfig::default(),
+    )
+    .expect("serial solves");
+    for threads in THREAD_COUNTS {
+        let par = solve_pipeline_with(
+            &ParallelExecutor::with_threads(threads),
+            &g,
+            inst.clone(),
+            &node_ids,
+            SolverConfig::default(),
+        )
+        .expect("parallel solves");
+        assert_eq!(serial.solution.colors, par.solution.colors);
+        assert_eq!(serial.solution.cost, par.solution.cost);
+        assert_eq!(serial.solution.stats, par.solution.stats);
+        inst.check_solution(&par.coloring).expect("valid coloring");
+    }
+}
+
+#[test]
+fn depth_exceeded_is_an_error_on_every_executor() {
+    let g = generators::random_regular(40, 6, 9);
+    let cfg = SolverConfig {
+        max_depth: 1,
+        ..SolverConfig::default()
+    };
+    let node_ids = ids(&g);
+    let serial_err =
+        solve_two_delta_minus_one_with(&SerialExecutor, &g, &node_ids, cfg).unwrap_err();
+    assert_eq!(serial_err, SolveError::DepthExceeded { depth: 1, limit: 1 });
+    for threads in THREAD_COUNTS {
+        let par_err = solve_two_delta_minus_one_with(
+            &ParallelExecutor::with_threads(threads),
+            &g,
+            &node_ids,
+            cfg,
+        )
+        .unwrap_err();
+        assert_eq!(serial_err, par_err, "errors diverge at t={threads}");
+    }
+}
+
+#[test]
+fn overclaimed_slack_falls_back_identically_on_every_executor() {
+    // Tight (deg+1)-lists over a huge palette + a wildly overclaimed slack:
+    // the Lemma 4.3 residuals lose feasibility, and every executor must
+    // degrade to the slack-1 path with identical output and fallback count.
+    let g = generators::random_regular(36, 12, 7);
+    let inst = instance::random_deg_plus_one(&g, 6000, 8);
+    let node_ids = ids(&g);
+    let x = deco::algos::edge_adapter::linial_edge_coloring(&g, &node_ids).unwrap();
+    let xc: Vec<u32> = g.edges().map(|e| x.coloring.get(e).unwrap()).collect();
+    let cfg = SolverConfig {
+        beta_cap: None,
+        p_cap: None,
+        small_palette: 8,
+        base_dbar: 6,
+        ..SolverConfig::default()
+    };
+    let serial = Solver::with_executor(cfg, SerialExecutor)
+        .solve_slack_instance(&inst, &xc, x.palette as u32, 1e6)
+        .expect("fallback keeps the solve alive");
+    assert!(serial.stats.slack_fallbacks > 0, "{:?}", serial.stats);
+    inst.check_solution(&deco::graph::coloring::EdgeColoring::from_complete(
+        serial.colors.clone(),
+    ))
+    .expect("valid despite fallback");
+    for threads in THREAD_COUNTS {
+        let par = Solver::with_executor(cfg, ParallelExecutor::with_threads(threads))
+            .solve_slack_instance(&inst, &xc, x.palette as u32, 1e6)
+            .expect("fallback keeps the solve alive");
+        assert_eq!(serial.colors, par.colors, "t={threads}");
+        assert_eq!(serial.cost, par.cost, "t={threads}");
+        assert_eq!(serial.stats, par.stats, "t={threads}");
+    }
+}
