@@ -9,7 +9,7 @@
 //! are avoided explicitly; later classes avoid us. Total: `X` rounds.
 //!
 //! Combined with Linial's `O(Δ̄²)`-coloring this yields the classic
-//! `O(Δ̄² + log* n)` baseline [Lin87], and — crucially for the paper — the
+//! `O(Δ̄² + log* n)` baseline \[Lin87\], and — crucially for the paper — the
 //! base case `T(O(1), S, C) = O(log* X)` used throughout Section 4: when
 //! the degree is constant, `X = O(1)` classes suffice after an `O(log* n)`
 //! initial coloring.

@@ -4,7 +4,7 @@
 //! stands on, each implemented as a real message-passing protocol on the
 //! [`deco_local`] runtime:
 //!
-//! * [`linial`] — Linial's `O(Δ²)`-coloring in `O(log* n)` rounds [Lin87],
+//! * [`linial`] — Linial's `O(Δ²)`-coloring in `O(log* n)` rounds \[Lin87\],
 //!   via polynomial cover-free set families; supplies the paper's initial
 //!   `X`-edge-coloring through [`edge_adapter::linial_edge_coloring`].
 //! * [`deg2`] — deterministic 3-coloring of disjoint paths/cycles in

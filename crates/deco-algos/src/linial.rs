@@ -1,4 +1,4 @@
-//! Linial's O(Δ²)-coloring in O(log* n) rounds [Lin87], as a real
+//! Linial's O(Δ²)-coloring in O(log* n) rounds \[Lin87\], as a real
 //! message-passing protocol.
 //!
 //! One color-reduction round maps a proper `m`-coloring to a proper

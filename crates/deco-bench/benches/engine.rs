@@ -6,8 +6,9 @@
 //! silently.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use deco_engine::protocols::{FloodMax, PortEcho};
-use deco_engine::{Executor, ParallelExecutor, SerialExecutor};
+use deco_bench::workloads;
+use deco_engine::protocols::{FloodMax, PortEcho, StaggeredSum};
+use deco_engine::{AsyncExecutor, Executor, ParallelExecutor, SerialExecutor};
 use deco_graph::generators;
 use deco_local::{IdAssignment, Network};
 
@@ -115,10 +116,58 @@ fn bench_solver_pipeline_on_engine(c: &mut Criterion) {
     group.finish();
 }
 
+/// Barrier vs barrier-free on the workload built for asynchrony: one
+/// dominant component plus a geometric tail of small ones. The staggered
+/// protocol halts components at different local rounds, so the async
+/// engine's skipped barrier waits are the whole story; outputs are
+/// asserted identical against the serial baseline inside each iteration.
+fn bench_async_component_skew(c: &mut Criterion) {
+    let w = workloads::skewed_components(6000, 17);
+    let net = Network::new(&w.graph, IdAssignment::Shuffled(7));
+    let protocol = StaggeredSum { spread: 19 };
+    let baseline = SerialExecutor.execute(&net, &protocol, 50).unwrap();
+    let mut group = c.benchmark_group("async/skewed-components(6k)");
+    group.sample_size(10);
+    group.bench_function("serial", |b| {
+        b.iter(|| {
+            SerialExecutor
+                .execute(&net, &protocol, 50)
+                .unwrap()
+                .messages
+        })
+    });
+    group.bench_function("engine-barrier", |b| {
+        b.iter(|| {
+            let out = ParallelExecutor::auto()
+                .execute(&net, &protocol, 50)
+                .unwrap();
+            assert_eq!(out.outputs, baseline.outputs);
+            out.messages
+        })
+    });
+    for threads in [1usize, 2, 4] {
+        group.bench_with_input(
+            BenchmarkId::new("engine-async", threads),
+            &threads,
+            |b, &threads| {
+                b.iter(|| {
+                    let out = AsyncExecutor::with_threads(threads)
+                        .execute(&net, &protocol, 50)
+                        .unwrap();
+                    assert_eq!(out.outputs, baseline.outputs);
+                    out.messages
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_flood_engine_vs_serial,
     bench_port_echo_thread_scaling,
-    bench_solver_pipeline_on_engine
+    bench_solver_pipeline_on_engine,
+    bench_async_component_skew
 );
 criterion_main!(benches);

@@ -1,0 +1,162 @@
+//! `engine-async` — the barrier-free engine across the scenario matrix:
+//! three-way differential correctness (serial ≡ barrier engine ≡ async
+//! engine, observationally), asynchrony measurements (rounds in flight,
+//! barrier wait eliminated) on the disconnected and skewed-component
+//! families, and a wall-clock barrier-vs-async comparison.
+
+use crate::table::Table;
+use crate::workloads;
+use deco_engine::protocols::{FloodMax, StaggeredSum};
+use deco_engine::{
+    AsyncExecutor, Executor, GraphSpec, ParallelExecutor, ScenarioMatrix, SerialExecutor,
+};
+use deco_local::network::Network;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// Runs the experiment and returns the report.
+pub fn run() -> String {
+    let mut out =
+        String::from("# engine-async — barrier-free rounds with component-local clocks\n\n");
+
+    // Part 1: three-way differential sweep over the full standard matrix.
+    let matrix = ScenarioMatrix::standard(2026);
+    let mut checked = 0usize;
+    for s in matrix.iter() {
+        let g = s.graph();
+        let net = s.network(&g);
+        let serial = SerialExecutor
+            .execute(&net, &StaggeredSum { spread: 7 }, 50)
+            .unwrap();
+        let barrier = ParallelExecutor::with_threads(2)
+            .execute(&net, &StaggeredSum { spread: 7 }, 50)
+            .unwrap();
+        let asynch = AsyncExecutor::with_threads(2)
+            .execute(&net, &StaggeredSum { spread: 7 }, 50)
+            .unwrap();
+        for (engine, outcome) in [("barrier", &barrier), ("async", &asynch)] {
+            assert_eq!(serial.outputs, outcome.outputs, "{} {engine}", s.name);
+            assert_eq!(serial.rounds, outcome.rounds, "{} {engine}", s.name);
+            assert_eq!(serial.messages, outcome.messages, "{} {engine}", s.name);
+        }
+        checked += 1;
+    }
+    let _ = writeln!(
+        out,
+        "## three-way differential sweep\n\n{checked} scenarios (families × sizes × ID \
+         flavors): the async engine's outputs, round\ncounts, and message counts are identical \
+         to both the serial runner and the\nbarrier engine on every scenario — dropping the \
+         global barrier is observationally\ninvisible.\n",
+    );
+
+    // Part 2: asynchrony measurements on the component-skewed families.
+    // mean/max in-flight are schedule-dependent measurements (they vary
+    // run to run); barrier-wait-eliminated and rounds are deterministic.
+    out.push_str("## rounds in flight (component-skewed families)\n\n");
+    let mut t = Table::new([
+        "workload",
+        "protocol",
+        "rounds",
+        "mean in-flight",
+        "max in-flight",
+        "barrier-wait eliminated",
+    ]);
+    let skewed = workloads::skewed_components(4000, 17);
+    let mut skewed_means = Vec::new();
+    for (name, g) in [
+        (
+            "two-clusters(n=24,d=4)".to_string(),
+            GraphSpec::TwoClusters { n: 24, d: 4 }.build(9),
+        ),
+        (
+            "many-components(k=40,s=9)".to_string(),
+            GraphSpec::ManySmallComponents {
+                components: 40,
+                max_size: 9,
+            }
+            .build(9),
+        ),
+        (skewed.name.clone(), skewed.graph.clone()),
+    ] {
+        let net = Network::new(&g, deco_local::IdAssignment::Shuffled(23));
+        for (proto_name, spread) in [("staggered(7)", 7u64), ("staggered(23)", 23)] {
+            let serial = SerialExecutor
+                .execute(&net, &StaggeredSum { spread }, 100)
+                .unwrap();
+            let (outcome, stats) = AsyncExecutor::with_threads(2)
+                .execute_with_stats(&net, &StaggeredSum { spread }, 100)
+                .unwrap();
+            assert_eq!(serial.outputs, outcome.outputs, "{name}");
+            assert_eq!(serial.rounds, outcome.rounds, "{name}");
+            skewed_means.push(stats.mean_rounds_in_flight);
+            t.row([
+                name.clone(),
+                proto_name.to_string(),
+                outcome.rounds.to_string(),
+                format!("{:.2}", stats.mean_rounds_in_flight),
+                stats.max_rounds_in_flight.to_string(),
+                stats.barrier_wait_eliminated.to_string(),
+            ]);
+        }
+    }
+    out.push_str(&t.render());
+    let overall = skewed_means.iter().sum::<f64>() / skewed_means.len() as f64;
+    assert!(
+        overall > 1.0,
+        "skewed-component families must overlap rounds, got mean {overall:.3}"
+    );
+    let _ = writeln!(
+        out,
+        "\nMean rounds-in-flight across the skewed families: {overall:.2} (> 1 means rounds\n\
+         genuinely overlapped; a barrier engine is pinned to exactly 1). Early-halting\n\
+         components stop consuming scheduler quanta immediately — the barrier-wait\n\
+         column counts the idle node-rounds a global barrier would have burned.\n",
+    );
+
+    // Part 3: wall-clock, barrier vs async, on the skewed workload.
+    out.push_str("## wall-clock (skewed components, flood r=6)\n\n");
+    let mut t = Table::new(["executor", "time", "speedup vs serial"]);
+    let net = Network::new(&skewed.graph, deco_local::IdAssignment::Shuffled(31));
+    let protocol = FloodMax { radius: 6 };
+    let (ts, so) = time(|| SerialExecutor.execute(&net, &protocol, 50).unwrap());
+    let (tb, sb) = time(|| {
+        ParallelExecutor::auto()
+            .execute(&net, &protocol, 50)
+            .unwrap()
+    });
+    let (ta, sa) = time(|| AsyncExecutor::auto().execute(&net, &protocol, 50).unwrap());
+    assert_eq!(so.outputs, sb.outputs);
+    assert_eq!(so.outputs, sa.outputs);
+    for (name, d) in [("serial", ts), ("engine-barrier", tb), ("engine-async", ta)] {
+        t.row([
+            name.to_string(),
+            format!("{d:.1?}"),
+            format!("{:.2}x", ts.as_secs_f64() / d.as_secs_f64()),
+        ]);
+    }
+    out.push_str(&t.render());
+    out.push_str(
+        "\nThe async engine trades the barrier's cache-friendly phase sweeps for\n\
+         per-node scheduling: on few-core hosts the win is skipping idle rounds of\n\
+         early-halted components, not raw throughput — see benches/engine.rs for\n\
+         the tracked numbers.\n",
+    );
+    out
+}
+
+fn time<T>(f: impl FnOnce() -> T) -> (std::time::Duration, T) {
+    let start = Instant::now();
+    let value = f();
+    (start.elapsed(), value)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn report_shows_overlapping_rounds() {
+        let r = super::run();
+        assert!(r.contains("three-way differential sweep"));
+        assert!(r.contains("rounds in flight"));
+        assert!(r.contains("barrier-wait"));
+    }
+}

@@ -1,4 +1,4 @@
-//! `linial` — Linial's initial coloring [Lin87], the `O(log* n)` substrate
+//! `linial` — Linial's initial coloring \[Lin87\], the `O(log* n)` substrate
 //! of §4.3: palette is O(Δ̄²) and rounds are flat in `n`.
 
 use crate::table::Table;

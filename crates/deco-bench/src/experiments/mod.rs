@@ -4,6 +4,7 @@
 //! reports.
 
 pub mod defcol;
+pub mod engine_async;
 pub mod engine_matrix;
 pub mod fig_partition;
 pub mod fig_slack_walkthrough;
@@ -37,6 +38,7 @@ pub fn all() -> Vec<(&'static str, Runner)> {
         ("linial", linial_exp::run),
         ("related-work", related_work::run),
         ("engine-matrix", engine_matrix::run),
+        ("engine-async", engine_async::run),
         ("solver-par", solver_par::run),
     ]
 }

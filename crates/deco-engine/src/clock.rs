@@ -1,0 +1,220 @@
+//! Component-local round clocks for barrier-free execution.
+//!
+//! The LOCAL model is round-synchronous, but synchrony is a *semantic*
+//! device, not an operational requirement: a node's round-`r` state depends
+//! only on its radius-`r` neighborhood, so any execution that feeds each
+//! node exactly its neighbors' round-`(r-1)` messages computes the same
+//! outputs — no matter how far apart the *local* round counters of distant
+//! (or disconnected) nodes drift. [`RoundClock`] is the bookkeeping that
+//! makes this safe: one monotone `(sent, received, halted)` triple per node,
+//! shared across worker threads as atomics.
+//!
+//! Two predicates govern all progress (see [`crate::async_engine`]):
+//!
+//! * **Availability** — node `v` may *receive* local round `r` once every
+//!   neighbor has either published its round-`r` messages or halted before
+//!   round `r` (halted nodes stay silent forever).
+//! * **Capacity** — node `v` may *send* local round `r` only while no
+//!   active neighbor still needs the ring slot it would overwrite, i.e.
+//!   every active neighbor has received round `r - 2` already. This is the
+//!   **depth-1 lookahead invariant**: a node's completed-round counter may
+//!   exceed any neighbor's by at most one, which is exactly what lets a
+//!   two-round ring buffer per port replace unbounded mailbox queues.
+//!
+//! Both predicates are monotone (counters only grow), so a readiness check
+//! that passes can never be invalidated — the scheduler may re-order work
+//! freely without changing what each node observes. All counters use
+//! `SeqCst` ordering: the clock is a coordination structure, not a hot
+//! loop, and the simplest memory-order argument is worth more here than a
+//! few relaxed loads. Message payloads are *not* protected by these
+//! atomics; they travel through per-slot mutexes in the ring buffer, whose
+//! lock/unlock pairs provide the happens-before edges.
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+/// Sentinel for "still running" in the per-node halt table.
+const ACTIVE: u64 = u64::MAX;
+
+/// Per-node local round counters shared across the async engine's workers.
+///
+/// For every node the clock tracks `sent` (rounds whose outgoing messages
+/// are published), `recv` (rounds whose inbox has been processed; the
+/// node's *completed* local round), and `halt` (the local round at which
+/// the node produced its output, or the `ACTIVE` sentinel). The invariant
+/// `recv <= sent <= recv + 1` holds at every instant: a node alternates
+/// send and receive, never batching.
+#[derive(Debug)]
+pub struct RoundClock {
+    sent: Vec<AtomicU64>,
+    recv: Vec<AtomicU64>,
+    halt: Vec<AtomicU64>,
+    /// Highest completed local round over all nodes; feeds the
+    /// rounds-in-flight samples.
+    max_recv: AtomicU64,
+    /// Nodes that are finished (halted, or capped at the round limit).
+    finished: AtomicUsize,
+    /// The run's round limit: a node that completes this many local rounds
+    /// without halting is capped (and will make the run error out).
+    limit: u64,
+}
+
+impl RoundClock {
+    /// A clock for `n` nodes, all at local round 0, none halted, with the
+    /// given round `limit`.
+    pub fn new(n: usize, limit: u64) -> RoundClock {
+        RoundClock {
+            sent: (0..n).map(|_| AtomicU64::new(0)).collect(),
+            recv: (0..n).map(|_| AtomicU64::new(0)).collect(),
+            halt: (0..n).map(|_| AtomicU64::new(ACTIVE)).collect(),
+            max_recv: AtomicU64::new(0),
+            finished: AtomicUsize::new(0),
+            limit,
+        }
+    }
+
+    /// Rounds node `v` has published sends for.
+    #[inline]
+    pub fn sent(&self, v: usize) -> u64 {
+        self.sent[v].load(Ordering::SeqCst)
+    }
+
+    /// Rounds node `v` has completed (received and processed).
+    #[inline]
+    pub fn received(&self, v: usize) -> u64 {
+        self.recv[v].load(Ordering::SeqCst)
+    }
+
+    /// Whether node `v` halted strictly before local round `r` — if so, its
+    /// round-`r` message on every port is `None` by the silent-halt rule.
+    #[inline]
+    pub fn halted_before(&self, v: usize, r: u64) -> bool {
+        self.halt[v].load(Ordering::SeqCst) < r
+    }
+
+    /// Whether node `v` has halted (at any round).
+    #[inline]
+    pub fn halted(&self, v: usize) -> bool {
+        self.halt[v].load(Ordering::SeqCst) != ACTIVE
+    }
+
+    /// Whether node `v` is finished: halted, or capped at the round limit.
+    /// Finished nodes never run again.
+    #[inline]
+    pub fn finished(&self, v: usize) -> bool {
+        self.halted(v) || self.received(v) >= self.limit
+    }
+
+    /// Records that node `v` published its round-`r` messages.
+    #[inline]
+    pub fn mark_sent(&self, v: usize, r: u64) {
+        self.sent[v].store(r, Ordering::SeqCst);
+    }
+
+    /// Records that node `v` completed local round `r` and returns the
+    /// rounds-in-flight sample at this instant: how many rounds the
+    /// globally furthest node is ahead of this one, plus one. Under a
+    /// global barrier this is always 1; the async engine's whole point is
+    /// that it is allowed to exceed 1.
+    ///
+    /// The sample depends on scheduling and is **not** part of the
+    /// deterministic contract — only outputs, round counts, and message
+    /// counts are. It is measurement, not semantics.
+    #[inline]
+    pub fn mark_received(&self, v: usize, r: u64) -> u64 {
+        self.recv[v].store(r, Ordering::SeqCst);
+        let furthest = self.max_recv.fetch_max(r, Ordering::SeqCst).max(r);
+        furthest - r + 1
+    }
+
+    /// Records that node `v` halted at local round `r`. Must be called at
+    /// most once per node, after its final [`RoundClock::mark_received`].
+    pub fn mark_halted(&self, v: usize, r: u64) {
+        self.halt[v].store(r, Ordering::SeqCst);
+        self.finished.fetch_add(1, Ordering::SeqCst);
+    }
+
+    /// Records that node `v` hit the round limit without halting.
+    pub fn mark_capped(&self, v: usize) {
+        debug_assert!(self.received(v) >= self.limit && !self.halted(v));
+        self.finished.fetch_add(1, Ordering::SeqCst);
+    }
+
+    /// How many nodes are finished (halted or capped).
+    #[inline]
+    pub fn finished_count(&self) -> usize {
+        self.finished.load(Ordering::SeqCst)
+    }
+
+    /// The run's round limit.
+    #[inline]
+    pub fn limit(&self) -> u64 {
+        self.limit
+    }
+
+    /// The halting round of node `v`; `None` if it never halted. Meant for
+    /// post-run accounting (global round count, barrier-wait tally).
+    pub fn halt_round(&self, v: usize) -> Option<u64> {
+        let h = self.halt[v].load(Ordering::SeqCst);
+        (h != ACTIVE).then_some(h)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_clock_is_all_active_at_round_zero() {
+        let c = RoundClock::new(3, 10);
+        for v in 0..3 {
+            assert_eq!(c.sent(v), 0);
+            assert_eq!(c.received(v), 0);
+            assert!(!c.halted(v));
+            assert!(!c.finished(v));
+            assert_eq!(c.halt_round(v), None);
+        }
+        assert_eq!(c.finished_count(), 0);
+    }
+
+    #[test]
+    fn halt_semantics_follow_the_silent_halt_rule() {
+        let c = RoundClock::new(2, 10);
+        c.mark_sent(0, 1);
+        assert_eq!(c.mark_received(0, 1), 1);
+        c.mark_halted(0, 1);
+        assert!(c.halted(0));
+        assert!(c.finished(0));
+        assert_eq!(c.halt_round(0), Some(1));
+        // Round 1's message was really sent; rounds 2+ read as silent.
+        assert!(!c.halted_before(0, 1));
+        assert!(c.halted_before(0, 2));
+        assert_eq!(c.finished_count(), 1);
+    }
+
+    #[test]
+    fn round_limit_caps_without_halting() {
+        let c = RoundClock::new(1, 2);
+        c.mark_sent(0, 1);
+        c.mark_received(0, 1);
+        assert!(!c.finished(0));
+        c.mark_sent(0, 2);
+        c.mark_received(0, 2);
+        assert!(c.finished(0), "capped at the limit");
+        assert!(!c.halted(0));
+        c.mark_capped(0);
+        assert_eq!(c.finished_count(), 1);
+        assert_eq!(c.halt_round(0), None);
+    }
+
+    #[test]
+    fn in_flight_samples_measure_the_spread() {
+        let c = RoundClock::new(2, 100);
+        // Node 0 races ahead to round 5; node 1 then completes round 1.
+        for r in 1..=5 {
+            c.mark_sent(0, r);
+            assert_eq!(c.mark_received(0, r), 1, "leader always samples 1");
+        }
+        c.mark_sent(1, 1);
+        assert_eq!(c.mark_received(1, 1), 5, "laggard sees the leader's lead");
+    }
+}

@@ -31,13 +31,29 @@ use std::ops::Range;
 /// (the spawn/join cost of a phase dwarfs the work; the flat mailbox fast
 /// path still applies). An explicit [`ParallelExecutor::with_threads`]
 /// request is always honored, so tests can force the threaded path on
-/// arbitrarily small graphs. Outputs are identical either way.
-const MIN_PARALLEL_SLOTS: usize = 4096;
+/// arbitrarily small graphs. Outputs are identical either way. Shared with
+/// the async engine, whose auto mode degrades on the same boundary.
+pub(crate) const MIN_PARALLEL_SLOTS: usize = 4096;
+
+/// Which round-execution substrate a [`ParallelExecutor`] dispatches to.
+/// Both modes are observationally identical to the serial runner; they
+/// differ only in how rounds are scheduled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum EngineMode {
+    /// Phase-parallel: global send/receive phases with a scope-join barrier
+    /// between them (this file).
+    #[default]
+    Barrier,
+    /// Barrier-free: component-local round clocks with a work-stealing
+    /// ready queue ([`crate::async_engine::AsyncExecutor`]).
+    Async,
+}
 
 /// Multi-threaded, flat-mailbox implementation of [`Executor`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ParallelExecutor {
     threads: usize,
+    mode: EngineMode,
 }
 
 impl Default for ParallelExecutor {
@@ -49,7 +65,10 @@ impl Default for ParallelExecutor {
 impl ParallelExecutor {
     /// Uses all available hardware parallelism.
     pub fn auto() -> ParallelExecutor {
-        ParallelExecutor { threads: 0 }
+        ParallelExecutor {
+            threads: 0,
+            mode: EngineMode::Barrier,
+        }
     }
 
     /// Uses exactly `threads` worker threads (1 = single-threaded engine,
@@ -66,33 +85,67 @@ impl ParallelExecutor {
             threads > 0,
             "thread count must be positive; use auto() for hardware default"
         );
-        ParallelExecutor { threads }
+        ParallelExecutor {
+            threads,
+            mode: EngineMode::Barrier,
+        }
+    }
+
+    /// This executor with its round substrate switched to `mode`; the
+    /// thread request is unchanged. `Async` dispatches every
+    /// [`Executor::execute`] to the barrier-free
+    /// [`AsyncExecutor`](crate::async_engine::AsyncExecutor) — same
+    /// observable behavior, component-local scheduling.
+    pub fn with_mode(self, mode: EngineMode) -> ParallelExecutor {
+        ParallelExecutor { mode, ..self }
+    }
+
+    /// The round substrate this executor dispatches to.
+    pub fn mode(&self) -> EngineMode {
+        self.mode
     }
 
     /// Reads the thread count from the `DECO_ENGINE_THREADS` environment
-    /// variable (unset, empty, or `0` means [`ParallelExecutor::auto`]).
-    /// This is how CI pins the engine to 1/2/4 threads across its test
+    /// variable (unset, empty, or `0` means [`ParallelExecutor::auto`])
+    /// and the round substrate from `DECO_ENGINE_ASYNC` (unset, empty, or
+    /// `0` means [`EngineMode::Barrier`]; `1` means [`EngineMode::Async`]).
+    /// This is how CI pins the engine across its threads × mode test
     /// matrix without touching test code.
     ///
     /// # Panics
     ///
-    /// Panics if the variable is set to something that is not a number —
-    /// a typo must not silently un-pin the thread matrix.
+    /// Panics if `DECO_ENGINE_THREADS` is set to something that is not a
+    /// number, or `DECO_ENGINE_ASYNC` to something other than `0`/`1` —
+    /// a typo must not silently un-pin the matrix.
     pub fn from_env() -> ParallelExecutor {
-        let Ok(raw) = std::env::var("DECO_ENGINE_THREADS") else {
-            return ParallelExecutor::auto();
+        let threads = match std::env::var("DECO_ENGINE_THREADS") {
+            Err(_) => ParallelExecutor::auto(),
+            Ok(raw) => {
+                let raw = raw.trim();
+                if raw.is_empty() {
+                    ParallelExecutor::auto()
+                } else {
+                    let threads: usize = raw.parse().unwrap_or_else(|_| {
+                        panic!("DECO_ENGINE_THREADS must be a number, got {raw:?}")
+                    });
+                    if threads == 0 {
+                        ParallelExecutor::auto()
+                    } else {
+                        ParallelExecutor::with_threads(threads)
+                    }
+                }
+            }
         };
-        let raw = raw.trim();
-        if raw.is_empty() {
-            return ParallelExecutor::auto();
-        }
-        let threads: usize = raw
-            .parse()
-            .unwrap_or_else(|_| panic!("DECO_ENGINE_THREADS must be a number, got {raw:?}"));
-        if threads == 0 {
-            ParallelExecutor::auto()
+        threads.with_mode(mode_from_env())
+    }
+
+    /// The barrier-free executor carrying this executor's thread request,
+    /// used by the [`EngineMode::Async`] dispatch.
+    fn async_twin(&self) -> crate::async_engine::AsyncExecutor {
+        if self.threads == 0 {
+            crate::async_engine::AsyncExecutor::auto()
         } else {
-            ParallelExecutor::with_threads(threads)
+            crate::async_engine::AsyncExecutor::with_threads(self.threads)
         }
     }
 
@@ -110,6 +163,27 @@ impl ParallelExecutor {
     }
 }
 
+/// Parses `DECO_ENGINE_ASYNC` (unset/empty/`0` → barrier, `1` → async),
+/// panicking on anything else — mirroring the `DECO_ENGINE_THREADS`
+/// policy: a malformed value must never silently fall back and un-pin the
+/// CI matrix.
+fn mode_from_env() -> EngineMode {
+    match std::env::var("DECO_ENGINE_ASYNC") {
+        Err(_) => EngineMode::Barrier,
+        Ok(raw) => parse_async_mode(&raw),
+    }
+}
+
+/// The pure parser behind [`mode_from_env`], split out so tests can drive
+/// it without mutating the process-global environment.
+fn parse_async_mode(raw: &str) -> EngineMode {
+    match raw.trim() {
+        "" | "0" => EngineMode::Barrier,
+        "1" => EngineMode::Async,
+        other => panic!("DECO_ENGINE_ASYNC must be 0 or 1, got {other:?}"),
+    }
+}
+
 impl Executor for ParallelExecutor {
     fn execute<P>(
         &self,
@@ -123,6 +197,9 @@ impl Executor for ParallelExecutor {
         <P::Program as NodeProgram>::Msg: Send + Sync,
         <P::Program as NodeProgram>::Output: Send,
     {
+        if self.mode == EngineMode::Async {
+            return self.async_twin().execute(net, protocol, max_rounds);
+        }
         let g = net.graph();
         let n = g.num_nodes();
         let plan = MailboxPlan::new(g);
@@ -483,11 +560,53 @@ mod tests {
 
     #[test]
     fn from_env_defaults_to_auto() {
-        // The test environment does not set the variable, so from_env()
-        // must fall back to auto. (Value-driven behavior is covered by the
-        // CI matrix, which exports DECO_ENGINE_THREADS=1/2/4.)
-        if std::env::var("DECO_ENGINE_THREADS").is_err() {
+        // The test environment does not set the variables, so from_env()
+        // must fall back to auto barrier mode. (Value-driven behavior is
+        // covered by the CI matrix, which exports DECO_ENGINE_THREADS and
+        // DECO_ENGINE_ASYNC across its cells.)
+        if std::env::var("DECO_ENGINE_THREADS").is_err()
+            && std::env::var("DECO_ENGINE_ASYNC").is_err()
+        {
             assert_eq!(ParallelExecutor::from_env(), ParallelExecutor::auto());
+            assert_eq!(ParallelExecutor::from_env().mode(), EngineMode::Barrier);
         }
+    }
+
+    #[test]
+    fn async_mode_dispatches_to_the_barrier_free_engine() {
+        let g = generators::cycle(30);
+        let net = Network::new(&g, IdAssignment::Shuffled(8));
+        let barrier = ParallelExecutor::with_threads(2)
+            .execute(&net, &FloodMax { radius: 5 }, 50)
+            .unwrap();
+        let asynch = ParallelExecutor::with_threads(2)
+            .with_mode(EngineMode::Async)
+            .execute(&net, &FloodMax { radius: 5 }, 50)
+            .unwrap();
+        assert_identical(&barrier, &asynch);
+        assert_eq!(
+            ParallelExecutor::auto().with_mode(EngineMode::Async).mode(),
+            EngineMode::Async
+        );
+    }
+
+    #[test]
+    fn mode_knob_parses_like_the_thread_knob() {
+        // The parser is pure (std::env is process-global, so the test
+        // drives it directly rather than mutating the environment under
+        // concurrently running tests). Whitespace and the two canonical
+        // values are accepted; anything else must panic, not silently
+        // un-pin the CI matrix.
+        assert_eq!(parse_async_mode(""), EngineMode::Barrier);
+        assert_eq!(parse_async_mode("0"), EngineMode::Barrier);
+        assert_eq!(parse_async_mode(" 0 "), EngineMode::Barrier);
+        assert_eq!(parse_async_mode("1"), EngineMode::Async);
+        assert_eq!(parse_async_mode("1\n"), EngineMode::Async);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be 0 or 1")]
+    fn malformed_mode_knob_is_rejected() {
+        let _ = parse_async_mode("yes");
     }
 }

@@ -5,7 +5,8 @@
 //!
 //! * [`mailbox`] — CSR-packed flat mailbox arenas with a precomputed
 //!   mirror table: O(1) message delivery, zero per-round allocation,
-//!   double-buffered across rounds.
+//!   double-buffered across rounds — plus the per-port two-round
+//!   [`mailbox::RingBuffer`] the barrier-free engine runs on.
 //! * [`engine`] — [`ParallelExecutor`], which runs the send and receive
 //!   phases across scoped threads over degree-balanced node ranges, and
 //!   fans out callers' independent branch computations (the Theorem 4.1
@@ -14,6 +15,13 @@
 //!   invisible: outputs, round counts, message counts, and errors are
 //!   identical to the serial runner for every protocol, network, and
 //!   thread count (enforced by the differential suite in `tests/`).
+//! * [`async_engine`] — [`AsyncExecutor`], the barrier-free executor:
+//!   every node advances on its own component-local round counter
+//!   ([`clock::RoundClock`]) the moment its neighbors' messages are
+//!   present, with adjacent nodes at most one completed round apart (the
+//!   ring buffer's depth-1 lookahead invariant). Same observational
+//!   contract, proven by the three-way differential suite; disconnected
+//!   and skewed-component workloads are where it shines.
 //! * [`scenario`] — the scenario matrix: graph families × sizes ×
 //!   ID-assignment flavors enumerated from one base seed, with per-scenario
 //!   named RNG streams (ixa-style), so sweeps and benchmarks share one
@@ -28,13 +36,17 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod async_engine;
+pub mod clock;
 pub mod engine;
 pub mod mailbox;
 pub mod par;
 pub mod protocols;
 pub mod scenario;
 
-pub use engine::ParallelExecutor;
+pub use async_engine::{AsyncExecutor, AsyncStats};
+pub use clock::RoundClock;
+pub use engine::{EngineMode, ParallelExecutor};
 pub use mailbox::MailboxPlan;
 pub use scenario::{GraphSpec, IdFlavor, Scenario, ScenarioMatrix};
 

@@ -17,6 +17,7 @@
 //! cost is one extra arena allocated once per execution.
 
 use deco_graph::{Graph, NodeId};
+use std::sync::Mutex;
 
 /// Precomputed arena geometry for one graph: per-node slot offsets and the
 /// slot-level mirror table.
@@ -116,6 +117,63 @@ impl<M> DoubleBuffer<M> {
     }
 }
 
+/// Per-port two-round ring buffers for the barrier-free engine.
+///
+/// Slot `k` of the [`MailboxPlan`] names a directed port: node `v`'s port
+/// `j` at `offset(v) + j`, read by `v` and written by the neighbor behind
+/// it (through [`MailboxPlan::mirror`]). The async engine drops the global
+/// barrier, so one arena entry per port is no longer enough — a sender may
+/// already be publishing round `r + 1` while the receiver is still reading
+/// round `r`. It *is* enough to keep exactly two entries per port, indexed
+/// by round parity, because of the depth-1 lookahead invariant enforced by
+/// the scheduler's capacity predicate (see [`crate::clock`]): a node may
+/// publish round `r` only when every active neighbor has consumed round
+/// `r - 2`, so the parity slot being overwritten is always dead.
+///
+/// Each entry is a tiny mutex-protected cell: exactly one sender writes it
+/// and one receiver reads it, and the lock/unlock pair is what hands the
+/// message across threads (the clock's atomics only *announce* presence —
+/// see the module docs of [`crate::clock`]). The mutexes are uncontended by
+/// construction except for the momentary overlap of a sender's round
+/// `r + 2` write with a receiver's round-`r` read on the *other* parity.
+#[derive(Debug)]
+pub struct RingBuffer<M> {
+    /// `slots[k]` holds the two-round ring of plan slot `k`:
+    /// `slots[k][r % 2]` is the round-`r` message awaiting the reader.
+    slots: Vec<Mutex<[Option<M>; 2]>>,
+}
+
+impl<M> RingBuffer<M> {
+    /// Allocates rings for `slots` ports (the plan's
+    /// [`MailboxPlan::num_slots`]), all empty.
+    pub fn new(slots: usize) -> RingBuffer<M> {
+        RingBuffer {
+            slots: (0..slots).map(|_| Mutex::new([None, None])).collect(),
+        }
+    }
+
+    /// Publishes the round-`r` message for plan slot `k`, overwriting the
+    /// (dead, by the depth-1 invariant) round-`r - 2` entry. `None` is a
+    /// real value — "this port is silent in round `r`" — and must be
+    /// written too, or the stale `r - 2` message would resurface.
+    pub fn publish(&self, k: usize, r: u64, msg: Option<M>) {
+        self.slots[k].lock().expect("ring slot poisoned")[(r % 2) as usize] = msg;
+    }
+
+    /// Takes the round-`r` message of plan slot `k`. Callers must have
+    /// observed the sender's round-`r` publication through the clock first.
+    /// Taking (rather than cloning) keeps the slot clean for halted-sender
+    /// ports, whose rings are never written again.
+    pub fn take(&self, k: usize, r: u64) -> Option<M> {
+        self.slots[k].lock().expect("ring slot poisoned")[(r % 2) as usize].take()
+    }
+
+    /// Number of port rings.
+    pub fn num_slots(&self) -> usize {
+        self.slots.len()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -154,6 +212,28 @@ mod tests {
                 assert_eq!(g.adjacent(adj.neighbor)[back_port].edge, adj.edge);
             }
         }
+    }
+
+    #[test]
+    fn ring_buffer_keeps_two_rounds_by_parity() {
+        let ring: RingBuffer<u32> = RingBuffer::new(2);
+        assert_eq!(ring.num_slots(), 2);
+        ring.publish(0, 1, Some(10));
+        ring.publish(0, 2, Some(20));
+        // Both rounds coexist (different parity)…
+        assert_eq!(ring.take(0, 1), Some(10));
+        assert_eq!(ring.take(0, 2), Some(20));
+        // …and taking empties the slot.
+        assert_eq!(ring.take(0, 1), None);
+    }
+
+    #[test]
+    fn ring_buffer_publishes_silence_over_stale_rounds() {
+        let ring: RingBuffer<u32> = RingBuffer::new(1);
+        ring.publish(0, 3, Some(7));
+        // Round 5 is silent on this port; it must mask round 3's entry.
+        ring.publish(0, 5, None);
+        assert_eq!(ring.take(0, 5), None);
     }
 
     #[test]

@@ -4,6 +4,17 @@
 //! to stress the *substrate* (delivery, halting, round accounting), not to
 //! solve interesting problems. The differential suite and the benchmarks
 //! run them across the scenario matrix on every executor.
+//!
+//! Note how every program keys its state transitions off its **own local
+//! round counter** (`self.round`), never off any global notion of time —
+//! that is all the LOCAL model ever promises (a round-`r` state is a
+//! function of the radius-`r` ball), and it is the property the
+//! barrier-free [`AsyncExecutor`](crate::async_engine::AsyncExecutor)
+//! exploits: under its component-local [`RoundClock`](crate::clock), two
+//! nodes in different components can be many local rounds apart while each
+//! program observes exactly the synchronous semantics. [`StaggeredSum`] is
+//! the sharpest stressor here: its nodes halt at ID-dependent local rounds,
+//! so executors that conflate local and global time diverge instantly.
 
 use deco_local::network::NodeCtx;
 use deco_local::runner::{NodeProgram, Protocol};

@@ -87,6 +87,18 @@ pub enum GraphSpec {
         /// Degree within each cluster.
         d: usize,
     },
+    /// Barrier-free stress case: a disjoint union of many small components
+    /// of mixed shapes (paths, cycles, stars, cliques) and mixed sizes,
+    /// plus isolated nodes. Component-local round clocks drift the most
+    /// here — every component halts on its own schedule — which makes this
+    /// the showcase family for the async engine and a delivery-correctness
+    /// stress for every executor.
+    ManySmallComponents {
+        /// Number of non-trivial components (isolated nodes come extra).
+        components: usize,
+        /// Largest component size; sizes are drawn from `2..=max_size`.
+        max_size: usize,
+    },
 }
 
 impl GraphSpec {
@@ -104,6 +116,10 @@ impl GraphSpec {
             GraphSpec::PowerLaw { n } => format!("powerlaw(n={n})"),
             GraphSpec::RandomTree { n } => format!("tree(n={n})"),
             GraphSpec::TwoClusters { n, d } => format!("two-clusters(n={n},d={d})"),
+            GraphSpec::ManySmallComponents {
+                components,
+                max_size,
+            } => format!("many-components(k={components},s={max_size})"),
         }
     }
 
@@ -128,8 +144,38 @@ impl GraphSpec {
                 generators::random_regular(n, d, seed ^ 0xA5A5_A5A5),
                 Graph::empty(3),
             ]),
+            GraphSpec::ManySmallComponents {
+                components,
+                max_size,
+            } => many_small_components(components, max_size, seed),
         }
     }
+}
+
+/// Builds the [`GraphSpec::ManySmallComponents`] family: `components`
+/// small graphs of seed-drawn shape and size, one isolated node appended
+/// after every third component. Deterministic: depends only on the
+/// arguments (the generated topology is pinned by a digest regression
+/// test, in the style of the SparseRandom ID pin — shifting it silently
+/// would shift every differential sweep that covers the family).
+fn many_small_components(components: usize, max_size: usize, seed: u64) -> Graph {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let max_size = max_size.max(2);
+    let mut parts = Vec::with_capacity(components + components / 3);
+    for i in 0..components {
+        let size = rng.gen_range(2..=max_size);
+        let part = match rng.gen_range(0..4u32) {
+            0 => generators::path(size),
+            1 if size >= 3 => generators::cycle(size),
+            2 => generators::star(size - 1),
+            _ => generators::complete(size.min(5)),
+        };
+        parts.push(part);
+        if i % 3 == 2 {
+            parts.push(Graph::empty(1));
+        }
+    }
+    generators::disjoint_union(&parts)
 }
 
 /// ID-assignment flavor, the matrix axis; concrete seeds are derived per
@@ -259,6 +305,10 @@ impl ScenarioMatrix {
             GraphSpec::PowerLaw { n: 100 },
             GraphSpec::RandomTree { n: 90 },
             GraphSpec::TwoClusters { n: 24, d: 4 },
+            GraphSpec::ManySmallComponents {
+                components: 18,
+                max_size: 7,
+            },
         ];
         ScenarioMatrix::cross(specs, base_seed)
     }
@@ -273,6 +323,10 @@ impl ScenarioMatrix {
             GraphSpec::RandomRegular { n: 20, d: 4 },
             GraphSpec::RandomTree { n: 15 },
             GraphSpec::TwoClusters { n: 8, d: 2 },
+            GraphSpec::ManySmallComponents {
+                components: 6,
+                max_size: 5,
+            },
         ];
         ScenarioMatrix::cross(specs, base_seed)
     }
@@ -356,6 +410,28 @@ mod tests {
         for v in 16..19usize {
             assert_eq!(g.degree(deco_graph::NodeId::from(v)), 0);
         }
+    }
+
+    #[test]
+    fn many_small_components_is_deterministic_and_disconnected() {
+        let spec = GraphSpec::ManySmallComponents {
+            components: 9,
+            max_size: 6,
+        };
+        let a = spec.build(11);
+        let b = spec.build(11);
+        assert_eq!(a.edge_list(), b.edge_list(), "seed determines topology");
+        assert_ne!(
+            a.edge_list(),
+            spec.build(12).edge_list(),
+            "different seeds differ"
+        );
+        // One isolated node per three components, by construction.
+        let isolated = a.nodes().filter(|&v| a.degree(v) == 0).count();
+        assert_eq!(isolated, 3);
+        // 9 drawn components + 3 isolated nodes.
+        let (_, count) = deco_graph::traversal::connected_components(&a);
+        assert_eq!(count, 12);
     }
 
     #[test]

@@ -1,0 +1,109 @@
+//! The many-small-components family: topology pin + serial-oracle
+//! differential for the barrier-free engine's showcase workload.
+//!
+//! The digest test plays the same role as the SparseRandom pinned-ID
+//! regression in `deco-local`: the family is a pure function of the
+//! scenario seed, and every differential sweep quantifies over it — if the
+//! generator drifts, every suite silently starts testing a different
+//! graph. Bump the constant deliberately, never by accident.
+
+use deco_engine::protocols::{FloodMax, PortEcho, StaggeredSum};
+use deco_engine::{AsyncExecutor, Executor, GraphSpec, IdFlavor, Scenario, SerialExecutor};
+use deco_graph::Graph;
+
+/// FNV-1a over the node count and the edge list — the canonical topology
+/// digest (node order matters: ports and IDs key off it).
+fn topology_digest(g: &Graph) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01B3;
+    let mut h = OFFSET;
+    let mut mix = |x: u64| {
+        for b in x.to_le_bytes() {
+            h = (h ^ u64::from(b)).wrapping_mul(PRIME);
+        }
+    };
+    mix(g.num_nodes() as u64);
+    for [u, v] in g.edge_list() {
+        mix(u.index() as u64);
+        mix(v.index() as u64);
+    }
+    h
+}
+
+/// The scenario the pinned tests quantify over: the standard matrix's
+/// many-components spec under the matrix's 2026 base seed.
+fn showcase_scenario() -> Scenario {
+    Scenario::new(
+        GraphSpec::ManySmallComponents {
+            components: 18,
+            max_size: 7,
+        },
+        IdFlavor::Shuffled,
+        2026,
+    )
+}
+
+#[test]
+fn many_components_topology_is_pinned() {
+    let g = showcase_scenario().graph();
+    assert_eq!(
+        topology_digest(&g),
+        6379347593389772167,
+        "many-small-components topology shifted: every sweep covering the \
+         family now tests a different graph — bump deliberately"
+    );
+}
+
+#[test]
+fn many_components_matches_the_serial_oracle() {
+    let scenario = showcase_scenario();
+    let g = scenario.graph();
+    let net = scenario.network(&g);
+    for threads in [1usize, 2, 4] {
+        let engine = AsyncExecutor::with_threads(threads);
+        for radius in [0u64, 3, 9] {
+            let serial = SerialExecutor
+                .execute(&net, &FloodMax { radius }, 50)
+                .unwrap();
+            let asynch = engine.execute(&net, &FloodMax { radius }, 50).unwrap();
+            assert_eq!(serial.outputs, asynch.outputs, "t={threads} r={radius}");
+            assert_eq!(serial.rounds, asynch.rounds, "t={threads} r={radius}");
+            assert_eq!(serial.messages, asynch.messages, "t={threads} r={radius}");
+        }
+        let serial = SerialExecutor
+            .execute(&net, &PortEcho { rounds: 3 }, 10)
+            .unwrap();
+        let asynch = engine.execute(&net, &PortEcho { rounds: 3 }, 10).unwrap();
+        assert_eq!(serial.outputs, asynch.outputs, "port digests, t={threads}");
+        let serial = SerialExecutor
+            .execute(&net, &StaggeredSum { spread: 5 }, 20)
+            .unwrap();
+        let asynch = engine
+            .execute(&net, &StaggeredSum { spread: 5 }, 20)
+            .unwrap();
+        assert_eq!(serial.outputs, asynch.outputs, "staggered, t={threads}");
+        assert_eq!(serial.messages, asynch.messages, "staggered, t={threads}");
+    }
+}
+
+#[test]
+fn many_components_show_rounds_in_flight() {
+    // Components halt on wildly different local rounds (FloodMax keeps
+    // every node busy for `radius` rounds, but StaggeredSum's deadlines
+    // depend on IDs): the async stats must show genuine drift — more than
+    // one round in flight on average — and the deterministic barrier-wait
+    // tally must match the per-node halt rounds.
+    let scenario = showcase_scenario();
+    let g = scenario.graph();
+    let net = scenario.network(&g);
+    let (out, stats) = AsyncExecutor::with_threads(2)
+        .execute_with_stats(&net, &StaggeredSum { spread: 11 }, 50)
+        .unwrap();
+    assert_eq!(stats.global_rounds, out.rounds);
+    assert!(
+        stats.mean_rounds_in_flight > 1.0,
+        "skewed components must overlap rounds, got {}",
+        stats.mean_rounds_in_flight
+    );
+    assert!(stats.barrier_wait_eliminated > 0);
+}

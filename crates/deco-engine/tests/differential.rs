@@ -1,18 +1,36 @@
-//! Differential suite: the parallel engine must be observationally
-//! identical to the serial reference runner — same outputs, same round
-//! count, same message count, same errors — on every scenario of the
-//! matrix, for every protocol, at several thread counts.
+//! Differential suite: the parallel engine AND the barrier-free async
+//! engine must be observationally identical to the serial reference runner
+//! — same outputs, same round count, same message count, same errors — on
+//! every scenario of the matrix, for every protocol, at several thread
+//! counts. Three executors, one contract.
 //!
-//! This is the contract that makes the engine safe to substitute anywhere:
-//! parallelism and the flat-mailbox substrate are pure implementation
-//! detail.
+//! This is what makes any engine safe to substitute anywhere: parallelism,
+//! the flat-mailbox substrate, and even dropping the global round barrier
+//! are pure implementation detail.
 
 use deco_engine::protocols::{FloodMax, PortEcho, StaggeredSum};
-use deco_engine::{Executor, ParallelExecutor, ScenarioMatrix, SerialExecutor};
+use deco_engine::{EngineMode, Executor, ParallelExecutor, ScenarioMatrix, SerialExecutor};
 use deco_local::network::{IdAssignment, Network};
 use deco_local::runner::{NodeProgram, Protocol, RunOutcome};
 
 const THREAD_COUNTS: [usize; 3] = [1, 2, 4];
+
+/// The engine lineup every differential run exercises: barrier and async
+/// modes at each pinned thread count, plus the CI-pinned env executor
+/// (`DECO_ENGINE_THREADS` × `DECO_ENGINE_ASYNC`; auto barrier when unset),
+/// so the workflow's threads × mode matrix reaches every run.
+fn engine_lineup() -> Vec<(String, ParallelExecutor)> {
+    let mut executors: Vec<(String, ParallelExecutor)> = Vec::new();
+    for &t in &THREAD_COUNTS {
+        executors.push((format!("barrier/t={t}"), ParallelExecutor::with_threads(t)));
+        executors.push((
+            format!("async/t={t}"),
+            ParallelExecutor::with_threads(t).with_mode(EngineMode::Async),
+        ));
+    }
+    executors.push(("env".to_string(), ParallelExecutor::from_env()));
+    executors
+}
 
 fn assert_identical<O>(name: &str, serial: &RunOutcome<O>, engine: &RunOutcome<O>)
 where
@@ -39,14 +57,7 @@ where
     <P::Program as NodeProgram>::Output: Send + PartialEq + std::fmt::Debug,
 {
     let serial = SerialExecutor.execute(net, protocol, max_rounds);
-    // Fixed thread counts plus the CI-pinned executor (DECO_ENGINE_THREADS;
-    // auto when unset), so the workflow's thread matrix reaches every run.
-    let mut executors: Vec<(String, ParallelExecutor)> = THREAD_COUNTS
-        .iter()
-        .map(|&t| (format!("t={t}"), ParallelExecutor::with_threads(t)))
-        .collect();
-    executors.push(("env".to_string(), ParallelExecutor::from_env()));
-    for (label, exec) in executors {
+    for (label, exec) in engine_lineup() {
         let engine = exec.execute(net, protocol, max_rounds);
         match (&serial, &engine) {
             (Ok(s), Ok(e)) => assert_identical(&format!("{name} {label}"), s, e),

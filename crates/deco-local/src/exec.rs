@@ -1,7 +1,7 @@
 //! The [`Executor`] abstraction: *what* runs a protocol, decoupled from
 //! *which* protocol runs.
 //!
-//! [`runner::run`](crate::runner::run) is the reference executor — a
+//! [`runner::run`] is the reference executor — a
 //! straightforward serial loop whose behavior defines the model. Faster
 //! executors (the flat-mailbox, multi-threaded engine in `deco-engine`)
 //! implement [`Executor`] and are required to be *observationally
@@ -13,6 +13,17 @@
 //! The trait bounds (`Send`/`Sync` on programs, messages, and outputs) are
 //! what a multi-threaded executor fundamentally needs; every protocol in
 //! this workspace satisfies them for free since programs are plain data.
+//!
+//! The contract is *observational*, not operational: an executor promises
+//! the serial runner's outputs, round count (the maximum local halting
+//! round), message count, and errors — it does **not** promise to run
+//! rounds in lockstep. `deco-engine`'s barrier executor keeps global
+//! phases; its barrier-free `AsyncExecutor` advances every node on a
+//! component-local round clock, with adjacent nodes up to one round apart.
+//! Both are legal implementations precisely because a node's round-`r`
+//! state depends only on its radius-`r` neighborhood, so any
+//! dependency-respecting schedule reproduces the synchronous execution
+//! bit for bit.
 //!
 //! Besides protocol execution, an [`Executor`] also decides how a caller's
 //! *logically parallel branches* run ([`Executor::execute_branches`]): the

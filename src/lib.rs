@@ -5,9 +5,11 @@
 //!
 //! * [`graph`] — CSR graphs, line graphs, seeded generators, colorings.
 //! * [`local`] — the LOCAL model: networks, the serial reference runner,
-//!   the [`local::Executor`](deco_local::Executor) contract.
+//!   the [`local::Executor`] contract.
 //! * [`engine`] — the high-throughput round-execution engine (flat
-//!   mailboxes, deterministic multi-threading, scenario matrix).
+//!   mailboxes, deterministic multi-threading, scenario matrix) and the
+//!   barrier-free [`engine::AsyncExecutor`] with component-local round
+//!   clocks.
 //! * [`algos`] — Linial, Cole–Vishkin, class elimination, Luby, greedy.
 //! * [`core_alg`] — the Theorem 4.1 solver.
 

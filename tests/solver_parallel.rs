@@ -1,15 +1,16 @@
 //! Differential suite for the parallel solver recursion: running the
-//! Theorem 4.1 solver with the engine executor at 1/2/4 worker threads must
-//! be observationally identical to the serial recursion — same colors, same
-//! cost tree (round counts and structure), same merged `SolveStats` — on
-//! every scenario. Plus the structured error paths: depth overruns and
-//! residual slack shortfalls surface as values, never panics.
+//! Theorem 4.1 solver with the engine executor — barrier and barrier-free
+//! async modes alike — at 1/2/4 worker threads must be observationally
+//! identical to the serial recursion — same colors, same cost tree (round
+//! counts and structure), same merged `SolveStats` — on every scenario.
+//! Plus the structured error paths: depth overruns and residual slack
+//! shortfalls surface as values, never panics, on every executor.
 
 use deco::core_alg::instance;
 use deco::core_alg::solver::{
     solve_pipeline_with, solve_two_delta_minus_one_with, SolveError, Solver, SolverConfig,
 };
-use deco::engine::{GraphSpec, IdFlavor, ParallelExecutor, Scenario, SerialExecutor};
+use deco::engine::{EngineMode, GraphSpec, IdFlavor, ParallelExecutor, Scenario, SerialExecutor};
 use deco::graph::{generators, Graph};
 
 const THREAD_COUNTS: [usize; 3] = [1, 2, 4];
@@ -18,19 +19,29 @@ fn ids(g: &Graph) -> Vec<u64> {
     (1..=g.num_nodes() as u64).collect()
 }
 
-/// Solves `g` on the serial executor and on the engine at several thread
-/// counts (plus the CI-pinned `DECO_ENGINE_THREADS` executor) and demands
-/// identical observables.
+/// The three-way lineup: barrier and async engines at each pinned thread
+/// count, plus the CI-pinned executor (`DECO_ENGINE_THREADS` ×
+/// `DECO_ENGINE_ASYNC`).
+fn engine_lineup() -> Vec<(String, ParallelExecutor)> {
+    let mut executors: Vec<(String, ParallelExecutor)> = Vec::new();
+    for &t in &THREAD_COUNTS {
+        executors.push((format!("barrier/t={t}"), ParallelExecutor::with_threads(t)));
+        executors.push((
+            format!("async/t={t}"),
+            ParallelExecutor::with_threads(t).with_mode(EngineMode::Async),
+        ));
+    }
+    executors.push(("env".to_string(), ParallelExecutor::from_env()));
+    executors
+}
+
+/// Solves `g` on the serial executor and on every engine of the lineup and
+/// demands identical observables.
 fn differential(name: &str, g: &Graph, cfg: SolverConfig) {
     let node_ids = ids(g);
     let serial =
         solve_two_delta_minus_one_with(&SerialExecutor, g, &node_ids, cfg).expect("serial solves");
-    let mut executors: Vec<(String, ParallelExecutor)> = THREAD_COUNTS
-        .iter()
-        .map(|&t| (format!("t={t}"), ParallelExecutor::with_threads(t)))
-        .collect();
-    executors.push(("env".to_string(), ParallelExecutor::from_env()));
-    for (label, exec) in executors {
+    for (label, exec) in engine_lineup() {
         let par = solve_two_delta_minus_one_with(&exec, g, &node_ids, cfg)
             .expect("parallel solver succeeds");
         assert_eq!(
@@ -62,6 +73,10 @@ fn scenario_matrix_families_match_serial() {
         GraphSpec::Gnp { n: 90, p: 0.1 },
         GraphSpec::PowerLaw { n: 120 },
         GraphSpec::TwoClusters { n: 30, d: 4 },
+        GraphSpec::ManySmallComponents {
+            components: 10,
+            max_size: 6,
+        },
         GraphSpec::Complete { n: 13 },
         GraphSpec::Cycle { n: 150 },
         GraphSpec::Path { n: 40 },
@@ -111,18 +126,12 @@ fn list_instance_pipeline_matches_serial() {
         SolverConfig::default(),
     )
     .expect("serial solves");
-    for threads in THREAD_COUNTS {
-        let par = solve_pipeline_with(
-            &ParallelExecutor::with_threads(threads),
-            &g,
-            inst.clone(),
-            &node_ids,
-            SolverConfig::default(),
-        )
-        .expect("parallel solves");
-        assert_eq!(serial.solution.colors, par.solution.colors);
-        assert_eq!(serial.solution.cost, par.solution.cost);
-        assert_eq!(serial.solution.stats, par.solution.stats);
+    for (label, exec) in engine_lineup() {
+        let par = solve_pipeline_with(&exec, &g, inst.clone(), &node_ids, SolverConfig::default())
+            .expect("parallel solves");
+        assert_eq!(serial.solution.colors, par.solution.colors, "{label}");
+        assert_eq!(serial.solution.cost, par.solution.cost, "{label}");
+        assert_eq!(serial.solution.stats, par.solution.stats, "{label}");
         inst.check_solution(&par.coloring).expect("valid coloring");
     }
 }
@@ -138,15 +147,9 @@ fn depth_exceeded_is_an_error_on_every_executor() {
     let serial_err =
         solve_two_delta_minus_one_with(&SerialExecutor, &g, &node_ids, cfg).unwrap_err();
     assert_eq!(serial_err, SolveError::DepthExceeded { depth: 1, limit: 1 });
-    for threads in THREAD_COUNTS {
-        let par_err = solve_two_delta_minus_one_with(
-            &ParallelExecutor::with_threads(threads),
-            &g,
-            &node_ids,
-            cfg,
-        )
-        .unwrap_err();
-        assert_eq!(serial_err, par_err, "errors diverge at t={threads}");
+    for (label, exec) in engine_lineup() {
+        let par_err = solve_two_delta_minus_one_with(&exec, &g, &node_ids, cfg).unwrap_err();
+        assert_eq!(serial_err, par_err, "errors diverge at {label}");
     }
 }
 
@@ -175,12 +178,12 @@ fn overclaimed_slack_falls_back_identically_on_every_executor() {
         serial.colors.clone(),
     ))
     .expect("valid despite fallback");
-    for threads in THREAD_COUNTS {
-        let par = Solver::with_executor(cfg, ParallelExecutor::with_threads(threads))
+    for (label, exec) in engine_lineup() {
+        let par = Solver::with_executor(cfg, exec)
             .solve_slack_instance(&inst, &xc, x.palette as u32, 1e6)
             .expect("fallback keeps the solve alive");
-        assert_eq!(serial.colors, par.colors, "t={threads}");
-        assert_eq!(serial.cost, par.cost, "t={threads}");
-        assert_eq!(serial.stats, par.stats, "t={threads}");
+        assert_eq!(serial.colors, par.colors, "{label}");
+        assert_eq!(serial.cost, par.cost, "{label}");
+        assert_eq!(serial.stats, par.stats, "{label}");
     }
 }
