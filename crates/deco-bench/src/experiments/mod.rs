@@ -6,6 +6,7 @@
 pub mod defcol;
 pub mod engine_async;
 pub mod engine_matrix;
+pub mod engine_shard;
 pub mod fig_partition;
 pub mod fig_slack_walkthrough;
 pub mod fig_virtual;
@@ -39,6 +40,7 @@ pub fn all() -> Vec<(&'static str, Runner)> {
         ("related-work", related_work::run),
         ("engine-matrix", engine_matrix::run),
         ("engine-async", engine_async::run),
+        ("engine-shard", engine_shard::run),
         ("solver-par", solver_par::run),
     ]
 }

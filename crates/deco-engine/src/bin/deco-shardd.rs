@@ -1,0 +1,17 @@
+//! `deco-shardd` — one shard worker process of the framed sharded engine.
+//!
+//! Spawned by the subprocess [`ShardTransport`] with a frame pipe on
+//! stdin/stdout: reads the `Init` frame (topology, IDs, protocol spec,
+//! shard assignment), rebuilds its shard of the network, then answers the
+//! coordinator's per-round `SendReq`/`Deliver` frames until `Shutdown`.
+//! All protocol logic lives in `deco_engine::shard::framed`; this binary
+//! is only the stdio shell around it.
+//!
+//! [`ShardTransport`]: deco_engine::shard::framed::ShardTransport
+
+fn main() {
+    if let Err(e) = deco_engine::shard::framed::serve_stdio() {
+        eprintln!("deco-shardd: {e}");
+        std::process::exit(1);
+    }
+}

@@ -29,6 +29,22 @@
 //! few relaxed loads. Message payloads are *not* protected by these
 //! atomics; they travel through per-slot mutexes in the ring buffer, whose
 //! lock/unlock pairs provide the happens-before edges.
+//!
+//! ```
+//! use deco_engine::RoundClock;
+//!
+//! let clock = RoundClock::new(2, 10);
+//! // Node 0 publishes and completes round 1, then halts there.
+//! clock.mark_sent(0, 1);
+//! assert_eq!(clock.mark_received(0, 1), 1); // nobody is ahead yet
+//! clock.mark_halted(0, 1);
+//! // Its round-1 message was real; every later round reads as silence.
+//! assert!(!clock.halted_before(0, 1));
+//! assert!(clock.halted_before(0, 2));
+//! // Node 1 never moved: the counters are per node.
+//! assert_eq!(clock.received(1), 0);
+//! assert_eq!(clock.finished_count(), 1);
+//! ```
 
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 

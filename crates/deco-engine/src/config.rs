@@ -1,0 +1,322 @@
+//! Structured engine configuration from the environment.
+//!
+//! CI pins its executor matrix through three environment variables, all
+//! parsed here and nowhere else:
+//!
+//! | variable | values | meaning |
+//! |---|---|---|
+//! | `DECO_ENGINE_THREADS` | unset/empty/`0` = auto, else a thread count | worker threads (threads *per shard* when sharding) |
+//! | `DECO_ENGINE_ASYNC` | unset/empty/`0` = barrier, `1` = async | round substrate of the parallel engine |
+//! | `DECO_ENGINE_SHARDS` | unset/empty/`0` = unsharded, else a shard count | partition the network over that many shards |
+//!
+//! Malformed values are **structured errors**, never silent fallbacks and
+//! never bare panics: a typo in a CI matrix cell must fail the run with
+//! the variable name and the offending value, not quietly un-pin the
+//! matrix (the historical behavior was a panic mid-parse; callers now get
+//! an [`EngineEnvError`] they can report or escalate themselves).
+//!
+//! ```
+//! use deco_engine::config::{parse_shards, EngineConfig};
+//!
+//! // Pure parsers back every variable; malformed input is a value.
+//! assert_eq!(parse_shards("4").unwrap(), 4);
+//! let err = parse_shards("many").unwrap_err();
+//! assert_eq!(err.var, "DECO_ENGINE_SHARDS");
+//! assert_eq!(err.value, "many");
+//!
+//! // In an environment with none of the variables set, the config is the
+//! // auto default.
+//! if std::env::var_os("DECO_ENGINE_THREADS").is_none()
+//!     && std::env::var_os("DECO_ENGINE_ASYNC").is_none()
+//!     && std::env::var_os("DECO_ENGINE_SHARDS").is_none()
+//! {
+//!     let cfg = EngineConfig::from_env().unwrap();
+//!     assert_eq!(cfg.shards, 0);
+//! }
+//! ```
+
+use crate::engine::{EngineMode, ParallelExecutor};
+use crate::shard::ShardedExecutor;
+use deco_local::network::Network;
+use deco_local::runner::{NodeProgram, Protocol, RunError, RunOutcome};
+use deco_local::Executor;
+
+/// `DECO_ENGINE_THREADS` — worker thread count (0 = auto).
+pub const ENV_THREADS: &str = "DECO_ENGINE_THREADS";
+/// `DECO_ENGINE_ASYNC` — round substrate of the parallel engine.
+pub const ENV_ASYNC: &str = "DECO_ENGINE_ASYNC";
+/// `DECO_ENGINE_SHARDS` — shard count (0 = unsharded).
+pub const ENV_SHARDS: &str = "DECO_ENGINE_SHARDS";
+
+/// A malformed engine environment variable: which variable, what it held,
+/// and what it accepts.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EngineEnvError {
+    /// The environment variable that failed to parse.
+    pub var: &'static str,
+    /// The offending value, verbatim.
+    pub value: String,
+    /// Human-readable description of the accepted values.
+    pub expected: &'static str,
+}
+
+impl std::fmt::Display for EngineEnvError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} must be {}, got {:?}",
+            self.var, self.expected, self.value
+        )
+    }
+}
+
+impl std::error::Error for EngineEnvError {}
+
+/// Parses a `DECO_ENGINE_THREADS` value: unset callers pass `""`; empty or
+/// `0` means auto (returned as 0).
+///
+/// # Errors
+///
+/// [`EngineEnvError`] when the value is not a number.
+pub fn parse_threads(raw: &str) -> Result<usize, EngineEnvError> {
+    let raw = raw.trim();
+    if raw.is_empty() {
+        return Ok(0);
+    }
+    raw.parse().map_err(|_| EngineEnvError {
+        var: ENV_THREADS,
+        value: raw.to_string(),
+        expected: "a thread count (0 or empty = auto)",
+    })
+}
+
+/// Parses a `DECO_ENGINE_ASYNC` value: empty or `0` = barrier, `1` =
+/// async.
+///
+/// # Errors
+///
+/// [`EngineEnvError`] on anything else.
+pub fn parse_mode(raw: &str) -> Result<EngineMode, EngineEnvError> {
+    match raw.trim() {
+        "" | "0" => Ok(EngineMode::Barrier),
+        "1" => Ok(EngineMode::Async),
+        other => Err(EngineEnvError {
+            var: ENV_ASYNC,
+            value: other.to_string(),
+            expected: "0 or 1",
+        }),
+    }
+}
+
+/// Parses a `DECO_ENGINE_SHARDS` value: empty or `0` = unsharded
+/// (returned as 0), else the shard count.
+///
+/// # Errors
+///
+/// [`EngineEnvError`] when the value is not a number.
+pub fn parse_shards(raw: &str) -> Result<usize, EngineEnvError> {
+    let raw = raw.trim();
+    if raw.is_empty() {
+        return Ok(0);
+    }
+    raw.parse().map_err(|_| EngineEnvError {
+        var: ENV_SHARDS,
+        value: raw.to_string(),
+        expected: "a shard count (0 or empty = unsharded)",
+    })
+}
+
+fn env_raw(var: &'static str) -> String {
+    std::env::var(var).unwrap_or_default()
+}
+
+/// The engine configuration CI and test harnesses pin via the
+/// environment. Plain data; turn it into an executor with
+/// [`EngineConfig::selection`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EngineConfig {
+    /// Worker threads (0 = auto). When sharding, threads *per shard*
+    /// (0 = 1).
+    pub threads: usize,
+    /// Round substrate of the parallel engine (ignored when sharding; the
+    /// sharded engine's cross-shard exchange is clock-driven by design).
+    pub mode: EngineMode,
+    /// Shard count (0 = unsharded).
+    pub shards: usize,
+}
+
+impl EngineConfig {
+    /// Reads and validates every engine variable from the environment.
+    ///
+    /// # Errors
+    ///
+    /// The first [`EngineEnvError`] among the malformed variables, with
+    /// the variable name and the offending value.
+    pub fn from_env() -> Result<EngineConfig, EngineEnvError> {
+        Ok(EngineConfig {
+            threads: parse_threads(&env_raw(ENV_THREADS))?,
+            mode: parse_mode(&env_raw(ENV_ASYNC))?,
+            shards: parse_shards(&env_raw(ENV_SHARDS))?,
+        })
+    }
+
+    /// The executor this configuration selects: the sharded engine when
+    /// `shards > 0`, otherwise the parallel engine in the configured mode.
+    pub fn selection(&self) -> EngineSelection {
+        if self.shards > 0 {
+            EngineSelection::Sharded(
+                ShardedExecutor::new(self.shards).with_threads_per_shard(self.threads.max(1)),
+            )
+        } else {
+            let exec = if self.threads == 0 {
+                ParallelExecutor::auto()
+            } else {
+                ParallelExecutor::with_threads(self.threads)
+            };
+            EngineSelection::Parallel(exec.with_mode(self.mode))
+        }
+    }
+}
+
+/// An environment-selected executor: one type that is whichever engine the
+/// `DECO_ENGINE_*` variables picked, so differential suites can put "the
+/// CI-pinned engine" in their lineup without committing to a shape.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EngineSelection {
+    /// The in-process parallel engine (barrier or async substrate).
+    Parallel(ParallelExecutor),
+    /// The sharded engine.
+    Sharded(ShardedExecutor),
+}
+
+impl EngineSelection {
+    /// Shorthand for `EngineConfig::from_env()?.selection()`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`EngineEnvError`] from the malformed variable.
+    pub fn from_env() -> Result<EngineSelection, EngineEnvError> {
+        Ok(EngineConfig::from_env()?.selection())
+    }
+}
+
+impl Executor for EngineSelection {
+    fn execute<P>(
+        &self,
+        net: &Network<'_>,
+        protocol: &P,
+        max_rounds: u64,
+    ) -> Result<RunOutcome<<P::Program as NodeProgram>::Output>, RunError>
+    where
+        P: Protocol,
+        P::Program: Send,
+        <P::Program as NodeProgram>::Msg: Send + Sync,
+        <P::Program as NodeProgram>::Output: Send,
+    {
+        match self {
+            EngineSelection::Parallel(e) => e.execute(net, protocol, max_rounds),
+            EngineSelection::Sharded(e) => e.execute(net, protocol, max_rounds),
+        }
+    }
+
+    fn execute_branches<T, F>(&self, weights: &[usize], run: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(usize) -> T + Sync,
+    {
+        match self {
+            EngineSelection::Parallel(e) => e.execute_branches(weights, run),
+            EngineSelection::Sharded(e) => e.execute_branches(weights, run),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn thread_parsing_accepts_auto_spellings() {
+        assert_eq!(parse_threads("").unwrap(), 0);
+        assert_eq!(parse_threads(" 0 ").unwrap(), 0);
+        assert_eq!(parse_threads("8").unwrap(), 8);
+    }
+
+    #[test]
+    fn mode_parsing_is_strict() {
+        assert_eq!(parse_mode("").unwrap(), EngineMode::Barrier);
+        assert_eq!(parse_mode("0").unwrap(), EngineMode::Barrier);
+        assert_eq!(parse_mode(" 1\n").unwrap(), EngineMode::Async);
+        let err = parse_mode("yes").unwrap_err();
+        assert_eq!(err.var, ENV_ASYNC);
+        assert_eq!(err.value, "yes");
+        assert!(err.to_string().contains("DECO_ENGINE_ASYNC"));
+        assert!(err.to_string().contains("\"yes\""));
+    }
+
+    #[test]
+    fn shard_parsing_reports_the_offending_value() {
+        assert_eq!(parse_shards("").unwrap(), 0);
+        assert_eq!(parse_shards("4").unwrap(), 4);
+        let err = parse_shards("-2").unwrap_err();
+        assert_eq!(err.var, ENV_SHARDS);
+        assert_eq!(err.value, "-2");
+    }
+
+    #[test]
+    fn malformed_threads_is_an_error_value_not_a_panic() {
+        let err = parse_threads("three").unwrap_err();
+        assert_eq!(err.var, ENV_THREADS);
+        assert_eq!(
+            err.to_string(),
+            "DECO_ENGINE_THREADS must be a thread count (0 or empty = auto), got \"three\""
+        );
+    }
+
+    #[test]
+    fn selection_routes_shards_to_the_sharded_engine() {
+        let cfg = EngineConfig {
+            threads: 2,
+            mode: EngineMode::Barrier,
+            shards: 3,
+        };
+        match cfg.selection() {
+            EngineSelection::Sharded(e) => {
+                assert_eq!(e.shards(), 3);
+                assert_eq!(e.threads_per_shard(), 2);
+            }
+            other => panic!("expected sharded, got {other:?}"),
+        }
+        let cfg = EngineConfig {
+            threads: 0,
+            mode: EngineMode::Async,
+            shards: 0,
+        };
+        match cfg.selection() {
+            EngineSelection::Parallel(e) => assert_eq!(e.mode(), EngineMode::Async),
+            other => panic!("expected parallel, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn selection_executes_like_any_executor() {
+        use crate::protocols::FloodMax;
+        use deco_graph::generators;
+        use deco_local::network::IdAssignment;
+        use deco_local::SerialExecutor;
+
+        let g = generators::cycle(20);
+        let net = Network::new(&g, IdAssignment::Shuffled(2));
+        let serial = SerialExecutor
+            .execute(&net, &FloodMax { radius: 3 }, 20)
+            .unwrap();
+        for sel in [
+            EngineSelection::Parallel(ParallelExecutor::with_threads(2)),
+            EngineSelection::Sharded(ShardedExecutor::new(2)),
+        ] {
+            let out = sel.execute(&net, &FloodMax { radius: 3 }, 20).unwrap();
+            assert_eq!(serial.outputs, out.outputs);
+            assert_eq!(sel.execute_branches(&[1, 1, 1], |i| i), vec![0, 1, 2]);
+        }
+    }
+}

@@ -20,6 +20,7 @@
 //! differential suite in `tests/` runs every scenario of the matrix on both
 //! executors and demands equal outputs, round counts, and message counts.
 
+use crate::config::EngineEnvError;
 use crate::mailbox::{DoubleBuffer, MailboxPlan};
 use crate::par::{split_by_weight, split_mut_by_ranges};
 use deco_local::network::Network;
@@ -110,33 +111,29 @@ impl ParallelExecutor {
     /// and the round substrate from `DECO_ENGINE_ASYNC` (unset, empty, or
     /// `0` means [`EngineMode::Barrier`]; `1` means [`EngineMode::Async`]).
     /// This is how CI pins the engine across its threads × mode test
-    /// matrix without touching test code.
+    /// matrix without touching test code. See [`crate::config`] for the
+    /// full variable reference, including `DECO_ENGINE_SHARDS` (this
+    /// constructor deliberately ignores sharding —
+    /// [`crate::config::EngineSelection::from_env`] is the entry point
+    /// that honors all three).
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `DECO_ENGINE_THREADS` is set to something that is not a
-    /// number, or `DECO_ENGINE_ASYNC` to something other than `0`/`1` —
-    /// a typo must not silently un-pin the matrix.
-    pub fn from_env() -> ParallelExecutor {
-        let threads = match std::env::var("DECO_ENGINE_THREADS") {
-            Err(_) => ParallelExecutor::auto(),
-            Ok(raw) => {
-                let raw = raw.trim();
-                if raw.is_empty() {
-                    ParallelExecutor::auto()
-                } else {
-                    let threads: usize = raw.parse().unwrap_or_else(|_| {
-                        panic!("DECO_ENGINE_THREADS must be a number, got {raw:?}")
-                    });
-                    if threads == 0 {
-                        ParallelExecutor::auto()
-                    } else {
-                        ParallelExecutor::with_threads(threads)
-                    }
-                }
-            }
+    /// Returns the structured [`EngineEnvError`] naming the variable and
+    /// the offending value — a typo must fail loudly, never silently
+    /// un-pin the matrix, and callers decide whether that is a panic or a
+    /// report.
+    pub fn from_env() -> Result<ParallelExecutor, EngineEnvError> {
+        let cfg = crate::config::EngineConfig {
+            shards: 0,
+            ..crate::config::EngineConfig::from_env()?
         };
-        threads.with_mode(mode_from_env())
+        match cfg.selection() {
+            crate::config::EngineSelection::Parallel(exec) => Ok(exec),
+            crate::config::EngineSelection::Sharded(_) => {
+                unreachable!("shards pinned to 0 above")
+            }
+        }
     }
 
     /// The barrier-free executor carrying this executor's thread request,
@@ -160,27 +157,6 @@ impl ParallelExecutor {
                 .map_or(1, usize::from)
                 .min(n.max(1))
         }
-    }
-}
-
-/// Parses `DECO_ENGINE_ASYNC` (unset/empty/`0` → barrier, `1` → async),
-/// panicking on anything else — mirroring the `DECO_ENGINE_THREADS`
-/// policy: a malformed value must never silently fall back and un-pin the
-/// CI matrix.
-fn mode_from_env() -> EngineMode {
-    match std::env::var("DECO_ENGINE_ASYNC") {
-        Err(_) => EngineMode::Barrier,
-        Ok(raw) => parse_async_mode(&raw),
-    }
-}
-
-/// The pure parser behind [`mode_from_env`], split out so tests can drive
-/// it without mutating the process-global environment.
-fn parse_async_mode(raw: &str) -> EngineMode {
-    match raw.trim() {
-        "" | "0" => EngineMode::Barrier,
-        "1" => EngineMode::Async,
-        other => panic!("DECO_ENGINE_ASYNC must be 0 or 1, got {other:?}"),
     }
 }
 
@@ -563,12 +539,14 @@ mod tests {
         // The test environment does not set the variables, so from_env()
         // must fall back to auto barrier mode. (Value-driven behavior is
         // covered by the CI matrix, which exports DECO_ENGINE_THREADS and
-        // DECO_ENGINE_ASYNC across its cells.)
+        // DECO_ENGINE_ASYNC across its cells; malformed-value behavior is
+        // covered by the pure parsers in crate::config.)
         if std::env::var("DECO_ENGINE_THREADS").is_err()
             && std::env::var("DECO_ENGINE_ASYNC").is_err()
         {
-            assert_eq!(ParallelExecutor::from_env(), ParallelExecutor::auto());
-            assert_eq!(ParallelExecutor::from_env().mode(), EngineMode::Barrier);
+            let exec = ParallelExecutor::from_env().expect("clean environment parses");
+            assert_eq!(exec, ParallelExecutor::auto());
+            assert_eq!(exec.mode(), EngineMode::Barrier);
         }
     }
 
@@ -592,21 +570,18 @@ mod tests {
 
     #[test]
     fn mode_knob_parses_like_the_thread_knob() {
-        // The parser is pure (std::env is process-global, so the test
-        // drives it directly rather than mutating the environment under
+        // The parsers are pure (std::env is process-global, so the test
+        // drives them directly rather than mutating the environment under
         // concurrently running tests). Whitespace and the two canonical
-        // values are accepted; anything else must panic, not silently
-        // un-pin the CI matrix.
-        assert_eq!(parse_async_mode(""), EngineMode::Barrier);
-        assert_eq!(parse_async_mode("0"), EngineMode::Barrier);
-        assert_eq!(parse_async_mode(" 0 "), EngineMode::Barrier);
-        assert_eq!(parse_async_mode("1"), EngineMode::Async);
-        assert_eq!(parse_async_mode("1\n"), EngineMode::Async);
-    }
-
-    #[test]
-    #[should_panic(expected = "must be 0 or 1")]
-    fn malformed_mode_knob_is_rejected() {
-        let _ = parse_async_mode("yes");
+        // values are accepted; anything else is a structured error naming
+        // the variable — it must never silently un-pin the CI matrix.
+        use crate::config::parse_mode;
+        assert_eq!(parse_mode("").unwrap(), EngineMode::Barrier);
+        assert_eq!(parse_mode("0").unwrap(), EngineMode::Barrier);
+        assert_eq!(parse_mode(" 0 ").unwrap(), EngineMode::Barrier);
+        assert_eq!(parse_mode("1").unwrap(), EngineMode::Async);
+        assert_eq!(parse_mode("1\n").unwrap(), EngineMode::Async);
+        let err = parse_mode("yes").unwrap_err();
+        assert!(err.to_string().contains("must be 0 or 1"));
     }
 }

@@ -22,12 +22,23 @@
 //!   ring buffer's depth-1 lookahead invariant). Same observational
 //!   contract, proven by the three-way differential suite; disconnected
 //!   and skewed-component workloads are where it shines.
+//! * [`shard`] — sharded execution: a [`shard::ShardPlan`] partitions the
+//!   network into degree-balanced shards, cut edges surface as ghost
+//!   ports fed by a per-round cut exchange, and
+//!   [`shard::ShardedExecutor`] runs the whole thing as a drop-in
+//!   [`Executor`]. The [`shard::framed`] layer speaks the same roles over
+//!   length-prefixed byte frames through in-process channels or
+//!   `deco-shardd` subprocesses — true multi-process execution behind the
+//!   same observational contract.
 //! * [`scenario`] — the scenario matrix: graph families × sizes ×
 //!   ID-assignment flavors enumerated from one base seed, with per-scenario
 //!   named RNG streams (ixa-style), so sweeps and benchmarks share one
 //!   declared source of workloads.
 //! * [`protocols`] — stock substrate-stressing protocols used by the
 //!   differential suite and the benches.
+//! * [`config`] — structured parsing of the `DECO_ENGINE_*` environment
+//!   variables CI pins its executor matrix with; malformed values are
+//!   [`config::EngineEnvError`] values, never silent fallbacks.
 //!
 //! Threading is built on `std::thread::scope` (the build environment has no
 //! crates.io access, so `rayon` is unavailable; see `par.rs` for the exact
@@ -38,17 +49,21 @@
 
 pub mod async_engine;
 pub mod clock;
+pub mod config;
 pub mod engine;
 pub mod mailbox;
 pub mod par;
 pub mod protocols;
 pub mod scenario;
+pub mod shard;
 
 pub use async_engine::{AsyncExecutor, AsyncStats};
 pub use clock::RoundClock;
+pub use config::{EngineConfig, EngineEnvError, EngineSelection};
 pub use engine::{EngineMode, ParallelExecutor};
 pub use mailbox::MailboxPlan;
 pub use scenario::{GraphSpec, IdFlavor, Scenario, ScenarioMatrix};
+pub use shard::{ShardPlan, ShardedExecutor};
 
 // Re-exported so engine users name the contract without importing
 // deco-local explicitly.

@@ -15,6 +15,23 @@
 //! would suffice. The second buffer exists so a pipelined mode can overlap
 //! `send(r+1)` with `receive(r)` without reallocation; until that lands its
 //! cost is one extra arena allocated once per execution.
+//!
+//! ```
+//! use deco_engine::MailboxPlan;
+//! use deco_graph::generators;
+//!
+//! let g = generators::cycle(4);
+//! let plan = MailboxPlan::new(&g);
+//! // One slot per port: 2m in total.
+//! assert_eq!(plan.num_slots(), g.degree_sum());
+//! // The mirror table is a fixed-point-free involution: following it
+//! // twice from any slot returns to the same slot, and delivery is the
+//! // single lookup `arena[plan.mirror(k)]`.
+//! for k in 0..plan.num_slots() {
+//!     assert_ne!(plan.mirror(k), k);
+//!     assert_eq!(plan.mirror(plan.mirror(k)), k);
+//! }
+//! ```
 
 use deco_graph::{Graph, NodeId};
 use std::sync::Mutex;

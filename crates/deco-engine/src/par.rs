@@ -14,6 +14,18 @@
 //! environment has no registry access, and scoped threads cover everything
 //! a barrier-synchronized round engine needs. Should `rayon` become
 //! available, only this module would change.
+//!
+//! ```
+//! use deco_engine::par::split_by_weight;
+//!
+//! // Four nodes with skewed degrees, two workers: the heavy head is
+//! // isolated and the tail is spread over the remaining parts.
+//! let ranges = split_by_weight(&[100, 1, 1, 1], 2);
+//! assert_eq!(ranges, vec![0..1, 1..4]);
+//! // The same inputs always produce the same partition — that is what
+//! // makes thread count observationally invisible.
+//! assert_eq!(ranges, split_by_weight(&[100, 1, 1, 1], 2));
+//! ```
 
 use std::collections::VecDeque;
 use std::ops::Range;
@@ -242,6 +254,30 @@ mod tests {
                 "tail ranges must share the 99 unit items evenly: {ranges:?}"
             );
         }
+    }
+
+    #[test]
+    fn split_handles_degenerate_inputs() {
+        // Empty weight slice: no ranges (and no panic) — the partitioner
+        // and the sharded executor both lean on this for empty graphs.
+        assert!(split_by_weight(&[], 1).is_empty());
+        assert!(split_by_weight(&[], 8).is_empty());
+
+        // A single item, however heavy, yields exactly one range no matter
+        // how many parts were requested.
+        assert_eq!(split_by_weight(&[10_000], 6), vec![0..1]);
+
+        // More parts than items: one range per item at most, never empty.
+        let ranges = split_by_weight(&[2, 2, 2], 16);
+        assert_eq!(ranges, vec![0..1, 1..2, 2..3]);
+
+        // All-zero weights still spread by item count (the +1 per item).
+        let ranges = split_by_weight(&[0; 10], 5);
+        assert_eq!(ranges.len(), 5);
+        assert!(ranges.iter().all(|r| r.len() == 2));
+
+        // Zero parts degrades to one.
+        assert_eq!(split_by_weight(&[1, 1], 0), vec![0..2]);
     }
 
     #[test]

@@ -1,0 +1,1014 @@
+//! The framed shard protocol: coordinator and workers speaking
+//! length-prefixed byte frames through a [`ShardTransport`].
+//!
+//! The in-process [`ShardedExecutor`](crate::shard::ShardedExecutor) moves
+//! typed messages between shard threads; this module is the same execution
+//! split across *address spaces*. A coordinator owns the round loop and the
+//! cut-message routing; each shard worker owns its programs, arena, and
+//! ghost ports (the identical per-shard round code the typed engine
+//! runs) and speaks only frames:
+//!
+//! ```text
+//! coordinator                                worker s (× shards)
+//!     │ ──Init{graph, ids, spec, shard}──────────▶ │ builds Network + ShardPlan
+//!     │ ◀──InitAck{active}────────────────────────│
+//!     │   per round:                              │
+//!     │ ──SendReq─────────────────────────────────▶ │ send phase
+//!     │ ◀──CutOut{sent, boundary msgs}────────────│
+//!     │   route cut messages between shards       │
+//!     │ ──Deliver{ghost msgs}─────────────────────▶ │ receive phase
+//!     │ ◀──Done{active}───────────────────────────│
+//!     │   until Σ active = 0                      │
+//!     │ ──Finish──▶ ◀──Outputs──  ──Shutdown──▶   │
+//! ```
+//!
+//! Cut messages travel as *opaque* length-delimited entries: the
+//! coordinator routes them between shards without ever decoding a payload,
+//! exactly as a production exchange would. Two transports implement the
+//! byte pipes: [`ChannelTransport`] runs each worker as an in-process
+//! thread over `mpsc` channels (the default — fast, deterministic, and
+//! testable on a 1-CPU container), and [`ProcessTransport`] spawns one
+//! `deco-shardd` child process per shard over stdio, proving true
+//! multi-process execution. Both run byte-for-byte the same worker loop
+//! ([`serve`]), so the differential suite holds them to identical
+//! observable behavior — and to the serial runner's.
+//!
+//! The framed layer runs *named* protocols ([`ProtocolSpec`]) whose
+//! messages implement [`WireMsg`]; arbitrary user protocols with
+//! non-serializable messages stay on the typed in-process executor. That
+//! split is deliberate: a subprocess fundamentally cannot receive a Rust
+//! closure, so the worker binary bootstraps from specs, the way any
+//! multi-process system boots from configuration rather than code.
+
+use super::plan::ShardPlan;
+use super::wire::{put_bytes, put_u32, put_u64, read_frame, write_frame, Cursor};
+use super::worker::ShardWorker;
+use crate::protocols::{FloodMax, PortEcho, StaggeredSum};
+use deco_graph::Graph;
+use deco_local::network::Network;
+use deco_local::runner::{NodeProgram, Protocol, RunError, RunOutcome};
+use std::io;
+use std::path::PathBuf;
+use std::process::{Child, ChildStdin, ChildStdout, Command, Stdio};
+use std::sync::mpsc;
+
+// Coordinator → worker frame tags.
+const T_INIT: u8 = 0x01;
+const T_SEND_REQ: u8 = 0x02;
+const T_DELIVER: u8 = 0x03;
+const T_FINISH: u8 = 0x04;
+const T_SHUTDOWN: u8 = 0x05;
+// Worker → coordinator frame tags.
+const T_INIT_ACK: u8 = 0x81;
+const T_CUT_OUT: u8 = 0x82;
+const T_DONE: u8 = 0x83;
+const T_OUTPUTS: u8 = 0x84;
+
+/// A message type that can cross the wire. Implemented for the message
+/// types of the stock protocols; the encoding is fixed-width little-endian
+/// (no self-description — coordinator and workers share the schema).
+pub trait WireMsg: Clone + Send + Sync {
+    /// Appends this message's encoding to `out`.
+    fn encode(&self, out: &mut Vec<u8>);
+    /// Decodes one message, consuming exactly its encoding.
+    ///
+    /// # Errors
+    ///
+    /// Returns `InvalidData`/`UnexpectedEof` on a malformed payload.
+    fn decode(c: &mut Cursor<'_>) -> io::Result<Self>;
+}
+
+impl WireMsg for u64 {
+    fn encode(&self, out: &mut Vec<u8>) {
+        put_u64(out, *self);
+    }
+    fn decode(c: &mut Cursor<'_>) -> io::Result<u64> {
+        c.u64()
+    }
+}
+
+impl WireMsg for (u64, u64) {
+    fn encode(&self, out: &mut Vec<u8>) {
+        put_u64(out, self.0);
+        put_u64(out, self.1);
+    }
+    fn decode(c: &mut Cursor<'_>) -> io::Result<(u64, u64)> {
+        Ok((c.u64()?, c.u64()?))
+    }
+}
+
+/// A named protocol the shard workers can bootstrap from a frame — the
+/// framed layer's equivalent of handing an executor a `&impl Protocol`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProtocolSpec {
+    /// [`FloodMax`] with the given radius.
+    FloodMax {
+        /// Rounds to flood.
+        radius: u64,
+    },
+    /// [`PortEcho`] with the given round count.
+    PortEcho {
+        /// Echo rounds.
+        rounds: u64,
+    },
+    /// [`StaggeredSum`] with the given halting spread.
+    StaggeredSum {
+        /// Halting times spread over `1..=spread`.
+        spread: u64,
+    },
+}
+
+impl ProtocolSpec {
+    fn encode(&self, out: &mut Vec<u8>) {
+        let (kind, param) = match *self {
+            ProtocolSpec::FloodMax { radius } => (1u8, radius),
+            ProtocolSpec::PortEcho { rounds } => (2, rounds),
+            ProtocolSpec::StaggeredSum { spread } => (3, spread),
+        };
+        out.push(kind);
+        put_u64(out, param);
+    }
+
+    fn decode(c: &mut Cursor<'_>) -> io::Result<ProtocolSpec> {
+        let kind = c.u8()?;
+        let param = c.u64()?;
+        match kind {
+            1 => Ok(ProtocolSpec::FloodMax { radius: param }),
+            2 => Ok(ProtocolSpec::PortEcho { rounds: param }),
+            3 => Ok(ProtocolSpec::StaggeredSum { spread: param }),
+            other => Err(invalid(format!("unknown protocol kind {other}"))),
+        }
+    }
+
+    /// Canonical label for reports.
+    pub fn label(&self) -> String {
+        match *self {
+            ProtocolSpec::FloodMax { radius } => format!("flood-max(r={radius})"),
+            ProtocolSpec::PortEcho { rounds } => format!("port-echo(r={rounds})"),
+            ProtocolSpec::StaggeredSum { spread } => format!("staggered-sum(s={spread})"),
+        }
+    }
+}
+
+/// One byte pipe between the coordinator and one shard worker.
+pub trait ShardConn: Send {
+    /// Sends one frame payload.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transport failures (a dead peer surfaces here).
+    fn send(&mut self, payload: &[u8]) -> io::Result<()>;
+
+    /// Receives the next frame payload, blocking until one arrives.
+    /// `UnexpectedEof` means the peer shut down cleanly.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transport failures.
+    fn recv(&mut self) -> io::Result<Vec<u8>>;
+}
+
+/// Launches the worker endpoints the coordinator talks to — the *only*
+/// thing that differs between running shards as threads and running them
+/// as processes.
+pub trait ShardTransport {
+    /// The connection type this transport hands out.
+    type Conn: ShardConn;
+
+    /// Launches `shards` workers and returns one connection per shard, in
+    /// shard order.
+    ///
+    /// # Errors
+    ///
+    /// Propagates spawn failures (missing binary, exhausted pids, …).
+    fn launch(&self, shards: usize) -> io::Result<Vec<Self::Conn>>;
+
+    /// Short label for reports and test names.
+    fn label(&self) -> &'static str;
+}
+
+/// In-process transport: each shard worker is a thread, frames travel over
+/// `mpsc` channels. The default transport — everything the framed protocol
+/// does except process isolation, with nothing to spawn or clean up.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ChannelTransport;
+
+/// Coordinator-side endpoint of a [`ChannelTransport`] worker.
+#[derive(Debug)]
+pub struct ChannelConn {
+    tx: mpsc::Sender<Vec<u8>>,
+    rx: mpsc::Receiver<Vec<u8>>,
+}
+
+impl ShardConn for ChannelConn {
+    fn send(&mut self, payload: &[u8]) -> io::Result<()> {
+        self.tx
+            .send(payload.to_vec())
+            .map_err(|_| io::Error::new(io::ErrorKind::BrokenPipe, "shard worker hung up"))
+    }
+
+    fn recv(&mut self) -> io::Result<Vec<u8>> {
+        self.rx
+            .recv()
+            .map_err(|_| io::Error::new(io::ErrorKind::UnexpectedEof, "shard worker disconnected"))
+    }
+}
+
+impl ShardTransport for ChannelTransport {
+    type Conn = ChannelConn;
+
+    fn launch(&self, shards: usize) -> io::Result<Vec<ChannelConn>> {
+        let mut conns = Vec::with_capacity(shards);
+        for s in 0..shards {
+            let (to_worker, from_coord) = mpsc::channel::<Vec<u8>>();
+            let (to_coord, from_worker) = mpsc::channel::<Vec<u8>>();
+            std::thread::Builder::new()
+                .name(format!("deco-shard-{s}"))
+                .spawn(move || {
+                    let mut conn = ChannelConn {
+                        tx: to_coord,
+                        rx: from_coord,
+                    };
+                    // A worker error (or panic) drops the channel; the
+                    // coordinator sees the hangup as an io error rather
+                    // than a deadlock.
+                    let _ = serve(&mut conn);
+                })?;
+            conns.push(ChannelConn {
+                tx: to_worker,
+                rx: from_worker,
+            });
+        }
+        Ok(conns)
+    }
+
+    fn label(&self) -> &'static str {
+        "channel"
+    }
+}
+
+/// Multi-process transport: each shard worker is a `deco-shardd` child
+/// process speaking frames over stdio.
+#[derive(Debug, Clone)]
+pub struct ProcessTransport {
+    bin: PathBuf,
+}
+
+impl ProcessTransport {
+    /// A transport spawning the worker binary at `bin` (tests use
+    /// `env!("CARGO_BIN_EXE_deco-shardd")`).
+    pub fn new(bin: impl Into<PathBuf>) -> ProcessTransport {
+        ProcessTransport { bin: bin.into() }
+    }
+}
+
+/// Coordinator-side endpoint of one `deco-shardd` child.
+#[derive(Debug)]
+pub struct ProcessConn {
+    child: Child,
+    stdin: ChildStdin,
+    stdout: io::BufReader<ChildStdout>,
+}
+
+impl ShardConn for ProcessConn {
+    fn send(&mut self, payload: &[u8]) -> io::Result<()> {
+        write_frame(&mut self.stdin, payload)
+    }
+
+    fn recv(&mut self) -> io::Result<Vec<u8>> {
+        read_frame(&mut self.stdout)
+    }
+}
+
+impl Drop for ProcessConn {
+    fn drop(&mut self) {
+        // Normal shutdown already sent Shutdown and the child exited; this
+        // is the abnormal path (coordinator error), where we must not leak
+        // the child.
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+impl ShardTransport for ProcessTransport {
+    type Conn = ProcessConn;
+
+    fn launch(&self, shards: usize) -> io::Result<Vec<ProcessConn>> {
+        let mut conns = Vec::with_capacity(shards);
+        for _ in 0..shards {
+            let mut child = Command::new(&self.bin)
+                .stdin(Stdio::piped())
+                .stdout(Stdio::piped())
+                .stderr(Stdio::inherit())
+                .spawn()?;
+            let stdin = child.stdin.take().expect("stdin piped");
+            let stdout = io::BufReader::new(child.stdout.take().expect("stdout piped"));
+            conns.push(ProcessConn {
+                child,
+                stdin,
+                stdout,
+            });
+        }
+        Ok(conns)
+    }
+
+    fn label(&self) -> &'static str {
+        "process"
+    }
+}
+
+/// Everything a worker needs to boot: the full (read-only) topology plus
+/// its shard assignment. Workers rebuild the [`ShardPlan`] locally — the
+/// plan is a pure function of graph and shard count, so shipping it would
+/// only add a consistency obligation.
+struct WorkerInit {
+    shards: usize,
+    shard: usize,
+    threads: usize,
+    max_rounds: u64,
+    protocol: ProtocolSpec,
+    n: usize,
+    edges: Vec<(usize, usize)>,
+    ids: Vec<u64>,
+}
+
+impl WorkerInit {
+    fn encode(&self) -> Vec<u8> {
+        let mut out = vec![T_INIT];
+        put_u32(&mut out, self.shards as u32);
+        put_u32(&mut out, self.shard as u32);
+        put_u32(&mut out, self.threads as u32);
+        put_u64(&mut out, self.max_rounds);
+        self.protocol.encode(&mut out);
+        put_u64(&mut out, self.n as u64);
+        put_u64(&mut out, self.edges.len() as u64);
+        for &(u, v) in &self.edges {
+            put_u32(&mut out, u as u32);
+            put_u32(&mut out, v as u32);
+        }
+        for &id in &self.ids {
+            put_u64(&mut out, id);
+        }
+        out
+    }
+
+    fn decode(payload: &[u8]) -> io::Result<WorkerInit> {
+        let mut c = Cursor::new(payload);
+        if c.u8()? != T_INIT {
+            return Err(invalid("expected Init frame"));
+        }
+        let shards = c.u32()? as usize;
+        let shard = c.u32()? as usize;
+        let threads = c.u32()? as usize;
+        let max_rounds = c.u64()?;
+        let protocol = ProtocolSpec::decode(&mut c)?;
+        let n = c.u64()? as usize;
+        let m = c.u64()? as usize;
+        let mut edges = Vec::with_capacity(m);
+        for _ in 0..m {
+            edges.push((c.u32()? as usize, c.u32()? as usize));
+        }
+        let mut ids = Vec::with_capacity(n);
+        for _ in 0..n {
+            ids.push(c.u64()?);
+        }
+        if !c.finished() {
+            return Err(invalid("trailing bytes in Init frame"));
+        }
+        Ok(WorkerInit {
+            shards,
+            shard,
+            threads,
+            max_rounds,
+            protocol,
+            n,
+            edges,
+            ids,
+        })
+    }
+}
+
+/// Outcome of a framed sharded run, with the exchange-volume measurements
+/// the `engine-shard` experiment reports.
+#[derive(Debug, Clone)]
+pub struct FramedRun {
+    /// The observable outcome — bit-identical to the serial runner's.
+    pub outcome: RunOutcome<u64>,
+    /// Shards actually launched (≤ requested; the plan degrades on tiny
+    /// graphs).
+    pub shards: usize,
+    /// Edges crossing shard boundaries.
+    pub cut_edges: usize,
+    /// Fraction of edges crossing shard boundaries.
+    pub cut_fraction: f64,
+    /// Payload bytes of the cut exchange itself (CutOut + Deliver frames,
+    /// both directions).
+    pub exchange_bytes: u64,
+    /// All frame payload bytes both directions, including init and
+    /// output collection.
+    pub total_bytes: u64,
+}
+
+impl FramedRun {
+    /// Mean cut-exchange payload bytes per executed round (0 for runs that
+    /// finished before any round).
+    pub fn exchange_bytes_per_round(&self) -> f64 {
+        if self.outcome.rounds == 0 {
+            0.0
+        } else {
+            self.exchange_bytes as f64 / self.outcome.rounds as f64
+        }
+    }
+}
+
+/// Error from [`run_framed`]: either the model-level error the serial
+/// runner would also report, or a transport failure.
+#[derive(Debug)]
+pub enum FramedError {
+    /// The protocol hit the round limit — the same error, with the same
+    /// payload, the serial runner returns.
+    Run(RunError),
+    /// The transport failed (worker died, pipe broke, malformed frame).
+    Io(io::Error),
+}
+
+impl std::fmt::Display for FramedError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FramedError::Run(e) => write!(f, "{e}"),
+            FramedError::Io(e) => write!(f, "shard transport failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for FramedError {}
+
+impl From<io::Error> for FramedError {
+    fn from(e: io::Error) -> FramedError {
+        FramedError::Io(e)
+    }
+}
+
+/// Runs `spec` on `(g, ids)` sharded over `transport`, driving the framed
+/// coordinator loop: init, per-round send/route/deliver, output collection.
+/// Observationally identical to the serial runner for every shard count,
+/// thread count, and transport.
+///
+/// # Errors
+///
+/// [`FramedError::Run`] exactly when the serial runner errors;
+/// [`FramedError::Io`] when the transport fails.
+pub fn run_framed<T: ShardTransport>(
+    transport: &T,
+    g: &Graph,
+    ids: &[u64],
+    spec: ProtocolSpec,
+    shards: usize,
+    threads_per_shard: usize,
+    max_rounds: u64,
+) -> Result<FramedRun, FramedError> {
+    let n = g.num_nodes();
+    let plan = ShardPlan::new(g, shards);
+    let k = plan.shards();
+    if k == 0 {
+        return Ok(FramedRun {
+            outcome: RunOutcome {
+                outputs: Vec::new(),
+                rounds: 0,
+                messages: 0,
+            },
+            shards: 0,
+            cut_edges: 0,
+            cut_fraction: 0.0,
+            exchange_bytes: 0,
+            total_bytes: 0,
+        });
+    }
+    let edges: Vec<(usize, usize)> = g
+        .edge_list()
+        .iter()
+        .map(|&[u, v]| (u.index(), v.index()))
+        .collect();
+    let mut conns = transport.launch(k)?;
+    let mut total_bytes = 0u64;
+    let mut exchange_bytes = 0u64;
+
+    for (s, conn) in conns.iter_mut().enumerate() {
+        let init = WorkerInit {
+            // The *requested* count, not the degraded `k`: ShardPlan is a
+            // pure function of (graph, requested), and re-running it with
+            // the degraded count can produce a different partition — the
+            // workers must derive exactly the coordinator's plan.
+            shards,
+            shard: s,
+            threads: threads_per_shard,
+            max_rounds,
+            protocol: spec,
+            n,
+            edges: edges.clone(),
+            ids: ids.to_vec(),
+        }
+        .encode();
+        total_bytes += init.len() as u64;
+        conn.send(&init)?;
+    }
+    let mut active = Vec::with_capacity(k);
+    for conn in conns.iter_mut() {
+        let p = expect_frame(conn, T_INIT_ACK)?;
+        total_bytes += p.len() as u64;
+        let mut c = Cursor::new(&p[1..]);
+        active.push(c.u64()?);
+    }
+
+    let mut total: u64 = active.iter().sum();
+    let mut rounds = 0u64;
+    let mut messages = 0u64;
+    while total > 0 {
+        if rounds >= max_rounds {
+            for conn in conns.iter_mut() {
+                let _ = conn.send(&[T_SHUTDOWN]);
+            }
+            return Err(FramedError::Run(RunError::RoundLimitExceeded {
+                limit: max_rounds,
+                still_running: total as usize,
+            }));
+        }
+        // Send phase everywhere, then collect every shard's cut-out.
+        for conn in conns.iter_mut() {
+            total_bytes += 1;
+            conn.send(&[T_SEND_REQ])?;
+        }
+        let mut outs: Vec<Vec<Option<Vec<u8>>>> = Vec::with_capacity(k);
+        for conn in conns.iter_mut() {
+            let p = expect_frame(conn, T_CUT_OUT)?;
+            total_bytes += p.len() as u64;
+            exchange_bytes += p.len() as u64;
+            let mut c = Cursor::new(&p[1..]);
+            messages += c.u64()?;
+            let count = c.u64()? as usize;
+            let mut entries = Vec::with_capacity(count);
+            for _ in 0..count {
+                entries.push(get_opt_raw(&mut c)?);
+            }
+            if !c.finished() {
+                return Err(invalid("trailing bytes in CutOut frame").into());
+            }
+            outs.push(entries);
+        }
+        // The cut exchange: route every boundary message to the ghost port
+        // of its destination shard, opaquely.
+        for (s, conn) in conns.iter_mut().enumerate() {
+            let route = plan.route(s);
+            let mut p = vec![T_DELIVER];
+            put_u64(&mut p, route.len() as u64);
+            for &(t, j) in route {
+                put_opt_raw(&mut p, &outs[t as usize][j as usize]);
+            }
+            total_bytes += p.len() as u64;
+            exchange_bytes += p.len() as u64;
+            conn.send(&p)?;
+        }
+        total = 0;
+        for conn in conns.iter_mut() {
+            let p = expect_frame(conn, T_DONE)?;
+            total_bytes += p.len() as u64;
+            let mut c = Cursor::new(&p[1..]);
+            total += c.u64()?;
+        }
+        rounds += 1;
+    }
+
+    let mut outputs: Vec<u64> = Vec::with_capacity(n);
+    for conn in conns.iter_mut() {
+        total_bytes += 1;
+        conn.send(&[T_FINISH])?;
+        let p = expect_frame(conn, T_OUTPUTS)?;
+        total_bytes += p.len() as u64;
+        let mut c = Cursor::new(&p[1..]);
+        let count = c.u64()? as usize;
+        for _ in 0..count {
+            outputs.push(c.u64()?);
+        }
+        if !c.finished() {
+            return Err(invalid("trailing bytes in Outputs frame").into());
+        }
+    }
+    if outputs.len() != n {
+        return Err(invalid(format!("expected {n} outputs, got {}", outputs.len())).into());
+    }
+    for conn in conns.iter_mut() {
+        let _ = conn.send(&[T_SHUTDOWN]);
+    }
+    Ok(FramedRun {
+        outcome: RunOutcome {
+            outputs,
+            rounds,
+            messages,
+        },
+        shards: k,
+        cut_edges: plan.num_cut_edges(),
+        cut_fraction: plan.cut_fraction(),
+        exchange_bytes,
+        total_bytes,
+    })
+}
+
+/// One worker's whole life over an already-established connection: decode
+/// `Init`, rebuild topology and plan, then answer coordinator frames until
+/// `Shutdown` or EOF. This exact function runs inside the `deco-shardd`
+/// binary (over stdio) and inside every [`ChannelTransport`] thread.
+///
+/// # Errors
+///
+/// Propagates transport failures and malformed frames; a clean peer
+/// disconnect is `Ok`.
+pub fn serve<C: ShardConn>(conn: &mut C) -> io::Result<()> {
+    let first = match conn.recv() {
+        Ok(p) => p,
+        Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => return Ok(()),
+        Err(e) => return Err(e),
+    };
+    let init = WorkerInit::decode(&first)?;
+    let g = Graph::from_edges(init.n, init.edges.iter().copied())
+        .map_err(|e| invalid(format!("bad graph in Init frame: {e}")))?;
+    let net = Network::with_ids(&g, init.ids.clone());
+    let plan = ShardPlan::new(&g, init.shards);
+    if init.shard >= plan.shards() {
+        return Err(invalid(format!(
+            "shard index {} out of range for {} shards",
+            init.shard,
+            plan.shards()
+        )));
+    }
+    match init.protocol {
+        ProtocolSpec::FloodMax { radius } => {
+            serve_protocol(conn, &net, &plan, &init, &FloodMax { radius })
+        }
+        ProtocolSpec::PortEcho { rounds } => {
+            serve_protocol(conn, &net, &plan, &init, &PortEcho { rounds })
+        }
+        ProtocolSpec::StaggeredSum { spread } => {
+            serve_protocol(conn, &net, &plan, &init, &StaggeredSum { spread })
+        }
+    }
+}
+
+/// Serves the worker binary over stdio — `deco-shardd`'s entire `main`.
+///
+/// # Errors
+///
+/// Propagates transport failures and malformed frames.
+pub fn serve_stdio() -> io::Result<()> {
+    struct StdioConn {
+        stdin: io::Stdin,
+        stdout: io::Stdout,
+    }
+    impl ShardConn for StdioConn {
+        fn send(&mut self, payload: &[u8]) -> io::Result<()> {
+            write_frame(&mut self.stdout.lock(), payload)
+        }
+        fn recv(&mut self) -> io::Result<Vec<u8>> {
+            read_frame(&mut self.stdin.lock())
+        }
+    }
+    serve(&mut StdioConn {
+        stdin: io::stdin(),
+        stdout: io::stdout(),
+    })
+}
+
+/// The typed half of the worker loop, once the protocol is known.
+fn serve_protocol<C, P>(
+    conn: &mut C,
+    net: &Network<'_>,
+    plan: &ShardPlan,
+    init: &WorkerInit,
+    protocol: &P,
+) -> io::Result<()>
+where
+    C: ShardConn,
+    P: Protocol,
+    P::Program: Send + NodeProgram<Output = u64>,
+    <P::Program as NodeProgram>::Msg: WireMsg,
+{
+    let mut worker: ShardWorker<'_, '_, P> =
+        ShardWorker::spawn(net, plan, init.shard, init.threads, protocol);
+    let mut ack = vec![T_INIT_ACK];
+    put_u64(&mut ack, worker.active() as u64);
+    conn.send(&ack)?;
+    loop {
+        let frame = match conn.recv() {
+            Ok(p) => p,
+            Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => return Ok(()),
+            Err(e) => return Err(e),
+        };
+        match frame.first().copied() {
+            Some(T_SEND_REQ) => {
+                let (cut_out, sent) = worker.send_phase();
+                let mut p = vec![T_CUT_OUT];
+                put_u64(&mut p, sent);
+                put_u64(&mut p, cut_out.len() as u64);
+                for m in &cut_out {
+                    put_opt_msg(&mut p, m);
+                }
+                conn.send(&p)?;
+            }
+            Some(T_DELIVER) => {
+                let mut c = Cursor::new(&frame[1..]);
+                let count = c.u64()? as usize;
+                if count != plan.cut_ports(init.shard).len() {
+                    return Err(invalid("Deliver entry count mismatch"));
+                }
+                let mut ghost = Vec::with_capacity(count);
+                for _ in 0..count {
+                    ghost.push(get_opt_msg(&mut c)?);
+                }
+                if !c.finished() {
+                    return Err(invalid("trailing bytes in Deliver frame"));
+                }
+                let active = worker.receive_phase(&ghost);
+                let mut p = vec![T_DONE];
+                put_u64(&mut p, active as u64);
+                conn.send(&p)?;
+            }
+            Some(T_FINISH) => {
+                let outs = worker.snapshot_outputs();
+                let mut p = vec![T_OUTPUTS];
+                put_u64(&mut p, outs.len() as u64);
+                for o in outs {
+                    put_u64(&mut p, o);
+                }
+                conn.send(&p)?;
+            }
+            Some(T_SHUTDOWN) => return Ok(()),
+            other => return Err(invalid(format!("unexpected frame tag {other:?}"))),
+        }
+    }
+}
+
+/// Receives a frame and checks its leading tag.
+fn expect_frame<C: ShardConn>(conn: &mut C, tag: u8) -> io::Result<Vec<u8>> {
+    let p = conn.recv()?;
+    match p.first() {
+        Some(&t) if t == tag => Ok(p),
+        other => Err(invalid(format!(
+            "expected frame tag {tag:#04x}, got {other:?}"
+        ))),
+    }
+}
+
+/// Encodes an optional typed message as an opaque entry (`0` = silent,
+/// `1` + length-prefixed bytes = present).
+fn put_opt_msg<M: WireMsg>(out: &mut Vec<u8>, m: &Option<M>) {
+    match m {
+        None => out.push(0),
+        Some(m) => {
+            out.push(1);
+            let mut b = Vec::new();
+            m.encode(&mut b);
+            put_bytes(out, &b);
+        }
+    }
+}
+
+/// Decodes an opaque entry into a typed optional message.
+fn get_opt_msg<M: WireMsg>(c: &mut Cursor<'_>) -> io::Result<Option<M>> {
+    match c.u8()? {
+        0 => Ok(None),
+        1 => {
+            let b = c.bytes()?;
+            let mut inner = Cursor::new(b);
+            let m = M::decode(&mut inner)?;
+            if !inner.finished() {
+                return Err(invalid("trailing bytes in message entry"));
+            }
+            Ok(Some(m))
+        }
+        other => Err(invalid(format!("bad entry tag {other}"))),
+    }
+}
+
+/// Decodes an opaque entry without interpreting the payload (coordinator
+/// side: routing only).
+fn get_opt_raw(c: &mut Cursor<'_>) -> io::Result<Option<Vec<u8>>> {
+    match c.u8()? {
+        0 => Ok(None),
+        1 => Ok(Some(c.bytes()?.to_vec())),
+        other => Err(invalid(format!("bad entry tag {other}"))),
+    }
+}
+
+/// Re-encodes an opaque entry.
+fn put_opt_raw(out: &mut Vec<u8>, m: &Option<Vec<u8>>) {
+    match m {
+        None => out.push(0),
+        Some(b) => {
+            out.push(1);
+            put_bytes(out, b);
+        }
+    }
+}
+
+fn invalid(msg: impl Into<String>) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.into())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use deco_graph::generators;
+    use deco_local::network::IdAssignment;
+    use deco_local::{Executor, SerialExecutor};
+
+    fn seq_ids(n: usize) -> Vec<u64> {
+        (1..=n as u64).collect()
+    }
+
+    #[test]
+    fn channel_transport_matches_serial() {
+        let g = generators::random_regular(36, 4, 7);
+        let ids = seq_ids(36);
+        let net = Network::with_ids(&g, ids.clone());
+        for spec in [
+            ProtocolSpec::FloodMax { radius: 5 },
+            ProtocolSpec::PortEcho { rounds: 3 },
+            ProtocolSpec::StaggeredSum { spread: 6 },
+        ] {
+            let serial = match spec {
+                ProtocolSpec::FloodMax { radius } => {
+                    SerialExecutor.execute(&net, &FloodMax { radius }, 50)
+                }
+                ProtocolSpec::PortEcho { rounds } => {
+                    SerialExecutor.execute(&net, &PortEcho { rounds }, 50)
+                }
+                ProtocolSpec::StaggeredSum { spread } => {
+                    SerialExecutor.execute(&net, &StaggeredSum { spread }, 50)
+                }
+            }
+            .unwrap();
+            for shards in [1, 2, 4] {
+                let run = run_framed(&ChannelTransport, &g, &ids, spec, shards, 1, 50).unwrap();
+                assert_eq!(serial.outputs, run.outcome.outputs, "{spec:?} k={shards}");
+                assert_eq!(serial.rounds, run.outcome.rounds, "{spec:?} k={shards}");
+                assert_eq!(serial.messages, run.outcome.messages, "{spec:?} k={shards}");
+            }
+        }
+    }
+
+    #[test]
+    fn round_limit_error_matches_serial() {
+        let g = generators::path(6);
+        let ids = seq_ids(6);
+        let net = Network::with_ids(&g, ids.clone());
+        let serial = SerialExecutor
+            .execute(&net, &FloodMax { radius: 100 }, 4)
+            .unwrap_err();
+        let err = run_framed(
+            &ChannelTransport,
+            &g,
+            &ids,
+            ProtocolSpec::FloodMax { radius: 100 },
+            2,
+            1,
+            4,
+        )
+        .unwrap_err();
+        match err {
+            FramedError::Run(e) => assert_eq!(e, serial),
+            FramedError::Io(e) => panic!("unexpected transport error: {e}"),
+        }
+    }
+
+    #[test]
+    fn exchange_bytes_are_counted() {
+        let g = generators::cycle(30);
+        let ids = seq_ids(30);
+        let run = run_framed(
+            &ChannelTransport,
+            &g,
+            &ids,
+            ProtocolSpec::FloodMax { radius: 4 },
+            3,
+            1,
+            50,
+        )
+        .unwrap();
+        assert_eq!(run.shards, 3);
+        assert_eq!(run.cut_edges, 3, "three arcs, three boundary edges");
+        assert!(run.exchange_bytes > 0);
+        assert!(run.total_bytes > run.exchange_bytes);
+        assert!(run.exchange_bytes_per_round() > 0.0);
+    }
+
+    #[test]
+    fn worker_init_round_trips() {
+        let init = WorkerInit {
+            shards: 4,
+            shard: 2,
+            threads: 2,
+            max_rounds: 77,
+            protocol: ProtocolSpec::StaggeredSum { spread: 9 },
+            n: 3,
+            edges: vec![(0, 1), (1, 2)],
+            ids: vec![5, 1, 9],
+        };
+        let back = WorkerInit::decode(&init.encode()).unwrap();
+        assert_eq!(back.shards, 4);
+        assert_eq!(back.shard, 2);
+        assert_eq!(back.threads, 2);
+        assert_eq!(back.max_rounds, 77);
+        assert_eq!(back.protocol, ProtocolSpec::StaggeredSum { spread: 9 });
+        assert_eq!(back.edges, vec![(0, 1), (1, 2)]);
+        assert_eq!(back.ids, vec![5, 1, 9]);
+    }
+
+    #[test]
+    fn rebuilt_graph_preserves_ports() {
+        // The worker reconstructs the graph from the shipped edge list; the
+        // port numbering (hence delivery) must survive the round trip.
+        let g = generators::random_regular(20, 4, 3);
+        let edges: Vec<(usize, usize)> = g
+            .edge_list()
+            .iter()
+            .map(|&[u, v]| (u.index(), v.index()))
+            .collect();
+        let back = Graph::from_edges(20, edges).unwrap();
+        assert_eq!(g.edge_list(), back.edge_list());
+        for v in g.nodes() {
+            assert_eq!(g.adjacent(v), back.adjacent(v));
+        }
+    }
+
+    #[test]
+    fn degraded_shard_count_still_matches_serial() {
+        // Fewer nodes than requested shards: the plan degrades. Regression:
+        // the coordinator used to send the *degraded* count in Init, and
+        // ShardPlan::new(g, degraded) can partition differently than
+        // ShardPlan::new(g, requested) — workers then rebuilt a mismatched
+        // plan (out-of-range shard indices, wrong route tables).
+        let g = generators::path(3);
+        let ids = seq_ids(3);
+        let net = Network::with_ids(&g, ids.clone());
+        let serial = SerialExecutor
+            .execute(&net, &FloodMax { radius: 3 }, 20)
+            .unwrap();
+        for requested in [4usize, 8, 16] {
+            let run = run_framed(
+                &ChannelTransport,
+                &g,
+                &ids,
+                ProtocolSpec::FloodMax { radius: 3 },
+                requested,
+                1,
+                20,
+            )
+            .unwrap_or_else(|e| panic!("requested={requested}: {e}"));
+            assert!(run.shards < requested, "plan must degrade");
+            assert_eq!(serial.outputs, run.outcome.outputs, "requested={requested}");
+            assert_eq!(serial.rounds, run.outcome.rounds, "requested={requested}");
+            assert_eq!(
+                serial.messages, run.outcome.messages,
+                "requested={requested}"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_graph_short_circuits() {
+        let g = Graph::empty(0);
+        let run = run_framed(
+            &ChannelTransport,
+            &g,
+            &[],
+            ProtocolSpec::FloodMax { radius: 3 },
+            4,
+            1,
+            10,
+        )
+        .unwrap();
+        assert!(run.outcome.outputs.is_empty());
+        assert_eq!(run.shards, 0);
+    }
+
+    #[test]
+    fn sparse_ids_cross_the_wire() {
+        let g = generators::cycle(16);
+        let net = Network::new(&g, IdAssignment::SparseRandom(11));
+        let ids = net.ids().to_vec();
+        let serial = SerialExecutor
+            .execute(&net, &StaggeredSum { spread: 5 }, 30)
+            .unwrap();
+        let run = run_framed(
+            &ChannelTransport,
+            &g,
+            &ids,
+            ProtocolSpec::StaggeredSum { spread: 5 },
+            2,
+            2,
+            30,
+        )
+        .unwrap();
+        assert_eq!(serial.outputs, run.outcome.outputs);
+        assert_eq!(serial.messages, run.outcome.messages);
+    }
+}

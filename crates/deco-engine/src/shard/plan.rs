@@ -1,0 +1,332 @@
+//! [`ShardPlan`] — the deterministic shard partitioner.
+//!
+//! A plan cuts the node index space into contiguous, degree-balanced
+//! ranges (the same [`split_by_weight`] machinery the thread engines use,
+//! so a shard's per-round work tracks its port count, not its node count)
+//! and precomputes everything the cross-shard exchange needs:
+//!
+//! * the **slot range** of each shard — because node ranges are contiguous,
+//!   each shard's mailbox slots form one contiguous slice of the global
+//!   CSR arena ([`MailboxPlan`]);
+//! * the **cut ports** of each shard — the slots whose mirror lies in a
+//!   different shard. Each cut edge contributes exactly one cut port to
+//!   each of its two shards: the local side's *ghost port*, through which
+//!   boundary messages enter during the exchange;
+//! * the **route table** — for every cut port, which shard and which of
+//!   its cut-port indices holds the mirrored slot, so the exchange is a
+//!   table-driven copy with no search.
+//!
+//! Everything is a pure function of the graph and the shard count; the
+//! [`ShardPlan::digest`] fingerprint is pinned by regression tests per
+//! scenario family so the partition can never shift silently (a silent
+//! shift would re-route every differential sweep that covers sharding).
+//!
+//! ```
+//! use deco_engine::shard::ShardPlan;
+//! use deco_graph::generators;
+//!
+//! let g = generators::cycle(12);
+//! let plan = ShardPlan::new(&g, 3);
+//! assert_eq!(plan.shards(), 3);
+//! // A cycle split into three arcs is cut at the three arc boundaries.
+//! assert_eq!(plan.num_cut_edges(), 3);
+//! // Same inputs, same plan — always.
+//! assert_eq!(plan.digest(), ShardPlan::new(&g, 3).digest());
+//! ```
+
+use crate::mailbox::MailboxPlan;
+use crate::par::split_by_weight;
+use deco_graph::partition::{cut_fraction, degree_weights, RangeOwner};
+use deco_graph::Graph;
+use std::collections::HashMap;
+use std::ops::Range;
+
+/// Deterministic degree-balanced shard partition of one graph, with the
+/// ghost-port and routing tables the cross-shard exchange runs on.
+#[derive(Debug, Clone)]
+pub struct ShardPlan {
+    mailbox: MailboxPlan,
+    owner: RangeOwner,
+    /// `slot_bounds[s] .. slot_bounds[s + 1]` is shard `s`'s slice of the
+    /// global mailbox arena.
+    slot_bounds: Vec<usize>,
+    /// Per shard: the global slot ids whose mirror lies in another shard,
+    /// ascending. Index `i` in this list is the shard-local *ghost index*
+    /// of the port: boundary messages for the port arrive at position `i`
+    /// of the shard's ghost inbox.
+    cut_ports: Vec<Vec<usize>>,
+    /// Per shard, aligned with `cut_ports`: `(source shard, source ghost
+    /// index)` of the mirrored slot — i.e. where the exchange reads the
+    /// message that this ghost port receives.
+    route: Vec<Vec<(u32, u32)>>,
+    /// Per shard, one entry per local slot: the ghost index of the slot if
+    /// it is a cut port, `u32::MAX` if its mirror is shard-internal.
+    ghost_of: Vec<Vec<u32>>,
+    cut_fraction: f64,
+}
+
+impl ShardPlan {
+    /// Partitions `g` into at most `shards` degree-balanced contiguous
+    /// shards (fewer when nodes run out; zero for the empty graph) and
+    /// precomputes the ghost-port and route tables. `shards == 0` is
+    /// treated as 1.
+    pub fn new(g: &Graph, shards: usize) -> ShardPlan {
+        let ranges = split_by_weight(&degree_weights(g), shards.max(1));
+        ShardPlan::from_ranges(g, &ranges)
+    }
+
+    /// Builds the plan over explicit node ranges (which must tile `0..n`
+    /// consecutively). [`ShardPlan::new`] is this over the degree-balanced
+    /// split.
+    pub fn from_ranges(g: &Graph, ranges: &[Range<usize>]) -> ShardPlan {
+        let mailbox = MailboxPlan::new(g);
+        let owner = RangeOwner::new(ranges);
+        let k = owner.parts();
+        let mut slot_bounds = Vec::with_capacity(k + 1);
+        slot_bounds.push(0);
+        for s in 0..k {
+            slot_bounds.push(mailbox.offsets()[owner.range(s).end]);
+        }
+
+        // Pass 1: collect each shard's cut ports (ascending by construction:
+        // slots are visited in arena order).
+        let mut cut_ports: Vec<Vec<usize>> = vec![Vec::new(); k];
+        let mut ghost_of: Vec<Vec<u32>> = (0..k)
+            .map(|s| vec![u32::MAX; slot_bounds[s + 1] - slot_bounds[s]])
+            .collect();
+        let mut position: HashMap<usize, (u32, u32)> = HashMap::new();
+        for s in 0..k {
+            for k_slot in slot_bounds[s]..slot_bounds[s + 1] {
+                let mirror = mailbox.mirror(k_slot);
+                let t = shard_of_slot(&slot_bounds, mirror);
+                if t != s {
+                    let i = cut_ports[s].len() as u32;
+                    ghost_of[s][k_slot - slot_bounds[s]] = i;
+                    position.insert(k_slot, (s as u32, i));
+                    cut_ports[s].push(k_slot);
+                }
+            }
+        }
+        // Pass 2: route every ghost port to the shard-local position of its
+        // mirror slot.
+        let route: Vec<Vec<(u32, u32)>> = (0..k)
+            .map(|s| {
+                cut_ports[s]
+                    .iter()
+                    .map(|&k_slot| {
+                        *position
+                            .get(&mailbox.mirror(k_slot))
+                            .expect("the mirror of a cut port is a cut port")
+                    })
+                    .collect()
+            })
+            .collect();
+
+        let cut_fraction = cut_fraction(g, &owner);
+        ShardPlan {
+            mailbox,
+            owner,
+            slot_bounds,
+            cut_ports,
+            route,
+            ghost_of,
+            cut_fraction,
+        }
+    }
+
+    /// Number of shards actually produced (≤ the requested count; 0 only
+    /// for the empty graph).
+    #[inline]
+    pub fn shards(&self) -> usize {
+        self.owner.parts()
+    }
+
+    /// The node range of shard `s`.
+    #[inline]
+    pub fn node_range(&self, s: usize) -> Range<usize> {
+        self.owner.range(s)
+    }
+
+    /// Shard `s`'s slice of the global mailbox arena.
+    #[inline]
+    pub fn slot_range(&self, s: usize) -> Range<usize> {
+        self.slot_bounds[s]..self.slot_bounds[s + 1]
+    }
+
+    /// The global mailbox geometry the shard slices come from.
+    #[inline]
+    pub fn mailbox(&self) -> &MailboxPlan {
+        &self.mailbox
+    }
+
+    /// Shard `s`'s cut ports (global slot ids, ascending). The index of a
+    /// slot in this list is its ghost index.
+    #[inline]
+    pub fn cut_ports(&self, s: usize) -> &[usize] {
+        &self.cut_ports[s]
+    }
+
+    /// For each ghost index of shard `s`: the `(shard, ghost index)` whose
+    /// outgoing cut message this ghost port receives.
+    #[inline]
+    pub fn route(&self, s: usize) -> &[(u32, u32)] {
+        &self.route[s]
+    }
+
+    /// The ghost index of shard `s`'s local slot `k` (a global slot id), or
+    /// `None` when the slot's mirror is shard-internal.
+    #[inline]
+    pub fn ghost_index(&self, s: usize, k: usize) -> Option<usize> {
+        match self.ghost_of[s][k - self.slot_bounds[s]] {
+            u32::MAX => None,
+            i => Some(i as usize),
+        }
+    }
+
+    /// Number of edges crossing shard boundaries.
+    pub fn num_cut_edges(&self) -> usize {
+        self.cut_ports.iter().map(Vec::len).sum::<usize>() / 2
+    }
+
+    /// Fraction of edges crossing shard boundaries, in `[0, 1]`.
+    #[inline]
+    pub fn cut_fraction(&self) -> f64 {
+        self.cut_fraction
+    }
+
+    /// FNV-1a fingerprint of the partition: shard ranges, cut ports, and
+    /// routes. Pinned by regression tests per scenario family — if a code
+    /// change shifts this, every sharded differential sweep silently runs
+    /// a different partition, so shifts must be deliberate.
+    pub fn digest(&self) -> u64 {
+        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const PRIME: u64 = 0x0000_0100_0000_01B3;
+        let mut h = OFFSET;
+        let mut mix = |x: u64| {
+            for b in x.to_le_bytes() {
+                h = (h ^ u64::from(b)).wrapping_mul(PRIME);
+            }
+        };
+        mix(self.shards() as u64);
+        for s in 0..self.shards() {
+            mix(self.node_range(s).end as u64);
+            for (&k, &(t, j)) in self.cut_ports[s].iter().zip(&self.route[s]) {
+                mix(k as u64);
+                mix(u64::from(t) << 32 | u64::from(j));
+            }
+        }
+        h
+    }
+}
+
+/// The shard owning global arena slot `k` under the given slot bounds.
+fn shard_of_slot(slot_bounds: &[usize], k: usize) -> usize {
+    debug_assert!(k < *slot_bounds.last().expect("bounds never empty"));
+    slot_bounds.partition_point(|&b| b <= k) - 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use deco_graph::generators;
+
+    #[test]
+    fn routes_are_mutual() {
+        for (g, shards) in [
+            (generators::cycle(20), 4),
+            (generators::complete(9), 3),
+            (generators::random_regular(40, 6, 7), 4),
+            (generators::grid(6, 5), 2),
+        ] {
+            let plan = ShardPlan::new(&g, shards);
+            for s in 0..plan.shards() {
+                for (i, (&k, &(t, j))) in plan.cut_ports(s).iter().zip(plan.route(s)).enumerate() {
+                    let (t, j) = (t as usize, j as usize);
+                    assert_ne!(t, s, "cut routes never stay local");
+                    // The route points at the mirror slot…
+                    assert_eq!(plan.cut_ports(t)[j], plan.mailbox().mirror(k));
+                    // …and the mirror routes straight back.
+                    assert_eq!(plan.route(t)[j], (s as u32, i as u32));
+                    assert_eq!(plan.ghost_index(s, k), Some(i));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn slot_ranges_tile_the_arena() {
+        let g = generators::random_regular(30, 4, 3);
+        let plan = ShardPlan::new(&g, 4);
+        let mut next = 0usize;
+        for s in 0..plan.shards() {
+            let r = plan.slot_range(s);
+            assert_eq!(r.start, next);
+            next = r.end;
+            // Node range and slot range agree with the mailbox offsets.
+            let nr = plan.node_range(s);
+            assert_eq!(plan.mailbox().offsets()[nr.start], r.start);
+            assert_eq!(plan.mailbox().offsets()[nr.end], r.end);
+        }
+        assert_eq!(next, plan.mailbox().num_slots());
+    }
+
+    #[test]
+    fn internal_slots_have_no_ghost_index() {
+        let g = generators::complete(8);
+        let plan = ShardPlan::new(&g, 2);
+        for s in 0..plan.shards() {
+            let cut: std::collections::HashSet<usize> = plan.cut_ports(s).iter().copied().collect();
+            for k in plan.slot_range(s) {
+                assert_eq!(plan.ghost_index(s, k).is_some(), cut.contains(&k));
+            }
+        }
+    }
+
+    #[test]
+    fn one_shard_has_no_cut() {
+        let g = generators::random_regular(24, 4, 1);
+        let plan = ShardPlan::new(&g, 1);
+        assert_eq!(plan.shards(), 1);
+        assert_eq!(plan.num_cut_edges(), 0);
+        assert_eq!(plan.cut_fraction(), 0.0);
+        // Zero shards requested degrades to one.
+        assert_eq!(ShardPlan::new(&g, 0).shards(), 1);
+    }
+
+    #[test]
+    fn empty_graph_yields_no_shards() {
+        let g = Graph::empty(0);
+        let plan = ShardPlan::new(&g, 4);
+        assert_eq!(plan.shards(), 0);
+        assert_eq!(plan.num_cut_edges(), 0);
+    }
+
+    #[test]
+    fn more_shards_than_nodes_degrades() {
+        let g = generators::path(3);
+        let plan = ShardPlan::new(&g, 16);
+        assert!(plan.shards() <= 3);
+        assert!(plan.shards() >= 1);
+    }
+
+    #[test]
+    fn digest_is_a_pure_function_of_graph_and_shards() {
+        let g = generators::random_regular(50, 6, 9);
+        assert_eq!(
+            ShardPlan::new(&g, 3).digest(),
+            ShardPlan::new(&g, 3).digest()
+        );
+        assert_ne!(
+            ShardPlan::new(&g, 3).digest(),
+            ShardPlan::new(&g, 2).digest()
+        );
+    }
+
+    #[test]
+    fn disconnected_components_can_be_cut_free() {
+        let g = generators::disjoint_union(&[generators::cycle(6), generators::cycle(6)]);
+        // Ranges aligned with the components: nothing crosses.
+        let plan = ShardPlan::from_ranges(&g, &[0..6, 6..12]);
+        assert_eq!(plan.num_cut_edges(), 0);
+    }
+}

@@ -1,0 +1,185 @@
+//! Minimal little-endian wire codec for the framed shard protocol.
+//!
+//! Frames are length-prefixed: a `u32` little-endian payload length
+//! followed by the payload bytes ("bincode-style": fixed-width LE integers,
+//! `u8` presence tags for options, length-prefixed sequences — no
+//! self-description, both ends share the schema). The subprocess transport
+//! speaks exactly this over stdio; the in-process channel transport hands
+//! the same payloads over `mpsc`, so one codec serves both.
+
+use std::io::{self, Read, Write};
+
+/// Upper bound on a single frame, as a sanity guard against a desynced
+/// stream being interpreted as a gigantic length.
+const MAX_FRAME: u32 = 1 << 30;
+
+/// Writes one length-prefixed frame.
+///
+/// # Errors
+///
+/// Propagates write failures from the underlying stream.
+pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> io::Result<()> {
+    let len = u32::try_from(payload.len())
+        .map_err(|_| io::Error::new(io::ErrorKind::InvalidInput, "frame too large"))?;
+    w.write_all(&len.to_le_bytes())?;
+    w.write_all(payload)?;
+    w.flush()
+}
+
+/// Reads one length-prefixed frame. EOF before the length prefix surfaces
+/// as `UnexpectedEof` (a clean peer shutdown for callers that care).
+///
+/// # Errors
+///
+/// Propagates read failures; an oversized length prefix is `InvalidData`.
+pub fn read_frame(r: &mut impl Read) -> io::Result<Vec<u8>> {
+    let mut len = [0u8; 4];
+    r.read_exact(&mut len)?;
+    let len = u32::from_le_bytes(len);
+    if len > MAX_FRAME {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("frame length {len} exceeds the {MAX_FRAME} sanity bound"),
+        ));
+    }
+    let mut payload = vec![0u8; len as usize];
+    r.read_exact(&mut payload)?;
+    Ok(payload)
+}
+
+/// Sequential reader over one frame payload.
+#[derive(Debug)]
+pub struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    /// A cursor at the start of `buf`.
+    pub fn new(buf: &'a [u8]) -> Cursor<'a> {
+        Cursor { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> io::Result<&'a [u8]> {
+        let end = self.pos.checked_add(n).filter(|&e| e <= self.buf.len());
+        match end {
+            Some(end) => {
+                let s = &self.buf[self.pos..end];
+                self.pos = end;
+                Ok(s)
+            }
+            None => Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "frame payload truncated",
+            )),
+        }
+    }
+
+    /// Reads one byte.
+    ///
+    /// # Errors
+    ///
+    /// `UnexpectedEof` when the payload is exhausted.
+    pub fn u8(&mut self) -> io::Result<u8> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Reads a little-endian `u32`.
+    ///
+    /// # Errors
+    ///
+    /// `UnexpectedEof` when the payload is exhausted.
+    pub fn u32(&mut self) -> io::Result<u32> {
+        Ok(u32::from_le_bytes(
+            self.take(4)?.try_into().expect("4 bytes"),
+        ))
+    }
+
+    /// Reads a little-endian `u64`.
+    ///
+    /// # Errors
+    ///
+    /// `UnexpectedEof` when the payload is exhausted.
+    pub fn u64(&mut self) -> io::Result<u64> {
+        Ok(u64::from_le_bytes(
+            self.take(8)?.try_into().expect("8 bytes"),
+        ))
+    }
+
+    /// Reads a length-prefixed byte string.
+    ///
+    /// # Errors
+    ///
+    /// `UnexpectedEof` when the payload is exhausted.
+    pub fn bytes(&mut self) -> io::Result<&'a [u8]> {
+        let len = self.u32()? as usize;
+        self.take(len)
+    }
+
+    /// Whether the payload is fully consumed (decoders assert this so a
+    /// schema drift between coordinator and worker fails loudly).
+    pub fn finished(&self) -> bool {
+        self.pos == self.buf.len()
+    }
+}
+
+/// Appends a `u32` LE.
+pub fn put_u32(out: &mut Vec<u8>, x: u32) {
+    out.extend_from_slice(&x.to_le_bytes());
+}
+
+/// Appends a `u64` LE.
+pub fn put_u64(out: &mut Vec<u8>, x: u64) {
+    out.extend_from_slice(&x.to_le_bytes());
+}
+
+/// Appends a length-prefixed byte string.
+pub fn put_bytes(out: &mut Vec<u8>, b: &[u8]) {
+    put_u32(out, b.len() as u32);
+    out.extend_from_slice(b);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frames_round_trip() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"hello").unwrap();
+        write_frame(&mut buf, b"").unwrap();
+        let mut r = &buf[..];
+        assert_eq!(read_frame(&mut r).unwrap(), b"hello");
+        assert_eq!(read_frame(&mut r).unwrap(), b"");
+        assert_eq!(
+            read_frame(&mut r).unwrap_err().kind(),
+            io::ErrorKind::UnexpectedEof
+        );
+    }
+
+    #[test]
+    fn cursor_reads_what_put_wrote() {
+        let mut out = Vec::new();
+        out.push(7u8);
+        put_u32(&mut out, 99);
+        put_u64(&mut out, u64::MAX - 1);
+        put_bytes(&mut out, b"xyz");
+        let mut c = Cursor::new(&out);
+        assert_eq!(c.u8().unwrap(), 7);
+        assert_eq!(c.u32().unwrap(), 99);
+        assert_eq!(c.u64().unwrap(), u64::MAX - 1);
+        assert_eq!(c.bytes().unwrap(), b"xyz");
+        assert!(c.finished());
+        assert!(c.u8().is_err(), "reading past the end errors");
+    }
+
+    #[test]
+    fn oversized_length_prefix_is_rejected() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&(MAX_FRAME + 1).to_le_bytes());
+        assert_eq!(
+            read_frame(&mut &buf[..]).unwrap_err().kind(),
+            io::ErrorKind::InvalidData
+        );
+    }
+}

@@ -1,0 +1,358 @@
+//! The per-shard round worker: one shard's programs, arena, and ghost
+//! ports, advanced one `send`/`receive` pair at a time.
+//!
+//! A [`ShardWorker`] owns everything private to its shard — the programs
+//! and halting state of its node range and the shard's contiguous slice of
+//! the mailbox arena — and borrows only immutable topology (`Network`,
+//! [`ShardPlan`]). It is deliberately transport-agnostic: it never waits,
+//! never talks to other shards, and exposes exactly two steps per round,
+//!
+//! 1. [`ShardWorker::send_phase`] — every active local node writes its
+//!    outgoing messages into the local arena; the worker returns the
+//!    *cut-out vector* (one entry per cut port, in plan ghost-index order)
+//!    for whichever exchange discipline the caller runs;
+//! 2. [`ShardWorker::receive_phase`] — given the *ghost-in vector* routed
+//!    from the other shards, every active local node assembles its inbox
+//!    (shard-internal ports read the local arena through the mirror table,
+//!    ghost ports read the ghost-in vector), processes it, and re-evaluates
+//!    its output.
+//!
+//! Both the in-process clock-driven executor and the framed
+//! coordinator/worker protocol drive this same type, which is what keeps
+//! the two transports observationally interchangeable. Phases optionally
+//! fan out over `threads` scoped threads (degree-balanced sub-ranges, the
+//! same machinery as the barrier engine), and the thread count can never
+//! change observable behavior.
+
+use super::plan::ShardPlan;
+use crate::par::{split_by_weight, split_mut_by_ranges};
+use deco_local::network::Network;
+use deco_local::runner::{NodeProgram, Protocol};
+use std::ops::Range;
+
+/// One shard's mutable execution state. See the module docs.
+pub(crate) struct ShardWorker<'a, 'g, P: Protocol> {
+    net: &'a Network<'g>,
+    plan: &'a ShardPlan,
+    shard: usize,
+    threads: usize,
+    programs: Vec<P::Program>,
+    outputs: Vec<Option<<P::Program as NodeProgram>::Output>>,
+    halted: Vec<bool>,
+    /// The shard's slice of the mailbox arena, indexed by
+    /// `global slot - slot_range.start`.
+    arena: Vec<Option<<P::Program as NodeProgram>::Msg>>,
+    /// Completed local rounds.
+    completed: u64,
+    /// Highest local round at which a node of this shard halted.
+    max_halt: u64,
+    /// Local nodes that have not halted yet.
+    active: usize,
+}
+
+impl<'a, 'g, P> ShardWorker<'a, 'g, P>
+where
+    P: Protocol,
+    P::Program: Send,
+    <P::Program as NodeProgram>::Msg: Send + Sync,
+    <P::Program as NodeProgram>::Output: Send,
+{
+    /// A worker over shard `shard` of `plan`, spawning its programs from
+    /// `protocol`. Round-0 outputs are collected immediately (zero-round
+    /// programs halt here, before any communication, exactly as under the
+    /// serial runner).
+    pub fn spawn(
+        net: &'a Network<'g>,
+        plan: &'a ShardPlan,
+        shard: usize,
+        threads: usize,
+        protocol: &P,
+    ) -> ShardWorker<'a, 'g, P> {
+        let programs = plan
+            .node_range(shard)
+            .map(|v| protocol.spawn(&net.ctx(v.into())))
+            .collect();
+        ShardWorker::with_programs(net, plan, shard, threads, programs)
+    }
+
+    /// A worker over already-spawned `programs` (one per node of the shard
+    /// range, in node order). This is the entry the in-process executor
+    /// uses: it spawns all programs on the caller thread, so the protocol
+    /// value itself never crosses threads.
+    pub fn with_programs(
+        net: &'a Network<'g>,
+        plan: &'a ShardPlan,
+        shard: usize,
+        threads: usize,
+        programs: Vec<P::Program>,
+    ) -> ShardWorker<'a, 'g, P> {
+        let range = plan.node_range(shard);
+        assert_eq!(programs.len(), range.len(), "one program per shard node");
+        let outputs: Vec<Option<<P::Program as NodeProgram>::Output>> = programs
+            .iter()
+            .zip(range.clone())
+            .map(|(p, v)| p.output(&net.ctx(v.into())))
+            .collect();
+        let halted: Vec<bool> = outputs.iter().map(Option::is_some).collect();
+        let active = halted.iter().filter(|h| !**h).count();
+        let slots = plan.slot_range(shard).len();
+        ShardWorker {
+            net,
+            plan,
+            shard,
+            threads: threads.max(1),
+            programs,
+            outputs,
+            halted,
+            arena: (0..slots).map(|_| None).collect(),
+            completed: 0,
+            max_halt: 0,
+            active,
+        }
+    }
+
+    /// Local nodes still running.
+    #[inline]
+    pub fn active(&self) -> usize {
+        self.active
+    }
+
+    /// Completed local rounds.
+    #[inline]
+    pub fn completed_rounds(&self) -> u64 {
+        self.completed
+    }
+
+    /// Highest local round at which one of this shard's nodes halted
+    /// (0 when every node halted at spawn, or none halted yet).
+    #[inline]
+    pub fn max_halt_round(&self) -> u64 {
+        self.max_halt
+    }
+
+    /// Runs the send half of the next round: active nodes write their
+    /// outgoing messages into the local arena (halted nodes' slots are
+    /// cleared — the silent-halt rule), then the cut ports are copied out
+    /// in ghost-index order for the exchange. Returns `(cut_out, sent)`
+    /// where `sent` counts the `Some` messages written, matching the
+    /// serial runner's accounting.
+    pub fn send_phase(&mut self) -> (Vec<Option<<P::Program as NodeProgram>::Msg>>, u64) {
+        let range = self.plan.node_range(self.shard);
+        let slo = self.plan.slot_range(self.shard).start;
+        let net = self.net;
+        let plan = self.plan;
+        let halted = &self.halted;
+
+        let run_chunk = |chunk: Range<usize>,
+                         progs: &mut [P::Program],
+                         slots: &mut [Option<<P::Program as NodeProgram>::Msg>]|
+         -> u64 {
+            // `chunk` is in local node indices; slots start at the chunk's
+            // first local slot.
+            let chunk_base = plan.mailbox().offsets()[range.start + chunk.start] - slo;
+            let mut sent = 0u64;
+            for i in chunk.clone() {
+                let v = range.start + i;
+                let ctx = net.ctx(v.into());
+                let deg = ctx.degree();
+                let local = plan.mailbox().offset(v.into()) - slo - chunk_base;
+                let slots = &mut slots[local..local + deg];
+                if halted[i] {
+                    for s in slots {
+                        *s = None;
+                    }
+                    continue;
+                }
+                let out = progs[i - chunk.start].send(&ctx);
+                let mut it = out.into_iter();
+                for s in slots {
+                    // Matches the serial runner's `resize_with(degree)`:
+                    // missing entries become None, surplus entries drop.
+                    *s = it.next().flatten();
+                    if s.is_some() {
+                        sent += 1;
+                    }
+                }
+            }
+            sent
+        };
+
+        let n_local = range.len();
+        let sub = self.sub_ranges(n_local);
+        let sent = if sub.len() <= 1 {
+            run_chunk(0..n_local, &mut self.programs, &mut self.arena)
+        } else {
+            let slot_sub: Vec<Range<usize>> = sub
+                .iter()
+                .map(|r| {
+                    (plan.mailbox().offsets()[range.start + r.start] - slo)
+                        ..(plan.mailbox().offsets()[range.start + r.end] - slo)
+                })
+                .collect();
+            let prog_chunks = split_mut_by_ranges(&mut self.programs, &sub);
+            let arena_chunks = split_mut_by_ranges(&mut self.arena, &slot_sub);
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = sub
+                    .iter()
+                    .zip(prog_chunks)
+                    .zip(arena_chunks)
+                    .map(|((r, progs), slots)| {
+                        let r = r.clone();
+                        let run_chunk = &run_chunk;
+                        scope.spawn(move || run_chunk(r, progs, slots))
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("shard send chunk panicked"))
+                    .sum()
+            })
+        };
+
+        let cut_out = self
+            .plan
+            .cut_ports(self.shard)
+            .iter()
+            .map(|&k| self.arena[k - slo].clone())
+            .collect();
+        (cut_out, sent)
+    }
+
+    /// Runs the receive half of the round whose sends [`ShardWorker::send_phase`]
+    /// just published: every active node assembles its inbox — internal
+    /// ports through the mirror table, ghost ports from `ghost_in` (one
+    /// entry per cut port, ghost-index order) — processes it, and
+    /// re-evaluates its output. Returns the number of still-active nodes.
+    pub fn receive_phase(
+        &mut self,
+        ghost_in: &[Option<<P::Program as NodeProgram>::Msg>],
+    ) -> usize {
+        let range = self.plan.node_range(self.shard);
+        let slot_range = self.plan.slot_range(self.shard);
+        let slo = slot_range.start;
+        let net = self.net;
+        let plan = self.plan;
+        let shard = self.shard;
+        let arena = &self.arena;
+        assert_eq!(
+            ghost_in.len(),
+            plan.cut_ports(shard).len(),
+            "one ghost entry per cut port"
+        );
+
+        let run_chunk = |chunk: Range<usize>,
+                         progs: &mut [P::Program],
+                         outs: &mut [Option<<P::Program as NodeProgram>::Output>],
+                         halts: &mut [bool]|
+         -> usize {
+            let mut inbox: Vec<Option<<P::Program as NodeProgram>::Msg>> = Vec::new();
+            let mut newly_halted = 0usize;
+            for i in chunk.clone() {
+                let c = i - chunk.start;
+                if halts[c] {
+                    continue;
+                }
+                let v = range.start + i;
+                let ctx = net.ctx(v.into());
+                inbox.clear();
+                for k in plan.mailbox().slots(v.into()) {
+                    let mk = plan.mailbox().mirror(k);
+                    if slot_range.contains(&mk) {
+                        inbox.push(arena[mk - slo].clone());
+                    } else {
+                        let g = plan
+                            .ghost_index(shard, k)
+                            .expect("a slot with a remote mirror is a cut port");
+                        inbox.push(ghost_in[g].clone());
+                    }
+                }
+                progs[c].receive(&ctx, &inbox);
+                outs[c] = progs[c].output(&ctx);
+                if outs[c].is_some() {
+                    halts[c] = true;
+                    newly_halted += 1;
+                }
+            }
+            newly_halted
+        };
+
+        let n_local = range.len();
+        let sub = self.sub_ranges(n_local);
+        let newly_halted = if sub.len() <= 1 {
+            run_chunk(
+                0..n_local,
+                &mut self.programs,
+                &mut self.outputs,
+                &mut self.halted,
+            )
+        } else {
+            let prog_chunks = split_mut_by_ranges(&mut self.programs, &sub);
+            let out_chunks = split_mut_by_ranges(&mut self.outputs, &sub);
+            let halt_chunks = split_mut_by_ranges(&mut self.halted, &sub);
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = sub
+                    .iter()
+                    .zip(prog_chunks)
+                    .zip(out_chunks)
+                    .zip(halt_chunks)
+                    .map(|(((r, progs), outs), halts)| {
+                        let r = r.clone();
+                        let run_chunk = &run_chunk;
+                        scope.spawn(move || run_chunk(r, progs, outs, halts))
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("shard receive chunk panicked"))
+                    .sum()
+            })
+        };
+
+        self.completed += 1;
+        if newly_halted > 0 {
+            self.max_halt = self.completed;
+            self.active -= newly_halted;
+        }
+        self.active
+    }
+
+    /// The shard's outputs in node order, cloned, once every local node
+    /// halted (the framed worker replies to `Finish` with this and keeps
+    /// serving until `Shutdown`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if some node is still active.
+    pub fn snapshot_outputs(&self) -> Vec<<P::Program as NodeProgram>::Output> {
+        self.outputs
+            .iter()
+            .map(|o| o.clone().expect("shard finished with every node halted"))
+            .collect()
+    }
+
+    /// The shard's outputs in node order, once every local node halted.
+    ///
+    /// # Panics
+    ///
+    /// Panics if some node is still active.
+    pub fn into_outputs(self) -> Vec<<P::Program as NodeProgram>::Output> {
+        self.outputs
+            .into_iter()
+            .map(|o| o.expect("shard finished with every node halted"))
+            .collect()
+    }
+
+    /// Degree-balanced sub-ranges of the local index space for intra-shard
+    /// phase threading (one range when the worker is single-threaded).
+    fn sub_ranges(&self, n_local: usize) -> Vec<Range<usize>> {
+        if self.threads <= 1 || n_local <= 1 {
+            return (n_local > 0).then_some(0..n_local).into_iter().collect();
+        }
+        let range = self.plan.node_range(self.shard);
+        let weights: Vec<usize> = range
+            .clone()
+            .map(|v| self.net.graph().degree(v.into()))
+            .collect();
+        split_by_weight(&weights, self.threads)
+    }
+}

@@ -1,34 +1,57 @@
-//! Differential suite: the parallel engine AND the barrier-free async
-//! engine must be observationally identical to the serial reference runner
-//! — same outputs, same round count, same message count, same errors — on
-//! every scenario of the matrix, for every protocol, at several thread
-//! counts. Three executors, one contract.
+//! Differential suite: the parallel engine, the barrier-free async engine,
+//! AND the sharded engine must be observationally identical to the serial
+//! reference runner — same outputs, same round count, same message count,
+//! same errors — on every scenario of the matrix, for every protocol, at
+//! several thread and shard counts. Four executors, one contract.
 //!
 //! This is what makes any engine safe to substitute anywhere: parallelism,
-//! the flat-mailbox substrate, and even dropping the global round barrier
-//! are pure implementation detail.
+//! the flat-mailbox substrate, dropping the global round barrier, and even
+//! partitioning the network across shards with a cut exchange are pure
+//! implementation detail.
 
 use deco_engine::protocols::{FloodMax, PortEcho, StaggeredSum};
-use deco_engine::{EngineMode, Executor, ParallelExecutor, ScenarioMatrix, SerialExecutor};
+use deco_engine::{
+    EngineMode, EngineSelection, Executor, ParallelExecutor, ScenarioMatrix, SerialExecutor,
+    ShardedExecutor,
+};
 use deco_local::network::{IdAssignment, Network};
 use deco_local::runner::{NodeProgram, Protocol, RunOutcome};
 
 const THREAD_COUNTS: [usize; 3] = [1, 2, 4];
+const SHARD_COUNTS: [usize; 3] = [1, 2, 4];
+const THREADS_PER_SHARD: [usize; 2] = [1, 2];
 
 /// The engine lineup every differential run exercises: barrier and async
-/// modes at each pinned thread count, plus the CI-pinned env executor
-/// (`DECO_ENGINE_THREADS` × `DECO_ENGINE_ASYNC`; auto barrier when unset),
-/// so the workflow's threads × mode matrix reaches every run.
-fn engine_lineup() -> Vec<(String, ParallelExecutor)> {
-    let mut executors: Vec<(String, ParallelExecutor)> = Vec::new();
+/// modes at each pinned thread count, the sharded engine at each shard ×
+/// threads-per-shard combination, plus the CI-pinned env executor
+/// (`DECO_ENGINE_THREADS` × `DECO_ENGINE_ASYNC` × `DECO_ENGINE_SHARDS`;
+/// auto barrier when unset), so the workflow's matrix reaches every run.
+fn engine_lineup() -> Vec<(String, EngineSelection)> {
+    let mut executors: Vec<(String, EngineSelection)> = Vec::new();
     for &t in &THREAD_COUNTS {
-        executors.push((format!("barrier/t={t}"), ParallelExecutor::with_threads(t)));
+        executors.push((
+            format!("barrier/t={t}"),
+            EngineSelection::Parallel(ParallelExecutor::with_threads(t)),
+        ));
         executors.push((
             format!("async/t={t}"),
-            ParallelExecutor::with_threads(t).with_mode(EngineMode::Async),
+            EngineSelection::Parallel(
+                ParallelExecutor::with_threads(t).with_mode(EngineMode::Async),
+            ),
         ));
     }
-    executors.push(("env".to_string(), ParallelExecutor::from_env()));
+    for &s in &SHARD_COUNTS {
+        for &t in &THREADS_PER_SHARD {
+            executors.push((
+                format!("shard/s={s}/t={t}"),
+                EngineSelection::Sharded(ShardedExecutor::new(s).with_threads_per_shard(t)),
+            ));
+        }
+    }
+    executors.push((
+        "env".to_string(),
+        EngineSelection::from_env().expect("engine env vars parse"),
+    ));
     executors
 }
 

@@ -1,0 +1,279 @@
+//! Sharded-engine integration suite.
+//!
+//! Three layers of protection around the shard subsystem:
+//!
+//! 1. **Pinned partition digests** — one [`ShardPlan::digest`] per scenario
+//!    family × shard count. The partitioner is a pure function of graph and
+//!    shard count; a digest shift means every sharded differential sweep
+//!    silently runs a different partition, so shifts must be deliberate
+//!    (bump the constants in the same commit that changes the partitioner).
+//! 2. **Framed transport differentials** — the framed coordinator/worker
+//!    protocol over the in-process channel transport AND the `deco-shardd`
+//!    subprocess transport must reproduce the serial runner bit for bit
+//!    (outputs, rounds, messages, errors) at 1/2/4 shards × 1/2 threads per
+//!    shard. `DECO_SHARD_TRANSPORT` (`channel` / `process`, unset = both)
+//!    narrows the sweep so CI can attribute failures to a transport.
+//! 3. **Cross-transport agreement** — byte accounting aside, channel and
+//!    process runs of the same workload must agree with each other exactly
+//!    (they run the same worker code; this pins that claim).
+
+use deco_engine::protocols::{FloodMax, PortEcho, StaggeredSum};
+use deco_engine::shard::framed::{
+    run_framed, ChannelTransport, FramedError, FramedRun, ProcessTransport, ProtocolSpec,
+    ShardTransport,
+};
+use deco_engine::{Executor, GraphSpec, IdFlavor, Scenario, SerialExecutor, ShardPlan};
+use deco_local::network::Network;
+use deco_local::runner::{RunError, RunOutcome};
+
+/// The worker binary built alongside this test crate.
+fn shardd_bin() -> &'static str {
+    env!("CARGO_BIN_EXE_deco-shardd")
+}
+
+/// Which transports this process should exercise (`DECO_SHARD_TRANSPORT`
+/// narrows CI matrix legs; unset runs both).
+fn transports_enabled() -> (bool, bool) {
+    match std::env::var("DECO_SHARD_TRANSPORT").as_deref() {
+        Ok("channel") => (true, false),
+        Ok("process") => (false, true),
+        _ => (true, true),
+    }
+}
+
+#[test]
+fn partition_digests_are_pinned_per_family() {
+    // Regenerate by printing `ShardPlan::new(&scenario.graph(), shards)
+    // .digest()` for each row; bump deliberately, never by accident.
+    let pins: [(GraphSpec, usize, u64); 20] = [
+        (GraphSpec::Path { n: 33 }, 2, 0x4e3da74a1e527187),
+        (GraphSpec::Path { n: 33 }, 4, 0xb0b9e81fa0074fb3),
+        (GraphSpec::Cycle { n: 48 }, 2, 0xfceeaafd598a5e2e),
+        (GraphSpec::Cycle { n: 48 }, 4, 0x3aae13682c941540),
+        (GraphSpec::Complete { n: 13 }, 2, 0x7b81c8248b2376e0),
+        (GraphSpec::Complete { n: 13 }, 4, 0xa111926c4e79447b),
+        (GraphSpec::Grid { w: 8, h: 5 }, 2, 0xb00d830c0ac9a5fb),
+        (GraphSpec::Grid { w: 8, h: 5 }, 4, 0x0bca33209be523ae),
+        (
+            GraphSpec::RandomRegular { n: 64, d: 8 },
+            2,
+            0x55c8c96046252ce8,
+        ),
+        (
+            GraphSpec::RandomRegular { n: 64, d: 8 },
+            4,
+            0x11a8494e1594de9b,
+        ),
+        (GraphSpec::Gnp { n: 80, p: 0.08 }, 2, 0x35114a27240a6684),
+        (GraphSpec::Gnp { n: 80, p: 0.08 }, 4, 0xda674622ef0675d1),
+        (GraphSpec::PowerLaw { n: 100 }, 2, 0x732545858ca81be1),
+        (GraphSpec::PowerLaw { n: 100 }, 4, 0xc07b9a8cbf4bfa7e),
+        (GraphSpec::RandomTree { n: 90 }, 2, 0xfc415c3e2bcb1a93),
+        (GraphSpec::RandomTree { n: 90 }, 4, 0xa05c1073b8823af4),
+        (
+            GraphSpec::TwoClusters { n: 24, d: 4 },
+            2,
+            0x6713b520a9de4ef5,
+        ),
+        (
+            GraphSpec::TwoClusters { n: 24, d: 4 },
+            4,
+            0x4b18fa8c38d4041d,
+        ),
+        (
+            GraphSpec::ManySmallComponents {
+                components: 18,
+                max_size: 7,
+            },
+            2,
+            0xba7b004cc4fb5af7,
+        ),
+        (
+            GraphSpec::ManySmallComponents {
+                components: 18,
+                max_size: 7,
+            },
+            4,
+            0xce0a1bdd3dd61b33,
+        ),
+    ];
+    for (spec, shards, expected) in pins {
+        let scenario = Scenario::new(spec.clone(), IdFlavor::Sequential, 2026);
+        let plan = ShardPlan::new(&scenario.graph(), shards);
+        assert_eq!(
+            plan.digest(),
+            expected,
+            "partition digest shifted for {} at {shards} shards",
+            spec.label()
+        );
+    }
+}
+
+fn serial_oracle(
+    net: &Network<'_>,
+    spec: ProtocolSpec,
+    max_rounds: u64,
+) -> Result<RunOutcome<u64>, RunError> {
+    match spec {
+        ProtocolSpec::FloodMax { radius } => {
+            SerialExecutor.execute(net, &FloodMax { radius }, max_rounds)
+        }
+        ProtocolSpec::PortEcho { rounds } => {
+            SerialExecutor.execute(net, &PortEcho { rounds }, max_rounds)
+        }
+        ProtocolSpec::StaggeredSum { spread } => {
+            SerialExecutor.execute(net, &StaggeredSum { spread }, max_rounds)
+        }
+    }
+}
+
+fn framed_result<T: ShardTransport>(
+    transport: &T,
+    g: &deco_graph::Graph,
+    ids: &[u64],
+    spec: ProtocolSpec,
+    shards: usize,
+    threads: usize,
+    max_rounds: u64,
+) -> Result<FramedRun, RunError> {
+    match run_framed(transport, g, ids, spec, shards, threads, max_rounds) {
+        Ok(run) => Ok(run),
+        Err(FramedError::Run(e)) => Err(e),
+        Err(FramedError::Io(e)) => panic!("[{}] transport failed: {e}", transport.label()),
+    }
+}
+
+/// Runs `spec` over the scenario on every enabled transport at the given
+/// shard/thread grid and demands serial-identical observables.
+fn framed_differential(scenario: &Scenario, spec: ProtocolSpec, max_rounds: u64) {
+    let g = scenario.graph();
+    let net = scenario.network(&g);
+    let ids = net.ids().to_vec();
+    let serial = serial_oracle(&net, spec, max_rounds);
+    let (channel, process) = transports_enabled();
+    for &shards in &[1usize, 2, 4] {
+        for &threads in &[1usize, 2] {
+            let mut runs: Vec<(String, Result<FramedRun, RunError>)> = Vec::new();
+            if channel {
+                runs.push((
+                    "channel".into(),
+                    framed_result(
+                        &ChannelTransport,
+                        &g,
+                        &ids,
+                        spec,
+                        shards,
+                        threads,
+                        max_rounds,
+                    ),
+                ));
+            }
+            if process {
+                runs.push((
+                    "process".into(),
+                    framed_result(
+                        &ProcessTransport::new(shardd_bin()),
+                        &g,
+                        &ids,
+                        spec,
+                        shards,
+                        threads,
+                        max_rounds,
+                    ),
+                ));
+            }
+            for (label, run) in &runs {
+                let name = format!(
+                    "{}/{} {label} s={shards} t={threads}",
+                    scenario.name,
+                    spec.label()
+                );
+                match (&serial, run) {
+                    (Ok(s), Ok(r)) => {
+                        assert_eq!(s.outputs, r.outcome.outputs, "[{name}] outputs diverge");
+                        assert_eq!(s.rounds, r.outcome.rounds, "[{name}] rounds diverge");
+                        assert_eq!(s.messages, r.outcome.messages, "[{name}] messages diverge");
+                    }
+                    (Err(se), Err(re)) => assert_eq!(se, re, "[{name}] errors diverge"),
+                    (s, r) => panic!(
+                        "[{name}] one side failed: serial ok={} framed ok={}",
+                        s.is_ok(),
+                        r.is_ok()
+                    ),
+                }
+            }
+            // Cross-transport agreement when both ran.
+            if let [(_, Ok(a)), (_, Ok(b))] = &runs[..] {
+                assert_eq!(a.outcome.outputs, b.outcome.outputs);
+                assert_eq!(a.cut_edges, b.cut_edges);
+                assert_eq!(
+                    a.exchange_bytes, b.exchange_bytes,
+                    "same frames, same bytes"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn framed_flood_matches_serial_on_both_transports() {
+    let scenario = Scenario::new(
+        GraphSpec::RandomRegular { n: 48, d: 6 },
+        IdFlavor::Shuffled,
+        7,
+    );
+    framed_differential(&scenario, ProtocolSpec::FloodMax { radius: 5 }, 50);
+}
+
+#[test]
+fn framed_port_echo_matches_serial_on_both_transports() {
+    let scenario = Scenario::new(GraphSpec::Grid { w: 7, h: 5 }, IdFlavor::SparseRandom, 11);
+    framed_differential(&scenario, ProtocolSpec::PortEcho { rounds: 3 }, 10);
+}
+
+#[test]
+fn framed_staggered_matches_serial_on_both_transports() {
+    let scenario = Scenario::new(
+        GraphSpec::ManySmallComponents {
+            components: 10,
+            max_size: 6,
+        },
+        IdFlavor::Reversed,
+        13,
+    );
+    framed_differential(&scenario, ProtocolSpec::StaggeredSum { spread: 6 }, 30);
+}
+
+#[test]
+fn framed_round_limit_errors_on_both_transports() {
+    let scenario = Scenario::new(GraphSpec::Cycle { n: 20 }, IdFlavor::Sequential, 3);
+    framed_differential(&scenario, ProtocolSpec::FloodMax { radius: 500 }, 4);
+}
+
+#[test]
+fn subprocess_transport_truly_runs_out_of_process() {
+    let (_, process) = transports_enabled();
+    if !process {
+        return; // channel-only CI leg
+    }
+    // Not a differential: this pins that ProcessTransport actually spawns
+    // children (launch succeeds against the real binary and the run
+    // completes through real pipes).
+    let scenario = Scenario::new(GraphSpec::Cycle { n: 30 }, IdFlavor::Sequential, 1);
+    let g = scenario.graph();
+    let net = scenario.network(&g);
+    let run = framed_result(
+        &ProcessTransport::new(shardd_bin()),
+        &g,
+        net.ids(),
+        ProtocolSpec::FloodMax { radius: 4 },
+        3,
+        1,
+        50,
+    )
+    .expect("run succeeds");
+    assert_eq!(run.shards, 3);
+    assert!(run.total_bytes > 0);
+    let serial = serial_oracle(&net, ProtocolSpec::FloodMax { radius: 4 }, 50).unwrap();
+    assert_eq!(serial.outputs, run.outcome.outputs);
+}

@@ -35,6 +35,7 @@ mod ids;
 pub mod io;
 mod line_graph;
 pub mod matching;
+pub mod partition;
 mod subgraph;
 pub mod traversal;
 

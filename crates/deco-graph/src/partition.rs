@@ -1,0 +1,201 @@
+//! Node-range partitions and edge cuts — the graph-side half of sharding.
+//!
+//! A *partition* here is a tiling of the dense node index space `0..n` into
+//! contiguous ranges, one per part (shard). Contiguity is not a limitation
+//! but a design choice shared with the engine's degree-balanced thread
+//! ranges: a part is then describable by two integers, ownership lookup is
+//! a binary search over `parts + 1` boundaries, and a part's CSR slot range
+//! is itself contiguous — which is what lets a shard's mailbox arena be a
+//! plain slice of the global one.
+//!
+//! An edge is *cut* when its endpoints fall into different parts. Cut edges
+//! are exactly the communication a sharded executor must exchange across
+//! part boundaries each round; everything else stays part-local. The
+//! helpers here are deliberately small and deterministic — the engine's
+//! `ShardPlan` builds its ghost-port tables on top of them, and the
+//! pinned-digest regression tests over there assume these functions are
+//! pure functions of their inputs.
+//!
+//! ```
+//! use deco_graph::{generators, partition::RangeOwner};
+//!
+//! let g = generators::cycle(10);
+//! let owner = RangeOwner::new(&[0..5, 5..10]);
+//! let cut = deco_graph::partition::cut_edges(&g, &owner);
+//! // A cycle split into two arcs is cut at exactly the two arc boundaries.
+//! assert_eq!(cut.len(), 2);
+//! ```
+
+use crate::{EdgeId, Graph, NodeId};
+use std::ops::Range;
+
+/// Ownership lookup for a contiguous range partition of `0..n`: maps a node
+/// to the index of the part whose range contains it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RangeOwner {
+    /// Part boundaries: part `p` owns `bounds[p]..bounds[p + 1]`.
+    bounds: Vec<usize>,
+}
+
+impl RangeOwner {
+    /// Builds the lookup from ranges that tile `0..n` consecutively
+    /// (the shape `split_by_weight`-style partitioners produce).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the ranges are not consecutive starting at 0.
+    pub fn new(ranges: &[Range<usize>]) -> RangeOwner {
+        let mut bounds = Vec::with_capacity(ranges.len() + 1);
+        bounds.push(0);
+        for r in ranges {
+            assert_eq!(
+                r.start,
+                *bounds.last().expect("bounds is never empty"),
+                "ranges must tile the index space consecutively"
+            );
+            bounds.push(r.end);
+        }
+        RangeOwner { bounds }
+    }
+
+    /// Number of parts.
+    #[inline]
+    pub fn parts(&self) -> usize {
+        self.bounds.len() - 1
+    }
+
+    /// The node range of part `p`.
+    #[inline]
+    pub fn range(&self, p: usize) -> Range<usize> {
+        self.bounds[p]..self.bounds[p + 1]
+    }
+
+    /// The part owning node `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is outside the tiled index space.
+    #[inline]
+    pub fn owner(&self, v: NodeId) -> usize {
+        let i = v.index();
+        assert!(
+            i < *self.bounds.last().expect("bounds is never empty"),
+            "node {i} outside the partitioned index space"
+        );
+        // bounds is strictly increasing after index 0; partition_point finds
+        // the first boundary beyond i, whose predecessor's part owns i.
+        self.bounds.partition_point(|&b| b <= i) - 1
+    }
+
+    /// Total number of nodes tiled.
+    #[inline]
+    pub fn num_nodes(&self) -> usize {
+        *self.bounds.last().expect("bounds is never empty")
+    }
+}
+
+/// The edges of `g` whose endpoints belong to different parts, in edge-id
+/// order. Deterministic: a pure function of the graph and the partition.
+pub fn cut_edges(g: &Graph, owner: &RangeOwner) -> Vec<EdgeId> {
+    g.edges()
+        .filter(|&e| {
+            let [u, v] = g.endpoints(e);
+            owner.owner(u) != owner.owner(v)
+        })
+        .collect()
+}
+
+/// Fraction of edges that are cut, in `[0, 1]`; `0.0` for edgeless graphs.
+pub fn cut_fraction(g: &Graph, owner: &RangeOwner) -> f64 {
+    if g.num_edges() == 0 {
+        return 0.0;
+    }
+    cut_edges(g, owner).len() as f64 / g.num_edges() as f64
+}
+
+/// Per-node degree weights, the balance criterion shared by the engine's
+/// thread ranges and the shard partitioner: a part's weight is the number
+/// of mailbox slots (ports) it owns, which tracks both its per-round send
+/// and receive work.
+pub fn degree_weights(g: &Graph) -> Vec<usize> {
+    g.nodes().map(|v| g.degree(v)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn owner_maps_every_node_to_its_range() {
+        let owner = RangeOwner::new(&[0..3, 3..4, 4..9]);
+        assert_eq!(owner.parts(), 3);
+        assert_eq!(owner.num_nodes(), 9);
+        for v in 0..9usize {
+            let p = owner.owner(NodeId(v as u32));
+            assert!(owner.range(p).contains(&v), "node {v} in part {p}");
+        }
+        assert_eq!(owner.owner(NodeId(0)), 0);
+        assert_eq!(owner.owner(NodeId(3)), 1);
+        assert_eq!(owner.owner(NodeId(8)), 2);
+    }
+
+    #[test]
+    #[allow(clippy::single_range_in_vec_init)] // one part range, not indices
+    fn single_part_owns_everything() {
+        let owner = RangeOwner::new(&[0..7]);
+        assert_eq!(owner.parts(), 1);
+        for v in 0..7u32 {
+            assert_eq!(owner.owner(NodeId(v)), 0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "consecutively")]
+    fn gaps_are_rejected() {
+        let _ = RangeOwner::new(&[0..2, 3..5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside")]
+    #[allow(clippy::single_range_in_vec_init)] // one part range, not indices
+    fn out_of_space_nodes_are_rejected() {
+        let owner = RangeOwner::new(&[0..2]);
+        let _ = owner.owner(NodeId(2));
+    }
+
+    #[test]
+    fn cycle_cut_is_the_two_arc_boundaries() {
+        let g = generators::cycle(12);
+        let owner = RangeOwner::new(&[0..6, 6..12]);
+        let cut = cut_edges(&g, &owner);
+        assert_eq!(cut.len(), 2);
+        for e in cut {
+            let [u, v] = g.endpoints(e);
+            assert_ne!(owner.owner(u), owner.owner(v));
+        }
+        assert!((cut_fraction(&g, &owner) - 2.0 / 12.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn complete_graph_cut_counts_cross_pairs() {
+        let g = generators::complete(6);
+        let owner = RangeOwner::new(&[0..2, 2..6]);
+        // Cross edges: 2 * 4.
+        assert_eq!(cut_edges(&g, &owner).len(), 8);
+    }
+
+    #[test]
+    fn edgeless_graph_has_zero_cut_fraction() {
+        let g = Graph::empty(4);
+        let owner = RangeOwner::new(&[0..2, 2..4]);
+        assert!(cut_edges(&g, &owner).is_empty());
+        assert_eq!(cut_fraction(&g, &owner), 0.0);
+    }
+
+    #[test]
+    fn degree_weights_match_degrees() {
+        let g = generators::star(4);
+        assert_eq!(degree_weights(&g), vec![4, 1, 1, 1, 1]);
+    }
+}

@@ -1,8 +1,9 @@
 //! Differential suite for the parallel solver recursion: running the
-//! Theorem 4.1 solver with the engine executor — barrier and barrier-free
-//! async modes alike — at 1/2/4 worker threads must be observationally
-//! identical to the serial recursion — same colors, same cost tree (round
-//! counts and structure), same merged `SolveStats` — on every scenario.
+//! Theorem 4.1 solver with the engine executor — barrier, barrier-free
+//! async, and sharded modes alike — at 1/2/4 worker threads (and 2/4
+//! shards) must be observationally identical to the serial recursion —
+//! same colors, same cost tree (round counts and structure), same merged
+//! `SolveStats` — on every scenario.
 //! Plus the structured error paths: depth overruns and residual slack
 //! shortfalls surface as values, never panics, on every executor.
 
@@ -10,7 +11,10 @@ use deco::core_alg::instance;
 use deco::core_alg::solver::{
     solve_pipeline_with, solve_two_delta_minus_one_with, SolveError, Solver, SolverConfig,
 };
-use deco::engine::{EngineMode, GraphSpec, IdFlavor, ParallelExecutor, Scenario, SerialExecutor};
+use deco::engine::{
+    EngineMode, EngineSelection, GraphSpec, IdFlavor, ParallelExecutor, Scenario, SerialExecutor,
+    ShardedExecutor,
+};
 use deco::graph::{generators, Graph};
 
 const THREAD_COUNTS: [usize; 3] = [1, 2, 4];
@@ -19,19 +23,35 @@ fn ids(g: &Graph) -> Vec<u64> {
     (1..=g.num_nodes() as u64).collect()
 }
 
-/// The three-way lineup: barrier and async engines at each pinned thread
-/// count, plus the CI-pinned executor (`DECO_ENGINE_THREADS` ×
-/// `DECO_ENGINE_ASYNC`).
-fn engine_lineup() -> Vec<(String, ParallelExecutor)> {
-    let mut executors: Vec<(String, ParallelExecutor)> = Vec::new();
+/// The four-way lineup: barrier and async engines at each pinned thread
+/// count, the sharded engine at each shard × threads-per-shard cell (the
+/// solver's protocol executions and branch fan-outs both route through
+/// it), plus the CI-pinned executor (`DECO_ENGINE_THREADS` ×
+/// `DECO_ENGINE_ASYNC` × `DECO_ENGINE_SHARDS`).
+fn engine_lineup() -> Vec<(String, EngineSelection)> {
+    let mut executors: Vec<(String, EngineSelection)> = Vec::new();
     for &t in &THREAD_COUNTS {
-        executors.push((format!("barrier/t={t}"), ParallelExecutor::with_threads(t)));
+        executors.push((
+            format!("barrier/t={t}"),
+            EngineSelection::Parallel(ParallelExecutor::with_threads(t)),
+        ));
         executors.push((
             format!("async/t={t}"),
-            ParallelExecutor::with_threads(t).with_mode(EngineMode::Async),
+            EngineSelection::Parallel(
+                ParallelExecutor::with_threads(t).with_mode(EngineMode::Async),
+            ),
         ));
     }
-    executors.push(("env".to_string(), ParallelExecutor::from_env()));
+    for (s, t) in [(2, 1), (4, 2)] {
+        executors.push((
+            format!("shard/s={s}/t={t}"),
+            EngineSelection::Sharded(ShardedExecutor::new(s).with_threads_per_shard(t)),
+        ));
+    }
+    executors.push((
+        "env".to_string(),
+        EngineSelection::from_env().expect("engine env vars parse"),
+    ));
     executors
 }
 
