@@ -20,7 +20,8 @@
 //!   output with the same round charge (used at scale).
 
 use deco_graph::Graph;
-use deco_local::{Executor, Network, NodeCtx, NodeProgram, Protocol, RunError, SerialExecutor};
+use deco_local::{Executor, Network, NodeCtx, NodeProgram, Protocol, RunError};
+use deco_runtime::Runtime;
 use std::collections::HashSet;
 
 /// Validates the precondition `|lists[v]| ≥ deg(v) + 1` for all nodes.
@@ -165,21 +166,8 @@ impl Protocol for ByClassesProtocol {
     }
 }
 
-/// Runs the message-passing class sweep on `net`.
-///
-/// # Errors
-///
-/// Propagates [`RunError`] from the runner.
-pub fn list_color_by_classes_mp(
-    net: &Network<'_>,
-    lists: Vec<Vec<u32>>,
-    initial: Vec<u32>,
-    num_classes: u32,
-) -> Result<(Vec<u32>, u64), RunError> {
-    list_color_by_classes_mp_with(&SerialExecutor, net, lists, initial, num_classes)
-}
-
-/// [`list_color_by_classes_mp`] on an explicit [`Executor`].
+/// Runs the message-passing class sweep on `net`, on whatever engine `rt`
+/// carries.
 ///
 /// # Errors
 ///
@@ -188,12 +176,12 @@ pub fn list_color_by_classes_mp(
 /// # Panics
 ///
 /// Panics if some list is not larger than the node's degree.
-pub fn list_color_by_classes_mp_with<E: Executor>(
-    executor: &E,
+pub fn list_color_by_classes_mp(
     net: &Network<'_>,
     lists: Vec<Vec<u32>>,
     initial: Vec<u32>,
     num_classes: u32,
+    rt: &Runtime,
 ) -> Result<(Vec<u32>, u64), RunError> {
     assert!(
         find_list_too_small(net.graph(), &lists).is_none(),
@@ -204,7 +192,7 @@ pub fn list_color_by_classes_mp_with<E: Executor>(
         initial,
         num_classes,
     };
-    let outcome = executor.execute(net, &protocol, u64::from(num_classes) + 2)?;
+    let outcome = rt.execute(net, &protocol, u64::from(num_classes) + 2)?;
     Ok((outcome.outputs, outcome.rounds))
 }
 
@@ -265,7 +253,8 @@ mod tests {
         let (fast, _) = list_color_by_classes(&g, &lists, &initial, k);
         let net = Network::new(&g, IdAssignment::Shuffled(3));
         let (mp, rounds) =
-            list_color_by_classes_mp(&net, lists.clone(), initial.clone(), k).unwrap();
+            list_color_by_classes_mp(&net, lists.clone(), initial.clone(), k, &Runtime::serial())
+                .unwrap();
         assert_eq!(fast, mp, "centralized sweep must equal the distributed run");
         assert_eq!(rounds, u64::from(k) + 1);
     }

@@ -12,7 +12,8 @@
 //! conflict components are unrooted paths *and cycles*.
 
 use deco_graph::{Graph, NodeId};
-use deco_local::{Executor, Network, NodeCtx, NodeProgram, Protocol, RunError, SerialExecutor};
+use deco_local::{Executor, Network, NodeCtx, NodeProgram, Protocol, RunError};
+use deco_runtime::Runtime;
 
 /// Number of Cole–Vishkin halving steps needed from `bits`-bit colors to
 /// reach the 6-color (3-bit) fixpoint.
@@ -203,13 +204,16 @@ pub struct ForestColoring {
     pub colors: Vec<u8>,
     /// Rounds used by the fixed schedule.
     pub rounds: u64,
+    /// Messages delivered over the run (identical on every engine).
+    pub messages: u64,
 }
 
-/// 3-colors the nodes of a rooted forest in `O(log* n)` rounds.
+/// 3-colors the nodes of a rooted forest in `O(log* n)` rounds, on
+/// whatever engine `rt` carries.
 ///
 /// # Errors
 ///
-/// Propagates [`RunError`] from the runner.
+/// Propagates [`RunError`] from the executor.
 ///
 /// # Panics
 ///
@@ -219,27 +223,16 @@ pub struct ForestColoring {
 pub fn three_color_rooted_forest(
     net: &Network<'_>,
     parent: Vec<Option<NodeId>>,
-) -> Result<ForestColoring, RunError> {
-    three_color_rooted_forest_with(&SerialExecutor, net, parent)
-}
-
-/// [`three_color_rooted_forest`] on an explicit [`Executor`].
-///
-/// # Errors
-///
-/// Propagates [`RunError`] from the executor.
-pub fn three_color_rooted_forest_with<E: Executor>(
-    executor: &E,
-    net: &Network<'_>,
-    parent: Vec<Option<NodeId>>,
+    rt: &Runtime,
 ) -> Result<ForestColoring, RunError> {
     let id_bits = 64 - net.max_id().leading_zeros();
     let protocol = CvForestColoring::new(parent, id_bits);
     let budget = protocol.rounds();
-    let outcome = executor.execute(net, &protocol, budget + 2)?;
+    let outcome = rt.execute(net, &protocol, budget + 2)?;
     Ok(ForestColoring {
         colors: outcome.outputs,
         rounds: outcome.rounds,
+        messages: outcome.messages,
     })
 }
 
@@ -285,7 +278,8 @@ mod tests {
     fn check(g: &Graph, assignment: IdAssignment) -> ForestColoring {
         let net = Network::new(g, assignment);
         let parent = root_forest(g);
-        let res = three_color_rooted_forest(&net, parent.clone()).expect("terminates");
+        let res = three_color_rooted_forest(&net, parent.clone(), &Runtime::serial())
+            .expect("terminates");
         let as_u32: Vec<u32> = res.colors.iter().map(|&c| u32::from(c)).collect();
         coloring::check_vertex_coloring(g, &as_u32).expect("proper 3-coloring");
         assert!(res.colors.iter().all(|&c| c < 3));

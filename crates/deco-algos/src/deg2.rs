@@ -10,7 +10,8 @@
 //! class is an independent set.
 
 use crate::linial::{self, LinialSchedule};
-use deco_local::{Executor, Network, NodeCtx, NodeProgram, Protocol, RunError, SerialExecutor};
+use deco_local::{Executor, Network, NodeCtx, NodeProgram, Protocol, RunError};
+use deco_runtime::Runtime;
 
 /// Protocol: 3-color a max-degree-≤2 graph from a proper initial coloring.
 #[derive(Debug, Clone)]
@@ -99,10 +100,13 @@ pub struct ThreeColoring {
     pub colors: Vec<u8>,
     /// Rounds used by the fixed schedule.
     pub rounds: u64,
+    /// Messages delivered over the run (identical on every engine).
+    pub messages: u64,
 }
 
 /// 3-colors a graph of maximum degree ≤ 2 from a proper initial coloring
-/// with palette `m0`, in `O(log* m0)` rounds.
+/// with palette `m0`, in `O(log* m0)` rounds, on whatever engine `rt`
+/// carries.
 ///
 /// # Errors
 ///
@@ -115,24 +119,7 @@ pub fn three_color_max_deg2(
     net: &Network<'_>,
     initial: Vec<u64>,
     m0: u64,
-) -> Result<ThreeColoring, RunError> {
-    three_color_max_deg2_with(&SerialExecutor, net, initial, m0)
-}
-
-/// [`three_color_max_deg2`] on an explicit [`Executor`].
-///
-/// # Errors
-///
-/// Propagates [`RunError`] from the executor.
-///
-/// # Panics
-///
-/// Panics if the graph has a node of degree > 2.
-pub fn three_color_max_deg2_with<E: Executor>(
-    executor: &E,
-    net: &Network<'_>,
-    initial: Vec<u64>,
-    m0: u64,
+    rt: &Runtime,
 ) -> Result<ThreeColoring, RunError> {
     assert!(
         net.graph().max_degree() <= 2,
@@ -140,11 +127,12 @@ pub fn three_color_max_deg2_with<E: Executor>(
     );
     let protocol = ThreeColorDeg2::new(initial, m0);
     let budget = protocol.rounds();
-    let outcome = executor.execute(net, &protocol, budget + 1)?;
+    let outcome = rt.execute(net, &protocol, budget + 1)?;
     debug_assert_eq!(outcome.rounds, budget);
     Ok(ThreeColoring {
         colors: outcome.outputs,
         rounds: outcome.rounds,
+        messages: outcome.messages,
     })
 }
 
@@ -158,7 +146,8 @@ mod tests {
         let net = Network::new(g, assignment);
         let initial = net.ids().to_vec();
         let m0 = net.max_id() + 1;
-        let res = three_color_max_deg2(&net, initial, m0).expect("schedule terminates");
+        let res = three_color_max_deg2(&net, initial, m0, &Runtime::serial())
+            .expect("schedule terminates");
         let as_u32: Vec<u32> = res.colors.iter().map(|&c| u32::from(c)).collect();
         coloring::check_vertex_coloring(g, &as_u32).expect("proper 3-coloring");
         assert!(res.colors.iter().all(|&c| c < 3));
@@ -212,14 +201,14 @@ mod tests {
     fn rejects_high_degree() {
         let g = generators::star(3);
         let net = Network::new(&g, IdAssignment::Sequential);
-        let _ = three_color_max_deg2(&net, vec![1, 2, 3, 4], 5);
+        let _ = three_color_max_deg2(&net, vec![1, 2, 3, 4], 5, &Runtime::serial());
     }
 
     #[test]
     fn isolated_nodes_are_fine() {
         let g = deco_graph::Graph::empty(4);
         let net = Network::new(&g, IdAssignment::Sequential);
-        let res = three_color_max_deg2(&net, vec![1, 2, 3, 4], 5).unwrap();
+        let res = three_color_max_deg2(&net, vec![1, 2, 3, 4], 5, &Runtime::serial()).unwrap();
         assert!(res.colors.iter().all(|&c| c < 3));
     }
 }

@@ -9,7 +9,8 @@
 use crate::linial;
 use deco_graph::coloring::EdgeColoring;
 use deco_graph::{Graph, LineGraph};
-use deco_local::{Executor, Network, RunError, SerialExecutor};
+use deco_local::{Network, RunError};
+use deco_runtime::Runtime;
 
 /// Unique edge IDs computable locally from endpoint node IDs: the pairing
 /// `a·(B+1) + b` for endpoint ids `a < b` with global bound `B`. Values are
@@ -51,30 +52,23 @@ pub struct LinialEdgeResult {
     pub palette: u64,
     /// Line-graph rounds used (`O(log* n)`); each costs O(1) rounds on `G`.
     pub rounds: u64,
+    /// Messages delivered over the run (identical on every engine).
+    pub messages: u64,
 }
 
 /// Computes an `O(Δ̄²)`-edge coloring of `g` in `O(log* n)` line-graph
 /// rounds by running Linial's protocol on `L(G)` with pairing-derived edge
-/// IDs. This is the "initial edge coloring with X colors" every Section-4
-/// construction of the paper starts from.
-///
-/// # Errors
-///
-/// Propagates [`RunError`] from the runner.
-pub fn linial_edge_coloring(g: &Graph, node_ids: &[u64]) -> Result<LinialEdgeResult, RunError> {
-    linial_edge_coloring_with(&SerialExecutor, g, node_ids)
-}
-
-/// [`linial_edge_coloring`] on an explicit [`Executor`] — the protocol on
-/// `L(G)` runs on whatever substrate the caller provides.
+/// IDs, on whatever engine `rt` carries. This is the "initial edge
+/// coloring with X colors" every Section-4 construction of the paper
+/// starts from.
 ///
 /// # Errors
 ///
 /// Propagates [`RunError`] from the executor.
-pub fn linial_edge_coloring_with<E: Executor>(
-    executor: &E,
+pub fn linial_edge_coloring(
     g: &Graph,
     node_ids: &[u64],
+    rt: &Runtime,
 ) -> Result<LinialEdgeResult, RunError> {
     let lg = LineGraph::of(g);
     let eids = edge_ids_by_pairing(g, node_ids);
@@ -83,16 +77,18 @@ pub fn linial_edge_coloring_with<E: Executor>(
             coloring: EdgeColoring::uncolored(0),
             palette: 1,
             rounds: 0,
+            messages: 0,
         });
     }
     let net = Network::with_ids(lg.graph(), eids.clone());
     let bound = node_ids.iter().copied().max().unwrap_or(1);
     let m0 = (bound + 1) * (bound + 1);
-    let res = linial::color_from_initial_with(executor, &net, eids, m0)?;
+    let res = linial::color_from_initial(&net, eids, m0, rt)?;
     Ok(LinialEdgeResult {
         coloring: EdgeColoring::from_complete(res.colors),
         palette: res.palette,
         rounds: res.rounds,
+        messages: res.messages,
     })
 }
 
@@ -120,7 +116,7 @@ mod tests {
             generators::complete_bipartite(5, 5),
         ] {
             let ids: Vec<u64> = (1..=g.num_nodes() as u64).collect();
-            let res = linial_edge_coloring(&g, &ids).unwrap();
+            let res = linial_edge_coloring(&g, &ids, &Runtime::serial()).unwrap();
             coloring::check_edge_coloring(&g, &res.coloring).expect("proper edge coloring");
             let dbar = g.max_edge_degree() as u64;
             assert!(
@@ -134,7 +130,7 @@ mod tests {
     #[test]
     fn empty_graph_short_circuits() {
         let g = deco_graph::Graph::empty(5);
-        let res = linial_edge_coloring(&g, &[1, 2, 3, 4, 5]).unwrap();
+        let res = linial_edge_coloring(&g, &[1, 2, 3, 4, 5], &Runtime::serial()).unwrap();
         assert_eq!(res.rounds, 0);
     }
 
@@ -142,8 +138,10 @@ mod tests {
     fn rounds_flat_in_n() {
         let ids_small: Vec<u64> = (1..=60).collect();
         let ids_large: Vec<u64> = (1..=600).collect();
-        let small = linial_edge_coloring(&generators::cycle(60), &ids_small).unwrap();
-        let large = linial_edge_coloring(&generators::cycle(600), &ids_large).unwrap();
+        let small =
+            linial_edge_coloring(&generators::cycle(60), &ids_small, &Runtime::serial()).unwrap();
+        let large =
+            linial_edge_coloring(&generators::cycle(600), &ids_large, &Runtime::serial()).unwrap();
         assert!(large.rounds <= small.rounds + 2, "log* growth only");
     }
 }

@@ -20,7 +20,8 @@
 
 use crate::palette_u64_to_u32;
 use deco_local::math::next_prime;
-use deco_local::{Executor, Network, NodeCtx, NodeProgram, Protocol, RunError, SerialExecutor};
+use deco_local::{Executor, Network, NodeCtx, NodeProgram, Protocol, RunError};
+use deco_runtime::Runtime;
 
 /// One round of the reduction schedule: reduce from `m` colors to `q²`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -237,39 +238,30 @@ pub struct LinialResult {
     pub palette: u64,
     /// Communication rounds used (= schedule length).
     pub rounds: u64,
+    /// Messages delivered over the run (identical on every engine).
+    pub messages: u64,
 }
 
 /// Runs Linial's reduction on `net` starting from the node IDs as the
-/// initial coloring (`m0 = id_bound + 1`).
+/// initial coloring (`m0 = id_bound + 1`), on whatever engine `rt`
+/// carries.
 ///
 /// # Errors
 ///
-/// Propagates [`RunError`] from the runner (cannot happen with the fixed
+/// Propagates [`RunError`] from the executor (cannot happen with the fixed
 /// schedule unless the schedule itself is wrong).
-pub fn color_from_ids(net: &Network<'_>) -> Result<LinialResult, RunError> {
-    color_from_ids_with(&SerialExecutor, net)
+pub fn color_from_ids(net: &Network<'_>, rt: &Runtime) -> Result<LinialResult, RunError> {
+    let ids: Vec<u64> = net.ids().to_vec();
+    let m0 = net.max_id() + 1;
+    color_from_initial(net, ids, m0, rt)
 }
 
-/// [`color_from_ids`] on an explicit [`Executor`] (engine or serial).
+/// Runs Linial's reduction on `net` from an explicit proper initial
+/// coloring with palette `m0`, on whatever engine `rt` carries.
 ///
 /// # Errors
 ///
 /// Propagates [`RunError`] from the executor.
-pub fn color_from_ids_with<E: Executor>(
-    executor: &E,
-    net: &Network<'_>,
-) -> Result<LinialResult, RunError> {
-    let ids: Vec<u64> = net.ids().to_vec();
-    let m0 = net.max_id() + 1;
-    color_from_initial_with(executor, net, ids, m0)
-}
-
-/// Runs Linial's reduction on `net` from an explicit proper initial
-/// coloring with palette `m0`.
-///
-/// # Errors
-///
-/// Propagates [`RunError`] from the runner.
 ///
 /// # Panics
 ///
@@ -278,24 +270,7 @@ pub fn color_from_initial(
     net: &Network<'_>,
     initial: Vec<u64>,
     m0: u64,
-) -> Result<LinialResult, RunError> {
-    color_from_initial_with(&SerialExecutor, net, initial, m0)
-}
-
-/// [`color_from_initial`] on an explicit [`Executor`] (engine or serial).
-///
-/// # Errors
-///
-/// Propagates [`RunError`] from the executor.
-///
-/// # Panics
-///
-/// Panics (in debug builds) if the initial coloring is improper.
-pub fn color_from_initial_with<E: Executor>(
-    executor: &E,
-    net: &Network<'_>,
-    initial: Vec<u64>,
-    m0: u64,
+    rt: &Runtime,
 ) -> Result<LinialResult, RunError> {
     debug_assert!(
         initial.iter().all(|&c| c < m0),
@@ -305,12 +280,13 @@ pub fn color_from_initial_with<E: Executor>(
     let protocol = LinialProtocol::new(initial, m0, delta);
     let sched_rounds = protocol.schedule.rounds();
     let palette = protocol.schedule.final_palette;
-    let outcome = executor.execute(net, &protocol, sched_rounds + 1)?;
+    let outcome = rt.execute(net, &protocol, sched_rounds + 1)?;
     debug_assert_eq!(outcome.rounds, sched_rounds);
     Ok(LinialResult {
         colors: palette_u64_to_u32(&outcome.outputs),
         palette,
         rounds: outcome.rounds,
+        messages: outcome.messages,
     })
 }
 
@@ -369,7 +345,7 @@ mod tests {
 
     fn run_and_check(g: &deco_graph::Graph, assignment: IdAssignment) -> LinialResult {
         let net = Network::new(g, assignment);
-        let res = color_from_ids(&net).expect("fixed schedule terminates");
+        let res = color_from_ids(&net, &Runtime::serial()).expect("fixed schedule terminates");
         coloring::check_vertex_coloring(g, &res.colors).expect("proper coloring");
         for &c in &res.colors {
             assert!((c as u64) < res.palette);

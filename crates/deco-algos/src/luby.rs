@@ -9,7 +9,8 @@
 //! (for edge coloring: the line graph), with per-node RNGs seeded
 //! deterministically from `(seed, id)` so simulations are reproducible.
 
-use deco_local::{Executor, Network, NodeCtx, NodeProgram, Protocol, RunError, SerialExecutor};
+use deco_local::{Executor, Network, NodeCtx, NodeProgram, Protocol, RunError};
+use deco_runtime::Runtime;
 use rand::prelude::*;
 use rand::rngs::StdRng;
 use std::collections::HashSet;
@@ -144,14 +145,18 @@ pub struct LubyResult {
     pub colors: Vec<u32>,
     /// Rounds until every node halted.
     pub rounds: u64,
+    /// Messages delivered over the run (identical on every engine).
+    pub messages: u64,
 }
 
-/// Runs randomized list coloring on `net`.
+/// Runs randomized list coloring on `net`, on whatever engine `rt`
+/// carries. The protocol is open-ended (no fixed schedule), so the round
+/// budget is the runtime's [`Runtime::max_rounds`] policy.
 ///
 /// # Errors
 ///
-/// Returns [`RunError`] if the run exceeds `max_rounds` (vanishingly
-/// unlikely for sane limits: expected O(log n) rounds).
+/// Returns [`RunError`] if the run exceeds the runtime's round budget
+/// (vanishingly unlikely for sane budgets: expected O(log n) rounds).
 ///
 /// # Panics
 ///
@@ -160,26 +165,7 @@ pub fn luby_list_coloring(
     net: &Network<'_>,
     lists: Vec<Vec<u32>>,
     seed: u64,
-    max_rounds: u64,
-) -> Result<LubyResult, RunError> {
-    luby_list_coloring_with(&SerialExecutor, net, lists, seed, max_rounds)
-}
-
-/// [`luby_list_coloring`] on an explicit [`Executor`].
-///
-/// # Errors
-///
-/// Returns [`RunError`] if the run exceeds `max_rounds`.
-///
-/// # Panics
-///
-/// Panics if some list is not larger than the node's degree.
-pub fn luby_list_coloring_with<E: Executor>(
-    executor: &E,
-    net: &Network<'_>,
-    lists: Vec<Vec<u32>>,
-    seed: u64,
-    max_rounds: u64,
+    rt: &Runtime,
 ) -> Result<LubyResult, RunError> {
     for v in net.graph().nodes() {
         assert!(
@@ -188,10 +174,11 @@ pub fn luby_list_coloring_with<E: Executor>(
         );
     }
     let protocol = LubyListColoring { lists, seed };
-    let outcome = executor.execute(net, &protocol, max_rounds)?;
+    let outcome = rt.execute(net, &protocol, rt.max_rounds())?;
     Ok(LubyResult {
         colors: outcome.outputs,
         rounds: outcome.rounds,
+        messages: outcome.messages,
     })
 }
 
@@ -210,7 +197,7 @@ mod tests {
         let g = generators::random_regular(80, 6, 1);
         let net = Network::new(&g, IdAssignment::Shuffled(2));
         let palette = 2 * g.max_degree() as u32 + 1;
-        let res = luby_list_coloring(&net, lists_for(&g, palette), 42, 10_000).unwrap();
+        let res = luby_list_coloring(&net, lists_for(&g, palette), 42, &Runtime::serial()).unwrap();
         coloring::check_vertex_coloring(&g, &res.colors).expect("proper");
         assert!(res.colors.iter().all(|&c| c < palette));
     }
@@ -220,8 +207,8 @@ mod tests {
         let g = generators::gnp(50, 0.15, 3);
         let net = Network::new(&g, IdAssignment::Sequential);
         let palette = 2 * g.max_degree() as u32 + 1;
-        let a = luby_list_coloring(&net, lists_for(&g, palette), 7, 10_000).unwrap();
-        let b = luby_list_coloring(&net, lists_for(&g, palette), 7, 10_000).unwrap();
+        let a = luby_list_coloring(&net, lists_for(&g, palette), 7, &Runtime::serial()).unwrap();
+        let b = luby_list_coloring(&net, lists_for(&g, palette), 7, &Runtime::serial()).unwrap();
         assert_eq!(a.colors, b.colors);
         assert_eq!(a.rounds, b.rounds);
     }
@@ -231,7 +218,7 @@ mod tests {
         let g = generators::random_regular(400, 8, 9);
         let net = Network::new(&g, IdAssignment::Shuffled(4));
         let palette = 2 * g.max_degree() as u32 + 1;
-        let res = luby_list_coloring(&net, lists_for(&g, palette), 13, 10_000).unwrap();
+        let res = luby_list_coloring(&net, lists_for(&g, palette), 13, &Runtime::serial()).unwrap();
         assert!(res.rounds <= 60, "rounds {} unexpectedly large", res.rounds);
     }
 
@@ -241,7 +228,7 @@ mod tests {
         let net = Network::new(&g, IdAssignment::Shuffled(5));
         // Each node gets a distinct 3-color window: still > deg = 2.
         let lists: Vec<Vec<u32>> = g.nodes().map(|v| (v.0..v.0 + 3).collect()).collect();
-        let res = luby_list_coloring(&net, lists.clone(), 3, 10_000).unwrap();
+        let res = luby_list_coloring(&net, lists.clone(), 3, &Runtime::serial()).unwrap();
         coloring::check_vertex_coloring(&g, &res.colors).expect("proper");
         for v in g.nodes() {
             assert!(lists[v.index()].contains(&res.colors[v.index()]));
@@ -253,6 +240,6 @@ mod tests {
     fn rejects_small_lists() {
         let g = generators::complete(4);
         let net = Network::new(&g, IdAssignment::Sequential);
-        let _ = luby_list_coloring(&net, lists_for(&g, 2), 1, 100);
+        let _ = luby_list_coloring(&net, lists_for(&g, 2), 1, &Runtime::serial());
     }
 }

@@ -13,7 +13,8 @@ use deco_core::solver::{SolveBranch, SolveError, SolveStats};
 use deco_core::{slack, space};
 use deco_graph::coloring::Color;
 use deco_graph::generators;
-use deco_local::{CostNode, SerialExecutor};
+use deco_local::CostNode;
+use deco_runtime::Runtime;
 use rand::prelude::*;
 use rand::rngs::StdRng;
 
@@ -55,7 +56,7 @@ fn bench_defective(c: &mut Criterion) {
         let x = x_coloring(&g);
         let xp = x_palette(&x);
         group.bench_with_input(BenchmarkId::from_parameter(beta), &beta, |b, &beta| {
-            b.iter(|| defective_edge_coloring(&g, beta, &x, xp).num_colors);
+            b.iter(|| defective_edge_coloring(&g, beta, &x, xp, &Runtime::serial()).num_colors);
         });
     }
     group.finish();
@@ -68,7 +69,7 @@ fn bench_sweep(c: &mut Criterion) {
     let xp = x_palette(&x);
     c.bench_function("lemma42-sweep", |b| {
         b.iter(|| {
-            slack::sweep(&inst, &x, xp, 1, &SerialExecutor, &greedy_inner)
+            slack::sweep(&inst, &x, xp, 1, &Runtime::serial(), &greedy_inner)
                 .expect("sweep succeeds")
                 .stats
                 .colored

@@ -85,32 +85,28 @@ fn bench_port_echo_thread_scaling(c: &mut Criterion) {
 }
 
 fn bench_solver_pipeline_on_engine(c: &mut Criterion) {
-    use deco_core::solver::{solve_two_delta_minus_one_with, SolverConfig};
+    use deco_core::solver::{solve_two_delta_minus_one, SolverConfig};
+    use deco_runtime::Runtime;
     let g = generators::random_regular(512, 16, 23);
     let ids: Vec<u64> = (1..=g.num_nodes() as u64).collect();
     let mut group = c.benchmark_group("solver/regular(512,16)");
     group.sample_size(10);
-    group.bench_function("serial-executor", |b| {
+    let serial_rt = Runtime::serial();
+    group.bench_function(serial_rt.descriptor(), |b| {
         b.iter(|| {
-            solve_two_delta_minus_one_with(&SerialExecutor, &g, &ids, SolverConfig::default())
+            solve_two_delta_minus_one(&g, &ids, SolverConfig::default(), &serial_rt)
                 .expect("solver succeeds")
-                .solution
                 .cost
                 .actual_rounds()
         })
     });
-    group.bench_function("engine-executor", |b| {
+    let engine_rt = Runtime::from(ParallelExecutor::auto());
+    group.bench_function(engine_rt.descriptor(), |b| {
         b.iter(|| {
-            solve_two_delta_minus_one_with(
-                &ParallelExecutor::auto(),
-                &g,
-                &ids,
-                SolverConfig::default(),
-            )
-            .expect("solver succeeds")
-            .solution
-            .cost
-            .actual_rounds()
+            solve_two_delta_minus_one(&g, &ids, SolverConfig::default(), &engine_rt)
+                .expect("solver succeeds")
+                .cost
+                .actual_rounds()
         })
     });
     group.finish();

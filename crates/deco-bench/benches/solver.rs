@@ -5,6 +5,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use deco_core::solver::{solve_two_delta_minus_one, SolverConfig, Strategy};
 use deco_graph::generators;
+use deco_runtime::Runtime;
 
 fn ids(n: usize) -> Vec<u64> {
     (1..=n as u64).collect()
@@ -20,11 +21,15 @@ fn bench_solver_by_degree(c: &mut Criterion) {
         let g = generators::random_regular(n, d, 17 + d as u64);
         group.bench_with_input(BenchmarkId::from_parameter(d), &g, |b, g| {
             b.iter(|| {
-                let res =
-                    solve_two_delta_minus_one(g, &ids(g.num_nodes()), SolverConfig::default())
-                        .expect("solver succeeds");
-                assert!(res.coloring.is_complete());
-                res.solution.cost.actual_rounds()
+                let res = solve_two_delta_minus_one(
+                    g,
+                    &ids(g.num_nodes()),
+                    SolverConfig::default(),
+                    &Runtime::serial(),
+                )
+                .expect("solver succeeds");
+                assert!(res.colors.is_complete());
+                res.cost.actual_rounds()
             });
         });
     }
@@ -47,9 +52,10 @@ fn bench_solver_strategies(c: &mut Criterion) {
         };
         group.bench_function(name, |b| {
             b.iter(|| {
-                let res = solve_two_delta_minus_one(&g, &ids(g.num_nodes()), cfg)
-                    .expect("solver succeeds");
-                res.solution.cost.actual_rounds()
+                let res =
+                    solve_two_delta_minus_one(&g, &ids(g.num_nodes()), cfg, &Runtime::serial())
+                        .expect("solver succeeds");
+                res.cost.actual_rounds()
             });
         });
     }
@@ -65,10 +71,14 @@ fn bench_solver_by_n(c: &mut Criterion) {
         let g = generators::random_regular(n, 8, 31);
         group.bench_with_input(BenchmarkId::from_parameter(n), &g, |b, g| {
             b.iter(|| {
-                let res =
-                    solve_two_delta_minus_one(g, &ids(g.num_nodes()), SolverConfig::default())
-                        .expect("solver succeeds");
-                res.solution.cost.actual_rounds()
+                let res = solve_two_delta_minus_one(
+                    g,
+                    &ids(g.num_nodes()),
+                    SolverConfig::default(),
+                    &Runtime::serial(),
+                )
+                .expect("solver succeeds");
+                res.cost.actual_rounds()
             });
         });
     }

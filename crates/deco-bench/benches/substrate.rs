@@ -6,6 +6,7 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use deco_algos::{class_elimination, edge_adapter, luby};
 use deco_graph::{generators, LineGraph};
 use deco_local::{IdAssignment, Network};
+use deco_runtime::Runtime;
 
 fn ids(n: usize) -> Vec<u64> {
     (1..=n as u64).collect()
@@ -18,7 +19,7 @@ fn bench_linial_edge(c: &mut Criterion) {
         let g = generators::random_regular(n, 8, 13);
         group.bench_with_input(BenchmarkId::from_parameter(n), &g, |b, g| {
             b.iter(|| {
-                edge_adapter::linial_edge_coloring(g, &ids(g.num_nodes()))
+                edge_adapter::linial_edge_coloring(g, &ids(g.num_nodes()), &Runtime::serial())
                     .expect("terminates")
                     .palette
             });
@@ -37,7 +38,7 @@ fn bench_luby(c: &mut Criterion) {
     group.bench_function("regular(512,8)", |b| {
         b.iter(|| {
             let net = Network::new(lg.graph(), IdAssignment::Shuffled(3));
-            luby::luby_list_coloring(&net, lists.clone(), 7, 100_000)
+            luby::luby_list_coloring(&net, lists.clone(), 7, &Runtime::serial())
                 .expect("terminates")
                 .rounds
         });
@@ -48,7 +49,8 @@ fn bench_luby(c: &mut Criterion) {
 fn bench_class_elimination(c: &mut Criterion) {
     let g = generators::random_regular(512, 8, 19);
     let lg = LineGraph::of(&g);
-    let x = edge_adapter::linial_edge_coloring(&g, &ids(g.num_nodes())).expect("terminates");
+    let x = edge_adapter::linial_edge_coloring(&g, &ids(g.num_nodes()), &Runtime::serial())
+        .expect("terminates");
     let initial: Vec<u32> = g.edges().map(|e| x.coloring.get(e).unwrap()).collect();
     let bound = (2 * g.max_degree() - 1) as u32;
     let lists: Vec<Vec<u32>> = lg.graph().nodes().map(|_| (0..bound).collect()).collect();

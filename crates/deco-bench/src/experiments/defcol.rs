@@ -6,10 +6,11 @@ use crate::workloads::ids_for;
 use deco_algos::edge_adapter;
 use deco_core::defective::{defective_edge_coloring, defective_palette};
 use deco_graph::{coloring, generators, Graph};
+use deco_runtime::Runtime;
 use std::fmt::Write as _;
 
 /// Runs the experiment and returns the report.
-pub fn run() -> String {
+pub fn run(rt: &Runtime) -> String {
     let mut out = String::from("# def-col — defective edge coloring (§4.1)\n\n");
     let mut t = Table::new([
         "graph",
@@ -28,11 +29,11 @@ pub fn run() -> String {
         ("torus(10,10)", generators::torus(10, 10)),
     ];
     for (name, g) in &graphs {
-        let x = edge_adapter::linial_edge_coloring(g, &ids_for(g)).expect("linial");
+        let x = edge_adapter::linial_edge_coloring(g, &ids_for(g), rt).expect("linial");
         let xc: Vec<u32> = g.edges().map(|e| x.coloring.get(e).unwrap()).collect();
         let xp = x.palette as u32;
         for beta in [1u32, 2, 4, 8] {
-            let d = defective_edge_coloring(g, beta, &xc, xp);
+            let d = defective_edge_coloring(g, beta, &xc, xp, rt);
             let defects = coloring::edge_defects(g, &d.colors);
             // Ratio of observed defect to the paper's bound deg(e)/2β.
             let max_ratio = g
@@ -75,7 +76,7 @@ pub fn run() -> String {
 mod tests {
     #[test]
     fn defective_claims_hold() {
-        let r = super::run();
+        let r = super::run(&deco_runtime::Runtime::serial());
         assert!(r.contains("defect never exceeds"));
     }
 }

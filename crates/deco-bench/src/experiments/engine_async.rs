@@ -11,11 +11,12 @@ use deco_engine::{
     AsyncExecutor, Executor, GraphSpec, ParallelExecutor, ScenarioMatrix, SerialExecutor,
 };
 use deco_local::network::Network;
+use deco_runtime::Runtime;
 use std::fmt::Write as _;
 use std::time::Instant;
 
 /// Runs the experiment and returns the report.
-pub fn run() -> String {
+pub fn run(_rt: &Runtime) -> String {
     let mut out =
         String::from("# engine-async — barrier-free rounds with component-local clocks\n\n");
 
@@ -154,7 +155,7 @@ fn time<T>(f: impl FnOnce() -> T) -> (std::time::Duration, T) {
 mod tests {
     #[test]
     fn report_shows_overlapping_rounds() {
-        let r = super::run();
+        let r = super::run(&deco_runtime::Runtime::serial());
         assert!(r.contains("three-way differential sweep"));
         assert!(r.contains("rounds in flight"));
         assert!(r.contains("barrier-wait"));

@@ -8,11 +8,12 @@ use deco_engine::protocols::{FloodMax, PortEcho};
 use deco_engine::{
     Executor, GraphSpec, IdFlavor, ParallelExecutor, Scenario, ScenarioMatrix, SerialExecutor,
 };
+use deco_runtime::Runtime;
 use std::fmt::Write as _;
 use std::time::Instant;
 
 /// Runs the experiment and returns the report.
-pub fn run() -> String {
+pub fn run(_rt: &Runtime) -> String {
     let mut out = String::from(
         "# engine-matrix — parallel engine vs serial runner across the scenario matrix\n\n",
     );
@@ -132,23 +133,26 @@ pub fn run() -> String {
     let g = scenario.graph();
     let ids: Vec<u64> = (1..=g.num_nodes() as u64).collect();
     let cfg = deco_core::solver::SolverConfig::default();
+    let serial_rt = Runtime::serial();
+    let engine_rt = Runtime::from(ParallelExecutor::auto());
     let (ts, rs) = time(|| {
-        deco_core::solver::solve_two_delta_minus_one(&g, &ids, cfg).expect("solver succeeds")
-    });
-    let (te, re) = time(|| {
-        deco_core::solver::solve_two_delta_minus_one_with(&ParallelExecutor::auto(), &g, &ids, cfg)
+        deco_core::solver::solve_two_delta_minus_one(&g, &ids, cfg, &serial_rt)
             .expect("solver succeeds")
     });
-    assert_eq!(
-        rs.solution.colors, re.solution.colors,
-        "executor must not change results"
-    );
+    let (te, re) = time(|| {
+        deco_core::solver::solve_two_delta_minus_one(&g, &ids, cfg, &engine_rt)
+            .expect("solver succeeds")
+    });
+    assert_eq!(rs.colors, re.colors, "executor must not change results");
     let _ = writeln!(
         out,
-        "regular(n=512,d=16), default config: serial executor {ts:.1?}, engine executor \
-         {te:.1?};\nidentical colorings ({} colors, {} rounds charged).",
-        rs.coloring.distinct_colors(),
-        rs.solution.cost.actual_rounds(),
+        "regular(n=512,d=16), default config: {} {ts:.1?}, {} {te:.1?};\n\
+         identical colorings ({} colors, {} rounds charged, {} messages).",
+        rs.engine_descriptor,
+        re.engine_descriptor,
+        rs.colors.distinct_colors(),
+        rs.cost.actual_rounds(),
+        rs.messages,
     );
     out
 }
@@ -163,7 +167,7 @@ fn time<T>(f: impl FnOnce() -> T) -> (std::time::Duration, T) {
 mod tests {
     #[test]
     fn report_mentions_scenarios_and_speedups() {
-        let r = super::run();
+        let r = super::run(&deco_runtime::Runtime::serial());
         assert!(r.contains("differential sweep"));
         assert!(r.contains("identical to the serial reference"));
         assert!(r.contains("speedup"));

@@ -12,6 +12,7 @@ use deco_engine::{
     AsyncExecutor, Executor, GraphSpec, IdFlavor, ParallelExecutor, Scenario, SerialExecutor,
     ShardPlan, ShardedExecutor,
 };
+use deco_runtime::Runtime;
 use std::fmt::Write as _;
 use std::time::Instant;
 
@@ -34,7 +35,7 @@ fn families() -> Vec<GraphSpec> {
 }
 
 /// Runs the experiment and returns the report.
-pub fn run() -> String {
+pub fn run(_rt: &Runtime) -> String {
     let mut out =
         String::from("# engine-shard — sharded execution with cross-shard mailbox exchange\n\n");
 
@@ -220,7 +221,7 @@ fn time<T>(f: impl FnOnce() -> T) -> (std::time::Duration, T) {
 mod tests {
     #[test]
     fn report_covers_cut_and_exchange() {
-        let r = super::run();
+        let r = super::run(&deco_runtime::Runtime::serial());
         assert!(r.contains("cut fraction and exchange volume"));
         assert!(r.contains("four-way lineup"));
         assert!(r.contains("exch B/round"));

@@ -4,11 +4,12 @@
 use crate::table::{fnum, Table};
 use deco_core::lists::{lemma44_witness, level_of, ColorList, SubspacePartition};
 use deco_local::math::harmonic;
+use deco_runtime::Runtime;
 use rand::prelude::*;
 use rand::rngs::StdRng;
 
 /// Runs the experiment and returns the report.
-pub fn run() -> String {
+pub fn run(_rt: &Runtime) -> String {
     let mut out = String::from("# fig5 — Lemma 4.4 partition example (paper Figure 5)\n\n");
 
     // The paper's worked example: C = 20 split into 4 subspaces of 5;
@@ -110,7 +111,7 @@ pub fn run() -> String {
 mod tests {
     #[test]
     fn report_confirms_paper_example() {
-        let r = super::run();
+        let r = super::run(&deco_runtime::Runtime::serial());
         assert!(
             r.contains("violations = 0"),
             "Lemma 4.4 must hold everywhere:\n{r}"

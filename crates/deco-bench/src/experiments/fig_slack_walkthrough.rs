@@ -10,12 +10,12 @@ use deco_core::slack;
 use deco_core::solver::{SolveBranch, SolveError, Solver, SolverConfig};
 use deco_graph::coloring::{Color, EdgeColoring};
 use deco_graph::{dot, generators, EdgeId};
-use deco_local::SerialExecutor;
+use deco_runtime::Runtime;
 use std::fmt::Write as _;
 
 /// Runs the experiment and returns the report. DOT files land in
 /// `target/figures/`.
-pub fn run() -> String {
+pub fn run(rt: &Runtime) -> String {
     let mut out = String::from(
         "# fig1-4 — Lemma 4.2 walkthrough (paper Figures 1–4)\n\n\
          Small instance with *tight* lists (exactly deg(e)+1 colors — the\n\
@@ -28,7 +28,7 @@ pub fn run() -> String {
     // overlap so that some edges really do become inactive and the
     // recursion of Figure 4 kicks in.
     let inst = instance::random_deg_plus_one(&g, g.max_edge_degree() as u32 + 1, 13);
-    let x = edge_adapter::linial_edge_coloring(&g, &ids_for(&g)).expect("linial");
+    let x = edge_adapter::linial_edge_coloring(&g, &ids_for(&g), rt).expect("linial");
     let xc: Vec<u32> = g.edges().map(|e| x.coloring.get(e).unwrap()).collect();
     let xp = x.palette as u32;
     let _ = writeln!(
@@ -48,7 +48,7 @@ pub fn run() -> String {
     };
 
     // The slack-β inner solver: the real Theorem 4.1 solver.
-    let solver = Solver::new(SolverConfig::default());
+    let solver = Solver::with_runtime(SolverConfig::default(), *rt);
     let inner = |si: &ListInstance, sx: &[u32]| -> Result<SolveBranch, SolveError> {
         solver.solve_instance(si, sx, xp).map(SolveBranch::from)
     };
@@ -89,10 +89,10 @@ pub fn run() -> String {
             ]);
             break;
         }
-        let sweep =
-            slack::sweep(&cur, &cur_x, xp, 1, &SerialExecutor, &inner).expect("sweep succeeds");
+        let sweep = slack::sweep(&cur, &cur_x, xp, 1, rt, &inner).expect("sweep succeeds");
         // Figure 1: the defective classes = the sweep's class structure.
-        let defective = deco_core::defective::defective_edge_coloring(cur.graph(), 1, &cur_x, xp);
+        let defective =
+            deco_core::defective::defective_edge_coloring(cur.graph(), 1, &cur_x, xp, rt);
         save_dot(
             &format!("fig_stage{stage}_defective.dot"),
             dot::to_dot(
@@ -156,7 +156,7 @@ pub fn run() -> String {
 mod tests {
     #[test]
     fn walkthrough_completes_validly() {
-        let r = super::run();
+        let r = super::run(&deco_runtime::Runtime::serial());
         assert!(r.contains("final coloring: proper"));
         assert!(r.contains("stage"));
     }

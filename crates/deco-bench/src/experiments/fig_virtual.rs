@@ -5,6 +5,7 @@
 use crate::table::Table;
 use deco_core::space::build_virtual_graph;
 use deco_graph::{generators, EdgeId, Graph};
+use deco_runtime::Runtime;
 use std::fmt::Write as _;
 
 fn virtual_stats(g: &Graph, level: u32) -> (usize, usize, usize, usize) {
@@ -16,7 +17,7 @@ fn virtual_stats(g: &Graph, level: u32) -> (usize, usize, usize, usize) {
 }
 
 /// Runs the experiment and returns the report.
-pub fn run() -> String {
+pub fn run(_rt: &Runtime) -> String {
     let mut out = String::from(
         "# fig6 — virtual-node splitting (paper Figure 6)\n\n\
          Phase ℓ groups each node's active edges into chunks of ≤ 2^{ℓ−2};\n\
@@ -71,7 +72,7 @@ pub fn run() -> String {
 mod tests {
     #[test]
     fn virtual_bounds_hold() {
-        let r = super::run();
+        let r = super::run(&deco_runtime::Runtime::serial());
         assert!(r.contains("all virtual degree bounds hold: YES"), "{r}");
     }
 }

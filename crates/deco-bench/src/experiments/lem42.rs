@@ -12,11 +12,11 @@ use deco_core::slack;
 use deco_core::solver::{SolveBranch, SolveError, Solver, SolverConfig};
 use deco_graph::coloring::Color;
 use deco_graph::{generators, EdgeId};
-use deco_local::SerialExecutor;
+use deco_runtime::Runtime;
 use std::fmt::Write as _;
 
 /// Runs the experiment and returns the report.
-pub fn run() -> String {
+pub fn run(rt: &Runtime) -> String {
     let mut out = String::from("# lem42 — slack reduction invariants (Lemma 4.2)\n\n");
     let mut t = Table::new([
         "graph",
@@ -29,7 +29,7 @@ pub fn run() -> String {
         "min active slack (> β)",
         "halving",
     ]);
-    let solver = Solver::new(SolverConfig::default());
+    let solver = Solver::with_runtime(SolverConfig::default(), *rt);
     let mut sweeps_total = 0u64;
 
     for (gname, g, beta) in [
@@ -42,7 +42,7 @@ pub fn run() -> String {
         ("gnp(80,0.15)", generators::gnp(80, 0.15, 4), 1),
         ("complete(16)", generators::complete(16), 2),
     ] {
-        let x = edge_adapter::linial_edge_coloring(&g, &ids_for(&g)).expect("linial");
+        let x = edge_adapter::linial_edge_coloring(&g, &ids_for(&g), rt).expect("linial");
         let xc: Vec<u32> = g.edges().map(|e| x.coloring.get(e).unwrap()).collect();
         let xp = x.palette as u32;
         let mut inst = instance::two_delta_minus_one(&g);
@@ -57,8 +57,7 @@ pub fn run() -> String {
             let inner = |si: &ListInstance, sx: &[u32]| -> Result<SolveBranch, SolveError> {
                 solver.solve_instance(si, sx, xp).map(SolveBranch::from)
             };
-            let sw = slack::sweep(&inst, &cur_x, xp, beta, &SerialExecutor, &inner)
-                .expect("sweep succeeds");
+            let sw = slack::sweep(&inst, &cur_x, xp, beta, rt, &inner).expect("sweep succeeds");
             for (local, &orig) in map.iter().enumerate() {
                 if let Some(c) = sw.colors[local] {
                     final_colors[orig.index()] = Some(c);
@@ -105,7 +104,7 @@ pub fn run() -> String {
 mod tests {
     #[test]
     fn lemma42_invariants_hold() {
-        let r = super::run();
+        let r = super::run(&deco_runtime::Runtime::serial());
         assert!(!r.contains("VIOLATED"), "{r}");
         assert!(r.contains("sweeps executed"));
     }

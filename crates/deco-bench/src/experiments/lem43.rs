@@ -7,10 +7,11 @@ use deco_algos::greedy;
 use deco_core::instance::{self};
 use deco_core::space;
 use deco_graph::generators;
+use deco_runtime::Runtime;
 use std::fmt::Write as _;
 
 /// Runs the experiment and returns the report.
-pub fn run() -> String {
+pub fn run(_rt: &Runtime) -> String {
     let mut out = String::from("# lem43 — color space reduction, Eq. (2) (Lemma 4.3)\n\n");
     let mut t = Table::new([
         "graph",
@@ -118,7 +119,7 @@ pub fn run() -> String {
 mod tests {
     #[test]
     fn eq2_holds_everywhere() {
-        let r = super::run();
+        let r = super::run(&deco_runtime::Runtime::serial());
         assert!(!r.contains("VIOLATED"), "{r}");
     }
 }

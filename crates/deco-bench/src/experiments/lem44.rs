@@ -5,6 +5,7 @@
 use crate::table::{fnum, Table};
 use deco_core::lists::{lemma44_witness, ColorList, SubspacePartition};
 use deco_local::math::harmonic;
+use deco_runtime::Runtime;
 use rand::prelude::*;
 use rand::rngs::StdRng;
 use std::fmt::Write as _;
@@ -26,7 +27,7 @@ fn witness_quality(list: &ColorList, part: &SubspacePartition) -> f64 {
 }
 
 /// Runs the experiment and returns the report.
-pub fn run() -> String {
+pub fn run(_rt: &Runtime) -> String {
     let mut out = String::from("# lem44 — harmonic partition bound tightness (Lemma 4.4)\n\n");
     let mut t = Table::new([
         "list family",
@@ -112,7 +113,7 @@ pub fn run() -> String {
 mod tests {
     #[test]
     fn bound_is_never_violated() {
-        let r = super::run();
+        let r = super::run(&deco_runtime::Runtime::serial());
         assert!(r.contains("quality ="));
     }
 }

@@ -11,10 +11,11 @@ use deco_core::solver::space_requirement;
 use deco_core::space;
 use deco_graph::coloring::Color;
 use deco_graph::generators;
+use deco_runtime::Runtime;
 use std::fmt::Write as _;
 
 /// Runs the experiment and returns the report.
-pub fn run() -> String {
+pub fn run(_rt: &Runtime) -> String {
     let mut out = String::from("# lem45 — iterated space reduction (Lemma 4.5)\n\n");
     // Parameters chosen so the whole k-step chain is *materially* feasible:
     // the initial lists must hold S·deg(e) colors, so S = req^k forces a
@@ -114,7 +115,7 @@ pub fn run() -> String {
 mod tests {
     #[test]
     fn chain_stays_feasible() {
-        let r = super::run();
+        let r = super::run(&deco_runtime::Runtime::serial());
         assert!(r.contains("chain feasible end to end: YES"), "{r}");
     }
 }

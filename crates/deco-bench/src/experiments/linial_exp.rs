@@ -5,10 +5,11 @@ use crate::table::Table;
 use crate::workloads::{cycle_sweep, ids_for};
 use deco_algos::edge_adapter;
 use deco_graph::generators;
+use deco_runtime::Runtime;
 use std::fmt::Write as _;
 
 /// Runs the experiment and returns the report.
-pub fn run() -> String {
+pub fn run(rt: &Runtime) -> String {
     let mut out = String::from("# linial — initial O(Δ̄²)-edge-coloring in O(log* n) rounds\n\n");
 
     // Part 1: rounds vs n at fixed Δ (cycles: Δ̄ = 2).
@@ -16,7 +17,7 @@ pub fn run() -> String {
     let mut t = Table::new(["n", "rounds", "palette"]);
     let mut max_rounds = 0;
     for w in cycle_sweep(&[16, 64, 256, 1024, 4096, 16384, 65536]) {
-        let res = edge_adapter::linial_edge_coloring(&w.graph, &ids_for(&w.graph))
+        let res = edge_adapter::linial_edge_coloring(&w.graph, &ids_for(&w.graph), rt)
             .expect("linial terminates");
         max_rounds = max_rounds.max(res.rounds);
         t.row([
@@ -38,7 +39,7 @@ pub fn run() -> String {
         let n = (4000 / d).max(d + 2);
         let n = if n * d % 2 == 1 { n + 1 } else { n };
         let g = generators::random_regular(n, d, 7 + d as u64);
-        let res = edge_adapter::linial_edge_coloring(&g, &ids_for(&g)).expect("linial");
+        let res = edge_adapter::linial_edge_coloring(&g, &ids_for(&g), rt).expect("linial");
         let dbar = g.max_edge_degree() as f64;
         t2.row([
             format!("regular({n},{d})"),
@@ -61,7 +62,7 @@ pub fn run() -> String {
 mod tests {
     #[test]
     fn linial_report_runs() {
-        let r = super::run();
+        let r = super::run(&deco_runtime::Runtime::serial());
         assert!(r.contains("log* n term"));
     }
 }

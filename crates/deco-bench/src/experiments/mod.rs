@@ -1,7 +1,14 @@
 //! Experiment implementations — one module per artifact of the paper
-//! (figure or quantitative claim). Each exposes `run() -> String`, returning
-//! the report the `experiments` binary prints; EXPERIMENTS.md embeds those
-//! reports.
+//! (figure or quantitative claim). Each exposes
+//! `run(rt: &Runtime) -> String`, returning the report the `experiments`
+//! binary prints; EXPERIMENTS.md embeds those reports.
+//!
+//! The [`Runtime`] is the *ambient* engine — the one the harness was
+//! launched with (`Runtime::from_env()` in the binary) — and single-engine
+//! experiments run on it, attributing their tables to
+//! [`Runtime::descriptor`]. Experiments whose *subject* is an executor
+//! comparison (the `engine-*` and `solver-par` sweeps) construct their own
+//! fixed lineups on top, so their results stay comparable across CI legs.
 
 pub mod defcol;
 pub mod engine_async;
@@ -20,13 +27,15 @@ pub mod solver_par;
 pub mod thm41_budget;
 pub mod thm41_measured;
 
-/// An experiment runner: produces the report text.
-pub type Runner = fn() -> String;
+use deco_runtime::Runtime;
+
+/// An experiment runner: produces the report text on the ambient runtime.
+pub type Runner = fn(&Runtime) -> String;
 
 /// All experiment ids in canonical order, with their runners.
 pub fn all() -> Vec<(&'static str, Runner)> {
     vec![
-        ("fig1-4", fig_slack_walkthrough::run as fn() -> String),
+        ("fig1-4", fig_slack_walkthrough::run as Runner),
         ("fig5", fig_partition::run),
         ("fig6", fig_virtual::run),
         ("thm41-budget", thm41_budget::run),

@@ -8,6 +8,7 @@ use deco_algos::{class_elimination, edge_adapter, greedy, luby};
 use deco_core::solver::{solve_two_delta_minus_one, SolverConfig, Strategy};
 use deco_graph::{generators, Graph, LineGraph};
 use deco_local::{IdAssignment, Network};
+use deco_runtime::Runtime;
 use std::fmt::Write as _;
 
 fn full_palette_lists(bound: u32, count: usize) -> Vec<Vec<u32>> {
@@ -15,7 +16,7 @@ fn full_palette_lists(bound: u32, count: usize) -> Vec<Vec<u32>> {
 }
 
 /// Runs the experiment and returns the report.
-pub fn run() -> String {
+pub fn run(rt: &Runtime) -> String {
     let mut out = String::from(
         "# related-work — measured comparison of implemented algorithms\n\n\
          All algorithms solve (2Δ−1)-edge coloring; rounds are adaptive\n\
@@ -63,23 +64,23 @@ pub fn run() -> String {
                 },
             ),
         ] {
-            let res = solve_two_delta_minus_one(g, &ids_for(g), cfg).expect("solver succeeds");
+            let res = solve_two_delta_minus_one(g, &ids_for(g), cfg, rt).expect("solver succeeds");
             t.row([
                 name.to_string(),
                 dbar.to_string(),
                 label.to_string(),
-                (res.x_rounds + res.solution.cost.actual_rounds()).to_string(),
+                (res.x_rounds + res.cost.actual_rounds()).to_string(),
                 format!(
                     "{}/{}",
-                    res.solution.stats.classes_nonempty, res.solution.stats.classes_total
+                    res.solve_stats.classes_nonempty, res.solve_stats.classes_total
                 ),
-                res.coloring.distinct_colors().to_string(),
+                res.colors.distinct_colors().to_string(),
                 "yes".to_string(),
             ]);
         }
         // Linial + class elimination: O(Δ̄² + log* n).
         {
-            let x = edge_adapter::linial_edge_coloring(g, &ids_for(g)).expect("linial");
+            let x = edge_adapter::linial_edge_coloring(g, &ids_for(g), rt).expect("linial");
             let lg = LineGraph::of(g);
             let initial: Vec<u32> = g.edges().map(|e| x.coloring.get(e).unwrap()).collect();
             let lists = full_palette_lists(bound, g.num_edges());
@@ -104,13 +105,9 @@ pub fn run() -> String {
         {
             let lg = LineGraph::of(g);
             let net = Network::new(lg.graph(), IdAssignment::Shuffled(9));
-            let res = luby::luby_list_coloring(
-                &net,
-                full_palette_lists(bound, g.num_edges()),
-                1234,
-                100_000,
-            )
-            .expect("luby terminates");
+            let res =
+                luby::luby_list_coloring(&net, full_palette_lists(bound, g.num_edges()), 1234, rt)
+                    .expect("luby terminates");
             t.row([
                 name.to_string(),
                 dbar.to_string(),
@@ -153,7 +150,7 @@ pub fn run() -> String {
 mod tests {
     #[test]
     fn comparison_runs_all_algorithms() {
-        let r = super::run();
+        let r = super::run(&deco_runtime::Runtime::serial());
         assert!(r.contains("ours (paper"));
         assert!(r.contains("Lin87 + class elimination"));
         assert!(r.contains("Luby"));

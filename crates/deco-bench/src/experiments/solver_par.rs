@@ -7,13 +7,14 @@
 
 use crate::table::Table;
 use crate::workloads::ids_for;
-use deco_core::solver::{solve_two_delta_minus_one_with, SolverConfig};
-use deco_engine::{GraphSpec, IdFlavor, ParallelExecutor, Scenario, SerialExecutor};
+use deco_core::solver::{solve_two_delta_minus_one, SolverConfig};
+use deco_engine::{GraphSpec, IdFlavor, ParallelExecutor, Scenario};
+use deco_runtime::Runtime;
 use std::fmt::Write as _;
 use std::time::Instant;
 
 /// Runs the experiment and returns the report.
-pub fn run() -> String {
+pub fn run(rt: &Runtime) -> String {
     let mut out = String::from(
         "# solver-par — parallel solver recursion vs serial recursion\n\n\
          The solver's logically-parallel branches (Lemma 4.3 per-subspace\n\
@@ -41,49 +42,67 @@ pub fn run() -> String {
         let g = scenario.graph();
         let ids = ids_for(&g);
         let serial =
-            solve_two_delta_minus_one_with(&SerialExecutor, &g, &ids, cfg).expect("serial solves");
-        for threads in [1usize, 2, 4] {
-            let par = solve_two_delta_minus_one_with(
-                &ParallelExecutor::with_threads(threads),
-                &g,
-                &ids,
-                cfg,
-            )
-            .expect("parallel solves");
+            solve_two_delta_minus_one(&g, &ids, cfg, &Runtime::serial()).expect("serial solves");
+        let lineup: Vec<Runtime> = [1usize, 2, 4]
+            .into_iter()
+            .map(|threads| Runtime::from(ParallelExecutor::with_threads(threads)))
+            .chain(std::iter::once(*rt))
+            .collect();
+        for engine_rt in lineup {
+            let par =
+                solve_two_delta_minus_one(&g, &ids, cfg, &engine_rt).expect("parallel solves");
             assert_eq!(
-                serial.solution.colors, par.solution.colors,
-                "{}: colors diverge at t={threads}",
-                scenario.name
+                serial.colors,
+                par.colors,
+                "{}: colors diverge on {}",
+                scenario.name,
+                engine_rt.descriptor()
             );
             assert_eq!(
-                serial.solution.cost, par.solution.cost,
-                "{}: cost tree diverges at t={threads}",
-                scenario.name
+                serial.cost,
+                par.cost,
+                "{}: cost tree diverges on {}",
+                scenario.name,
+                engine_rt.descriptor()
             );
             assert_eq!(
-                serial.solution.stats, par.solution.stats,
-                "{}: merged stats diverge at t={threads}",
-                scenario.name
+                serial.solve_stats,
+                par.solve_stats,
+                "{}: merged stats diverge on {}",
+                scenario.name,
+                engine_rt.descriptor()
+            );
+            assert_eq!(
+                serial.messages,
+                par.messages,
+                "{}: message totals diverge on {}",
+                scenario.name,
+                engine_rt.descriptor()
             );
             checked += 1;
         }
     }
     let _ = writeln!(
         out,
-        "## differential sweep\n\n{num_workloads} workloads × 3 thread counts = {checked} \
+        "## differential sweep\n\n{num_workloads} workloads × (3 thread counts + the ambient \
+         engine) = {checked} \
          parallel solves:\ncolors, cost trees, and merged SolveStats identical to the serial\n\
          recursion on every one.\n",
     );
 
-    // Part 2: wall-clock, serial recursion vs engine-driven branches.
+    // Part 2: wall-clock, serial recursion vs engine-driven branches. The
+    // column headers are the engines' own stable descriptors, so the table
+    // stays attributable when the lineup changes.
     out.push_str("## wall-clock (branch fan-out)\n\n");
+    let serial_rt = Runtime::serial();
+    let engine_rt = Runtime::from(ParallelExecutor::auto());
     let mut t = Table::new([
-        "workload",
-        "sweeps",
-        "space reductions",
-        "serial",
-        "engine-auto",
-        "speedup",
+        "workload".to_string(),
+        "sweeps".to_string(),
+        "space reductions".to_string(),
+        serial_rt.descriptor(),
+        engine_rt.descriptor(),
+        "speedup".to_string(),
     ]);
     for spec in [
         GraphSpec::RandomRegular { n: 512, d: 16 },
@@ -92,18 +111,15 @@ pub fn run() -> String {
         let scenario = Scenario::new(spec, IdFlavor::Sequential, 3);
         let g = scenario.graph();
         let ids = ids_for(&g);
-        let (ts, rs) = time(|| {
-            solve_two_delta_minus_one_with(&SerialExecutor, &g, &ids, cfg).expect("solves")
-        });
-        let (tp, rp) = time(|| {
-            solve_two_delta_minus_one_with(&ParallelExecutor::auto(), &g, &ids, cfg)
-                .expect("solves")
-        });
-        assert_eq!(rs.solution.colors, rp.solution.colors);
+        let (ts, rs) =
+            time(|| solve_two_delta_minus_one(&g, &ids, cfg, &serial_rt).expect("solves"));
+        let (tp, rp) =
+            time(|| solve_two_delta_minus_one(&g, &ids, cfg, &engine_rt).expect("solves"));
+        assert_eq!(rs.colors, rp.colors);
         t.row([
             scenario.spec.label(),
-            rs.solution.stats.sweeps.to_string(),
-            rs.solution.stats.space_reductions.to_string(),
+            rs.solve_stats.sweeps.to_string(),
+            rs.solve_stats.space_reductions.to_string(),
             format!("{ts:.1?}"),
             format!("{tp:.1?}"),
             format!("{:.2}x", ts.as_secs_f64() / tp.as_secs_f64()),
@@ -129,7 +145,7 @@ fn time<T>(f: impl FnOnce() -> T) -> (std::time::Duration, T) {
 mod tests {
     #[test]
     fn report_confirms_identity() {
-        let r = super::run();
+        let r = super::run(&deco_runtime::Runtime::serial());
         assert!(r.contains("identical to the serial"));
         assert!(r.contains("speedup"));
     }

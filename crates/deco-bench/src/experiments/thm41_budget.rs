@@ -10,10 +10,11 @@
 
 use crate::table::{fnum, Table};
 use deco_core::budget::{theta, BudgetEvaluator, BudgetParams};
+use deco_runtime::Runtime;
 use std::fmt::Write as _;
 
 /// Runs the experiment and returns the report.
-pub fn run() -> String {
+pub fn run(_rt: &Runtime) -> String {
     let mut out = String::from("# thm41-budget — round-complexity shape (Theorem 4.1)\n");
 
     // --- View 1: Θ-shape table. ---
@@ -113,7 +114,7 @@ pub fn run() -> String {
 mod tests {
     #[test]
     fn budget_report_is_complete() {
-        let r = super::run();
+        let r = super::run(&deco_runtime::Runtime::serial());
         assert!(r.contains("Θ-shape curves"));
         assert!(r.contains("crossover vs Kuhn'20"));
         assert!(r.contains("exact"));

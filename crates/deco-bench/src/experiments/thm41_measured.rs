@@ -8,27 +8,30 @@ use deco_algos::luby;
 use deco_core::solver::{solve_two_delta_minus_one, SolverConfig};
 use deco_graph::LineGraph;
 use deco_local::{IdAssignment, Network};
+use deco_runtime::Runtime;
 use std::fmt::Write as _;
-use std::time::Instant;
 
 /// Runs the experiment and returns the report.
-pub fn run() -> String {
-    let mut out = String::from(
+pub fn run(rt: &Runtime) -> String {
+    let mut out = format!(
         "# thm41-measured — executed solver (practical parameters)\n\n\
          Rounds are adaptively charged (classes with no member edges are\n\
-         skipped); the faithful scheduled budgets are in thm41-budget.\n\n",
+         skipped); the faithful scheduled budgets are in thm41-budget.\n\
+         engine: {}\n\n",
+        rt.descriptor()
     );
     let mut t = Table::new([
-        "workload",
-        "n",
-        "m",
-        "Δ̄",
-        "X rounds",
-        "solver rounds",
-        "colors ≤ 2Δ−1",
-        "sweeps",
-        "Luby rounds",
-        "wall ms",
+        "workload".to_string(),
+        "n".to_string(),
+        "m".to_string(),
+        "Δ̄".to_string(),
+        "X rounds".to_string(),
+        "solver rounds".to_string(),
+        "messages".to_string(),
+        "colors ≤ 2Δ−1".to_string(),
+        "sweeps".to_string(),
+        "Luby rounds".to_string(),
+        format!("wall ms [{}]", rt.descriptor()),
     ]);
     for scale in [200usize, 800] {
         for w in mixed_suite(scale, 42) {
@@ -36,12 +39,11 @@ pub fn run() -> String {
             if g.num_edges() == 0 {
                 continue;
             }
-            let start = Instant::now();
-            let res = solve_two_delta_minus_one(g, &ids_for(g), SolverConfig::default())
+            let res = solve_two_delta_minus_one(g, &ids_for(g), SolverConfig::default(), rt)
                 .expect("solver succeeds");
-            let wall = start.elapsed().as_millis();
+            let wall = res.wall_time.as_millis();
             let bound = (2 * g.max_degree()).saturating_sub(1).max(1);
-            assert!(res.coloring.distinct_colors() <= bound);
+            assert!(res.colors.distinct_colors() <= bound);
 
             // Luby baseline on the line graph with the same (2Δ−1) palette.
             let lg = LineGraph::of(g);
@@ -51,7 +53,7 @@ pub fn run() -> String {
                 .map(|_| (0..bound as u32).collect())
                 .collect();
             let net = Network::new(lg.graph(), IdAssignment::Shuffled(7));
-            let lres = luby::luby_list_coloring(&net, lists, 99, 100_000).expect("luby terminates");
+            let lres = luby::luby_list_coloring(&net, lists, 99, rt).expect("luby terminates");
 
             t.row([
                 w.name.clone(),
@@ -59,9 +61,10 @@ pub fn run() -> String {
                 g.num_edges().to_string(),
                 g.max_edge_degree().to_string(),
                 res.x_rounds.to_string(),
-                res.solution.cost.actual_rounds().to_string(),
-                format!("{} ≤ {}", res.coloring.distinct_colors(), bound),
-                res.solution.stats.sweeps.to_string(),
+                res.cost.actual_rounds().to_string(),
+                res.messages.to_string(),
+                format!("{} ≤ {}", res.colors.distinct_colors(), bound),
+                res.solve_stats.sweeps.to_string(),
                 lres.rounds.to_string(),
                 wall.to_string(),
             ]);
@@ -83,7 +86,7 @@ pub fn run() -> String {
 mod tests {
     #[test]
     fn measured_report_runs() {
-        let r = super::run();
+        let r = super::run(&deco_runtime::Runtime::serial());
         assert!(r.contains("Every row verified"));
     }
 }

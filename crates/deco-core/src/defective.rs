@@ -23,6 +23,7 @@
 use deco_algos::deg2;
 use deco_graph::{EdgeId, Graph, GraphBuilder, NodeId};
 use deco_local::{CostNode, IdAssignment, Network};
+use deco_runtime::Runtime;
 use std::collections::HashMap;
 
 /// Result of the §4.1 defective edge coloring.
@@ -36,6 +37,9 @@ pub struct DefectiveColoring {
     pub beta: u32,
     /// Round cost: 1 (value exchange) + the path/cycle 3-coloring schedule.
     pub cost: CostNode,
+    /// Messages delivered by the conflict-path 3-coloring protocol
+    /// (identical on every engine).
+    pub messages: u64,
 }
 
 /// Palette bound of [`defective_edge_coloring`] for a given β:
@@ -60,7 +64,8 @@ pub fn defect_bound(g: &Graph, e: EdgeId, beta: u32) -> usize {
 
 /// Computes a `deg(e)/2β`-defective edge coloring with at most `24β² + 6β`
 /// colors in `O(log* X)` rounds, given a proper `X`-edge-coloring
-/// `x_coloring` (with palette bound `x_palette`).
+/// `x_coloring` (with palette bound `x_palette`); the conflict-path
+/// 3-coloring protocol runs on whatever engine `rt` carries.
 ///
 /// # Panics
 ///
@@ -71,6 +76,7 @@ pub fn defective_edge_coloring(
     beta: u32,
     x_coloring: &[u32],
     x_palette: u32,
+    rt: &Runtime,
 ) -> DefectiveColoring {
     assert!(beta >= 1, "beta must be at least 1");
     assert_eq!(
@@ -152,7 +158,7 @@ pub fn defective_edge_coloring(
     // one conflict-graph round costs O(1) rounds of g (shared-node relay).
     let initial: Vec<u64> = x_coloring.iter().map(|&c| u64::from(c)).collect();
     let net = Network::new(&conflict, IdAssignment::Sequential);
-    let three = deg2::three_color_max_deg2(&net, initial, u64::from(x_palette).max(2))
+    let three = deg2::three_color_max_deg2(&net, initial, u64::from(x_palette).max(2), rt)
         .expect("deg2 schedule always terminates");
 
     // Step 4: final colors.
@@ -179,6 +185,7 @@ pub fn defective_edge_coloring(
         num_colors,
         beta,
         cost,
+        messages: three.messages,
     }
 }
 
@@ -190,14 +197,15 @@ mod tests {
 
     fn x_coloring_for(g: &Graph) -> (Vec<u32>, u32) {
         let ids: Vec<u64> = (1..=g.num_nodes() as u64).collect();
-        let res = edge_adapter::linial_edge_coloring(g, &ids).expect("linial terminates");
+        let res = edge_adapter::linial_edge_coloring(g, &ids, &Runtime::serial())
+            .expect("linial terminates");
         let colors: Vec<u32> = g.edges().map(|e| res.coloring.get(e).unwrap()).collect();
         (colors, res.palette as u32)
     }
 
     fn check_defective(g: &Graph, beta: u32) -> DefectiveColoring {
         let (xc, xp) = x_coloring_for(g);
-        let d = defective_edge_coloring(g, beta, &xc, xp);
+        let d = defective_edge_coloring(g, beta, &xc, xp, &Runtime::serial());
         assert_eq!(d.num_colors, defective_palette(beta));
         assert!(d.colors.iter().all(|&c| c < d.num_colors));
         // Defect bounds: both the sharp ⌈·⌉ form and the paper's deg/2β.
@@ -271,10 +279,10 @@ mod tests {
     #[test]
     fn empty_and_tiny_graphs() {
         let g = Graph::empty(3);
-        let d = defective_edge_coloring(&g, 1, &[], 2);
+        let d = defective_edge_coloring(&g, 1, &[], 2, &Runtime::serial());
         assert!(d.colors.is_empty());
         let g = generators::path(2);
-        let d = defective_edge_coloring(&g, 1, &[0], 2);
+        let d = defective_edge_coloring(&g, 1, &[0], 2, &Runtime::serial());
         assert_eq!(d.colors.len(), 1);
     }
 
@@ -282,6 +290,6 @@ mod tests {
     #[should_panic(expected = "beta must be at least 1")]
     fn rejects_beta_zero() {
         let g = generators::path(3);
-        let _ = defective_edge_coloring(&g, 0, &[0, 1], 2);
+        let _ = defective_edge_coloring(&g, 0, &[0, 1], 2, &Runtime::serial());
     }
 }

@@ -23,12 +23,15 @@
 //! ```
 //! use deco_core::solver::{solve_two_delta_minus_one, SolverConfig};
 //! use deco_graph::generators;
+//! use deco_runtime::Runtime;
 //!
 //! let g = generators::random_regular(40, 6, 7);
 //! let ids: Vec<u64> = (1..=40).collect();
-//! let result = solve_two_delta_minus_one(&g, &ids, SolverConfig::default())
+//! let rt = Runtime::serial(); // or Runtime::from_env() / Runtime::builder()
+//! let report = solve_two_delta_minus_one(&g, &ids, SolverConfig::default(), &rt)
 //!     .expect("solver succeeds");
-//! assert!(result.coloring.distinct_colors() <= 2 * 6 - 1);
+//! assert!(report.colors.distinct_colors() <= 2 * 6 - 1);
+//! assert_eq!(report.engine_descriptor, "serial");
 //! ```
 
 #![forbid(unsafe_code)]
@@ -44,4 +47,4 @@ pub mod space;
 
 pub use instance::ListInstance;
 pub use lists::{ColorList, SubspacePartition};
-pub use solver::{SolveBranch, SolveError, SolveStats, Solver, SolverConfig, Strategy};
+pub use solver::{RunReport, SolveBranch, SolveError, SolveStats, Solver, SolverConfig, Strategy};

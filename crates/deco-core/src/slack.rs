@@ -38,6 +38,7 @@ use crate::solver::{SolveBranch, SolveError, SolveStats};
 use deco_graph::coloring::Color;
 use deco_graph::{EdgeId, EdgeSubgraph};
 use deco_local::{CostNode, Executor};
+use deco_runtime::Runtime;
 
 /// The inner solver a sweep hands active classes to. Receives a slack-β
 /// instance together with its restricted initial `X`-edge-coloring, and must
@@ -62,6 +63,10 @@ pub struct SweepStats {
     /// Minimum observed slack `|L′_e| / deg′(e)` among active edges with
     /// positive active degree (must exceed β; ∞ if none).
     pub min_active_slack: f64,
+    /// Messages delivered by the sweep's own protocol runs (the defective
+    /// coloring's conflict-path 3-coloring; the inner solves report theirs
+    /// through [`SweepOutcome::inner_stats`]). Identical on every engine.
+    pub messages: u64,
 }
 
 /// Result of one sweep over the defective classes.
@@ -113,17 +118,17 @@ struct PreparedClass {
 ///
 /// Panics if an invariant of the lemma fails: an active class without
 /// slack > β, or an inner solution that is improper or off-list.
-pub fn sweep<E: Executor>(
+pub fn sweep(
     inst: &ListInstance,
     x_coloring: &[u32],
     x_palette: u32,
     beta: u32,
-    executor: &E,
+    rt: &Runtime,
     inner: &InnerSolver<'_>,
 ) -> Result<SweepOutcome, SolveError> {
     let g = inst.graph();
     let m = g.num_edges();
-    let defective = defective_edge_coloring(g, beta, x_coloring, x_palette);
+    let defective = defective_edge_coloring(g, beta, x_coloring, x_palette, rt);
     let num_classes = defective_palette(beta);
 
     // Bucket edges by defective class; the ascending class order is the
@@ -170,6 +175,7 @@ pub fn sweep<E: Executor>(
     let mut stats = SweepStats {
         classes_total: u64::from(num_classes),
         min_active_slack: f64::INFINITY,
+        messages: defective.messages,
         ..SweepStats::default()
     };
     // Per-bucket results, assembled in class order after the waves so the
@@ -249,7 +255,7 @@ pub fn sweep<E: Executor>(
             .iter()
             .map(|p| p.sub_inst.graph().num_edges())
             .collect();
-        let results = executor.execute_branches(&weights, |k| {
+        let results = rt.execute_branches(&weights, |k| {
             let p = &prepared[k];
             inner(&p.sub_inst, &p.sub_x)
         });
@@ -373,7 +379,7 @@ mod tests {
 
     fn x_for(g: &deco_graph::Graph) -> (Vec<u32>, u32) {
         let ids: Vec<u64> = (1..=g.num_nodes() as u64).collect();
-        let res = edge_adapter::linial_edge_coloring(g, &ids).unwrap();
+        let res = edge_adapter::linial_edge_coloring(g, &ids, &Runtime::serial()).unwrap();
         (
             g.edges().map(|e| res.coloring.get(e).unwrap()).collect(),
             res.palette as u32,
@@ -405,14 +411,12 @@ mod tests {
         })
     }
 
-    use deco_local::SerialExecutor;
-
     #[test]
     fn sweep_colors_edges_and_respects_invariants() {
         let g = generators::random_regular(30, 6, 1);
         let inst = instance::two_delta_minus_one(&g);
         let (xc, xp) = x_for(&g);
-        let out = sweep(&inst, &xc, xp, 1, &SerialExecutor, &greedy_inner).unwrap();
+        let out = sweep(&inst, &xc, xp, 1, &Runtime::serial(), &greedy_inner).unwrap();
         // Inner stats merged once per class that reached the inner solver.
         assert!(out.inner_stats.base_cases > 0);
         assert!(out.inner_stats.base_cases <= out.stats.classes_nonempty);
@@ -432,7 +436,7 @@ mod tests {
         let g = generators::random_regular(40, 8, 2);
         let inst = instance::two_delta_minus_one(&g);
         let (xc, xp) = x_for(&g);
-        let out = sweep(&inst, &xc, xp, 1, &SerialExecutor, &greedy_inner).unwrap();
+        let out = sweep(&inst, &xc, xp, 1, &Runtime::serial(), &greedy_inner).unwrap();
         let res = residual_after_sweep(&inst, &xc, &out.colors);
         let dbar = inst.max_edge_degree();
         assert!(
@@ -452,7 +456,7 @@ mod tests {
         let mut maps: Vec<EdgeId> = g.edges().collect();
         let mut sweeps = 0;
         while inst.graph().num_edges() > 0 {
-            let out = sweep(&inst, &xc, xp, 1, &SerialExecutor, &greedy_inner).unwrap();
+            let out = sweep(&inst, &xc, xp, 1, &Runtime::serial(), &greedy_inner).unwrap();
             for (local, &orig) in maps.iter().enumerate() {
                 if let Some(c) = out.colors[local] {
                     final_colors[orig.index()] = Some(c);
@@ -483,7 +487,7 @@ mod tests {
         x_palette: u32,
     ) -> Vec<Option<Color>> {
         let g = inst.graph();
-        let defective = defective_edge_coloring(g, beta, x_coloring, x_palette);
+        let defective = defective_edge_coloring(g, beta, x_coloring, x_palette, &Runtime::serial());
         let mut buckets: std::collections::BTreeMap<u32, Vec<EdgeId>> =
             std::collections::BTreeMap::new();
         for e in g.edges() {
@@ -546,7 +550,7 @@ mod tests {
         ] {
             let inst = instance::two_delta_minus_one(&g);
             let (xc, xp) = x_for(&g);
-            let out = sweep(&inst, &xc, xp, beta, &SerialExecutor, &greedy_inner).unwrap();
+            let out = sweep(&inst, &xc, xp, beta, &Runtime::serial(), &greedy_inner).unwrap();
             let oracle = serial_class_order_sweep(&inst, beta, &xc, xp);
             assert_eq!(out.colors, oracle, "wavefront must be invisible");
         }
@@ -556,7 +560,7 @@ mod tests {
     fn sweep_on_empty_graph() {
         let g = deco_graph::Graph::empty(3);
         let inst = instance::two_delta_minus_one(&g);
-        let out = sweep(&inst, &[], 2, 1, &SerialExecutor, &greedy_inner).unwrap();
+        let out = sweep(&inst, &[], 2, 1, &Runtime::serial(), &greedy_inner).unwrap();
         assert_eq!(out.stats.classes_nonempty, 0);
         assert_eq!(out.colors.len(), 0);
     }

@@ -46,8 +46,9 @@
 //! every join point ([`SolveStats::merge`]; all counters are sums or maxes,
 //! so the merged totals are bit-identical to the serial recursion for every
 //! thread count). There is no shared mutable state anywhere in the
-//! recursion: [`SerialExecutor`] reproduces the historical serial behavior
-//! exactly, and the differential suite holds every executor to it.
+//! recursion: the serial runtime ([`Runtime::serial`]) reproduces the
+//! historical serial behavior exactly, and the differential suite holds
+//! every engine to it.
 //!
 //! Failure is structured, never a panic: exceeding
 //! [`SolverConfig::max_depth`] surfaces as [`SolveError::DepthExceeded`]
@@ -64,8 +65,10 @@ use deco_algos::{class_elimination, edge_adapter, linial};
 use deco_graph::coloring::{Color, EdgeColoring};
 use deco_graph::{EdgeId, Graph, LineGraph};
 use deco_local::math::harmonic;
-use deco_local::{CostNode, Executor, Network, SerialExecutor};
+use deco_local::{CostNode, Executor, Network};
+use deco_runtime::Runtime;
 use std::fmt;
+use std::time::{Duration, Instant};
 
 /// Parameter strategies for β (Lemma 4.2) and p (Lemma 4.3).
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -205,6 +208,11 @@ pub struct SolveStats {
     pub eq2_worst_ratio: f64,
     /// Maximum recursion depth reached.
     pub max_depth_seen: u32,
+    /// Messages delivered by the solve's protocol executions (base-case
+    /// Linial runs, defective-coloring conflict-path runs). A sum of
+    /// per-run counts that are themselves engine-independent, so the total
+    /// is bit-identical on every engine.
+    pub messages: u64,
 }
 
 impl SolveStats {
@@ -222,6 +230,7 @@ impl SolveStats {
         self.base_cases += other.base_cases;
         self.eq2_worst_ratio = self.eq2_worst_ratio.max(other.eq2_worst_ratio);
         self.max_depth_seen = self.max_depth_seen.max(other.max_depth_seen);
+        self.messages += other.messages;
     }
 }
 
@@ -236,40 +245,45 @@ pub struct Solution {
     pub stats: SolveStats,
 }
 
-/// The Theorem 4.1 solver, generic over the [`Executor`] that runs its
-/// message-passing sub-protocols (the Linial base-case runs) *and* its
-/// parallel recursion branches (per-subspace residuals, per-class slack-β
-/// solves). Defaults to the serial reference executor; pass the
-/// `deco-engine` executor via [`Solver::with_executor`] for large
-/// instances and real worker-thread parallelism.
+/// The Theorem 4.1 solver, running on a [`Runtime`] that carries whichever
+/// engine executes its message-passing sub-protocols (the Linial base-case
+/// runs, the defective coloring's conflict-path runs) *and* its parallel
+/// recursion branches (per-subspace residuals, per-class slack-β solves).
+/// Defaults to the serial reference runtime; pass an engine-backed
+/// [`Runtime`] via [`Solver::with_runtime`] for large instances and real
+/// worker-thread parallelism. No generics: every engine is one arm of the
+/// runtime's `Engine`, and all of them are observationally identical.
 ///
 /// The solver holds no mutable state — all counters live in per-branch
 /// [`SolveStats`] merged at join points — so a `&Solver` is freely shared
-/// across the executor's worker threads.
+/// across the engine's worker threads.
 #[derive(Debug, Clone, Copy)]
-pub struct Solver<E: Executor = SerialExecutor> {
+pub struct Solver {
     config: SolverConfig,
-    executor: E,
+    rt: Runtime,
 }
 
 impl Solver {
     /// Creates a solver with the given configuration on the serial
-    /// reference executor.
+    /// reference runtime.
     pub fn new(config: SolverConfig) -> Solver {
-        Solver::with_executor(config, SerialExecutor)
+        Solver::with_runtime(config, Runtime::serial())
     }
-}
 
-impl<E: Executor> Solver<E> {
     /// Creates a solver that runs its protocol executions and parallel
-    /// recursion branches on `executor`.
-    pub fn with_executor(config: SolverConfig, executor: E) -> Solver<E> {
-        Solver { config, executor }
+    /// recursion branches on `rt`'s engine.
+    pub fn with_runtime(config: SolverConfig, rt: Runtime) -> Solver {
+        Solver { config, rt }
     }
 
     /// The active configuration.
     pub fn config(&self) -> &SolverConfig {
         &self.config
+    }
+
+    /// The runtime the solver executes on.
+    pub fn runtime(&self) -> &Runtime {
+        &self.rt
     }
 
     /// Solves a `(deg(e)+1)`-list edge coloring instance given an initial
@@ -375,8 +389,9 @@ impl<E: Executor> Solver<E> {
         }
         let dbar = inst.max_edge_degree();
         if dbar <= self.config.base_dbar {
-            let (colors, cost) = self.base_case(inst, x_coloring, x_palette);
+            let (colors, cost, messages) = self.base_case(inst, x_coloring, x_palette);
             stats.base_cases += 1;
+            stats.messages += messages;
             return Ok(SolveBranch {
                 colors,
                 cost,
@@ -397,8 +412,9 @@ impl<E: Executor> Solver<E> {
                 break;
             }
             if cur_dbar <= self.config.base_dbar {
-                let (colors, cost) = self.base_case(&cur, &cur_x, x_palette);
+                let (colors, cost, messages) = self.base_case(&cur, &cur_x, x_palette);
                 stats.base_cases += 1;
+                stats.messages += messages;
                 for (local, &orig) in map.iter().enumerate() {
                     final_colors[orig.index()] = Some(colors[local]);
                 }
@@ -409,9 +425,10 @@ impl<E: Executor> Solver<E> {
             let inner = |si: &ListInstance, sx: &[u32]| {
                 self.solve_with_slack(si, sx, x_palette, f64::from(beta), depth + 1)
             };
-            let out = slack::sweep(&cur, &cur_x, x_palette, beta, &self.executor, &inner)?;
+            let out = slack::sweep(&cur, &cur_x, x_palette, beta, &self.rt, &inner)?;
             stats.classes_nonempty += out.stats.classes_nonempty;
             stats.classes_total += out.stats.classes_total;
+            stats.messages += out.stats.messages;
             stats.merge(&out.inner_stats);
             for (local, &orig) in map.iter().enumerate() {
                 if let Some(c) = out.colors[local] {
@@ -535,7 +552,7 @@ impl<E: Executor> Solver<E> {
             .iter()
             .map(|sub| sub.instance.graph().num_edges())
             .collect();
-        let branches = self.executor.execute_branches(&weights, |i| {
+        let branches = self.rt.execute_branches(&weights, |i| {
             let sub = &red.sub_instances[i];
             self.solve_with_slack(
                 &sub.instance,
@@ -585,23 +602,18 @@ impl<E: Executor> Solver<E> {
         inst: &ListInstance,
         x_coloring: &[u32],
         x_palette: u32,
-    ) -> (Vec<Color>, CostNode) {
+    ) -> (Vec<Color>, CostNode, u64) {
         let g = inst.graph();
         if g.num_edges() == 0 {
-            return (Vec::new(), CostNode::free("empty base case"));
+            return (Vec::new(), CostNode::free("empty base case"), 0);
         }
         let lg = LineGraph::of(g);
         // Linial on the line graph from the X-coloring (IDs are unused by
         // the protocol; the network just needs some for bookkeeping).
         let net = Network::new(lg.graph(), deco_local::IdAssignment::Sequential);
         let initial: Vec<u64> = x_coloring.iter().map(|&c| u64::from(c)).collect();
-        let lin = linial::color_from_initial_with(
-            &self.executor,
-            &net,
-            initial,
-            u64::from(x_palette).max(2),
-        )
-        .expect("fixed schedule terminates");
+        let lin = linial::color_from_initial(&net, initial, u64::from(x_palette).max(2), &self.rt)
+            .expect("fixed schedule terminates");
         let palette = u32::try_from(lin.palette).expect("constant-degree palettes are small");
         let lists: Vec<Vec<Color>> = inst.lists().iter().map(|l| l.as_slice().to_vec()).collect();
         let (colors, elim_rounds) =
@@ -613,7 +625,7 @@ impl<E: Executor> Solver<E> {
                 CostNode::leaf("eliminate O(1) classes", elim_rounds),
             ],
         );
-        (colors, cost)
+        (colors, cost, lin.messages)
     }
 
     fn beta_for(&self, dbar: usize, c_palette: u32) -> u32 {
@@ -674,22 +686,49 @@ pub fn space_requirement(c_palette: u32, p: u32) -> f64 {
     24.0 * harmonic(u64::from(q)) * f64::from(p).log2().max(1.0)
 }
 
-/// End-to-end pipeline result for a raw graph (includes the initial
-/// Linial `X`-edge-coloring the paper assumes).
+/// Structured report of one end-to-end pipeline run: everything an
+/// experiment table or a caller needs, derived once here instead of
+/// re-derived by hand at every call site.
+///
+/// The observational fields — [`RunReport::colors`], [`RunReport::rounds`],
+/// [`RunReport::messages`], [`RunReport::solve_stats`],
+/// [`RunReport::cost`] — are bit-identical on every engine (the
+/// differential suites pin this). [`RunReport::engine_descriptor`] and
+/// [`RunReport::wall_time`] describe the run itself: which engine executed
+/// it and how long it took on the wall clock.
 #[derive(Debug, Clone)]
-pub struct PipelineResult {
+pub struct RunReport {
     /// The solved coloring (complete, proper, on-list).
-    pub coloring: EdgeColoring,
+    pub colors: EdgeColoring,
+    /// Total charged LOCAL rounds: the initial `X`-coloring's `O(log* n)`
+    /// rounds plus the solve's adaptive rounds
+    /// ([`CostNode::actual_rounds`] of [`RunReport::cost`]).
+    pub rounds: u64,
+    /// Total messages delivered across every protocol execution of the
+    /// pipeline (initial Linial run + the solve's protocol runs).
+    pub messages: u64,
+    /// Counters of the solver recursion.
+    pub solve_stats: SolveStats,
+    /// Stable descriptor of the engine that executed the run
+    /// ([`Runtime::descriptor`], e.g. `serial` or
+    /// `sharded(shards=4,threads=2,transport=process)`).
+    pub engine_descriptor: String,
+    /// Wall-clock duration of the whole pipeline on this engine. The only
+    /// field that legitimately varies between runs.
+    pub wall_time: Duration,
     /// The palette of the initial `X`-edge-coloring (`X = O(Δ̄²)`).
     pub x_palette: u32,
     /// Rounds of the initial coloring (`O(log* n)`).
     pub x_rounds: u64,
-    /// The main solve.
-    pub solution: Solution,
+    /// Structured round cost of the solve (excludes the initial coloring).
+    pub cost: CostNode,
 }
 
-/// Solves the `(2Δ−1)`-edge coloring problem on `g` end to end: Linial
-/// initial coloring (`O(log* n)`) + the Theorem 4.1 solver.
+/// Solves the `(2Δ−1)`-edge coloring problem on `g` end to end — Linial
+/// initial coloring (`O(log* n)`) + the Theorem 4.1 solver — on whatever
+/// engine `rt` carries. The solver is deterministic, so everything but
+/// [`RunReport::wall_time`] is identical for every engine and thread
+/// count; only the substrate speed changes.
 ///
 /// # Errors
 ///
@@ -699,28 +738,17 @@ pub fn solve_two_delta_minus_one(
     g: &Graph,
     node_ids: &[u64],
     config: SolverConfig,
-) -> Result<PipelineResult, SolveError> {
+    rt: &Runtime,
+) -> Result<RunReport, SolveError> {
     let inst = crate::instance::two_delta_minus_one(g);
-    solve_pipeline(g, inst, node_ids, config)
+    solve_pipeline(g, inst, node_ids, config, rt)
 }
 
-/// [`solve_two_delta_minus_one`] with the protocol executions and parallel
-/// recursion branches running on an explicit [`Executor`].
-///
-/// # Errors
-///
-/// Returns [`SolveError`] when the solver recursion fails structurally.
-pub fn solve_two_delta_minus_one_with<E: Executor + Copy>(
-    executor: &E,
-    g: &Graph,
-    node_ids: &[u64],
-    config: SolverConfig,
-) -> Result<PipelineResult, SolveError> {
-    let inst = crate::instance::two_delta_minus_one(g);
-    solve_pipeline_with(executor, g, inst, node_ids, config)
-}
-
-/// Solves an arbitrary `(deg(e)+1)`-list instance over `g` end to end.
+/// Solves an arbitrary `(deg(e)+1)`-list instance over `g` end to end on
+/// whatever engine `rt` carries: every message-passing protocol execution
+/// (the initial Linial edge coloring, the solver's base-case and
+/// defective-coloring runs) *and* every parallel recursion branch routes
+/// through the runtime's engine.
 ///
 /// # Errors
 ///
@@ -735,53 +763,35 @@ pub fn solve_pipeline(
     inst: ListInstance,
     node_ids: &[u64],
     config: SolverConfig,
-) -> Result<PipelineResult, SolveError> {
-    solve_pipeline_with(&SerialExecutor, g, inst, node_ids, config)
-}
-
-/// [`solve_pipeline`] with every message-passing protocol execution (the
-/// initial Linial edge coloring and the solver's base-case runs) *and*
-/// every parallel recursion branch on an explicit [`Executor`]. The solver
-/// is deterministic, so results are identical for every executor and
-/// thread count — only the substrate speed changes.
-///
-/// # Errors
-///
-/// Returns [`SolveError`] when the solver recursion fails structurally.
-///
-/// # Panics
-///
-/// Panics if `inst.graph()` differs structurally from `g` or the instance
-/// is not (deg+1)-feasible.
-pub fn solve_pipeline_with<E: Executor + Copy>(
-    executor: &E,
-    g: &Graph,
-    inst: ListInstance,
-    node_ids: &[u64],
-    config: SolverConfig,
-) -> Result<PipelineResult, SolveError> {
+    rt: &Runtime,
+) -> Result<RunReport, SolveError> {
     assert_eq!(
         inst.graph().num_edges(),
         g.num_edges(),
         "instance must match graph"
     );
-    let x =
-        edge_adapter::linial_edge_coloring_with(executor, g, node_ids).expect("Linial terminates");
+    let start = Instant::now();
+    let x = edge_adapter::linial_edge_coloring(g, node_ids, rt).expect("Linial terminates");
     let x_coloring: Vec<u32> = g
         .edges()
         .map(|e| x.coloring.get(e).expect("complete"))
         .collect();
     let x_palette = u32::try_from(x.palette).expect("X = O(Δ̄²) fits u32");
-    let solver = Solver::with_executor(config, *executor);
+    let solver = Solver::with_runtime(config, *rt);
     let solution = solver.solve_instance(&inst, &x_coloring, x_palette)?;
     let coloring = EdgeColoring::from_complete(solution.colors.clone());
     inst.check_solution(&coloring)
         .expect("solver output must be valid");
-    Ok(PipelineResult {
-        coloring,
+    Ok(RunReport {
+        colors: coloring,
+        rounds: x.rounds + solution.cost.actual_rounds(),
+        messages: x.messages + solution.stats.messages,
+        solve_stats: solution.stats,
+        engine_descriptor: rt.descriptor(),
+        wall_time: start.elapsed(),
         x_palette,
         x_rounds: x.rounds,
-        solution,
+        cost: solution.cost,
     })
 }
 
@@ -801,10 +811,11 @@ mod tests {
         (1..=g.num_nodes() as u64).collect()
     }
 
-    fn solve_and_check(g: &Graph, config: SolverConfig) -> PipelineResult {
-        let res = solve_two_delta_minus_one(g, &ids_for(g), config).expect("solver succeeds");
+    fn solve_and_check(g: &Graph, config: SolverConfig) -> RunReport {
+        let res = solve_two_delta_minus_one(g, &ids_for(g), config, &Runtime::serial())
+            .expect("solver succeeds");
         let bound = (2 * g.max_degree()).saturating_sub(1).max(1);
-        assert!(res.coloring.distinct_colors() <= bound);
+        assert!(res.colors.distinct_colors() <= bound);
         res
     }
 
@@ -824,7 +835,7 @@ mod tests {
         for (n, d, seed) in [(40, 6, 1), (60, 10, 2), (30, 16, 3)] {
             let g = generators::random_regular(n, d, seed);
             let res = solve_and_check(&g, SolverConfig::default());
-            assert!(res.solution.stats.sweeps > 0);
+            assert!(res.solve_stats.sweeps > 0);
         }
     }
 
@@ -834,19 +845,29 @@ mod tests {
         // the work is proportional to the edges — must still terminate.
         let g = generators::random_regular(40, 12, 4);
         let res = solve_and_check(&g, SolverConfig::faithful(1.0));
-        assert!(res.solution.stats.sweeps > 0);
+        assert!(res.solve_stats.sweeps > 0);
         // β = log^4(Δ̄) is far above Δ̄ here, so classes are mostly empty.
-        assert!(res.solution.stats.classes_total > res.solution.stats.classes_nonempty);
+        assert!(res.solve_stats.classes_total > res.solve_stats.classes_nonempty);
     }
 
     #[test]
     fn list_instance_pipeline() {
         let g = generators::random_regular(30, 8, 5);
         let inst = instance::random_deg_plus_one(&g, 3 * g.max_edge_degree() as u32, 6);
-        let res = solve_pipeline(&g, inst.clone(), &ids_for(&g), SolverConfig::default())
-            .expect("solver succeeds");
-        inst.check_solution(&res.coloring)
+        let res = solve_pipeline(
+            &g,
+            inst.clone(),
+            &ids_for(&g),
+            SolverConfig::default(),
+            &Runtime::serial(),
+        )
+        .expect("solver succeeds");
+        inst.check_solution(&res.colors)
             .expect("on-list proper coloring");
+        // The report's totals are self-consistent with its parts.
+        assert_eq!(res.rounds, res.x_rounds + res.cost.actual_rounds());
+        assert!(res.messages >= res.solve_stats.messages);
+        assert_eq!(res.engine_descriptor, "serial");
     }
 
     #[test]
@@ -854,7 +875,7 @@ mod tests {
         // Force the slack path: big palette, huge slack, moderate degree.
         let g = generators::random_regular(36, 12, 7);
         let inst = instance::random_with_slack(&g, 6000, 130.0, 8);
-        let x = edge_adapter::linial_edge_coloring(&g, &ids_for(&g)).unwrap();
+        let x = edge_adapter::linial_edge_coloring(&g, &ids_for(&g), &Runtime::serial()).unwrap();
         let xc: Vec<u32> = g.edges().map(|e| x.coloring.get(e).unwrap()).collect();
         let solver = Solver::new(SolverConfig {
             beta_cap: None,
@@ -889,30 +910,32 @@ mod tests {
     fn sparse_graphs_hit_base_case_directly() {
         let g = generators::cycle(200);
         let res = solve_and_check(&g, SolverConfig::default());
-        assert_eq!(res.solution.stats.sweeps, 0);
-        assert_eq!(res.solution.stats.base_cases, 1);
+        assert_eq!(res.solve_stats.sweeps, 0);
+        assert_eq!(res.solve_stats.base_cases, 1);
         // O(log* n) + O(1): tiny round count.
-        assert!(res.solution.cost.actual_rounds() < 200);
+        assert!(res.cost.actual_rounds() < 200);
     }
 
     #[test]
     fn cost_tree_is_structured() {
         let g = generators::random_regular(30, 10, 11);
         let res = solve_and_check(&g, SolverConfig::default());
-        assert!(res.solution.cost.size() > 3);
-        assert!(res.solution.cost.actual_rounds() > 0);
-        let rendered = res.solution.cost.render();
+        assert!(res.cost.size() > 3);
+        assert!(res.cost.actual_rounds() > 0);
+        let rendered = res.cost.render();
         assert!(rendered.contains("solve-slack1"));
     }
 
     #[test]
     fn deterministic_given_same_inputs() {
         let g = generators::random_regular(24, 6, 13);
-        let a = solve_two_delta_minus_one(&g, &ids_for(&g), SolverConfig::default()).unwrap();
-        let b = solve_two_delta_minus_one(&g, &ids_for(&g), SolverConfig::default()).unwrap();
-        assert_eq!(a.solution.colors, b.solution.colors);
-        assert_eq!(a.solution.cost, b.solution.cost);
-        assert_eq!(a.solution.stats, b.solution.stats);
+        let rt = Runtime::serial();
+        let a = solve_two_delta_minus_one(&g, &ids_for(&g), SolverConfig::default(), &rt).unwrap();
+        let b = solve_two_delta_minus_one(&g, &ids_for(&g), SolverConfig::default(), &rt).unwrap();
+        assert_eq!(a.colors, b.colors);
+        assert_eq!(a.cost, b.cost);
+        assert_eq!(a.solve_stats, b.solve_stats);
+        assert_eq!(a.messages, b.messages);
     }
 
     #[test]
@@ -924,14 +947,15 @@ mod tests {
             max_depth: 1,
             ..SolverConfig::default()
         };
-        let err = solve_two_delta_minus_one(&g, &ids_for(&g), cfg).unwrap_err();
+        let err = solve_two_delta_minus_one(&g, &ids_for(&g), cfg, &Runtime::serial()).unwrap_err();
         assert_eq!(err, SolveError::DepthExceeded { depth: 1, limit: 1 });
         // A zero limit refuses even the root call.
         let cfg0 = SolverConfig {
             max_depth: 0,
             ..SolverConfig::default()
         };
-        let err0 = solve_two_delta_minus_one(&g, &ids_for(&g), cfg0).unwrap_err();
+        let err0 =
+            solve_two_delta_minus_one(&g, &ids_for(&g), cfg0, &Runtime::serial()).unwrap_err();
         assert_eq!(err0, SolveError::DepthExceeded { depth: 0, limit: 0 });
     }
 
@@ -974,7 +998,7 @@ mod tests {
         // huge palette make the per-subspace intersections collapse.
         let g = generators::random_regular(36, 12, 7);
         let inst = instance::random_deg_plus_one(&g, 6000, 8);
-        let x = edge_adapter::linial_edge_coloring(&g, &ids_for(&g)).unwrap();
+        let x = edge_adapter::linial_edge_coloring(&g, &ids_for(&g), &Runtime::serial()).unwrap();
         let xc: Vec<u32> = g.edges().map(|e| x.coloring.get(e).unwrap()).collect();
         let solver = Solver::new(SolverConfig {
             beta_cap: None,

@@ -1,6 +1,6 @@
 //! Structured engine configuration from the environment.
 //!
-//! CI pins its executor matrix through three environment variables, all
+//! CI pins its executor matrix through four environment variables, all
 //! parsed here and nowhere else:
 //!
 //! | variable | values | meaning |
@@ -8,6 +8,7 @@
 //! | `DECO_ENGINE_THREADS` | unset/empty/`0` = auto, else a thread count | worker threads (threads *per shard* when sharding) |
 //! | `DECO_ENGINE_ASYNC` | unset/empty/`0` = barrier, `1` = async | round substrate of the parallel engine |
 //! | `DECO_ENGINE_SHARDS` | unset/empty/`0` = unsharded, else a shard count | partition the network over that many shards |
+//! | `DECO_SHARD_TRANSPORT` | unset/empty/`threads`, `channel`, `process` | which byte pipe the *framed* shard entry points use |
 //!
 //! Malformed values are **structured errors**, never silent fallbacks and
 //! never bare panics: a typo in a CI matrix cell must fail the run with
@@ -47,6 +48,39 @@ pub const ENV_THREADS: &str = "DECO_ENGINE_THREADS";
 pub const ENV_ASYNC: &str = "DECO_ENGINE_ASYNC";
 /// `DECO_ENGINE_SHARDS` — shard count (0 = unsharded).
 pub const ENV_SHARDS: &str = "DECO_ENGINE_SHARDS";
+/// `DECO_SHARD_TRANSPORT` — byte pipe of the framed shard layer.
+pub const ENV_TRANSPORT: &str = "DECO_SHARD_TRANSPORT";
+
+/// Which substrate carries cross-shard traffic. `Threads` is the typed
+/// in-process engine (shard workers are threads exchanging typed messages
+/// directly — the only substrate that can run *arbitrary* protocols, so
+/// [`crate::shard::ShardedExecutor::execute`] always uses it). `Channel`
+/// and `Process` select the byte pipe that framed entry points
+/// ([`crate::shard::framed::run_framed`], which runs *named*
+/// [`crate::shard::framed::ProtocolSpec`] protocols) should speak:
+/// in-process `mpsc` workers or `deco-shardd` child processes over stdio.
+/// The choice is carried on the executor so descriptors, experiment
+/// reports, and the CI matrix all attribute runs to the right pipe.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ShardTransportKind {
+    /// Typed in-process shard threads (no framed layer).
+    #[default]
+    Threads,
+    /// Framed workers as in-process threads over `mpsc` byte channels.
+    Channel,
+    /// Framed workers as `deco-shardd` child processes over stdio.
+    Process,
+}
+
+impl std::fmt::Display for ShardTransportKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            ShardTransportKind::Threads => "threads",
+            ShardTransportKind::Channel => "channel",
+            ShardTransportKind::Process => "process",
+        })
+    }
+}
 
 /// A malformed engine environment variable: which variable, what it held,
 /// and what it accepts.
@@ -126,6 +160,25 @@ pub fn parse_shards(raw: &str) -> Result<usize, EngineEnvError> {
     })
 }
 
+/// Parses a `DECO_SHARD_TRANSPORT` value: empty or `threads` = the typed
+/// in-process substrate, `channel` / `process` = the framed byte pipes.
+///
+/// # Errors
+///
+/// [`EngineEnvError`] on anything else.
+pub fn parse_transport(raw: &str) -> Result<ShardTransportKind, EngineEnvError> {
+    match raw.trim() {
+        "" | "threads" => Ok(ShardTransportKind::Threads),
+        "channel" => Ok(ShardTransportKind::Channel),
+        "process" => Ok(ShardTransportKind::Process),
+        other => Err(EngineEnvError {
+            var: ENV_TRANSPORT,
+            value: other.to_string(),
+            expected: "threads, channel, or process (empty = threads)",
+        }),
+    }
+}
+
 fn env_raw(var: &'static str) -> String {
     std::env::var(var).unwrap_or_default()
 }
@@ -143,6 +196,8 @@ pub struct EngineConfig {
     pub mode: EngineMode,
     /// Shard count (0 = unsharded).
     pub shards: usize,
+    /// Cross-shard transport preference (ignored when unsharded).
+    pub transport: ShardTransportKind,
 }
 
 impl EngineConfig {
@@ -157,6 +212,7 @@ impl EngineConfig {
             threads: parse_threads(&env_raw(ENV_THREADS))?,
             mode: parse_mode(&env_raw(ENV_ASYNC))?,
             shards: parse_shards(&env_raw(ENV_SHARDS))?,
+            transport: parse_transport(&env_raw(ENV_TRANSPORT))?,
         })
     }
 
@@ -165,7 +221,9 @@ impl EngineConfig {
     pub fn selection(&self) -> EngineSelection {
         if self.shards > 0 {
             EngineSelection::Sharded(
-                ShardedExecutor::new(self.shards).with_threads_per_shard(self.threads.max(1)),
+                ShardedExecutor::new(self.shards)
+                    .with_threads_per_shard(self.threads.max(1))
+                    .with_transport(self.transport),
             )
         } else {
             let exec = if self.threads == 0 {
@@ -197,6 +255,133 @@ impl EngineSelection {
     /// Propagates [`EngineEnvError`] from the malformed variable.
     pub fn from_env() -> Result<EngineSelection, EngineEnvError> {
         Ok(EngineConfig::from_env()?.selection())
+    }
+}
+
+/// The stable one-line engine descriptor, embedded in run reports and
+/// experiment table headers and parsed back by the [`std::str::FromStr`] impl:
+///
+/// * `barrier(threads=2)` / `async(threads=auto)` — the parallel engine,
+///   named by its round substrate (`threads=auto` is the hardware default);
+/// * `sharded(shards=4,threads=2,transport=process)` — the sharded engine
+///   with its threads-per-shard and cross-shard transport.
+///
+/// The format is an API: tooling that attributes measurements to engines
+/// keys on these strings, and the round-trip test pins them.
+impl std::fmt::Display for EngineSelection {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EngineSelection::Parallel(e) => {
+                let substrate = match e.mode() {
+                    EngineMode::Barrier => "barrier",
+                    EngineMode::Async => "async",
+                };
+                write!(f, "{substrate}(threads={})", Threads(e.threads()))
+            }
+            EngineSelection::Sharded(e) => write!(
+                f,
+                "sharded(shards={},threads={},transport={})",
+                e.shards(),
+                e.threads_per_shard(),
+                e.transport()
+            ),
+        }
+    }
+}
+
+/// Renders a thread request (0 = `auto`).
+struct Threads(usize);
+
+impl std::fmt::Display for Threads {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.0 == 0 {
+            f.write_str("auto")
+        } else {
+            write!(f, "{}", self.0)
+        }
+    }
+}
+
+/// Error parsing an engine descriptor back into an [`EngineSelection`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DescriptorParseError {
+    /// The descriptor that failed to parse, verbatim.
+    pub descriptor: String,
+}
+
+impl std::fmt::Display for DescriptorParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "unrecognized engine descriptor {:?} (expected barrier(threads=N), \
+             async(threads=N), or sharded(shards=N,threads=N,transport=T))",
+            self.descriptor
+        )
+    }
+}
+
+impl std::error::Error for DescriptorParseError {}
+
+/// Splits `descriptor` as `head(k1=v1,k2=v2,…)` and returns the head and
+/// the exact `key=` values requested, or `None` on any shape mismatch.
+fn parse_fields<'a, const N: usize>(
+    descriptor: &'a str,
+    keys: [&str; N],
+) -> Option<(&'a str, [&'a str; N])> {
+    let open = descriptor.find('(')?;
+    let body = descriptor[open..].strip_prefix('(')?.strip_suffix(')')?;
+    let head = &descriptor[..open];
+    let parts: Vec<&str> = body.split(',').collect();
+    if parts.len() != N {
+        return None;
+    }
+    let mut values = [""; N];
+    for (slot, (part, key)) in values.iter_mut().zip(parts.iter().zip(keys)) {
+        *slot = part.strip_prefix(key)?.strip_prefix('=')?;
+    }
+    Some((head, values))
+}
+
+fn parse_thread_request(raw: &str) -> Option<usize> {
+    if raw == "auto" {
+        Some(0)
+    } else {
+        raw.parse().ok().filter(|&t| t > 0)
+    }
+}
+
+impl std::str::FromStr for EngineSelection {
+    type Err = DescriptorParseError;
+
+    fn from_str(s: &str) -> Result<EngineSelection, DescriptorParseError> {
+        let err = || DescriptorParseError {
+            descriptor: s.to_string(),
+        };
+        if let Some((head, [threads])) = parse_fields(s, ["threads"]) {
+            let mode = match head {
+                "barrier" => EngineMode::Barrier,
+                "async" => EngineMode::Async,
+                _ => return Err(err()),
+            };
+            let exec = match parse_thread_request(threads).ok_or_else(err)? {
+                0 => ParallelExecutor::auto(),
+                t => ParallelExecutor::with_threads(t),
+            };
+            return Ok(EngineSelection::Parallel(exec.with_mode(mode)));
+        }
+        if let Some(("sharded", [shards, threads, transport])) =
+            parse_fields(s, ["shards", "threads", "transport"])
+        {
+            let shards: usize = shards.parse().ok().filter(|&n| n > 0).ok_or_else(err)?;
+            let threads: usize = threads.parse().ok().filter(|&t| t > 0).ok_or_else(err)?;
+            let transport = parse_transport(transport).map_err(|_| err())?;
+            return Ok(EngineSelection::Sharded(
+                ShardedExecutor::new(shards)
+                    .with_threads_per_shard(threads)
+                    .with_transport(transport),
+            ));
+        }
+        Err(err())
     }
 }
 
@@ -279,11 +464,13 @@ mod tests {
             threads: 2,
             mode: EngineMode::Barrier,
             shards: 3,
+            transport: ShardTransportKind::Process,
         };
         match cfg.selection() {
             EngineSelection::Sharded(e) => {
                 assert_eq!(e.shards(), 3);
                 assert_eq!(e.threads_per_shard(), 2);
+                assert_eq!(e.transport(), ShardTransportKind::Process);
             }
             other => panic!("expected sharded, got {other:?}"),
         }
@@ -291,10 +478,102 @@ mod tests {
             threads: 0,
             mode: EngineMode::Async,
             shards: 0,
+            transport: ShardTransportKind::Threads,
         };
         match cfg.selection() {
             EngineSelection::Parallel(e) => assert_eq!(e.mode(), EngineMode::Async),
             other => panic!("expected parallel, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn transport_parsing_is_strict() {
+        assert_eq!(parse_transport("").unwrap(), ShardTransportKind::Threads);
+        assert_eq!(
+            parse_transport("threads").unwrap(),
+            ShardTransportKind::Threads
+        );
+        assert_eq!(
+            parse_transport(" channel ").unwrap(),
+            ShardTransportKind::Channel
+        );
+        assert_eq!(
+            parse_transport("process").unwrap(),
+            ShardTransportKind::Process
+        );
+        let err = parse_transport("tcp").unwrap_err();
+        assert_eq!(err.var, ENV_TRANSPORT);
+        assert_eq!(err.value, "tcp");
+    }
+
+    #[test]
+    fn descriptors_are_stable() {
+        assert_eq!(
+            EngineSelection::Parallel(ParallelExecutor::auto()).to_string(),
+            "barrier(threads=auto)"
+        );
+        assert_eq!(
+            EngineSelection::Parallel(
+                ParallelExecutor::with_threads(2).with_mode(EngineMode::Async)
+            )
+            .to_string(),
+            "async(threads=2)"
+        );
+        assert_eq!(
+            EngineSelection::Sharded(
+                ShardedExecutor::new(4)
+                    .with_threads_per_shard(2)
+                    .with_transport(ShardTransportKind::Process)
+            )
+            .to_string(),
+            "sharded(shards=4,threads=2,transport=process)"
+        );
+    }
+
+    #[test]
+    fn descriptors_round_trip() {
+        let lineup = [
+            EngineSelection::Parallel(ParallelExecutor::auto()),
+            EngineSelection::Parallel(ParallelExecutor::with_threads(1)),
+            EngineSelection::Parallel(
+                ParallelExecutor::with_threads(4).with_mode(EngineMode::Async),
+            ),
+            EngineSelection::Parallel(ParallelExecutor::auto().with_mode(EngineMode::Async)),
+            EngineSelection::Sharded(ShardedExecutor::new(1)),
+            EngineSelection::Sharded(
+                ShardedExecutor::new(4)
+                    .with_threads_per_shard(2)
+                    .with_transport(ShardTransportKind::Channel),
+            ),
+            EngineSelection::Sharded(
+                ShardedExecutor::new(2).with_transport(ShardTransportKind::Process),
+            ),
+        ];
+        for sel in lineup {
+            let descriptor = sel.to_string();
+            let parsed: EngineSelection = descriptor.parse().expect("descriptor parses");
+            assert_eq!(parsed, sel, "{descriptor} must round-trip");
+        }
+    }
+
+    #[test]
+    fn malformed_descriptors_are_errors() {
+        for bad in [
+            "",
+            "serial",
+            "barrier",
+            "barrier()",
+            "barrier(threads=0)",
+            "barrier(threads=two)",
+            "turbo(threads=2)",
+            "sharded(shards=0,threads=1,transport=channel)",
+            "sharded(shards=2,threads=1,transport=tcp)",
+            "sharded(shards=2,threads=1)",
+            "sharded(threads=1,shards=2,transport=channel)",
+        ] {
+            let err = bad.parse::<EngineSelection>().unwrap_err();
+            assert_eq!(err.descriptor, bad);
+            assert!(err.to_string().contains("descriptor"), "{err}");
         }
     }
 

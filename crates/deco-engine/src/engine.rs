@@ -106,6 +106,12 @@ impl ParallelExecutor {
         self.mode
     }
 
+    /// The requested worker thread count (0 = [`ParallelExecutor::auto`]'s
+    /// hardware default).
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
     /// Reads the thread count from the `DECO_ENGINE_THREADS` environment
     /// variable (unset, empty, or `0` means [`ParallelExecutor::auto`])
     /// and the round substrate from `DECO_ENGINE_ASYNC` (unset, empty, or

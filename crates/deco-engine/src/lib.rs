@@ -59,7 +59,7 @@ pub mod shard;
 
 pub use async_engine::{AsyncExecutor, AsyncStats};
 pub use clock::RoundClock;
-pub use config::{EngineConfig, EngineEnvError, EngineSelection};
+pub use config::{EngineConfig, EngineEnvError, EngineSelection, ShardTransportKind};
 pub use engine::{EngineMode, ParallelExecutor};
 pub use mailbox::MailboxPlan;
 pub use scenario::{GraphSpec, IdFlavor, Scenario, ScenarioMatrix};

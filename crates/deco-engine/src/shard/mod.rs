@@ -22,11 +22,12 @@
 //!   barrier-free engine uses per node (a shard publishes round `r` only
 //!   after every other unfinished shard consumed round `r − 2`, so adjacent
 //!   shards drift by at most one completed round and two parity buffers per
-//!   boundary suffice). Because every `_with(executor)` entry point in the
-//!   algorithm stack takes `&impl Executor`, the whole pipeline — Linial,
-//!   Luby, the Theorem 4.1 solver — runs sharded unchanged, and the
-//!   four-way differential suite holds it to the serial runner's outputs,
-//!   rounds, messages, and errors bit for bit.
+//!   boundary suffice). Because every entry point in the algorithm stack
+//!   takes the unified runtime handle (whose engine is an [`Executor`]),
+//!   the whole pipeline — Linial, Luby, the Theorem 4.1 solver — runs
+//!   sharded unchanged, and the four-way differential suite holds it to
+//!   the serial runner's outputs, rounds, messages, and errors bit for
+//!   bit.
 //! * [`framed`] — the same shard roles spoken over **byte frames** through
 //!   a [`framed::ShardTransport`]: an in-process channel transport (the
 //!   default — testable on a 1-CPU container) and a subprocess transport
@@ -42,6 +43,7 @@ mod worker;
 
 pub use plan::ShardPlan;
 
+use crate::config::ShardTransportKind;
 use deco_local::network::Network;
 use deco_local::runner::{NodeProgram, Protocol, RunError, RunOutcome};
 use deco_local::Executor;
@@ -71,6 +73,7 @@ type ParityRing<M> = Mutex<[Vec<Option<M>>; 2]>;
 pub struct ShardedExecutor {
     shards: usize,
     threads_per_shard: usize,
+    transport: ShardTransportKind,
 }
 
 impl ShardedExecutor {
@@ -85,6 +88,7 @@ impl ShardedExecutor {
         ShardedExecutor {
             shards,
             threads_per_shard: 1,
+            transport: ShardTransportKind::Threads,
         }
     }
 
@@ -112,6 +116,26 @@ impl ShardedExecutor {
     #[inline]
     pub fn threads_per_shard(&self) -> usize {
         self.threads_per_shard
+    }
+
+    /// This executor tagged with a cross-shard transport preference.
+    ///
+    /// [`Executor::execute`] always runs the typed in-process substrate —
+    /// arbitrary protocols carry arbitrary Rust message types, which no
+    /// byte pipe can receive — so the tag does not change how *this*
+    /// executor runs. It is configuration the framed entry points
+    /// ([`framed::run_framed`] over named [`framed::ProtocolSpec`]s) and
+    /// descriptors consume: experiment reports and the CI matrix attribute
+    /// framed measurements to the pipe recorded here.
+    pub fn with_transport(self, transport: ShardTransportKind) -> ShardedExecutor {
+        ShardedExecutor { transport, ..self }
+    }
+
+    /// The cross-shard transport preference (see
+    /// [`ShardedExecutor::with_transport`]).
+    #[inline]
+    pub fn transport(&self) -> ShardTransportKind {
+        self.transport
     }
 }
 

@@ -31,13 +31,23 @@ fn shardd_bin() -> &'static str {
     env!("CARGO_BIN_EXE_deco-shardd")
 }
 
-/// Which transports this process should exercise (`DECO_SHARD_TRANSPORT`
-/// narrows CI matrix legs; unset runs both).
+/// Which framed transports this process should exercise
+/// (`DECO_SHARD_TRANSPORT` narrows CI matrix legs; unset — or `threads`,
+/// which names the typed in-process substrate every other suite already
+/// covers — runs both). Parsing goes through the same
+/// [`deco_engine::config::parse_transport`] the runtime facade uses, so a
+/// typo in a CI matrix cell fails loudly with the variable name and the
+/// offending value instead of silently widening the leg.
 fn transports_enabled() -> (bool, bool) {
-    match std::env::var("DECO_SHARD_TRANSPORT").as_deref() {
-        Ok("channel") => (true, false),
-        Ok("process") => (false, true),
-        _ => (true, true),
+    match std::env::var("DECO_SHARD_TRANSPORT") {
+        Err(_) => (true, true),
+        Ok(raw) => match deco_engine::config::parse_transport(&raw).unwrap_or_else(|e| {
+            panic!("{e}");
+        }) {
+            deco_engine::ShardTransportKind::Channel => (true, false),
+            deco_engine::ShardTransportKind::Process => (false, true),
+            deco_engine::ShardTransportKind::Threads => (true, true),
+        },
     }
 }
 

@@ -4,15 +4,23 @@
 //! collision-free schedule of 2Δ−1 slots, computed *by the network itself*
 //! with only local communication.
 //!
-//! Run with: `cargo run --release --example link_scheduling`
+//! Run with: `cargo run --release --example link_scheduling` (add
+//! `-- --small` for a CI-sized mesh); the engine follows the
+//! `DECO_ENGINE_*` environment.
 
 use deco::core_alg::solver::{solve_two_delta_minus_one, SolverConfig};
 use deco::graph::{generators, EdgeId};
 
+#[path = "util/mod.rs"]
+mod util;
+use util::{runtime_or_exit, small};
+
 fn main() {
+    let rt = runtime_or_exit();
     // A mesh network: nodes on a torus (each radio reaches 4 neighbors)
     // plus some long-range shortcut links.
-    let torus = generators::torus(12, 12);
+    let side = if small() { 6 } else { 12 };
+    let torus = generators::torus(side, side);
     let mut builder = deco::graph::GraphBuilder::new(torus.num_nodes());
     for e in torus.edges() {
         let [u, v] = torus.endpoints(e);
@@ -34,9 +42,9 @@ fn main() {
     let ids: Vec<u64> = (1..=net.num_nodes() as u64).collect();
     println!("mesh network: {net}");
 
-    let result =
-        solve_two_delta_minus_one(&net, &ids, SolverConfig::default()).expect("solver succeeds");
-    let slots = result.coloring.max_color().map_or(0, |c| c + 1);
+    let result = solve_two_delta_minus_one(&net, &ids, SolverConfig::default(), &rt)
+        .expect("solver succeeds");
+    let slots = result.colors.max_color().map_or(0, |c| c + 1);
     println!(
         "TDMA schedule: {} links in {} slots (bound 2Δ−1 = {})",
         net.num_edges(),
@@ -47,7 +55,7 @@ fn main() {
     // Per-slot utilization: how many links transmit simultaneously.
     let mut per_slot = vec![0usize; slots as usize];
     for e in net.edges() {
-        per_slot[result.coloring.get(e).expect("complete") as usize] += 1;
+        per_slot[result.colors.get(e).expect("complete") as usize] += 1;
     }
     println!("slot utilization (links per slot):");
     for (slot, count) in per_slot.iter().enumerate() {
@@ -62,7 +70,7 @@ fn main() {
         let mut seen = std::collections::HashSet::new();
         for e in net.incident_edges(v) {
             assert!(
-                seen.insert(result.coloring.get(e).expect("complete")),
+                seen.insert(result.colors.get(e).expect("complete")),
                 "collision at node {v}"
             );
         }
@@ -73,7 +81,7 @@ fn main() {
         "example: link {first_link} ({} -- {}) transmits in slot {}",
         net.endpoints(first_link)[0],
         net.endpoints(first_link)[1],
-        result.coloring.get(first_link).expect("complete")
+        result.colors.get(first_link).expect("complete")
     );
     println!("schedule verified: collision-free");
 }

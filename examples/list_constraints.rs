@@ -5,7 +5,9 @@
 //! link's own list* — the problem the paper actually solves (Theorem 4.1 is
 //! stated for lists, not just the uniform 2Δ−1 palette).
 //!
-//! Run with: `cargo run --release --example list_constraints`
+//! Run with: `cargo run --release --example list_constraints` (add
+//! `-- --small` for a CI-sized network); the engine follows the
+//! `DECO_ENGINE_*` environment.
 
 use deco::core_alg::instance;
 use deco::core_alg::solver::{solve_pipeline, SolverConfig};
@@ -13,8 +15,14 @@ use deco::graph::generators;
 use rand::prelude::*;
 use rand::rngs::StdRng;
 
+#[path = "util/mod.rs"]
+mod util;
+use util::{runtime_or_exit, small};
+
 fn main() {
-    let g = generators::power_law(300, 2.5, 24.0, 3);
+    let rt = runtime_or_exit();
+    let n = if small() { 80 } else { 300 };
+    let g = generators::power_law(n, 2.5, 24.0, 3);
     let ids: Vec<u64> = (1..=g.num_nodes() as u64).collect();
     println!("radio network: {g}");
 
@@ -59,17 +67,18 @@ fn main() {
     )
     .expect("lists are (deg+1)-feasible by construction");
 
-    let result = solve_pipeline(&g, inst, &ids, SolverConfig::default()).expect("solver succeeds");
+    let result =
+        solve_pipeline(&g, inst, &ids, SolverConfig::default(), &rt).expect("solver succeeds");
     println!(
         "assigned channels to {} links in {} adaptive rounds; {} distinct channels used",
         g.num_edges(),
-        result.solution.cost.actual_rounds(),
-        result.coloring.distinct_colors()
+        result.cost.actual_rounds(),
+        result.colors.distinct_colors()
     );
 
     // Verify every link's channel is in its own allowed set.
     for e in g.edges() {
-        let c = result.coloring.get(e).expect("complete");
+        let c = result.colors.get(e).expect("complete");
         assert!(
             lists[e.index()].contains(&c),
             "link {e} assigned a disallowed channel"

@@ -1,27 +1,36 @@
 //! Quickstart: color the edges of a random graph with 2Δ−1 colors using the
 //! quasi-polylog-in-Δ LOCAL algorithm, and verify the result.
 //!
-//! Run with: `cargo run --release --example quickstart`
+//! Run with: `cargo run --release --example quickstart` (add `-- --small`
+//! for a CI-sized instance). Select the engine with the `DECO_ENGINE_*`
+//! environment variables — e.g. `DECO_ENGINE_THREADS=4` — or leave them
+//! unset for the serial reference engine.
 
 use deco::core_alg::solver::{solve_two_delta_minus_one, SolverConfig};
 use deco::graph::generators;
 
+#[path = "util/mod.rs"]
+mod util;
+use util::{runtime_or_exit, small};
+
 fn main() {
-    // A random 8-regular graph on 500 nodes.
-    let g = generators::random_regular(500, 8, 42);
+    let rt = runtime_or_exit();
+    // A random 8-regular graph on 500 nodes (120 under --small).
+    let n = if small() { 120 } else { 500 };
+    let g = generators::random_regular(n, 8, 42);
     let ids: Vec<u64> = (1..=g.num_nodes() as u64).collect();
     println!("graph: {g}");
 
     // End-to-end pipeline: Linial's O(Δ̄²) initial edge coloring in
     // O(log* n) rounds, then the Balliu–Kuhn–Olivetti solver.
     let result =
-        solve_two_delta_minus_one(&g, &ids, SolverConfig::default()).expect("solver succeeds");
+        solve_two_delta_minus_one(&g, &ids, SolverConfig::default(), &rt).expect("solver succeeds");
 
     let bound = 2 * g.max_degree() - 1;
     println!(
         "colored {} edges with {} distinct colors (guarantee: ≤ 2Δ−1 = {bound})",
         g.num_edges(),
-        result.coloring.distinct_colors(),
+        result.colors.distinct_colors(),
     );
     println!(
         "initial X-coloring: {} colors in {} rounds (O(log* n))",
@@ -29,12 +38,16 @@ fn main() {
     );
     println!(
         "solver: {} adaptive LOCAL rounds, {} Lemma-4.2 sweeps, {} base cases",
-        result.solution.cost.actual_rounds(),
-        result.solution.stats.sweeps,
-        result.solution.stats.base_cases,
+        result.cost.actual_rounds(),
+        result.solve_stats.sweeps,
+        result.solve_stats.base_cases,
+    );
+    println!(
+        "run: engine {}, {} total rounds, {} messages, {:?} wall time",
+        result.engine_descriptor, result.rounds, result.messages, result.wall_time,
     );
 
     // The library re-verifies internally, but let's be explicit:
-    deco::graph::coloring::check_edge_coloring(&g, &result.coloring).expect("proper edge coloring");
+    deco::graph::coloring::check_edge_coloring(&g, &result.colors).expect("proper edge coloring");
     println!("verification: proper edge coloring OK");
 }

@@ -4,14 +4,26 @@
 //! into matchings = edge-coloring it; the number of colors is the number of
 //! cell times needed to drain the demand.
 //!
-//! Run with: `cargo run --release --example switch_fabric`
+//! Run with: `cargo run --release --example switch_fabric` (add
+//! `-- --small` for a CI-sized switch); the engine follows the
+//! `DECO_ENGINE_*` environment.
 
 use deco::core_alg::solver::{solve_two_delta_minus_one, SolverConfig};
 use deco::graph::generators;
 
+#[path = "util/mod.rs"]
+mod util;
+use util::{runtime_or_exit, small};
+
 fn main() {
-    // 24×24 switch; each input has packets for 6 distinct outputs.
-    let (inputs, outputs, load) = (24usize, 24usize, 6usize);
+    let rt = runtime_or_exit();
+    // 24×24 switch; each input has packets for 6 distinct outputs
+    // (8×8 with 3 outputs under --small).
+    let (inputs, outputs, load) = if small() {
+        (8usize, 8usize, 3usize)
+    } else {
+        (24, 24, 6)
+    };
     let demand = generators::random_bipartite_left_regular(inputs, outputs, load, 7);
     let ids: Vec<u64> = (1..=demand.num_nodes() as u64).collect();
     println!(
@@ -22,9 +34,9 @@ fn main() {
         demand.max_degree()
     );
 
-    let result =
-        solve_two_delta_minus_one(&demand, &ids, SolverConfig::default()).expect("solver succeeds");
-    let cells = result.coloring.max_color().map_or(0, |c| c + 1) as usize;
+    let result = solve_two_delta_minus_one(&demand, &ids, SolverConfig::default(), &rt)
+        .expect("solver succeeds");
+    let cells = result.colors.max_color().map_or(0, |c| c + 1) as usize;
     println!(
         "schedule: {} cell times (edge coloring bound 2Δ−1 = {}; Kőnig/Vizing \
          optimum for bipartite is Δ = {})",
@@ -37,7 +49,7 @@ fn main() {
     for cell in 0..cells.min(4) {
         let matching: Vec<String> = demand
             .edges()
-            .filter(|&e| result.coloring.get(e) == Some(cell as u32))
+            .filter(|&e| result.colors.get(e) == Some(cell as u32))
             .map(|e| {
                 let [i, o] = demand.endpoints(e);
                 format!("{}→{}", i.0, o.0 - inputs as u32)
@@ -57,7 +69,7 @@ fn main() {
     for v in demand.nodes() {
         let mut seen = std::collections::HashSet::new();
         for e in demand.incident_edges(v) {
-            assert!(seen.insert(result.coloring.get(e).expect("complete")));
+            assert!(seen.insert(result.colors.get(e).expect("complete")));
         }
     }
     println!("all {cells} crossbar configurations verified conflict-free");

@@ -5,13 +5,17 @@
 //! Run with: `cargo run --release --example trace_figures`
 //! Render with: `neato -Tpng target/figures/fig_stage1_defective.dot -o fig1.png`
 
+#[path = "util/mod.rs"]
+mod util;
+
 fn main() {
-    let report = deco_bench_report();
+    let rt = util::runtime_or_exit();
+    let report = deco_bench_report(&rt);
     println!("{report}");
 }
 
 // The figure walkthrough lives in the bench crate's experiment module; the
 // example re-exports it as a runnable binary for convenience.
-fn deco_bench_report() -> String {
-    deco_bench::experiments::fig_slack_walkthrough::run()
+fn deco_bench_report(rt: &deco::Runtime) -> String {
+    deco_bench::experiments::fig_slack_walkthrough::run(rt)
 }

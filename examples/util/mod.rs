@@ -1,0 +1,25 @@
+//! Shared plumbing for the runnable examples (included via `#[path]`;
+//! not an example target itself).
+
+/// The engine comes from the environment (`DECO_ENGINE_*`,
+/// `DECO_SHARD_TRANSPORT`); a malformed variable is reported to stderr —
+/// naming the variable and the offending value — instead of panicking.
+/// The CI `examples-smoke` job asserts this exact behavior (exit code 2,
+/// variable name and value in the message).
+pub fn runtime_or_exit() -> deco::Runtime {
+    match deco::Runtime::from_env() {
+        Ok(rt) => rt,
+        Err(err) => {
+            eprintln!("invalid engine environment: {err}");
+            std::process::exit(2);
+        }
+    }
+}
+
+/// `--small` caps the instance size (used by the CI examples-smoke job).
+/// Not every example sizes itself (trace_figures is fixed-size), so this
+/// is allowed to go unused in any one inclusion.
+#[allow(dead_code)]
+pub fn small() -> bool {
+    std::env::args().any(|a| a == "--small")
+}

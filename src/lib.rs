@@ -7,14 +7,68 @@
 //! * [`local`] — the LOCAL model: networks, the serial reference runner,
 //!   the [`local::Executor`] contract.
 //! * [`engine`] — the high-throughput round-execution engine (flat
-//!   mailboxes, deterministic multi-threading, scenario matrix) and the
+//!   mailboxes, deterministic multi-threading, scenario matrix), the
 //!   barrier-free [`engine::AsyncExecutor`] with component-local round
-//!   clocks.
-//! * [`algos`] — Linial, Cole–Vishkin, class elimination, Luby, greedy.
-//! * [`core_alg`] — the Theorem 4.1 solver.
+//!   clocks, and the sharded engine.
+//! * [`runtime`] — the unified [`Runtime`] facade: one handle over every
+//!   engine ([`Engine`] is serial / barrier / async / sharded behind one
+//!   `match`), built explicitly via [`RuntimeBuilder`] or from the
+//!   `DECO_ENGINE_*` environment via [`Runtime::from_env`].
+//! * [`algos`] — Linial, Cole–Vishkin, class elimination, Luby, greedy;
+//!   every protocol entry point takes `&Runtime`.
+//! * [`core_alg`] — the Theorem 4.1 solver; pipeline entry points return
+//!   a structured [`core_alg::RunReport`].
+//!
+//! ## Quickstart
+//!
+//! One runtime value selects the engine for the whole pipeline; the
+//! environment (or the builder) decides which engine that is, and the
+//! result is bit-identical either way:
+//!
+//! ```
+//! use deco::core_alg::solver::{solve_two_delta_minus_one, SolverConfig};
+//! use deco::graph::generators;
+//! use deco::Runtime;
+//!
+//! // Honors DECO_ENGINE_THREADS / DECO_ENGINE_ASYNC / DECO_ENGINE_SHARDS /
+//! // DECO_SHARD_TRANSPORT; a clean environment means the serial reference
+//! // engine. Malformed variables are structured errors, never silent
+//! // fallbacks.
+//! let rt = Runtime::from_env().expect("engine environment parses");
+//!
+//! let g = generators::random_regular(40, 6, 7);
+//! let ids: Vec<u64> = (1..=40).collect();
+//! let report = solve_two_delta_minus_one(&g, &ids, SolverConfig::default(), &rt)
+//!     .expect("solver succeeds");
+//!
+//! // The structured report: coloring + totals + attribution, no
+//! // re-deriving stats by hand.
+//! assert!(report.colors.is_complete());
+//! assert!(report.colors.distinct_colors() <= 2 * 6 - 1);
+//! assert_eq!(report.rounds, report.x_rounds + report.cost.actual_rounds());
+//! assert!(report.messages > 0);
+//! println!(
+//!     "{}: {} rounds, {} messages, {:?}",
+//!     report.engine_descriptor, report.rounds, report.messages, report.wall_time,
+//! );
+//!
+//! // An explicit engine is one builder away, and observationally
+//! // identical (everything except wall time).
+//! let rt2 = Runtime::builder().threads(2).build();
+//! assert_eq!(rt2.descriptor(), "barrier(threads=2)");
+//! let report2 = solve_two_delta_minus_one(&g, &ids, SolverConfig::default(), &rt2)
+//!     .expect("solver succeeds");
+//! assert_eq!(report.colors, report2.colors);
+//! assert_eq!(report.rounds, report2.rounds);
+//! assert_eq!(report.messages, report2.messages);
+//! assert_eq!(report.solve_stats, report2.solve_stats);
+//! ```
 
 pub use deco_algos as algos;
 pub use deco_core as core_alg;
 pub use deco_engine as engine;
 pub use deco_graph as graph;
 pub use deco_local as local;
+pub use deco_runtime as runtime;
+
+pub use deco_runtime::{Engine, Runtime, RuntimeBuilder};

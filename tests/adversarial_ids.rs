@@ -5,6 +5,11 @@ use deco::algos::{deg2, linial};
 use deco::core_alg::solver::{solve_two_delta_minus_one, SolverConfig};
 use deco::graph::{coloring, generators};
 use deco::local::{IdAssignment, Network};
+use deco::Runtime;
+
+fn rt() -> Runtime {
+    Runtime::serial()
+}
 
 const ASSIGNMENTS: [IdAssignment; 4] = [
     IdAssignment::Sequential,
@@ -18,7 +23,7 @@ fn linial_under_adversarial_ids() {
     let g = generators::random_regular(80, 7, 1);
     for assignment in ASSIGNMENTS {
         let net = Network::new(&g, assignment);
-        let res = linial::color_from_ids(&net).expect("terminates");
+        let res = linial::color_from_ids(&net, &rt()).expect("terminates");
         coloring::check_vertex_coloring(&g, &res.colors).expect("proper");
         // Sparse ids enlarge the schedule by at most a couple of rounds.
         assert!(
@@ -36,7 +41,7 @@ fn deg2_under_adversarial_ids() {
         let net = Network::new(&g, assignment);
         let initial = net.ids().to_vec();
         let m0 = net.max_id() + 1;
-        let res = deg2::three_color_max_deg2(&net, initial, m0).expect("terminates");
+        let res = deg2::three_color_max_deg2(&net, initial, m0, &rt()).expect("terminates");
         let as_u32: Vec<u32> = res.colors.iter().map(|&c| u32::from(c)).collect();
         coloring::check_vertex_coloring(&g, &as_u32).expect("proper 3-coloring");
     }
@@ -48,10 +53,10 @@ fn solver_under_adversarial_ids() {
     for assignment in ASSIGNMENTS {
         let net = Network::new(&g, assignment);
         let ids = net.ids().to_vec();
-        let res =
-            solve_two_delta_minus_one(&g, &ids, SolverConfig::default()).expect("solver succeeds");
-        coloring::check_edge_coloring(&g, &res.coloring).expect("proper");
-        assert!(res.coloring.distinct_colors() < 2 * 9);
+        let res = solve_two_delta_minus_one(&g, &ids, SolverConfig::default(), &rt())
+            .expect("solver succeeds");
+        coloring::check_edge_coloring(&g, &res.colors).expect("proper");
+        assert!(res.colors.distinct_colors() < 2 * 9);
     }
 }
 
@@ -61,8 +66,8 @@ fn outputs_depend_only_on_ids_not_assignment_enum() {
     let g = generators::cycle(40);
     let net = Network::new(&g, IdAssignment::Sequential);
     let explicit = Network::with_ids(&g, (1..=40).collect());
-    let a = linial::color_from_ids(&net).unwrap();
-    let b = linial::color_from_ids(&explicit).unwrap();
+    let a = linial::color_from_ids(&net, &rt()).unwrap();
+    let b = linial::color_from_ids(&explicit, &rt()).unwrap();
     assert_eq!(a.colors, b.colors);
     assert_eq!(a.rounds, b.rounds);
 }
@@ -75,10 +80,10 @@ fn relabeled_graph_still_solves() {
     let perm = generators::random_permutation(50, 9);
     let h = generators::relabel(&g, &perm);
     let ids: Vec<u64> = (1..=50).collect();
-    let res_g =
-        solve_two_delta_minus_one(&g, &ids, SolverConfig::default()).expect("solver succeeds");
-    let res_h =
-        solve_two_delta_minus_one(&h, &ids, SolverConfig::default()).expect("solver succeeds");
-    coloring::check_edge_coloring(&g, &res_g.coloring).expect("proper on g");
-    coloring::check_edge_coloring(&h, &res_h.coloring).expect("proper on h");
+    let res_g = solve_two_delta_minus_one(&g, &ids, SolverConfig::default(), &rt())
+        .expect("solver succeeds");
+    let res_h = solve_two_delta_minus_one(&h, &ids, SolverConfig::default(), &rt())
+        .expect("solver succeeds");
+    coloring::check_edge_coloring(&g, &res_g.colors).expect("proper on g");
+    coloring::check_edge_coloring(&h, &res_h.colors).expect("proper on h");
 }

@@ -5,21 +5,23 @@
 use deco::core_alg::instance;
 use deco::core_alg::solver::{solve_pipeline, solve_two_delta_minus_one, SolverConfig, Strategy};
 use deco::graph::{generators, Graph};
+use deco::Runtime;
 
 fn ids(g: &Graph) -> Vec<u64> {
     (1..=g.num_nodes() as u64).collect()
 }
 
 fn check_2d1(g: &Graph, cfg: SolverConfig) {
-    let res = solve_two_delta_minus_one(g, &ids(g), cfg).expect("solver succeeds");
-    assert!(res.coloring.is_complete());
-    deco::graph::coloring::check_edge_coloring(g, &res.coloring).expect("proper");
+    let res =
+        solve_two_delta_minus_one(g, &ids(g), cfg, &Runtime::serial()).expect("solver succeeds");
+    assert!(res.colors.is_complete());
+    deco::graph::coloring::check_edge_coloring(g, &res.colors).expect("proper");
     if g.num_edges() > 0 {
         let bound = (2 * g.max_degree() - 1).max(1);
         assert!(
-            res.coloring.distinct_colors() <= bound,
+            res.colors.distinct_colors() <= bound,
             "used {} colors > 2Δ−1 = {bound}",
-            res.coloring.distinct_colors()
+            res.colors.distinct_colors()
         );
     }
 }
@@ -80,11 +82,16 @@ fn faithful_parameters_small_graphs() {
 fn faithful_rounds_within_scheduled_budget() {
     use deco::core_alg::budget::{BudgetEvaluator, BudgetParams};
     let g = generators::random_regular(60, 12, 11);
-    let res = solve_two_delta_minus_one(&g, &ids(&g), SolverConfig::faithful(1.0))
-        .expect("solver succeeds");
+    let res = solve_two_delta_minus_one(
+        &g,
+        &ids(&g),
+        SolverConfig::faithful(1.0),
+        &Runtime::serial(),
+    )
+    .expect("solver succeeds");
     let mut ev = BudgetEvaluator::new(BudgetParams::default());
     let budget = ev.t_deg1(g.max_edge_degree() as f64, (2 * g.max_degree() - 1) as f64);
-    let actual = res.solution.cost.actual_rounds() as f64;
+    let actual = res.cost.actual_rounds() as f64;
     assert!(
         actual <= budget,
         "adaptive rounds {actual} must be within the scheduled budget {budget}"
@@ -101,9 +108,15 @@ fn tight_deg_plus_one_lists() {
             continue;
         }
         let inst = instance::random_deg_plus_one(&g, g.max_edge_degree() as u32 + 1, seed);
-        let res = solve_pipeline(&g, inst.clone(), &ids(&g), SolverConfig::default())
-            .expect("solver succeeds");
-        inst.check_solution(&res.coloring)
+        let res = solve_pipeline(
+            &g,
+            inst.clone(),
+            &ids(&g),
+            SolverConfig::default(),
+            &Runtime::serial(),
+        )
+        .expect("solver succeeds");
+        inst.check_solution(&res.colors)
             .expect("valid list coloring");
     }
 }
@@ -128,15 +141,17 @@ fn rounds_scale_with_degree_not_n() {
     // log* n term); this is the locality promise of the whole construction.
     let r_small = {
         let g = generators::random_regular(64, 6, 13);
-        let res = solve_two_delta_minus_one(&g, &ids(&g), SolverConfig::default())
-            .expect("solver succeeds");
-        res.x_rounds + res.solution.cost.actual_rounds()
+        let res =
+            solve_two_delta_minus_one(&g, &ids(&g), SolverConfig::default(), &Runtime::serial())
+                .expect("solver succeeds");
+        res.x_rounds + res.cost.actual_rounds()
     };
     let r_large = {
         let g = generators::random_regular(1024, 6, 14);
-        let res = solve_two_delta_minus_one(&g, &ids(&g), SolverConfig::default())
-            .expect("solver succeeds");
-        res.x_rounds + res.solution.cost.actual_rounds()
+        let res =
+            solve_two_delta_minus_one(&g, &ids(&g), SolverConfig::default(), &Runtime::serial())
+                .expect("solver succeeds");
+        res.x_rounds + res.cost.actual_rounds()
     };
     assert!(
         r_large <= r_small * 2 + 10,
@@ -147,12 +162,12 @@ fn rounds_scale_with_degree_not_n() {
 #[test]
 fn solver_stats_are_coherent() {
     let g = generators::random_regular(80, 14, 15);
-    let res =
-        solve_two_delta_minus_one(&g, &ids(&g), SolverConfig::default()).expect("solver succeeds");
-    let s = &res.solution.stats;
+    let res = solve_two_delta_minus_one(&g, &ids(&g), SolverConfig::default(), &Runtime::serial())
+        .expect("solver succeeds");
+    let s = &res.solve_stats;
     assert!(s.sweeps >= 1);
     assert!(s.classes_nonempty <= s.classes_total);
     assert!(s.base_cases >= 1);
     assert!(s.max_depth_seen >= 1);
-    assert!(res.solution.cost.actual_rounds() > 0);
+    assert!(res.cost.actual_rounds() > 0);
 }

@@ -6,6 +6,7 @@ use deco::algos::{deg2, linial};
 use deco::graph::{generators, NodeId};
 use deco::local::locality::check_locality;
 use deco::local::Network;
+use deco::Runtime;
 
 #[test]
 fn linial_is_local_at_its_schedule_radius() {
@@ -15,12 +16,16 @@ fn linial_is_local_at_its_schedule_radius() {
     let ids: Vec<u64> = (1..=120).collect();
     let rounds = {
         let net = Network::with_ids(&g, ids.clone());
-        linial::color_from_ids(&net).expect("terminates").rounds
+        linial::color_from_ids(&net, &Runtime::serial())
+            .expect("terminates")
+            .rounds
     };
     let victims = [NodeId(0), NodeId(30), NodeId(60)];
     check_locality(&g, &ids, rounds as usize, &victims, 6, |g, ids| {
         let net = Network::with_ids(g, ids.to_vec());
-        linial::color_from_ids(&net).expect("terminates").colors
+        linial::color_from_ids(&net, &Runtime::serial())
+            .expect("terminates")
+            .colors
     })
     .expect("Linial must be T-local");
 }
@@ -31,14 +36,14 @@ fn deg2_three_coloring_is_local() {
     let ids: Vec<u64> = (1..=200).collect();
     let rounds = {
         let net = Network::with_ids(&g, ids.clone());
-        deg2::three_color_max_deg2(&net, ids.clone(), 201)
+        deg2::three_color_max_deg2(&net, ids.clone(), 201, &Runtime::serial())
             .expect("terminates")
             .rounds
     };
     let victims = [NodeId(10), NodeId(100)];
     check_locality(&g, &ids, rounds as usize, &victims, 4, |g, ids| {
         let net = Network::with_ids(g, ids.to_vec());
-        deg2::three_color_max_deg2(&net, ids.to_vec(), 201)
+        deg2::three_color_max_deg2(&net, ids.to_vec(), 201, &Runtime::serial())
             .expect("terminates")
             .colors
     })

@@ -12,6 +12,7 @@ use deco::core_alg::lists::{lemma44_witness, level_of, ColorList, SubspacePartit
 use deco::core_alg::solver::{solve_pipeline, SolverConfig};
 use deco::graph::{coloring, generators, Graph};
 use deco::local::math::harmonic;
+use deco::Runtime;
 use rand::prelude::*;
 
 const CASES: u64 = 48;
@@ -45,10 +46,16 @@ fn solver_always_produces_valid_list_colorings() {
         let palette = g.max_edge_degree() as u32 + 1 + (seed % 7) as u32;
         let inst = instance::random_deg_plus_one(&g, palette, seed);
         let ids: Vec<u64> = (1..=g.num_nodes() as u64).collect();
-        let res = solve_pipeline(&g, inst.clone(), &ids, SolverConfig::default())
-            .expect("solver succeeds");
+        let res = solve_pipeline(
+            &g,
+            inst.clone(),
+            &ids,
+            SolverConfig::default(),
+            &Runtime::serial(),
+        )
+        .expect("solver succeeds");
         assert!(
-            inst.check_solution(&res.coloring).is_ok(),
+            inst.check_solution(&res.colors).is_ok(),
             "invalid coloring for case seed {case_seed}"
         );
     });
@@ -66,7 +73,7 @@ fn defective_coloring_respects_bounds() {
         let x = deco::algos::greedy::greedy_edge_coloring(&g, deco::algos::greedy::EdgeOrder::ById);
         let xc: Vec<u32> = g.edges().map(|e| x.get(e).unwrap()).collect();
         let xp = xc.iter().max().unwrap() + 1;
-        let d = defective_edge_coloring(&g, beta, &xc, xp.max(2));
+        let d = defective_edge_coloring(&g, beta, &xc, xp.max(2), &Runtime::serial());
         assert!(
             d.colors.iter().all(|&c| c < defective_palette(beta)),
             "palette overflow for case seed {case_seed}"
