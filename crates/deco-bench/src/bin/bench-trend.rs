@@ -1,0 +1,334 @@
+//! `bench-trend` — compares two `DECO_BENCH_JSON` files (line-JSON records
+//! written by the criterion shim, one `{"name":…,"mean_ns":…,"min_ns":…,
+//! "iters":…}` object per line) and flags regressions.
+//!
+//! ```text
+//! bench-trend <baseline.json> <current.json> [--threshold <pct>]
+//! ```
+//!
+//! Benchmarks present in both files are joined by name and their mean
+//! times compared; a benchmark whose mean grew by more than the threshold
+//! (default 10%) is a regression. Exit codes: `0` no regressions, `1` at
+//! least one regression, `2` usage / unreadable file / malformed record.
+//! CI runs this as a soft step (`continue-on-error`) against the previous
+//! run's baseline — wall times on shared runners are noisy, so the trend
+//! table is the signal and the exit code is advisory.
+
+use deco_bench::table::Table;
+use deco_trace::json::{parse_object, JsonValue};
+use std::process::ExitCode;
+
+/// One benchmark record from a `DECO_BENCH_JSON` file.
+#[derive(Debug, Clone, PartialEq)]
+struct BenchRecord {
+    name: String,
+    mean_ns: u64,
+    min_ns: u64,
+    iters: u64,
+}
+
+/// Parses one line of a bench JSON file.
+fn parse_record(line: &str) -> Result<BenchRecord, String> {
+    let fields = parse_object(line)?;
+    let mut name = None;
+    let mut mean_ns = None;
+    let mut min_ns = None;
+    let mut iters = None;
+    for (key, value) in fields {
+        match (key.as_str(), value) {
+            ("name", JsonValue::String(s)) => name = Some(s),
+            ("mean_ns", JsonValue::Number(n)) if is_count(n) => mean_ns = Some(n as u64),
+            ("min_ns", JsonValue::Number(n)) if is_count(n) => min_ns = Some(n as u64),
+            ("iters", JsonValue::Number(n)) if is_count(n) => iters = Some(n as u64),
+            (k, v) => return Err(format!("unexpected field {k:?} = {v:?}")),
+        }
+    }
+    Ok(BenchRecord {
+        name: name.ok_or("missing \"name\"")?,
+        mean_ns: mean_ns.ok_or("missing \"mean_ns\"")?,
+        min_ns: min_ns.ok_or("missing \"min_ns\"")?,
+        iters: iters.ok_or("missing \"iters\"")?,
+    })
+}
+
+fn is_count(n: f64) -> bool {
+    n >= 0.0 && n.fract() == 0.0 && n <= u64::MAX as f64
+}
+
+/// Parses a whole bench file; blank lines are skipped, errors carry the
+/// 1-based line number. A name appearing twice keeps the last record (the
+/// shim appends, so reruns in one file supersede earlier rows).
+fn parse_file(text: &str) -> Result<Vec<BenchRecord>, String> {
+    let mut records: Vec<BenchRecord> = Vec::new();
+    for (idx, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let rec = parse_record(line).map_err(|e| format!("line {}: {e}", idx + 1))?;
+        if let Some(prev) = records.iter_mut().find(|r| r.name == rec.name) {
+            *prev = rec;
+        } else {
+            records.push(rec);
+        }
+    }
+    Ok(records)
+}
+
+/// The verdict for one benchmark name across the two files.
+#[derive(Debug, Clone, PartialEq)]
+enum Verdict {
+    /// In both files; `delta_pct` is the mean-time growth in percent.
+    Compared { delta_pct: f64, regressed: bool },
+    /// Only in the current file.
+    New,
+    /// Only in the baseline file.
+    Removed,
+}
+
+/// Joins baseline and current records by name, in current-file order with
+/// removed baselines appended, and renders each against the threshold.
+fn compare(
+    baseline: &[BenchRecord],
+    current: &[BenchRecord],
+    threshold_pct: f64,
+) -> Vec<(String, Option<u64>, Option<u64>, Verdict)> {
+    let mut rows = Vec::new();
+    for cur in current {
+        let base = baseline.iter().find(|b| b.name == cur.name);
+        let verdict = match base {
+            Some(b) => {
+                let delta_pct = if b.mean_ns == 0 {
+                    if cur.mean_ns == 0 {
+                        0.0
+                    } else {
+                        f64::INFINITY
+                    }
+                } else {
+                    (cur.mean_ns as f64 - b.mean_ns as f64) / b.mean_ns as f64 * 100.0
+                };
+                Verdict::Compared {
+                    delta_pct,
+                    regressed: delta_pct > threshold_pct,
+                }
+            }
+            None => Verdict::New,
+        };
+        rows.push((
+            cur.name.clone(),
+            base.map(|b| b.mean_ns),
+            Some(cur.mean_ns),
+            verdict,
+        ));
+    }
+    for b in baseline {
+        if !current.iter().any(|c| c.name == b.name) {
+            rows.push((b.name.clone(), Some(b.mean_ns), None, Verdict::Removed));
+        }
+    }
+    rows
+}
+
+fn fmt_ns(ns: Option<u64>) -> String {
+    match ns {
+        Some(ns) => deco_trace::summary::fmt_nanos(ns),
+        None => "—".to_string(),
+    }
+}
+
+fn usage() -> ExitCode {
+    eprintln!("usage: bench-trend <baseline.json> <current.json> [--threshold <pct>]");
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut paths = Vec::new();
+    let mut threshold_pct = 10.0f64;
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        if arg == "--threshold" {
+            let Some(raw) = it.next() else {
+                return usage();
+            };
+            match raw.parse::<f64>() {
+                Ok(pct) if pct.is_finite() && pct >= 0.0 => threshold_pct = pct,
+                _ => {
+                    eprintln!(
+                        "bench-trend: --threshold must be a non-negative percent, got {raw:?}"
+                    );
+                    return ExitCode::from(2);
+                }
+            }
+        } else {
+            paths.push(arg);
+        }
+    }
+    let [baseline_path, current_path] = paths.as_slice() else {
+        return usage();
+    };
+
+    let mut files = Vec::new();
+    for path in [baseline_path, current_path] {
+        match std::fs::read_to_string(path) {
+            Ok(text) => match parse_file(&text) {
+                Ok(records) => files.push(records),
+                Err(e) => {
+                    eprintln!("bench-trend: {path}: {e}");
+                    return ExitCode::from(2);
+                }
+            },
+            Err(e) => {
+                eprintln!("bench-trend: cannot read {path}: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let (baseline, current) = (&files[0], &files[1]);
+
+    let rows = compare(baseline, current, threshold_pct);
+    let mut table = Table::new(["benchmark", "baseline", "current", "delta", "verdict"]);
+    let mut regressions = 0usize;
+    for (name, base, cur, verdict) in &rows {
+        let (delta, label) = match verdict {
+            Verdict::Compared {
+                delta_pct,
+                regressed,
+            } => {
+                if *regressed {
+                    regressions += 1;
+                }
+                (
+                    format!("{delta_pct:+.1}%"),
+                    if *regressed { "REGRESSED" } else { "ok" },
+                )
+            }
+            Verdict::New => ("—".to_string(), "new"),
+            Verdict::Removed => ("—".to_string(), "removed"),
+        };
+        table.row([
+            name.clone(),
+            fmt_ns(*base),
+            fmt_ns(*cur),
+            delta,
+            label.to_string(),
+        ]);
+    }
+    print!("{}", table.render());
+    println!(
+        "\n{} benchmarks compared, threshold +{threshold_pct:.1}%: {regressions} regression(s)",
+        rows.iter()
+            .filter(|(_, _, _, v)| matches!(v, Verdict::Compared { .. }))
+            .count()
+    );
+    if regressions > 0 {
+        ExitCode::from(1)
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_shim_records() {
+        let rec = parse_record(
+            r#"{"name":"solver/regular(120,8)","mean_ns":1500,"min_ns":1400,"iters":32}"#,
+        )
+        .unwrap();
+        assert_eq!(rec.name, "solver/regular(120,8)");
+        assert_eq!(rec.mean_ns, 1500);
+        assert_eq!(rec.min_ns, 1400);
+        assert_eq!(rec.iters, 32);
+    }
+
+    #[test]
+    fn rejects_malformed_records() {
+        for bad in [
+            "",
+            "not json",
+            r#"{"name":"x","mean_ns":1500,"min_ns":1400}"#, // missing iters
+            r#"{"mean_ns":1500,"min_ns":1400,"iters":1}"#,  // missing name
+            r#"{"name":"x","mean_ns":-3,"min_ns":1,"iters":1}"#, // negative
+            r#"{"name":"x","mean_ns":1.5,"min_ns":1,"iters":1}"#, // fractional
+            r#"{"name":"x","mean_ns":1,"min_ns":1,"iters":1,"extra":true}"#,
+        ] {
+            assert!(parse_record(bad).is_err(), "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    fn later_duplicate_wins() {
+        let recs = parse_file(
+            "{\"name\":\"a\",\"mean_ns\":10,\"min_ns\":9,\"iters\":1}\n\
+             \n\
+             {\"name\":\"a\",\"mean_ns\":20,\"min_ns\":19,\"iters\":1}\n",
+        )
+        .unwrap();
+        assert_eq!(recs.len(), 1);
+        assert_eq!(recs[0].mean_ns, 20);
+    }
+
+    #[test]
+    fn compare_flags_only_past_threshold() {
+        let base = parse_file(
+            "{\"name\":\"a\",\"mean_ns\":100,\"min_ns\":90,\"iters\":5}\n\
+             {\"name\":\"b\",\"mean_ns\":100,\"min_ns\":90,\"iters\":5}\n\
+             {\"name\":\"gone\",\"mean_ns\":50,\"min_ns\":40,\"iters\":5}\n",
+        )
+        .unwrap();
+        let cur = parse_file(
+            "{\"name\":\"a\",\"mean_ns\":109,\"min_ns\":90,\"iters\":5}\n\
+             {\"name\":\"b\",\"mean_ns\":125,\"min_ns\":90,\"iters\":5}\n\
+             {\"name\":\"fresh\",\"mean_ns\":10,\"min_ns\":9,\"iters\":5}\n",
+        )
+        .unwrap();
+        let rows = compare(&base, &cur, 10.0);
+        assert_eq!(rows.len(), 4);
+        assert!(matches!(
+            rows[0].3,
+            Verdict::Compared {
+                regressed: false,
+                ..
+            }
+        ));
+        assert!(matches!(
+            rows[1].3,
+            Verdict::Compared {
+                regressed: true,
+                ..
+            }
+        ));
+        assert_eq!(rows[2].3, Verdict::New);
+        assert_eq!(rows[3].3, Verdict::Removed);
+    }
+
+    #[test]
+    fn zero_baseline_is_not_divided_by() {
+        let base = vec![BenchRecord {
+            name: "z".into(),
+            mean_ns: 0,
+            min_ns: 0,
+            iters: 1,
+        }];
+        let mut cur = base.clone();
+        let rows = compare(&base, &cur, 10.0);
+        assert!(matches!(
+            rows[0].3,
+            Verdict::Compared {
+                regressed: false,
+                ..
+            }
+        ));
+        cur[0].mean_ns = 5;
+        let rows = compare(&base, &cur, 10.0);
+        assert!(matches!(
+            rows[0].3,
+            Verdict::Compared {
+                regressed: true,
+                ..
+            }
+        ));
+    }
+}

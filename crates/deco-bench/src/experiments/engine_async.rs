@@ -12,6 +12,7 @@ use deco_engine::{
 };
 use deco_local::network::Network;
 use deco_runtime::Runtime;
+use deco_trace::Counter;
 use std::fmt::Write as _;
 use std::time::Instant;
 
@@ -50,9 +51,11 @@ pub fn run(_rt: &Runtime) -> String {
          global barrier is observationally\ninvisible.\n",
     );
 
-    // Part 2: asynchrony measurements on the component-skewed families.
-    // mean/max in-flight are schedule-dependent measurements (they vary
-    // run to run); barrier-wait-eliminated and rounds are deterministic.
+    // Part 2: asynchrony measurements on the component-skewed families,
+    // read back from the engine's trace emissions (one run scope per
+    // execution) instead of bespoke stat plumbing. mean/max in-flight are
+    // schedule-dependent measurements (they vary run to run);
+    // barrier-wait-eliminated and rounds are deterministic.
     out.push_str("## rounds in flight (component-skewed families)\n\n");
     let mut t = Table::new([
         "workload",
@@ -64,6 +67,7 @@ pub fn run(_rt: &Runtime) -> String {
     ]);
     let skewed = workloads::skewed_components(4000, 17);
     let mut skewed_means = Vec::new();
+    let _measure = deco_trace::measure();
     for (name, g) in [
         (
             "two-clusters(n=24,d=4)".to_string(),
@@ -84,19 +88,31 @@ pub fn run(_rt: &Runtime) -> String {
             let serial = SerialExecutor
                 .execute(&net, &StaggeredSum { spread }, 100)
                 .unwrap();
-            let (outcome, stats) = AsyncExecutor::with_threads(2)
-                .execute_with_stats(&net, &StaggeredSum { spread }, 100)
+            let scope = deco_trace::run_scope();
+            let outcome = AsyncExecutor::with_threads(2)
+                .execute(&net, &StaggeredSum { spread }, 100)
                 .unwrap();
+            let metrics = scope.finish().expect("measure() installed a sink");
             assert_eq!(serial.outputs, outcome.outputs, "{name}");
             assert_eq!(serial.rounds, outcome.rounds, "{name}");
-            skewed_means.push(stats.mean_rounds_in_flight);
+            assert_eq!(
+                metrics.counter(Counter::Messages),
+                Some(outcome.messages),
+                "{name}: traced message count must match the outcome"
+            );
+            let in_flight = metrics.sample(Counter::RoundsInFlight);
+            let mean = in_flight.map_or(1.0, |s| s.mean());
+            skewed_means.push(mean);
             t.row([
                 name.clone(),
                 proto_name.to_string(),
                 outcome.rounds.to_string(),
-                format!("{:.2}", stats.mean_rounds_in_flight),
-                stats.max_rounds_in_flight.to_string(),
-                stats.barrier_wait_eliminated.to_string(),
+                format!("{mean:.2}"),
+                in_flight.map_or(0, |s| s.max).to_string(),
+                metrics
+                    .counter(Counter::BarrierWaitEliminated)
+                    .unwrap_or(0)
+                    .to_string(),
             ]);
         }
     }

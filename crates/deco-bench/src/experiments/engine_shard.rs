@@ -13,6 +13,7 @@ use deco_engine::{
     ShardPlan, ShardedExecutor,
 };
 use deco_runtime::Runtime;
+use deco_trace::Counter;
 use std::fmt::Write as _;
 use std::time::Instant;
 
@@ -39,8 +40,9 @@ pub fn run(_rt: &Runtime) -> String {
     let mut out =
         String::from("# engine-shard — sharded execution with cross-shard mailbox exchange\n\n");
 
-    // Part 1: partition quality and exchange volume per family. The framed
-    // coordinator counts the actual cut-exchange payload bytes; the run is
+    // Part 1: partition quality and exchange volume per family. The
+    // exchange-volume column is read back from the framed coordinator's
+    // trace emissions (shard-exchange-bytes counter); the run is
     // serial-oracled inline.
     out.push_str("## cut fraction and exchange volume (staggered-sum, channel transport)\n\n");
     let mut t = Table::new([
@@ -55,6 +57,7 @@ pub fn run(_rt: &Runtime) -> String {
         "total B",
     ]);
     let mut worst_cut = 0.0f64;
+    let measure = deco_trace::measure();
     for spec in families() {
         let scenario = Scenario::new(spec, IdFlavor::Shuffled, 2026);
         let g = scenario.graph();
@@ -64,6 +67,7 @@ pub fn run(_rt: &Runtime) -> String {
             .execute(&net, &StaggeredSum { spread: 7 }, 100)
             .unwrap();
         for shards in [2usize, 4] {
+            let scope = deco_trace::run_scope();
             let run = run_framed(
                 &ChannelTransport,
                 &g,
@@ -74,9 +78,23 @@ pub fn run(_rt: &Runtime) -> String {
                 100,
             )
             .unwrap_or_else(|e| panic!("{}: {e}", scenario.name));
+            let metrics = scope.finish().expect("measure() installed a sink");
             assert_eq!(serial.outputs, run.outcome.outputs, "{}", scenario.name);
             assert_eq!(serial.rounds, run.outcome.rounds, "{}", scenario.name);
             assert_eq!(serial.messages, run.outcome.messages, "{}", scenario.name);
+            let exchange_bytes = metrics
+                .counter(Counter::ShardExchangeBytes)
+                .expect("framed coordinator emits shard-exchange-bytes");
+            assert_eq!(
+                exchange_bytes, run.exchange_bytes,
+                "{}: traced exchange bytes must match the coordinator's count",
+                scenario.name
+            );
+            let per_round = if run.outcome.rounds == 0 {
+                0.0
+            } else {
+                exchange_bytes as f64 / run.outcome.rounds as f64
+            };
             worst_cut = worst_cut.max(run.cut_fraction);
             t.row([
                 scenario.spec.label(),
@@ -86,11 +104,12 @@ pub fn run(_rt: &Runtime) -> String {
                 run.cut_edges.to_string(),
                 format!("{:.1}%", run.cut_fraction * 100.0),
                 run.outcome.rounds.to_string(),
-                format!("{:.0}", run.exchange_bytes_per_round()),
+                format!("{per_round:.0}"),
                 run.total_bytes.to_string(),
             ]);
         }
     }
+    drop(measure);
     out.push_str(&t.render());
     let _ = writeln!(
         out,

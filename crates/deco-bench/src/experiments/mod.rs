@@ -26,6 +26,7 @@ pub mod related_work;
 pub mod solver_par;
 pub mod thm41_budget;
 pub mod thm41_measured;
+pub mod trace_profile;
 
 use deco_runtime::Runtime;
 
@@ -51,6 +52,7 @@ pub fn all() -> Vec<(&'static str, Runner)> {
         ("engine-async", engine_async::run),
         ("engine-shard", engine_shard::run),
         ("solver-par", solver_par::run),
+        ("trace-profile", trace_profile::run),
     ]
 }
 

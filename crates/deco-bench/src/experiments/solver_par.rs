@@ -132,6 +132,34 @@ pub fn run(rt: &Runtime) -> String {
          is what this experiment pins — the speedup column is informative\n\
          only where hardware parallelism exists.\n",
     );
+
+    // Part 3: where the pipeline's wall time goes, from the trace layer's
+    // per-phase spans (one run scope per solve; RunReport.metrics carries
+    // the digest, deco-trace::summary renders it).
+    out.push_str("\n## per-phase breakdown (regular(120,8), engine-driven branches)\n\n");
+    {
+        let _measure = deco_trace::measure();
+        let scenario = Scenario::new(
+            GraphSpec::RandomRegular { n: 120, d: 8 },
+            IdFlavor::Shuffled,
+            11,
+        );
+        let g = scenario.graph();
+        let ids = ids_for(&g);
+        let report = solve_two_delta_minus_one(&g, &ids, cfg, &engine_rt).expect("solves");
+        let metrics = report.metrics.expect("tracing on: metrics populated");
+        out.push_str(&deco_trace::summary::phase_table(&metrics));
+        out.push('\n');
+        out.push_str(&deco_trace::summary::counter_table(&metrics));
+        let _ = writeln!(
+            out,
+            "\nPhases nest (`pipeline` ⊇ `sweep` ⊇ `solver-branch` ⊇ engine rounds), so\n\
+             totals overlap by design; compare within a level. The messages counter\n\
+             aggregates every protocol execution of the pipeline and matches\n\
+             RunReport.messages ({}).",
+            report.messages
+        );
+    }
     out
 }
 

@@ -126,6 +126,7 @@ pub fn sweep(
     rt: &Runtime,
     inner: &InnerSolver<'_>,
 ) -> Result<SweepOutcome, SolveError> {
+    let _sweep_span = deco_trace::span(deco_trace::Phase::Sweep);
     let g = inst.graph();
     let m = g.num_edges();
     let defective = defective_edge_coloring(g, beta, x_coloring, x_palette, rt);
@@ -256,6 +257,7 @@ pub fn sweep(
             .map(|p| p.sub_inst.graph().num_edges())
             .collect();
         let results = rt.execute_branches(&weights, |k| {
+            let _span = deco_trace::span(deco_trace::Phase::SolverBranch);
             let p = &prepared[k];
             inner(&p.sub_inst, &p.sub_x)
         });

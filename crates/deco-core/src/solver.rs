@@ -553,6 +553,7 @@ impl Solver {
             .map(|sub| sub.instance.graph().num_edges())
             .collect();
         let branches = self.rt.execute_branches(&weights, |i| {
+            let _span = deco_trace::span(deco_trace::Phase::SolverBranch);
             let sub = &red.sub_instances[i];
             self.solve_with_slack(
                 &sub.instance,
@@ -722,6 +723,11 @@ pub struct RunReport {
     pub x_rounds: u64,
     /// Structured round cost of the solve (excludes the initial coloring).
     pub cost: CostNode,
+    /// Digested trace metrics of the run (per-phase wall time, counters,
+    /// samples), populated when tracing is enabled via `DECO_TRACE` /
+    /// `RuntimeBuilder::trace`; `None` when tracing is off. Outside the
+    /// determinism contract (wall times vary run to run).
+    pub metrics: Option<deco_trace::MetricsReport>,
 }
 
 /// Solves the `(2Δ−1)`-edge coloring problem on `g` end to end — Linial
@@ -771,17 +777,32 @@ pub fn solve_pipeline(
         "instance must match graph"
     );
     let start = Instant::now();
-    let x = edge_adapter::linial_edge_coloring(g, node_ids, rt).expect("Linial terminates");
-    let x_coloring: Vec<u32> = g
-        .edges()
-        .map(|e| x.coloring.get(e).expect("complete"))
-        .collect();
-    let x_palette = u32::try_from(x.palette).expect("X = O(Δ̄²) fits u32");
-    let solver = Solver::with_runtime(config, *rt);
-    let solution = solver.solve_instance(&inst, &x_coloring, x_palette)?;
-    let coloring = EdgeColoring::from_complete(solution.colors.clone());
-    inst.check_solution(&coloring)
-        .expect("solver output must be valid");
+    let scope = deco_trace::run_scope();
+    let pipeline_span = deco_trace::span(deco_trace::Phase::Pipeline);
+    let run = || -> Result<_, SolveError> {
+        let x = edge_adapter::linial_edge_coloring(g, node_ids, rt).expect("Linial terminates");
+        let x_coloring: Vec<u32> = g
+            .edges()
+            .map(|e| x.coloring.get(e).expect("complete"))
+            .collect();
+        let x_palette = u32::try_from(x.palette).expect("X = O(Δ̄²) fits u32");
+        let solver = Solver::with_runtime(config, *rt);
+        let solution = solver.solve_instance(&inst, &x_coloring, x_palette)?;
+        let coloring = EdgeColoring::from_complete(solution.colors.clone());
+        inst.check_solution(&coloring)
+            .expect("solver output must be valid");
+        Ok((x, coloring, x_palette, solution))
+    };
+    let (x, coloring, x_palette, solution) = match run() {
+        Ok(parts) => parts,
+        Err(e) => {
+            pipeline_span.cancel();
+            let _ = scope.finish();
+            return Err(e);
+        }
+    };
+    drop(pipeline_span);
+    let metrics = scope.finish();
     Ok(RunReport {
         colors: coloring,
         rounds: x.rounds + solution.cost.actual_rounds(),
@@ -792,6 +813,7 @@ pub fn solve_pipeline(
         x_palette,
         x_rounds: x.rounds,
         cost: solution.cost,
+        metrics,
     })
 }
 

@@ -109,12 +109,18 @@ struct WorkerTally {
     messages: u64,
     sample_sum: u64,
     sample_count: u64,
+    sample_min: u64,
     sample_max: u64,
 }
 
 impl WorkerTally {
     fn record(&mut self, sample: u64) {
         self.sample_sum += sample;
+        if self.sample_count == 0 {
+            self.sample_min = sample;
+        } else {
+            self.sample_min = self.sample_min.min(sample);
+        }
         self.sample_count += 1;
         self.sample_max = self.sample_max.max(sample);
     }
@@ -122,6 +128,13 @@ impl WorkerTally {
     fn merge(&mut self, other: WorkerTally) {
         self.messages += other.messages;
         self.sample_sum += other.sample_sum;
+        if other.sample_count > 0 {
+            self.sample_min = if self.sample_count == 0 {
+                other.sample_min
+            } else {
+                self.sample_min.min(other.sample_min)
+            };
+        }
         self.sample_count += other.sample_count;
         self.sample_max = self.sample_max.max(other.sample_max);
     }
@@ -202,6 +215,7 @@ impl AsyncExecutor {
         <P::Program as NodeProgram>::Msg: Send + Sync,
         <P::Program as NodeProgram>::Output: Send,
     {
+        let execute_span = deco_trace::span(deco_trace::Phase::Execute);
         let g = net.graph();
         let n = g.num_nodes();
         let plan = MailboxPlan::new(g);
@@ -292,6 +306,7 @@ impl AsyncExecutor {
 
         let still_running = (0..n).filter(|&v| !clock.halted(v)).count();
         if still_running > 0 {
+            execute_span.cancel();
             return Err(RunError::RoundLimitExceeded {
                 limit: max_rounds,
                 still_running,
@@ -325,6 +340,22 @@ impl AsyncExecutor {
             global_rounds,
             barrier_wait_eliminated: global_rounds * n as u64 - halt_sum,
         };
+        drop(execute_span);
+        if deco_trace::enabled() {
+            deco_trace::count(deco_trace::Counter::Messages, tally.messages);
+            deco_trace::count(deco_trace::Counter::Rounds, global_rounds);
+            deco_trace::count(
+                deco_trace::Counter::BarrierWaitEliminated,
+                stats.barrier_wait_eliminated,
+            );
+            deco_trace::sample_summary(
+                deco_trace::Counter::RoundsInFlight,
+                tally.sample_count,
+                tally.sample_sum,
+                tally.sample_min,
+                tally.sample_max,
+            );
+        }
         Ok((
             RunOutcome {
                 outputs,

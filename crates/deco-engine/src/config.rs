@@ -9,6 +9,7 @@
 //! | `DECO_ENGINE_ASYNC` | unset/empty/`0` = barrier, `1` = async | round substrate of the parallel engine |
 //! | `DECO_ENGINE_SHARDS` | unset/empty/`0` = unsharded, else a shard count | partition the network over that many shards |
 //! | `DECO_SHARD_TRANSPORT` | unset/empty/`threads`, `channel`, `process` | which byte pipe the *framed* shard entry points use |
+//! | `DECO_TRACE` | unset/empty/`0`/`off`, `ring`, `jsonl` | trace sink ([`deco_trace`]); `jsonl` writes to `DECO_TRACE_PATH` (default `trace.jsonl`) |
 //!
 //! Malformed values are **structured errors**, never silent fallbacks and
 //! never bare panics: a typo in a CI matrix cell must fail the run with
@@ -50,6 +51,12 @@ pub const ENV_ASYNC: &str = "DECO_ENGINE_ASYNC";
 pub const ENV_SHARDS: &str = "DECO_ENGINE_SHARDS";
 /// `DECO_SHARD_TRANSPORT` — byte pipe of the framed shard layer.
 pub const ENV_TRANSPORT: &str = "DECO_SHARD_TRANSPORT";
+/// `DECO_TRACE` — trace sink selection (`off` / `ring` / `jsonl`).
+pub const ENV_TRACE: &str = "DECO_TRACE";
+/// `DECO_TRACE_PATH` — JSONL output path (consumed by `deco-trace` at
+/// install time; re-exported here so the env-var surface is listed in one
+/// place).
+pub const ENV_TRACE_PATH: &str = deco_trace::ENV_TRACE_PATH;
 
 /// Which substrate carries cross-shard traffic. `Threads` is the typed
 /// in-process engine (shard workers are threads exchanging typed messages
@@ -175,6 +182,25 @@ pub fn parse_transport(raw: &str) -> Result<ShardTransportKind, EngineEnvError> 
             var: ENV_TRANSPORT,
             value: other.to_string(),
             expected: "threads, channel, or process (empty = threads)",
+        }),
+    }
+}
+
+/// Parses a `DECO_TRACE` value: empty, `0`, or `off` = tracing disabled,
+/// `ring` = in-memory ring sink, `jsonl` = JSONL file sink.
+///
+/// # Errors
+///
+/// [`EngineEnvError`] on anything else.
+pub fn parse_trace(raw: &str) -> Result<deco_trace::TraceMode, EngineEnvError> {
+    match raw.trim() {
+        "" | "0" | "off" => Ok(deco_trace::TraceMode::Off),
+        "ring" => Ok(deco_trace::TraceMode::Ring),
+        "jsonl" => Ok(deco_trace::TraceMode::Jsonl),
+        other => Err(EngineEnvError {
+            var: ENV_TRACE,
+            value: other.to_string(),
+            expected: "off, ring, or jsonl (empty = off)",
         }),
     }
 }
@@ -504,6 +530,45 @@ mod tests {
         let err = parse_transport("tcp").unwrap_err();
         assert_eq!(err.var, ENV_TRANSPORT);
         assert_eq!(err.value, "tcp");
+    }
+
+    #[test]
+    fn trace_parsing_accepts_every_documented_spelling() {
+        assert_eq!(parse_trace("").unwrap(), deco_trace::TraceMode::Off);
+        assert_eq!(parse_trace("0").unwrap(), deco_trace::TraceMode::Off);
+        assert_eq!(parse_trace(" off ").unwrap(), deco_trace::TraceMode::Off);
+        assert_eq!(parse_trace("ring").unwrap(), deco_trace::TraceMode::Ring);
+        assert_eq!(
+            parse_trace("jsonl\n").unwrap(),
+            deco_trace::TraceMode::Jsonl
+        );
+    }
+
+    #[test]
+    fn malformed_trace_values_are_structured_errors() {
+        // Every malformed shape: wrong word, case drift, numbers other
+        // than 0, trailing garbage, file-path-like values.
+        for bad in [
+            "on",
+            "1",
+            "true",
+            "JSONL",
+            "Ring",
+            "jsonl,ring",
+            "jsonl trace.jsonl",
+        ] {
+            let err = parse_trace(bad).unwrap_err();
+            assert_eq!(err.var, ENV_TRACE, "{bad}");
+            assert_eq!(err.value, bad.trim(), "{bad}");
+            assert_eq!(err.expected, "off, ring, or jsonl (empty = off)");
+            assert_eq!(
+                err.to_string(),
+                format!(
+                    "DECO_TRACE must be off, ring, or jsonl (empty = off), got {:?}",
+                    bad.trim()
+                )
+            );
+        }
     }
 
     #[test]

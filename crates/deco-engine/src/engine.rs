@@ -210,6 +210,8 @@ impl Executor for ParallelExecutor {
                     still_running: halted.iter().filter(|h| !**h).count(),
                 });
             }
+            let round_span = deco_trace::round_span(deco_trace::Phase::Round, rounds);
+            let send_span = deco_trace::round_span(deco_trace::Phase::Send, rounds);
             messages += send_phase::<P>(
                 net,
                 &plan,
@@ -218,6 +220,8 @@ impl Executor for ParallelExecutor {
                 &mut programs,
                 bufs.current_mut(),
             );
+            drop(send_span);
+            let receive_span = deco_trace::round_span(deco_trace::Phase::Receive, rounds);
             receive_phase::<P>(
                 net,
                 &plan,
@@ -227,8 +231,15 @@ impl Executor for ParallelExecutor {
                 &mut outputs,
                 &mut halted,
             );
+            drop(receive_span);
             bufs.swap();
             rounds += 1;
+            drop(round_span);
+        }
+
+        if deco_trace::enabled() {
+            deco_trace::count(deco_trace::Counter::Messages, messages);
+            deco_trace::count(deco_trace::Counter::Rounds, rounds);
         }
 
         Ok(RunOutcome {

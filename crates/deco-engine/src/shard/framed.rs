@@ -471,6 +471,11 @@ pub fn run_framed<T: ShardTransport>(
     let plan = ShardPlan::new(g, shards);
     let k = plan.shards();
     if k == 0 {
+        if deco_trace::enabled() {
+            deco_trace::count(deco_trace::Counter::Messages, 0);
+            deco_trace::count(deco_trace::Counter::Rounds, 0);
+            deco_trace::count(deco_trace::Counter::ShardExchangeBytes, 0);
+        }
         return Ok(FramedRun {
             outcome: RunOutcome {
                 outputs: Vec::new(),
@@ -533,11 +538,13 @@ pub fn run_framed<T: ShardTransport>(
                 still_running: total as usize,
             }));
         }
+        let round_span = deco_trace::round_span(deco_trace::Phase::Round, rounds);
         // Send phase everywhere, then collect every shard's cut-out.
         for conn in conns.iter_mut() {
             total_bytes += 1;
             conn.send(&[T_SEND_REQ])?;
         }
+        let cut_span = deco_trace::round_span(deco_trace::Phase::CutExchange, rounds);
         let mut outs: Vec<Vec<Option<Vec<u8>>>> = Vec::with_capacity(k);
         for conn in conns.iter_mut() {
             let p = expect_frame(conn, T_CUT_OUT)?;
@@ -568,6 +575,7 @@ pub fn run_framed<T: ShardTransport>(
             exchange_bytes += p.len() as u64;
             conn.send(&p)?;
         }
+        drop(cut_span);
         total = 0;
         for conn in conns.iter_mut() {
             let p = expect_frame(conn, T_DONE)?;
@@ -576,6 +584,13 @@ pub fn run_framed<T: ShardTransport>(
             total += c.u64()?;
         }
         rounds += 1;
+        drop(round_span);
+    }
+
+    if deco_trace::enabled() {
+        deco_trace::count(deco_trace::Counter::Messages, messages);
+        deco_trace::count(deco_trace::Counter::Rounds, rounds);
+        deco_trace::count(deco_trace::Counter::ShardExchangeBytes, exchange_bytes);
     }
 
     let mut outputs: Vec<u64> = Vec::with_capacity(n);

@@ -285,12 +285,17 @@ impl Executor for ShardedExecutor {
         let g = net.graph();
         let n = g.num_nodes();
         if n == 0 {
+            if deco_trace::enabled() {
+                deco_trace::count(deco_trace::Counter::Messages, 0);
+                deco_trace::count(deco_trace::Counter::Rounds, 0);
+            }
             return Ok(RunOutcome {
                 outputs: Vec::new(),
                 rounds: 0,
                 messages: 0,
             });
         }
+        let execute_span = deco_trace::span(deco_trace::Phase::Execute);
         let plan = ShardPlan::new(g, self.shards);
         let k = plan.shards();
 
@@ -380,6 +385,7 @@ impl Executor for ShardedExecutor {
 
         let still_running: usize = reports.iter().map(|r| r.capped).sum();
         if still_running > 0 {
+            execute_span.cancel();
             return Err(RunError::RoundLimitExceeded {
                 limit: max_rounds,
                 still_running,
@@ -387,6 +393,11 @@ impl Executor for ShardedExecutor {
         }
         let rounds = reports.iter().map(|r| r.max_halt).max().unwrap_or(0);
         let messages = reports.iter().map(|r| r.messages).sum();
+        drop(execute_span);
+        if deco_trace::enabled() {
+            deco_trace::count(deco_trace::Counter::Messages, messages);
+            deco_trace::count(deco_trace::Counter::Rounds, rounds);
+        }
         Ok(RunOutcome {
             outputs: reports.into_iter().flat_map(|r| r.outputs).collect(),
             rounds,

@@ -114,9 +114,11 @@ pub fn run<P: Protocol>(
                 still_running: outputs.iter().filter(|o| o.is_none()).count(),
             });
         }
+        let round_span = deco_trace::round_span(deco_trace::Phase::Round, rounds);
         // Send phase: gather all outgoing messages first (synchronous
         // semantics: everything sent this round is based on last round's
         // state).
+        let send_span = deco_trace::round_span(deco_trace::Phase::Send, rounds);
         let mut outboxes: Vec<Vec<Option<<P::Program as NodeProgram>::Msg>>> =
             Vec::with_capacity(n);
         for v in 0..n {
@@ -129,8 +131,10 @@ pub fn run<P: Protocol>(
             out.resize_with(ctx.degree(), || None);
             outboxes.push(out);
         }
+        drop(send_span);
         // Delivery phase: message sent by u through its port i (to neighbor
         // v via edge e) arrives at v through v's port for edge e.
+        let deliver_span = deco_trace::round_span(deco_trace::Phase::Deliver, rounds);
         let mut inboxes: Vec<Vec<Option<<P::Program as NodeProgram>::Msg>>> = (0..n)
             .map(|v| vec![None; g.degree(NodeId::from(v))])
             .collect();
@@ -148,7 +152,9 @@ pub fn run<P: Protocol>(
                 }
             }
         }
+        drop(deliver_span);
         // Receive phase.
+        let receive_span = deco_trace::round_span(deco_trace::Phase::Receive, rounds);
         for v in 0..n {
             if outputs[v].is_none() {
                 let ctx = net.ctx(NodeId::from(v));
@@ -156,7 +162,14 @@ pub fn run<P: Protocol>(
                 outputs[v] = programs[v].output(&ctx);
             }
         }
+        drop(receive_span);
         rounds += 1;
+        drop(round_span);
+    }
+
+    if deco_trace::enabled() {
+        deco_trace::count(deco_trace::Counter::Messages, messages);
+        deco_trace::count(deco_trace::Counter::Rounds, rounds);
     }
 
     Ok(RunOutcome {

@@ -41,8 +41,8 @@
 #![warn(missing_docs)]
 
 use deco_engine::config::{
-    self, parse_mode, parse_shards, parse_threads, parse_transport, DescriptorParseError,
-    EngineEnvError, EngineSelection, ShardTransportKind,
+    self, parse_mode, parse_shards, parse_threads, parse_trace, parse_transport,
+    DescriptorParseError, EngineEnvError, EngineSelection, ShardTransportKind,
 };
 use deco_engine::{EngineMode, ParallelExecutor, ShardedExecutor};
 use deco_local::network::Network;
@@ -333,6 +333,7 @@ pub struct RuntimeBuilder {
     shards: Option<usize>,
     transport: Option<ShardTransportKind>,
     max_rounds: Option<u64>,
+    trace: Option<deco_trace::TraceMode>,
 }
 
 impl RuntimeBuilder {
@@ -372,10 +373,20 @@ impl RuntimeBuilder {
         self
     }
 
+    /// Selects the trace sink [`build`](RuntimeBuilder::build) installs
+    /// process-globally: [`deco_trace::TraceMode::Off`] (the default — the
+    /// zero-cost path), `Ring`, or `Jsonl` (path from `DECO_TRACE_PATH`,
+    /// default `trace.jsonl`). Unset builders fall back to the `DECO_TRACE`
+    /// environment variable via [`RuntimeBuilder::from_env`].
+    pub fn trace(mut self, mode: deco_trace::TraceMode) -> RuntimeBuilder {
+        self.trace = Some(mode);
+        self
+    }
+
     /// Fills every knob the builder has *not* set from its environment
     /// variable, parsing with the pure parsers of [`deco_engine::config`]:
     /// `DECO_ENGINE_THREADS`, `DECO_ENGINE_ASYNC`, `DECO_ENGINE_SHARDS`,
-    /// `DECO_SHARD_TRANSPORT`. Explicit builder settings take precedence
+    /// `DECO_SHARD_TRANSPORT`, `DECO_TRACE`. Explicit builder settings take precedence
     /// variable by variable — `.threads(4).from_env()` honors
     /// `DECO_ENGINE_SHARDS` while ignoring `DECO_ENGINE_THREADS`.
     ///
@@ -401,6 +412,7 @@ impl RuntimeBuilder {
         fill(&mut self.mode, config::ENV_ASYNC, parse_mode)?;
         fill(&mut self.shards, config::ENV_SHARDS, parse_shards)?;
         fill(&mut self.transport, config::ENV_TRANSPORT, parse_transport)?;
+        fill(&mut self.trace, config::ENV_TRACE, parse_trace)?;
         Ok(self)
     }
 
@@ -426,6 +438,15 @@ impl RuntimeBuilder {
                 .selection()
                 .into()
             };
+        // Tracing is a process-global sink, not per-runtime state (the
+        // Runtime stays Copy). Only an *explicit* selection touches the
+        // global — a builder with no trace knob leaves whatever sink a
+        // caller installed directly via deco_trace::install in place.
+        if let Some(mode) = self.trace {
+            if let Err(err) = deco_trace::install(deco_trace::TraceConfig::from_mode(mode)) {
+                eprintln!("warning: could not install {mode} trace sink: {err}");
+            }
+        }
         Runtime {
             engine,
             max_rounds: self.max_rounds.unwrap_or(DEFAULT_MAX_ROUNDS),
@@ -480,6 +501,26 @@ mod tests {
             *Runtime::builder().shards(0).build().engine(),
             Engine::serial()
         );
+    }
+
+    #[test]
+    fn builder_installs_and_uninstalls_the_trace_sink() {
+        // Process-global: this test owns the sink for its duration (the
+        // other tests in this file never set a trace knob, so they don't
+        // touch it).
+        assert!(!deco_trace::enabled());
+        let rt = Runtime::builder()
+            .trace(deco_trace::TraceMode::Ring)
+            .build();
+        assert!(deco_trace::enabled());
+        assert_eq!(rt.descriptor(), "serial"); // trace knob never selects an engine
+        let _ = Runtime::builder().build();
+        assert!(
+            deco_trace::enabled(),
+            "trace-less builder leaves the sink alone"
+        );
+        let _ = Runtime::builder().trace(deco_trace::TraceMode::Off).build();
+        assert!(!deco_trace::enabled());
     }
 
     #[test]

@@ -1,0 +1,239 @@
+//! A minimal parser for flat JSON objects (one nesting level, scalar
+//! values), shared by [`crate::event::TraceEvent::from_jsonl`] and the
+//! `bench-trend` tool. The workspace is std-only, and every line format we
+//! consume — trace JSONL and the criterion shim's bench JSON — is a flat
+//! object of strings/numbers/bools/null, so a full JSON tree is
+//! deliberately out of scope.
+
+/// A scalar JSON value (the only values flat line formats use).
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonValue {
+    /// A JSON string (escapes decoded).
+    String(String),
+    /// A JSON number.
+    Number(f64),
+    /// A JSON boolean.
+    Bool(bool),
+    /// JSON `null`.
+    Null,
+}
+
+/// Parses one flat JSON object into its key/value pairs, in source order.
+///
+/// # Errors
+///
+/// A human-readable description of the first syntax problem: input that is
+/// not an object, nested arrays/objects, bad escapes, malformed numbers,
+/// duplicate keys, or trailing garbage.
+pub fn parse_object(input: &str) -> Result<Vec<(String, JsonValue)>, String> {
+    let mut p = Parser {
+        bytes: input.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    if !p.eat(b'{') {
+        return Err("expected a JSON object".into());
+    }
+    let mut fields: Vec<(String, JsonValue)> = Vec::new();
+    p.skip_ws();
+    if !p.eat(b'}') {
+        loop {
+            p.skip_ws();
+            let key = p.string()?;
+            if fields.iter().any(|(k, _)| *k == key) {
+                return Err(format!("duplicate key {key:?}"));
+            }
+            p.skip_ws();
+            if !p.eat(b':') {
+                return Err(format!("expected ':' after key {key:?}"));
+            }
+            p.skip_ws();
+            let value = p.value()?;
+            fields.push((key, value));
+            p.skip_ws();
+            if p.eat(b',') {
+                continue;
+            }
+            if p.eat(b'}') {
+                break;
+            }
+            return Err("expected ',' or '}' in object".into());
+        }
+    }
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err("trailing characters after object".into());
+    }
+    Ok(fields)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| matches!(b, b' ' | b'\t' | b'\r' | b'\n'))
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn eat(&mut self, b: u8) -> bool {
+        if self.bytes.get(self.pos) == Some(&b) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn value(&mut self) -> Result<JsonValue, String> {
+        match self.bytes.get(self.pos) {
+            Some(b'"') => Ok(JsonValue::String(self.string()?)),
+            Some(b't') => self.literal("true", JsonValue::Bool(true)),
+            Some(b'f') => self.literal("false", JsonValue::Bool(false)),
+            Some(b'n') => self.literal("null", JsonValue::Null),
+            Some(b'{') | Some(b'[') => Err("nested objects/arrays are not supported".into()),
+            Some(_) => self.number(),
+            None => Err("unexpected end of input".into()),
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: JsonValue) -> Result<JsonValue, String> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(format!("invalid literal (expected {word})"))
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        if !self.eat(b'"') {
+            return Err("expected a string".into());
+        }
+        let mut out = String::new();
+        loop {
+            match self.bytes.get(self.pos) {
+                None => return Err("unterminated string".into()),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let esc = *self
+                        .bytes
+                        .get(self.pos)
+                        .ok_or("unterminated escape sequence")?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b't' => out.push('\t'),
+                        b'r' => out.push('\r'),
+                        b'b' => out.push('\u{0008}'),
+                        b'f' => out.push('\u{000C}'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .ok_or("truncated \\u escape")?;
+                            let hex = std::str::from_utf8(hex).map_err(|_| "bad \\u escape")?;
+                            let code =
+                                u32::from_str_radix(hex, 16).map_err(|_| "bad \\u escape")?;
+                            self.pos += 4;
+                            out.push(char::from_u32(code).ok_or("bad \\u code point")?);
+                        }
+                        other => return Err(format!("invalid escape '\\{}'", other as char)),
+                    }
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar (input is a &str, so byte
+                    // boundaries are valid).
+                    let rest = &self.bytes[self.pos..];
+                    let s = std::str::from_utf8(rest).map_err(|_| "invalid UTF-8")?;
+                    let ch = s.chars().next().expect("non-empty");
+                    out.push(ch);
+                    self.pos += ch.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<JsonValue, String> {
+        let start = self.pos;
+        self.eat(b'-');
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| b.is_ascii_digit() || matches!(b, b'.' | b'e' | b'E' | b'+' | b'-'))
+        {
+            self.pos += 1;
+        }
+        let raw = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii");
+        raw.parse::<f64>()
+            .map(JsonValue::Number)
+            .map_err(|_| format!("invalid number {raw:?}"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_flat_objects_with_all_scalar_types() {
+        let fields = parse_object(
+            "{\"name\":\"solve/cycle\",\"mean_ns\":1234.5,\"ok\":true,\"skip\":false,\"x\":null}",
+        )
+        .unwrap();
+        assert_eq!(fields.len(), 5);
+        assert_eq!(fields[0].1, JsonValue::String("solve/cycle".into()));
+        assert_eq!(fields[1].1, JsonValue::Number(1234.5));
+        assert_eq!(fields[2].1, JsonValue::Bool(true));
+        assert_eq!(fields[3].1, JsonValue::Bool(false));
+        assert_eq!(fields[4].1, JsonValue::Null);
+    }
+
+    #[test]
+    fn decodes_escapes() {
+        let fields = parse_object("{\"k\":\"a\\n\\t\\\"b\\\\\\u0041\"}").unwrap();
+        assert_eq!(fields[0].1, JsonValue::String("a\n\t\"b\\A".into()));
+    }
+
+    #[test]
+    fn handles_empty_object_and_whitespace() {
+        assert!(parse_object("  { }  ").unwrap().is_empty());
+        let fields = parse_object("{ \"a\" : 1 , \"b\" : 2 }").unwrap();
+        assert_eq!(fields.len(), 2);
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        for (input, needle) in [
+            ("", "expected a JSON object"),
+            ("[1]", "expected a JSON object"),
+            ("{\"a\":1", "expected ',' or '}'"),
+            ("{\"a\" 1}", "expected ':'"),
+            ("{\"a\":{}}", "nested"),
+            ("{\"a\":[1]}", "nested"),
+            ("{\"a\":1,\"a\":2}", "duplicate key"),
+            ("{\"a\":1} x", "trailing"),
+            ("{\"a\":tru}", "invalid literal"),
+            ("{\"a\":--1}", "invalid number"),
+            ("{\"a\":\"unterminated}", "unterminated string"),
+            ("{\"a\":\"bad \\q\"}", "invalid escape"),
+        ] {
+            let err = parse_object(input).unwrap_err();
+            assert!(err.contains(needle), "input {input:?}: {err}");
+        }
+    }
+}

@@ -1,0 +1,176 @@
+//! Sink implementations: where emitted [`TraceEvent`]s go.
+//!
+//! The contract is deliberately thin — [`TraceSink::record`] must be
+//! callable from any thread (engines emit from worker threads), must not
+//! panic on I/O trouble (tracing is observability, not control flow), and
+//! must make each event durable atomically enough that a crashed process
+//! leaves only whole lines behind (the JSONL sink writes one line per
+//! `record`, unbuffered).
+
+use crate::event::TraceEvent;
+use std::collections::VecDeque;
+use std::fs::File;
+use std::io::Write;
+use std::path::Path;
+use std::sync::Mutex;
+
+/// Receiver of structured trace events. Implementations must be cheap and
+/// thread-safe; a sink that drops events (ring overflow, I/O error) does so
+/// silently — aggregation for [`crate::MetricsReport`] happens upstream and
+/// is never affected by sink lossiness.
+pub trait TraceSink: Send + Sync {
+    /// Receives one event.
+    fn record(&self, event: &TraceEvent);
+
+    /// Flushes any buffered state (default: nothing to flush).
+    fn flush(&self) {}
+
+    /// Drains and returns buffered events, if this sink retains them
+    /// (default: `None` — the sink does not buffer).
+    fn take_events(&self) -> Option<Vec<TraceEvent>> {
+        None
+    }
+}
+
+/// A sink that discards everything. The installed default; [`crate::enabled`]
+/// short-circuits before any event is even built, so this type mostly
+/// exists to make the dispatch table total.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NoopSink;
+
+impl TraceSink for NoopSink {
+    fn record(&self, _event: &TraceEvent) {}
+}
+
+/// Maximum number of events a [`RingSink`] retains before evicting the
+/// oldest.
+pub const RING_CAPACITY: usize = 65_536;
+
+/// An in-memory ring buffer of the most recent [`RING_CAPACITY`] events.
+/// Used by tests and the `trace-profile` experiment to inspect emissions
+/// without touching the filesystem.
+#[derive(Debug, Default)]
+pub struct RingSink {
+    events: Mutex<VecDeque<TraceEvent>>,
+}
+
+impl RingSink {
+    /// Creates an empty ring.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl TraceSink for RingSink {
+    fn record(&self, event: &TraceEvent) {
+        let Ok(mut events) = self.events.lock() else {
+            return;
+        };
+        if events.len() == RING_CAPACITY {
+            events.pop_front();
+        }
+        events.push_back(event.clone());
+    }
+
+    fn take_events(&self) -> Option<Vec<TraceEvent>> {
+        let Ok(mut events) = self.events.lock() else {
+            return Some(Vec::new());
+        };
+        Some(events.drain(..).collect())
+    }
+}
+
+/// A sink appending one JSON line per event to a file.
+///
+/// Writes are unbuffered and line-atomic (one `write_all` per event under a
+/// mutex): the global dispatch holding this sink lives for the process, so
+/// a buffered writer's tail would never be flushed. I/O errors are silently
+/// swallowed — a full disk must not fail the algorithm under observation.
+#[derive(Debug)]
+pub struct JsonlSink {
+    file: Mutex<File>,
+}
+
+impl JsonlSink {
+    /// Creates (truncating) `path` and returns a sink writing to it.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the [`std::io::Error`] if the file cannot be created.
+    pub fn create(path: &Path) -> std::io::Result<Self> {
+        Ok(Self {
+            file: Mutex::new(File::create(path)?),
+        })
+    }
+}
+
+impl TraceSink for JsonlSink {
+    fn record(&self, event: &TraceEvent) {
+        let mut line = event.to_jsonl();
+        line.push('\n');
+        if let Ok(mut file) = self.file.lock() {
+            let _ = file.write_all(line.as_bytes());
+        }
+    }
+
+    fn flush(&self) {
+        if let Ok(mut file) = self.file.lock() {
+            let _ = file.flush();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{Counter, Phase};
+
+    fn count(value: u64) -> TraceEvent {
+        TraceEvent::Count {
+            counter: Counter::Messages,
+            value,
+        }
+    }
+
+    #[test]
+    fn ring_retains_and_drains() {
+        let ring = RingSink::new();
+        ring.record(&count(1));
+        ring.record(&count(2));
+        let events = ring.take_events().unwrap();
+        assert_eq!(events, vec![count(1), count(2)]);
+        assert_eq!(ring.take_events().unwrap(), vec![]);
+    }
+
+    #[test]
+    fn ring_evicts_oldest_at_capacity() {
+        let ring = RingSink::new();
+        for i in 0..(RING_CAPACITY as u64 + 10) {
+            ring.record(&count(i));
+        }
+        let events = ring.take_events().unwrap();
+        assert_eq!(events.len(), RING_CAPACITY);
+        assert_eq!(events[0], count(10));
+    }
+
+    #[test]
+    fn jsonl_writes_parseable_lines_immediately() {
+        let path =
+            std::env::temp_dir().join(format!("deco-trace-sink-test-{}.jsonl", std::process::id()));
+        let sink = JsonlSink::create(&path).unwrap();
+        sink.record(&TraceEvent::Span {
+            phase: Phase::Round,
+            round: Some(3),
+            nanos: 99,
+        });
+        sink.record(&count(7));
+        // No flush: line-atomic unbuffered writes must already be on disk.
+        let text = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        for line in lines {
+            TraceEvent::from_jsonl(line).unwrap();
+        }
+        std::fs::remove_file(&path).ok();
+    }
+}

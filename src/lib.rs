@@ -18,6 +18,10 @@
 //!   every protocol entry point takes `&Runtime`.
 //! * [`core_alg`] — the Theorem 4.1 solver; pipeline entry points return
 //!   a structured [`core_alg::RunReport`].
+//! * [`trace`] — zero-cost-when-off tracing and metrics shared by every
+//!   engine: set `DECO_TRACE=jsonl` (or `ring`) and `RunReport.metrics`
+//!   carries a per-phase [`trace::MetricsReport`]; unset, the
+//!   instrumentation is a single relaxed atomic load.
 //!
 //! ## Quickstart
 //!
@@ -70,5 +74,6 @@ pub use deco_engine as engine;
 pub use deco_graph as graph;
 pub use deco_local as local;
 pub use deco_runtime as runtime;
+pub use deco_trace as trace;
 
 pub use deco_runtime::{Engine, Runtime, RuntimeBuilder};
