@@ -32,6 +32,15 @@ pub enum LubyMsg {
     },
 }
 
+/// The vacant-slot filler for the engines' dense message arenas
+/// (`NodeProgram::Msg: Default`). The value is never observed on the wire —
+/// a presence bit guards every arena slot.
+impl Default for LubyMsg {
+    fn default() -> Self {
+        LubyMsg::Final { color: 0 }
+    }
+}
+
 /// Protocol: randomized list vertex coloring of the network's graph.
 /// For (2Δ̄+1)-style edge coloring, run it on the line graph.
 #[derive(Debug, Clone)]

@@ -17,6 +17,7 @@ pub mod engine_shard;
 pub mod fig_partition;
 pub mod fig_slack_walkthrough;
 pub mod fig_virtual;
+pub mod graph_scale;
 pub mod lem42;
 pub mod lem43;
 pub mod lem44;
@@ -51,6 +52,7 @@ pub fn all() -> Vec<(&'static str, Runner)> {
         ("engine-matrix", engine_matrix::run),
         ("engine-async", engine_async::run),
         ("engine-shard", engine_shard::run),
+        ("graph-scale", graph_scale::run),
         ("solver-par", solver_par::run),
         ("trace-profile", trace_profile::run),
     ]

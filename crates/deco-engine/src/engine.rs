@@ -23,6 +23,7 @@
 use crate::config::EngineEnvError;
 use crate::mailbox::{DoubleBuffer, MailboxPlan};
 use crate::par::{split_by_weight, split_mut_by_ranges};
+use deco_local::arena::PortArena;
 use deco_local::network::Network;
 use deco_local::runner::{NodeProgram, Protocol, RunError, RunOutcome};
 use deco_local::Executor;
@@ -302,13 +303,18 @@ impl Executor for ParallelExecutor {
 /// Send phase: every active node writes its outgoing messages into its own
 /// arena slot range; halted nodes' ranges are cleared. Returns the number
 /// of messages sent (= delivered, since every written `Some` is read).
+///
+/// Workers get exclusive payload-slot chunks via
+/// [`PortArena::split_writers`]; presence bits go through the shared atomic
+/// bitmap, which is what keeps the per-thread slot ranges degree-aligned
+/// instead of word-aligned.
 fn send_phase<P>(
     net: &Network<'_>,
     plan: &MailboxPlan,
     ranges: &[Range<usize>],
     halted: &[bool],
     programs: &mut [P::Program],
-    arena: &mut [Option<<P::Program as NodeProgram>::Msg>],
+    arena: &mut PortArena<<P::Program as NodeProgram>::Msg>,
 ) -> u64
 where
     P: Protocol,
@@ -320,45 +326,42 @@ where
         .map(|r| plan.offsets()[r.start]..plan.offsets()[r.end])
         .collect();
     let prog_chunks = split_mut_by_ranges(programs, ranges);
-    let arena_chunks = split_mut_by_ranges(arena, &slot_ranges);
+    let writers = arena.split_writers(&slot_ranges);
 
-    let run_chunk = |range: Range<usize>,
-                     progs: &mut [P::Program],
-                     slots: &mut [Option<<P::Program as NodeProgram>::Msg>]|
-     -> u64 {
-        let chunk_base = plan.offsets()[range.start];
-        let mut sent = 0u64;
-        for v in range.clone() {
-            let ctx = net.ctx(v.into());
-            let deg = ctx.degree();
-            let local = plan.offset(v.into()) - chunk_base;
-            let slots = &mut slots[local..local + deg];
-            if halted[v] {
-                for s in slots {
-                    *s = None;
+    let run_chunk =
+        |range: Range<usize>,
+         progs: &mut [P::Program],
+         writer: &mut deco_local::arena::ArenaWriter<'_, <P::Program as NodeProgram>::Msg>|
+         -> u64 {
+            let mut sent = 0u64;
+            for v in range.clone() {
+                let ctx = net.ctx(v.into());
+                let deg = ctx.degree();
+                let base = plan.offset(v.into());
+                if halted[v] {
+                    for k in base..base + deg {
+                        writer.clear(k);
+                    }
+                    continue;
                 }
-                continue;
-            }
-            let out = progs[v - range.start].send(&ctx);
-            let mut it = out.into_iter();
-            for s in slots {
-                // Matches the serial runner's `resize_with(degree)`: missing
-                // entries become None, surplus entries are dropped.
-                *s = it.next().flatten();
-                if s.is_some() {
-                    sent += 1;
+                let out = progs[v - range.start].send(&ctx);
+                let mut it = out.into_iter();
+                for k in base..base + deg {
+                    // Matches the serial runner: missing entries become vacant,
+                    // surplus entries are dropped.
+                    let msg = it.next().flatten();
+                    if msg.is_some() {
+                        sent += 1;
+                    }
+                    writer.write(k, msg);
                 }
             }
-        }
-        sent
-    };
+            sent
+        };
 
     if ranges.len() <= 1 {
-        return match (
-            prog_chunks.into_iter().next(),
-            arena_chunks.into_iter().next(),
-        ) {
-            (Some(progs), Some(slots)) => run_chunk(ranges[0].clone(), progs, slots),
+        return match (prog_chunks.into_iter().next(), writers.into_iter().next()) {
+            (Some(progs), Some(mut writer)) => run_chunk(ranges[0].clone(), progs, &mut writer),
             _ => 0,
         };
     }
@@ -366,11 +369,11 @@ where
         let handles: Vec<_> = ranges
             .iter()
             .zip(prog_chunks)
-            .zip(arena_chunks)
-            .map(|((range, progs), slots)| {
+            .zip(writers)
+            .map(|((range, progs), mut writer)| {
                 let range = range.clone();
                 let run_chunk = &run_chunk;
-                scope.spawn(move || run_chunk(range, progs, slots))
+                scope.spawn(move || run_chunk(range, progs, &mut writer))
             })
             .collect();
         // Join in spawn order: the total is a sum, so the count is
@@ -389,7 +392,7 @@ fn receive_phase<P>(
     net: &Network<'_>,
     plan: &MailboxPlan,
     ranges: &[Range<usize>],
-    arena: &[Option<<P::Program as NodeProgram>::Msg>],
+    arena: &PortArena<<P::Program as NodeProgram>::Msg>,
     programs: &mut [P::Program],
     outputs: &mut [Option<<P::Program as NodeProgram>::Output>],
     halted: &mut [bool],
@@ -416,7 +419,10 @@ fn receive_phase<P>(
             }
             let ctx = net.ctx(v.into());
             inbox.clear();
-            inbox.extend(plan.slots(v.into()).map(|k| arena[plan.mirror(k)].clone()));
+            inbox.extend(
+                plan.slots(v.into())
+                    .map(|k| arena.clone_out(plan.mirror(k))),
+            );
             progs[i].receive(&ctx, &inbox);
             outs[i] = progs[i].output(&ctx);
             halts[i] = outs[i].is_some();

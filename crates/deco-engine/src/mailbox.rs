@@ -1,13 +1,16 @@
 //! Flat CSR-packed mailbox arenas.
 //!
-//! The serial runner allocates `Vec<Vec<Option<Msg>>>` outboxes and inboxes
-//! every round and resolves each delivery with a linear scan. The engine
-//! instead lays every port of every node out in one flat arena — slot
+//! The engine lays every port of every node out in one flat arena — slot
 //! `offset(v) + j` is node `v`'s port `j` — and precomputes, once per
 //! execution, the *mirror* of each slot: the arena index of the same edge at
 //! the other endpoint. Delivery then needs no data movement at all: the
 //! inbox of `(v, j)` *is* the outbox slot `mirror[offset(v) + j]`, read in
 //! O(1).
+//!
+//! Message storage is the dense [`PortArena`] (payload slots plus bitmap
+//! presence words — see [`deco_local::arena`]) rather than `Vec<Option<M>>`:
+//! a port costs `size_of::<M>()` bytes plus one bit, and the deliver path
+//! checks a presence bit instead of branching on an `Option` discriminant.
 //!
 //! Two arenas are kept and swapped every round (double buffering). Today
 //! the phases alternate strictly, every active slot is rewritten each
@@ -34,6 +37,7 @@
 //! ```
 
 use deco_graph::{Graph, NodeId};
+use deco_local::arena::PortArena;
 use std::sync::Mutex;
 
 /// Precomputed arena geometry for one graph: per-node slot offsets and the
@@ -102,28 +106,28 @@ impl MailboxPlan {
 /// A pair of flat message arenas, swapped across rounds.
 #[derive(Debug)]
 pub struct DoubleBuffer<M> {
-    cur: Vec<Option<M>>,
-    prev: Vec<Option<M>>,
+    cur: PortArena<M>,
+    prev: PortArena<M>,
 }
 
-impl<M> DoubleBuffer<M> {
-    /// Allocates both arenas with `slots` entries, all `None`.
+impl<M: Clone + Default> DoubleBuffer<M> {
+    /// Allocates both arenas with `slots` entries, all vacant.
     pub fn new(slots: usize) -> DoubleBuffer<M> {
         DoubleBuffer {
-            cur: (0..slots).map(|_| None).collect(),
-            prev: (0..slots).map(|_| None).collect(),
+            cur: PortArena::new(slots),
+            prev: PortArena::new(slots),
         }
     }
 
     /// The buffer the current round writes (send) and reads (receive).
     #[inline]
-    pub fn current(&self) -> &[Option<M>] {
+    pub fn current(&self) -> &PortArena<M> {
         &self.cur
     }
 
     /// Mutable view of the current buffer, for the send phase.
     #[inline]
-    pub fn current_mut(&mut self) -> &mut [Option<M>] {
+    pub fn current_mut(&mut self) -> &mut PortArena<M> {
         &mut self.cur
     }
 
@@ -131,6 +135,11 @@ impl<M> DoubleBuffer<M> {
     #[inline]
     pub fn swap(&mut self) {
         std::mem::swap(&mut self.cur, &mut self.prev);
+    }
+
+    /// Heap bytes across both arenas (the scale reports' memory column).
+    pub fn heap_bytes(&self) -> usize {
+        self.cur.heap_bytes() + self.prev.heap_bytes()
     }
 }
 
@@ -155,17 +164,30 @@ impl<M> DoubleBuffer<M> {
 /// `r + 2` write with a receiver's round-`r` read on the *other* parity.
 #[derive(Debug)]
 pub struct RingBuffer<M> {
-    /// `slots[k]` holds the two-round ring of plan slot `k`:
-    /// `slots[k][r % 2]` is the round-`r` message awaiting the reader.
-    slots: Vec<Mutex<[Option<M>; 2]>>,
+    /// `slots[k]` holds the two-round ring of plan slot `k`: payload
+    /// `vals[r % 2]` plus a two-bit presence mask, the per-port shape of
+    /// the same dense-arena diet [`PortArena`] applies globally (an
+    /// `[Option<M>; 2]` would pay the niche tag twice per port).
+    slots: Vec<Mutex<ParityCell<M>>>,
 }
 
-impl<M> RingBuffer<M> {
+/// One port's two-round ring: dense payloads plus a presence bit per
+/// parity. A vacant parity may hold a stale payload from round `r - 2`;
+/// the mask bit is authoritative.
+#[derive(Debug, Default)]
+struct ParityCell<M> {
+    vals: [M; 2],
+    mask: u8,
+}
+
+impl<M: Clone + Default> RingBuffer<M> {
     /// Allocates rings for `slots` ports (the plan's
     /// [`MailboxPlan::num_slots`]), all empty.
     pub fn new(slots: usize) -> RingBuffer<M> {
         RingBuffer {
-            slots: (0..slots).map(|_| Mutex::new([None, None])).collect(),
+            slots: (0..slots)
+                .map(|_| Mutex::new(ParityCell::default()))
+                .collect(),
         }
     }
 
@@ -174,7 +196,15 @@ impl<M> RingBuffer<M> {
     /// real value — "this port is silent in round `r`" — and must be
     /// written too, or the stale `r - 2` message would resurface.
     pub fn publish(&self, k: usize, r: u64, msg: Option<M>) {
-        self.slots[k].lock().expect("ring slot poisoned")[(r % 2) as usize] = msg;
+        let p = (r % 2) as usize;
+        let mut cell = self.slots[k].lock().expect("ring slot poisoned");
+        match msg {
+            Some(m) => {
+                cell.vals[p] = m;
+                cell.mask |= 1 << p;
+            }
+            None => cell.mask &= !(1 << p),
+        }
     }
 
     /// Takes the round-`r` message of plan slot `k`. Callers must have
@@ -182,12 +212,25 @@ impl<M> RingBuffer<M> {
     /// Taking (rather than cloning) keeps the slot clean for halted-sender
     /// ports, whose rings are never written again.
     pub fn take(&self, k: usize, r: u64) -> Option<M> {
-        self.slots[k].lock().expect("ring slot poisoned")[(r % 2) as usize].take()
+        let p = (r % 2) as usize;
+        let mut cell = self.slots[k].lock().expect("ring slot poisoned");
+        if cell.mask & (1 << p) != 0 {
+            cell.mask &= !(1 << p);
+            Some(std::mem::take(&mut cell.vals[p]))
+        } else {
+            None
+        }
     }
 
     /// Number of port rings.
     pub fn num_slots(&self) -> usize {
         self.slots.len()
+    }
+
+    /// Heap bytes of the ring storage: one mutex-protected two-parity dense
+    /// cell per port.
+    pub fn heap_bytes(&self) -> usize {
+        self.slots.len() * std::mem::size_of::<Mutex<ParityCell<M>>>()
     }
 }
 
@@ -256,10 +299,20 @@ mod tests {
     #[test]
     fn double_buffer_swaps() {
         let mut buf: DoubleBuffer<u32> = DoubleBuffer::new(3);
-        buf.current_mut()[1] = Some(7);
+        buf.current_mut().set(1, 7);
         buf.swap();
-        assert_eq!(buf.current(), &[None, None, None]);
+        assert_eq!(buf.current().count_present(), 0);
         buf.swap();
-        assert_eq!(buf.current()[1], Some(7));
+        assert_eq!(buf.current().clone_out(1), Some(7));
+    }
+
+    #[test]
+    fn ring_buffer_stale_parity_is_unobservable() {
+        // A round-r+2 silence must fully mask the round-r payload even
+        // though the dense cell still physically holds the stale bytes.
+        let ring: RingBuffer<u32> = RingBuffer::new(1);
+        ring.publish(0, 4, Some(9));
+        ring.publish(0, 6, None);
+        assert_eq!(ring.take(0, 6), None);
     }
 }

@@ -90,6 +90,15 @@ pub enum GraphSpec {
         /// Number of nodes.
         n: usize,
     },
+    /// RMAT/Kronecker graph on `2^scale` nodes — the scale-out family the
+    /// million-edge substrate targets; heavy-tailed degrees stress the
+    /// degree-balanced chunking of every parallel engine.
+    Kronecker {
+        /// Log2 of the node count.
+        scale: u32,
+        /// Distinct-edge target per node (`edge_factor << scale` edges).
+        edge_factor: usize,
+    },
     /// Uniform random labelled tree.
     RandomTree {
         /// Number of nodes.
@@ -130,6 +139,9 @@ impl GraphSpec {
             GraphSpec::RandomRegular { n, d } => format!("regular(n={n},d={d})"),
             GraphSpec::Gnp { n, p } => format!("gnp(n={n},p={p})"),
             GraphSpec::PowerLaw { n } => format!("powerlaw(n={n})"),
+            GraphSpec::Kronecker { scale, edge_factor } => {
+                format!("kronecker(s={scale},ef={edge_factor})")
+            }
             GraphSpec::RandomTree { n } => format!("tree(n={n})"),
             GraphSpec::TwoClusters { n, d } => format!("two-clusters(n={n},d={d})"),
             GraphSpec::ManySmallComponents {
@@ -153,6 +165,9 @@ impl GraphSpec {
             GraphSpec::Gnp { n, p } => generators::gnp(n, p, seed),
             GraphSpec::PowerLaw { n } => {
                 generators::power_law(n, 2.5, (n as f64).sqrt().min(64.0), seed)
+            }
+            GraphSpec::Kronecker { scale, edge_factor } => {
+                generators::kronecker(scale, edge_factor, seed)
             }
             GraphSpec::RandomTree { n } => generators::random_tree(n, seed),
             GraphSpec::TwoClusters { n, d } => generators::disjoint_union(&[
@@ -319,6 +334,10 @@ impl ScenarioMatrix {
             GraphSpec::RandomRegular { n: 120, d: 16 },
             GraphSpec::Gnp { n: 80, p: 0.08 },
             GraphSpec::PowerLaw { n: 100 },
+            GraphSpec::Kronecker {
+                scale: 7,
+                edge_factor: 4,
+            },
             GraphSpec::RandomTree { n: 90 },
             GraphSpec::TwoClusters { n: 24, d: 4 },
             GraphSpec::ManySmallComponents {
@@ -338,6 +357,10 @@ impl ScenarioMatrix {
             GraphSpec::Complete { n: 6 },
             GraphSpec::RandomRegular { n: 20, d: 4 },
             GraphSpec::RandomTree { n: 15 },
+            GraphSpec::Kronecker {
+                scale: 5,
+                edge_factor: 3,
+            },
             GraphSpec::TwoClusters { n: 8, d: 2 },
             GraphSpec::ManySmallComponents {
                 components: 6,

@@ -45,6 +45,7 @@ use super::wire::{put_bytes, put_u32, put_u64, read_frame, write_frame, Cursor};
 use super::worker::ShardWorker;
 use crate::protocols::{FloodMax, PortEcho, StaggeredSum};
 use deco_graph::Graph;
+use deco_local::arena::PortArena;
 use deco_local::network::Network;
 use deco_local::runner::{NodeProgram, Protocol, RunError, RunOutcome};
 use std::io;
@@ -545,7 +546,7 @@ pub fn run_framed<T: ShardTransport>(
             conn.send(&[T_SEND_REQ])?;
         }
         let cut_span = deco_trace::round_span(deco_trace::Phase::CutExchange, rounds);
-        let mut outs: Vec<Vec<Option<Vec<u8>>>> = Vec::with_capacity(k);
+        let mut outs: Vec<PortArena<Vec<u8>>> = Vec::with_capacity(k);
         for conn in conns.iter_mut() {
             let p = expect_frame(conn, T_CUT_OUT)?;
             total_bytes += p.len() as u64;
@@ -553,9 +554,9 @@ pub fn run_framed<T: ShardTransport>(
             let mut c = Cursor::new(&p[1..]);
             messages += c.u64()?;
             let count = c.u64()? as usize;
-            let mut entries = Vec::with_capacity(count);
-            for _ in 0..count {
-                entries.push(get_opt_raw(&mut c)?);
+            let mut entries = PortArena::new(count);
+            for i in 0..count {
+                entries.write(i, get_opt_raw(&mut c)?);
             }
             if !c.finished() {
                 return Err(invalid("trailing bytes in CutOut frame").into());
@@ -569,7 +570,7 @@ pub fn run_framed<T: ShardTransport>(
             let mut p = vec![T_DELIVER];
             put_u64(&mut p, route.len() as u64);
             for &(t, j) in route {
-                put_opt_raw(&mut p, &outs[t as usize][j as usize]);
+                put_opt_raw(&mut p, outs[t as usize].get(j as usize));
             }
             total_bytes += p.len() as u64;
             exchange_bytes += p.len() as u64;
@@ -723,8 +724,8 @@ where
                 let mut p = vec![T_CUT_OUT];
                 put_u64(&mut p, sent);
                 put_u64(&mut p, cut_out.len() as u64);
-                for m in &cut_out {
-                    put_opt_msg(&mut p, m);
+                for i in 0..cut_out.len() {
+                    put_opt_msg(&mut p, cut_out.get(i));
                 }
                 conn.send(&p)?;
             }
@@ -734,9 +735,9 @@ where
                 if count != plan.cut_ports(init.shard).len() {
                     return Err(invalid("Deliver entry count mismatch"));
                 }
-                let mut ghost = Vec::with_capacity(count);
-                for _ in 0..count {
-                    ghost.push(get_opt_msg(&mut c)?);
+                let mut ghost = PortArena::new(count);
+                for i in 0..count {
+                    ghost.write(i, get_opt_msg(&mut c)?);
                 }
                 if !c.finished() {
                     return Err(invalid("trailing bytes in Deliver frame"));
@@ -774,7 +775,7 @@ fn expect_frame<C: ShardConn>(conn: &mut C, tag: u8) -> io::Result<Vec<u8>> {
 
 /// Encodes an optional typed message as an opaque entry (`0` = silent,
 /// `1` + length-prefixed bytes = present).
-fn put_opt_msg<M: WireMsg>(out: &mut Vec<u8>, m: &Option<M>) {
+fn put_opt_msg<M: WireMsg>(out: &mut Vec<u8>, m: Option<&M>) {
     match m {
         None => out.push(0),
         Some(m) => {
@@ -814,7 +815,7 @@ fn get_opt_raw(c: &mut Cursor<'_>) -> io::Result<Option<Vec<u8>>> {
 }
 
 /// Re-encodes an opaque entry.
-fn put_opt_raw(out: &mut Vec<u8>, m: &Option<Vec<u8>>) {
+fn put_opt_raw(out: &mut Vec<u8>, m: Option<&Vec<u8>>) {
     match m {
         None => out.push(0),
         Some(b) => {

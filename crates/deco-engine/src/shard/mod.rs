@@ -44,6 +44,7 @@ mod worker;
 pub use plan::ShardPlan;
 
 use crate::config::ShardTransportKind;
+use deco_local::arena::PortArena;
 use deco_local::network::Network;
 use deco_local::runner::{NodeProgram, Protocol, RunError, RunOutcome};
 use deco_local::Executor;
@@ -58,10 +59,11 @@ const SIBLING_PANIC: &str = "sharded sibling worker panicked";
 /// The message type of protocol `P`.
 type MsgOf<P> = <<P as Protocol>::Program as NodeProgram>::Msg;
 
-/// Two-round parity buffers of one shard's cut-out vectors:
-/// `ring[r % 2]` holds the round-`r` boundary messages, safe because the
+/// Two-round parity buffers of one shard's cut-out arenas:
+/// `ring[r % 2]` holds the round-`r` boundary messages (one dense
+/// [`PortArena`] slot per cut port, ghost-index order), safe because the
 /// shard clock's capacity predicate keeps shard drift within one round.
-type ParityRing<M> = Mutex<[Vec<Option<M>>; 2]>;
+type ParityRing<M> = Mutex<[PortArena<M>; 2]>;
 
 /// Sharded, multi-worker implementation of [`Executor`]: the graph is
 /// partitioned by a [`ShardPlan`], each shard runs on its own worker
@@ -311,10 +313,10 @@ impl Executor for ShardedExecutor {
 
         let clock = ShardClock::new(k);
         // Two-round parity buffers per shard: `rings[s][r % 2]` holds shard
-        // `s`'s round-`r` cut-out vector. Depth 1 of shard drift is exactly
+        // `s`'s round-`r` cut-out arena. Depth 1 of shard drift is exactly
         // what two parities cover (see ShardClock).
         let rings: Vec<ParityRing<MsgOf<P>>> = (0..k)
-            .map(|_| Mutex::new([Vec::new(), Vec::new()]))
+            .map(|_| Mutex::new([PortArena::new(0), PortArena::new(0)]))
             .collect();
 
         let reports: Vec<ShardReport<<P::Program as NodeProgram>::Output>> = if k == 1 {
@@ -464,8 +466,7 @@ where
         // its parity slot alive until we mark this round received.
         let route = plan.route(s);
         let sent = clock.sent_snapshot();
-        let mut ghost_in: Vec<Option<<P::Program as NodeProgram>::Msg>> =
-            (0..route.len()).map(|_| None).collect();
+        let mut ghost_in: PortArena<<P::Program as NodeProgram>::Msg> = PortArena::new(route.len());
         for (t, ring) in rings.iter().enumerate() {
             if t == s || sent[t] < rr {
                 continue;
@@ -476,7 +477,7 @@ where
             let slot = &ring[(rr % 2) as usize];
             for (i, &(rt, j)) in route.iter().enumerate() {
                 if rt as usize == t {
-                    ghost_in[i] = slot[j as usize].clone();
+                    ghost_in.write(i, slot.clone_out(j as usize));
                 }
             }
         }

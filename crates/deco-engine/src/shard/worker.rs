@@ -9,12 +9,12 @@
 //!
 //! 1. [`ShardWorker::send_phase`] — every active local node writes its
 //!    outgoing messages into the local arena; the worker returns the
-//!    *cut-out vector* (one entry per cut port, in plan ghost-index order)
+//!    *cut-out arena* (one slot per cut port, in plan ghost-index order)
 //!    for whichever exchange discipline the caller runs;
-//! 2. [`ShardWorker::receive_phase`] — given the *ghost-in vector* routed
+//! 2. [`ShardWorker::receive_phase`] — given the *ghost-in arena* routed
 //!    from the other shards, every active local node assembles its inbox
 //!    (shard-internal ports read the local arena through the mirror table,
-//!    ghost ports read the ghost-in vector), processes it, and re-evaluates
+//!    ghost ports read the ghost-in arena), processes it, and re-evaluates
 //!    its output.
 //!
 //! Both the in-process clock-driven executor and the framed
@@ -26,6 +26,7 @@
 
 use super::plan::ShardPlan;
 use crate::par::{split_by_weight, split_mut_by_ranges};
+use deco_local::arena::{ArenaWriter, PortArena};
 use deco_local::network::Network;
 use deco_local::runner::{NodeProgram, Protocol};
 use std::ops::Range;
@@ -41,7 +42,7 @@ pub(crate) struct ShardWorker<'a, 'g, P: Protocol> {
     halted: Vec<bool>,
     /// The shard's slice of the mailbox arena, indexed by
     /// `global slot - slot_range.start`.
-    arena: Vec<Option<<P::Program as NodeProgram>::Msg>>,
+    arena: PortArena<<P::Program as NodeProgram>::Msg>,
     /// Completed local rounds.
     completed: u64,
     /// Highest local round at which a node of this shard halted.
@@ -104,7 +105,7 @@ where
             programs,
             outputs,
             halted,
-            arena: (0..slots).map(|_| None).collect(),
+            arena: PortArena::new(slots),
             completed: 0,
             max_halt: 0,
             active,
@@ -134,9 +135,9 @@ where
     /// outgoing messages into the local arena (halted nodes' slots are
     /// cleared — the silent-halt rule), then the cut ports are copied out
     /// in ghost-index order for the exchange. Returns `(cut_out, sent)`
-    /// where `sent` counts the `Some` messages written, matching the
+    /// where `sent` counts the present messages written, matching the
     /// serial runner's accounting.
-    pub fn send_phase(&mut self) -> (Vec<Option<<P::Program as NodeProgram>::Msg>>, u64) {
+    pub fn send_phase(&mut self) -> (PortArena<<P::Program as NodeProgram>::Msg>, u64) {
         let range = self.plan.node_range(self.shard);
         let slo = self.plan.slot_range(self.shard).start;
         let net = self.net;
@@ -145,33 +146,32 @@ where
 
         let run_chunk = |chunk: Range<usize>,
                          progs: &mut [P::Program],
-                         slots: &mut [Option<<P::Program as NodeProgram>::Msg>]|
+                         writer: &mut ArenaWriter<'_, <P::Program as NodeProgram>::Msg>|
          -> u64 {
-            // `chunk` is in local node indices; slots start at the chunk's
-            // first local slot.
-            let chunk_base = plan.mailbox().offsets()[range.start + chunk.start] - slo;
+            // `chunk` is in local node indices; the writer covers exactly the
+            // chunk's shard-local slot range.
             let mut sent = 0u64;
             for i in chunk.clone() {
                 let v = range.start + i;
                 let ctx = net.ctx(v.into());
                 let deg = ctx.degree();
-                let local = plan.mailbox().offset(v.into()) - slo - chunk_base;
-                let slots = &mut slots[local..local + deg];
+                let base = plan.mailbox().offset(v.into()) - slo;
                 if halted[i] {
-                    for s in slots {
-                        *s = None;
+                    for k in base..base + deg {
+                        writer.clear(k);
                     }
                     continue;
                 }
                 let out = progs[i - chunk.start].send(&ctx);
                 let mut it = out.into_iter();
-                for s in slots {
+                for k in base..base + deg {
                     // Matches the serial runner's `resize_with(degree)`:
                     // missing entries become None, surplus entries drop.
-                    *s = it.next().flatten();
-                    if s.is_some() {
+                    let msg = it.next().flatten();
+                    if msg.is_some() {
                         sent += 1;
                     }
+                    writer.write(k, msg);
                 }
             }
             sent
@@ -179,27 +179,30 @@ where
 
         let n_local = range.len();
         let sub = self.sub_ranges(n_local);
-        let sent = if sub.len() <= 1 {
-            run_chunk(0..n_local, &mut self.programs, &mut self.arena)
+        let slot_sub: Vec<Range<usize>> = sub
+            .iter()
+            .map(|r| {
+                (plan.mailbox().offsets()[range.start + r.start] - slo)
+                    ..(plan.mailbox().offsets()[range.start + r.end] - slo)
+            })
+            .collect();
+        let mut writers = self.arena.split_writers(&slot_sub);
+        let sent = if writers.len() <= 1 {
+            match writers.first_mut() {
+                Some(w) => run_chunk(0..n_local, &mut self.programs, w),
+                None => 0,
+            }
         } else {
-            let slot_sub: Vec<Range<usize>> = sub
-                .iter()
-                .map(|r| {
-                    (plan.mailbox().offsets()[range.start + r.start] - slo)
-                        ..(plan.mailbox().offsets()[range.start + r.end] - slo)
-                })
-                .collect();
             let prog_chunks = split_mut_by_ranges(&mut self.programs, &sub);
-            let arena_chunks = split_mut_by_ranges(&mut self.arena, &slot_sub);
             std::thread::scope(|scope| {
                 let handles: Vec<_> = sub
                     .iter()
                     .zip(prog_chunks)
-                    .zip(arena_chunks)
-                    .map(|((r, progs), slots)| {
+                    .zip(writers.iter_mut())
+                    .map(|((r, progs), writer)| {
                         let r = r.clone();
                         let run_chunk = &run_chunk;
-                        scope.spawn(move || run_chunk(r, progs, slots))
+                        scope.spawn(move || run_chunk(r, progs, writer))
                     })
                     .collect();
                 handles
@@ -208,24 +211,24 @@ where
                     .sum()
             })
         };
+        drop(writers);
 
-        let cut_out = self
-            .plan
-            .cut_ports(self.shard)
-            .iter()
-            .map(|&k| self.arena[k - slo].clone())
-            .collect();
+        let cut_ports = self.plan.cut_ports(self.shard);
+        let mut cut_out = PortArena::new(cut_ports.len());
+        for (i, &k) in cut_ports.iter().enumerate() {
+            cut_out.write(i, self.arena.clone_out(k - slo));
+        }
         (cut_out, sent)
     }
 
     /// Runs the receive half of the round whose sends [`ShardWorker::send_phase`]
     /// just published: every active node assembles its inbox — internal
     /// ports through the mirror table, ghost ports from `ghost_in` (one
-    /// entry per cut port, ghost-index order) — processes it, and
+    /// slot per cut port, ghost-index order) — processes it, and
     /// re-evaluates its output. Returns the number of still-active nodes.
     pub fn receive_phase(
         &mut self,
-        ghost_in: &[Option<<P::Program as NodeProgram>::Msg>],
+        ghost_in: &PortArena<<P::Program as NodeProgram>::Msg>,
     ) -> usize {
         let range = self.plan.node_range(self.shard);
         let slot_range = self.plan.slot_range(self.shard);
@@ -258,12 +261,12 @@ where
                 for k in plan.mailbox().slots(v.into()) {
                     let mk = plan.mailbox().mirror(k);
                     if slot_range.contains(&mk) {
-                        inbox.push(arena[mk - slo].clone());
+                        inbox.push(arena.clone_out(mk - slo));
                     } else {
                         let g = plan
                             .ghost_index(shard, k)
                             .expect("a slot with a remote mirror is a cut port");
-                        inbox.push(ghost_in[g].clone());
+                        inbox.push(ghost_in.clone_out(g));
                     }
                 }
                 progs[c].receive(&ctx, &inbox);

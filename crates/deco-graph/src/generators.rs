@@ -268,12 +268,81 @@ pub fn random_bipartite_left_regular(a: usize, b: usize, d: usize, seed: u64) ->
     let mut right: Vec<usize> = (0..b).collect();
     let mut edges = Vec::with_capacity(a * d);
     for u in 0..a {
-        right.shuffle(&mut rng);
+        // Partial Fisher–Yates: only the d-prefix needs to be a uniformly
+        // random ordered sample, so stop the shuffle after d swaps — O(a·d)
+        // total instead of the O(a·b) full re-shuffle per left node. The
+        // prefix is uniform regardless of the array's prior permutation, so
+        // `right` carries over between iterations without a reset.
+        for i in 0..d {
+            let j = rng.gen_range(i..b);
+            right.swap(i, j);
+        }
         for &r in right.iter().take(d) {
             edges.push((u, a + r));
         }
     }
     Graph::from_edges(a + b, edges).expect("bipartite construction is simple")
+}
+
+/// RMAT/Kronecker-style random graph on `2^scale` nodes, targeting
+/// `edge_factor · 2^scale` distinct edges (Graph500 quadrant probabilities
+/// a = 0.57, b = c = 0.19, d = 0.05).
+///
+/// Each sample picks one of the four adjacency-matrix quadrants per bit
+/// level, producing the skewed, scale-free degree profile that makes this
+/// the standard million-edge stress family. Self-loops are resampled and
+/// duplicates dropped through a deterministic hash set, so the result is
+/// simple; in pathological corners (tiny `scale`, huge `edge_factor`) the
+/// sampler gives up after a bounded number of attempts and returns the
+/// distinct edges found, keeping the generator total.
+///
+/// Deterministic in `(scale, edge_factor, seed)`.
+///
+/// # Panics
+///
+/// Panics if `scale` is 0 or exceeds 31 (node ids must fit `u32`).
+pub fn kronecker(scale: u32, edge_factor: usize, seed: u64) -> Graph {
+    assert!(
+        (1..=31).contains(&scale),
+        "kronecker scale must be in 1..=31, got {scale}"
+    );
+    let n = 1usize << scale;
+    let target = edge_factor * n;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut chosen = DetHashSet::with_capacity_and_hasher(target * 2, Default::default());
+    let mut builder = crate::Builder::with_capacity(n, target);
+    let mut attempts = 0usize;
+    let max_attempts = target.saturating_mul(32).max(1024);
+    while builder.num_edges() < target && attempts < max_attempts {
+        attempts += 1;
+        let mut u = 0usize;
+        let mut v = 0usize;
+        for _ in 0..scale {
+            let r: f64 = rng.gen_range(0.0..1.0f64);
+            // Quadrant cut points: a, a+b, a+b+c.
+            let (du, dv) = if r < 0.57 {
+                (0, 0)
+            } else if r < 0.76 {
+                (0, 1)
+            } else if r < 0.95 {
+                (1, 0)
+            } else {
+                (1, 1)
+            };
+            u = (u << 1) | du;
+            v = (v << 1) | dv;
+        }
+        if u == v {
+            continue;
+        }
+        let key = if u < v { (u, v) } else { (v, u) };
+        if chosen.insert(key) {
+            builder
+                .add_edge(u, v)
+                .expect("kronecker samples are in range and loop-free");
+        }
+    }
+    builder.build().expect("kronecker edges are deduplicated")
 }
 
 /// Chung–Lu power-law random graph with exponent `gamma > 2` and average
@@ -420,6 +489,27 @@ mod tests {
         assert_eq!(binary_tree(3).num_nodes(), 15);
         assert_eq!(binary_tree(3).num_edges(), 14);
         assert_eq!(caterpillar(4, 2).num_edges(), 3 + 8);
+    }
+
+    #[test]
+    fn kronecker_is_deterministic_and_simple() {
+        let a = kronecker(8, 4, 11);
+        let b = kronecker(8, 4, 11);
+        let c = kronecker(8, 4, 12);
+        assert_eq!(a, b);
+        assert_ne!(a.edge_list(), c.edge_list());
+        assert_eq!(a.num_nodes(), 256);
+        assert_eq!(a.num_edges(), 4 * 256, "ample id space: target reached");
+        // RMAT skew: the max degree should clearly exceed the average.
+        assert!(a.max_degree() > 2 * 4 * 2);
+    }
+
+    #[test]
+    fn kronecker_saturated_corner_stays_total() {
+        // scale 1 has one possible edge; an absurd edge factor must not hang.
+        let g = kronecker(1, 1000, 3);
+        assert_eq!(g.num_nodes(), 2);
+        assert!(g.num_edges() <= 1);
     }
 
     #[test]

@@ -90,6 +90,15 @@ impl GraphBuilder {
         }
     }
 
+    /// Creates a builder for `n` nodes with room for `m` edges, so bulk
+    /// loaders (the edge-list readers) avoid amortized reallocation.
+    pub fn with_capacity(n: usize, m: usize) -> Self {
+        GraphBuilder {
+            n,
+            edges: Vec::with_capacity(m),
+        }
+    }
+
     /// Number of nodes the built graph will have.
     pub fn num_nodes(&self) -> usize {
         self.n
@@ -142,70 +151,90 @@ impl GraphBuilder {
             let (a, b) = if u.0 <= v.0 { (*u, *v) } else { (*v, *u) };
             normalized.push([a, b]);
         }
-        // Duplicate detection on the normalized pairs without disturbing the
-        // caller-visible edge order (edge ids must match insertion order).
-        let mut sorted = normalized.clone();
-        sorted.sort_unstable();
-        for w in sorted.windows(2) {
-            if w[0] == w[1] {
+        assemble_csr(n, normalized)
+    }
+}
+
+/// The shared CSR assembly core: degree count → prefix sum → scatter, then a
+/// stamp-based duplicate sweep over the finished adjacency lists.
+///
+/// `normalized` must hold edges with validated endpoints (`u < v`, both in
+/// `0..n`); edge ids are assigned in slice order. Runs in O(n + m) with no
+/// per-edge re-sorting — duplicate detection rides on the scattered lists: a
+/// node id appearing twice in one adjacency list *is* a duplicate edge, so a
+/// single last-seen stamp array replaces the old `sort_unstable` pass.
+pub(crate) fn assemble_csr(
+    n: usize,
+    normalized: Vec<[NodeId; 2]>,
+) -> Result<Graph, BuildGraphError> {
+    let mut degree = vec![0u32; n];
+    for [u, v] in &normalized {
+        degree[u.index()] += 1;
+        degree[v.index()] += 1;
+    }
+    let mut offsets = Vec::with_capacity(n + 1);
+    let mut acc = 0usize;
+    offsets.push(0);
+    for d in &degree {
+        acc += *d as usize;
+        offsets.push(acc);
+    }
+    let mut cursor: Vec<usize> = offsets[..n].to_vec();
+    let mut adjacency = vec![
+        Adjacent {
+            neighbor: NodeId(0),
+            edge: EdgeId(0)
+        };
+        normalized.len() * 2
+    ];
+    // Mirror-port table, built alongside the adjacency lists: slot k of
+    // the CSR arena (node v, port j, edge e) stores the port index of e
+    // at the *other* endpoint. Message delivery becomes O(1) per message
+    // instead of an O(deg) scan of the receiver's adjacency list.
+    let mut back_ports = vec![0u32; normalized.len() * 2];
+    for (idx, [u, v]) in normalized.iter().enumerate() {
+        let e = EdgeId::from(idx);
+        let u_slot = cursor[u.index()];
+        adjacency[u_slot] = Adjacent {
+            neighbor: *v,
+            edge: e,
+        };
+        cursor[u.index()] += 1;
+        let v_slot = cursor[v.index()];
+        adjacency[v_slot] = Adjacent {
+            neighbor: *u,
+            edge: e,
+        };
+        cursor[v.index()] += 1;
+        let u_port = u_slot - offsets[u.index()];
+        let v_port = v_slot - offsets[v.index()];
+        back_ports[u_slot] = u32::try_from(v_port).expect("degree fits u32");
+        back_ports[v_slot] = u32::try_from(u_port).expect("degree fits u32");
+    }
+    // Duplicate sweep: `stamp[w] == v` iff `w` already appeared in `v`'s
+    // list during this scan (node ids are strictly increasing across outer
+    // iterations, so stamps never need resetting; u32::MAX is the never-seen
+    // sentinel and node ids stay below it because degrees fit u32).
+    let mut stamp = vec![u32::MAX; n];
+    for v in 0..n {
+        for a in &adjacency[offsets[v]..offsets[v + 1]] {
+            let w = a.neighbor.index();
+            if stamp[w] == v as u32 {
+                let (lo, hi) = if v < w { (v, w) } else { (w, v) };
                 return Err(BuildGraphError::DuplicateEdge {
-                    u: w[0][0],
-                    v: w[0][1],
+                    u: NodeId::from(lo),
+                    v: NodeId::from(hi),
                 });
             }
+            stamp[w] = v as u32;
         }
-
-        let mut degree = vec![0u32; n];
-        for [u, v] in &normalized {
-            degree[u.index()] += 1;
-            degree[v.index()] += 1;
-        }
-        let mut offsets = Vec::with_capacity(n + 1);
-        let mut acc = 0usize;
-        offsets.push(0);
-        for d in &degree {
-            acc += *d as usize;
-            offsets.push(acc);
-        }
-        let mut cursor: Vec<usize> = offsets[..n].to_vec();
-        let mut adjacency = vec![
-            Adjacent {
-                neighbor: NodeId(0),
-                edge: EdgeId(0)
-            };
-            normalized.len() * 2
-        ];
-        // Mirror-port table, built alongside the adjacency lists: slot k of
-        // the CSR arena (node v, port j, edge e) stores the port index of e
-        // at the *other* endpoint. Message delivery becomes O(1) per message
-        // instead of an O(deg) scan of the receiver's adjacency list.
-        let mut back_ports = vec![0u32; normalized.len() * 2];
-        for (idx, [u, v]) in normalized.iter().enumerate() {
-            let e = EdgeId::from(idx);
-            let u_slot = cursor[u.index()];
-            adjacency[u_slot] = Adjacent {
-                neighbor: *v,
-                edge: e,
-            };
-            cursor[u.index()] += 1;
-            let v_slot = cursor[v.index()];
-            adjacency[v_slot] = Adjacent {
-                neighbor: *u,
-                edge: e,
-            };
-            cursor[v.index()] += 1;
-            let u_port = u_slot - offsets[u.index()];
-            let v_port = v_slot - offsets[v.index()];
-            back_ports[u_slot] = u32::try_from(v_port).expect("degree fits u32");
-            back_ports[v_slot] = u32::try_from(u_port).expect("degree fits u32");
-        }
-        Ok(Graph {
-            edges: normalized,
-            offsets,
-            adjacency,
-            back_ports,
-        })
     }
+    Ok(Graph {
+        edges: normalized,
+        offsets,
+        adjacency,
+        back_ports,
+    })
 }
 
 /// One entry of a node's adjacency list: the neighbor and the connecting edge.
@@ -216,6 +245,10 @@ pub struct Adjacent {
     /// The edge connecting the list owner to [`Adjacent::neighbor`].
     pub edge: EdgeId,
 }
+
+/// Borrowed views of the four CSR arrays, in declaration order:
+/// `(edges, offsets, adjacency, back_ports)`.
+pub(crate) type CsrParts<'a> = (&'a [[NodeId; 2]], &'a [usize], &'a [Adjacent], &'a [u32]);
 
 /// An immutable undirected simple graph in CSR form.
 ///
@@ -415,6 +448,39 @@ impl Graph {
     /// All edges as endpoint pairs, in edge-id order.
     pub fn edge_list(&self) -> &[[NodeId; 2]] {
         &self.edges
+    }
+
+    /// The raw CSR arrays `(edges, offsets, adjacency, back_ports)`, for the
+    /// binary snapshot writer. Internal: the layout is an implementation
+    /// detail of this module.
+    pub(crate) fn csr_parts(&self) -> CsrParts<'_> {
+        (
+            &self.edges,
+            &self.offsets,
+            &self.adjacency,
+            &self.back_ports,
+        )
+    }
+
+    /// Reassembles a graph from raw CSR arrays without re-deriving them.
+    ///
+    /// Internal, for the binary snapshot reader, which structurally
+    /// validates every array (monotone offsets, endpoint/adjacency
+    /// coherence, back-port involution, duplicate-freeness) before calling
+    /// this. Feeding unvalidated arrays here would break `Graph`'s
+    /// invariants silently.
+    pub(crate) fn from_csr_parts(
+        edges: Vec<[NodeId; 2]>,
+        offsets: Vec<usize>,
+        adjacency: Vec<Adjacent>,
+        back_ports: Vec<u32>,
+    ) -> Graph {
+        Graph {
+            edges,
+            offsets,
+            adjacency,
+            back_ports,
+        }
     }
 }
 

@@ -22,6 +22,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod arena;
 pub mod cost;
 pub mod exec;
 pub mod locality;
@@ -29,6 +30,7 @@ pub mod math;
 pub mod network;
 pub mod runner;
 
+pub use arena::{ArenaWriter, PortArena};
 pub use cost::{Compose, CostNode};
 pub use exec::{Executor, SerialExecutor};
 pub use network::{IdAssignment, Network, NodeCtx};

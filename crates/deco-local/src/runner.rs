@@ -17,7 +17,12 @@ use deco_graph::NodeId;
 /// Per-node state machine of a synchronous message-passing algorithm.
 pub trait NodeProgram {
     /// Message payload exchanged with neighbors.
-    type Msg: Clone;
+    ///
+    /// `Default` supplies the vacant-slot filler for the dense message
+    /// arenas every engine parks messages in ([`crate::arena::PortArena`]);
+    /// message types here are plain data (integers, small tuples, enum
+    /// variants), so the bound costs nothing.
+    type Msg: Clone + Default;
     /// Final output of the node.
     type Output: Clone;
 
@@ -107,6 +112,15 @@ pub fn run<P: Protocol>(
         outputs[v] = programs[v].output(&net.ctx(NodeId::from(v)));
     }
 
+    // One flat CSR-indexed outbox arena for the whole run (slot
+    // `adjacency_offset(v) + port` holds v's message through that port),
+    // reused every round. Replaces the per-round `Vec<Vec<Option<Msg>>>`
+    // outbox and inbox pyramids: no per-round allocation, `size_of::<Msg>()`
+    // bytes per port plus one presence bit instead of an `Option` per slot.
+    let mut arena: crate::arena::PortArena<<P::Program as NodeProgram>::Msg> =
+        crate::arena::PortArena::new(g.degree_sum());
+    let mut inbox: Vec<Option<<P::Program as NodeProgram>::Msg>> = Vec::new();
+
     while outputs.iter().any(Option::is_none) {
         if rounds >= max_rounds {
             return Err(RunError::RoundLimitExceeded {
@@ -117,48 +131,49 @@ pub fn run<P: Protocol>(
         let round_span = deco_trace::round_span(deco_trace::Phase::Round, rounds);
         // Send phase: gather all outgoing messages first (synchronous
         // semantics: everything sent this round is based on last round's
-        // state).
+        // state). Every slot of every node is rewritten or cleared each
+        // round, so no stale message survives into the next delivery.
         let send_span = deco_trace::round_span(deco_trace::Phase::Send, rounds);
-        let mut outboxes: Vec<Vec<Option<<P::Program as NodeProgram>::Msg>>> =
-            Vec::with_capacity(n);
         for v in 0..n {
             let ctx = net.ctx(NodeId::from(v));
-            let mut out = if outputs[v].is_none() {
-                programs[v].send(&ctx)
-            } else {
-                Vec::new() // halted nodes stay silent
-            };
-            out.resize_with(ctx.degree(), || None);
-            outboxes.push(out);
-        }
-        drop(send_span);
-        // Delivery phase: message sent by u through its port i (to neighbor
-        // v via edge e) arrives at v through v's port for edge e.
-        let deliver_span = deco_trace::round_span(deco_trace::Phase::Deliver, rounds);
-        let mut inboxes: Vec<Vec<Option<<P::Program as NodeProgram>::Msg>>> = (0..n)
-            .map(|v| vec![None; g.degree(NodeId::from(v))])
-            .collect();
-        #[allow(clippy::needless_range_loop)] // u indexes outboxes and names the sender
-        for u in 0..n {
-            let u_id = NodeId::from(u);
-            for (port, slot) in outboxes[u].iter().enumerate() {
-                if let Some(msg) = slot {
-                    let adj = g.adjacent(u_id)[port];
-                    // O(1) delivery via the mirror-port table precomputed at
-                    // graph build time (was an O(deg) adjacency scan).
-                    let back_port = g.back_port(u_id, port);
-                    inboxes[adj.neighbor.index()][back_port] = Some(msg.clone());
-                    messages += 1;
+            let base = g.adjacency_offset(NodeId::from(v));
+            let deg = ctx.degree();
+            if outputs[v].is_none() {
+                let mut out = programs[v].send(&ctx);
+                out.truncate(deg);
+                let sent = out.len();
+                for (port, msg) in out.into_iter().enumerate() {
+                    arena.write(base + port, msg);
                 }
+                arena.clear_range(base + sent..base + deg);
+            } else {
+                // Halted nodes stay silent.
+                arena.clear_range(base..base + deg);
             }
         }
+        drop(send_span);
+        // Delivery phase: with the mirror-port table, delivery is implicit —
+        // the message u sent through port i *is* the inbox entry of the
+        // neighbor behind that port, read through `back_port` below. What
+        // remains here is the message accounting: a popcount over the
+        // presence words (every present slot is delivered, since every port
+        // has a live neighbor behind it).
+        let deliver_span = deco_trace::round_span(deco_trace::Phase::Deliver, rounds);
+        messages += arena.count_present();
         drop(deliver_span);
-        // Receive phase.
+        // Receive phase: assemble each running node's inbox view from the
+        // mirror slots, one reused scratch buffer for the whole loop.
         let receive_span = deco_trace::round_span(deco_trace::Phase::Receive, rounds);
         for v in 0..n {
             if outputs[v].is_none() {
-                let ctx = net.ctx(NodeId::from(v));
-                programs[v].receive(&ctx, &inboxes[v]);
+                let v_id = NodeId::from(v);
+                let ctx = net.ctx(v_id);
+                inbox.clear();
+                for (adj, back) in g.adjacent(v_id).iter().zip(g.back_ports(v_id)) {
+                    let mirror = g.adjacency_offset(adj.neighbor) + *back as usize;
+                    inbox.push(arena.clone_out(mirror));
+                }
+                programs[v].receive(&ctx, &inbox);
                 outputs[v] = programs[v].output(&ctx);
             }
         }

@@ -2,7 +2,9 @@
 //! quasi-polylog-in-Δ LOCAL algorithm, and verify the result.
 //!
 //! Run with: `cargo run --release --example quickstart` (add `-- --small`
-//! for a CI-sized instance). Select the engine with the `DECO_ENGINE_*`
+//! for a CI-sized instance, or `-- --graph <path>` to color a graph from
+//! disk — `.snap` snapshots or edge-list text, e.g. one written by the
+//! `graph-snap` tool). Select the engine with the `DECO_ENGINE_*`
 //! environment variables — e.g. `DECO_ENGINE_THREADS=4` — or leave them
 //! unset for the serial reference engine.
 
@@ -11,13 +13,14 @@ use deco::graph::generators;
 
 #[path = "util/mod.rs"]
 mod util;
-use util::{runtime_or_exit, small};
+use util::{graph_from_args, runtime_or_exit, small};
 
 fn main() {
     let rt = runtime_or_exit();
-    // A random 8-regular graph on 500 nodes (120 under --small).
+    // A random 8-regular graph on 500 nodes (120 under --small), unless
+    // --graph supplies a workload from disk.
     let n = if small() { 120 } else { 500 };
-    let g = generators::random_regular(n, 8, 42);
+    let g = graph_from_args().unwrap_or_else(|| generators::random_regular(n, 8, 42));
     let ids: Vec<u64> = (1..=g.num_nodes() as u64).collect();
     println!("graph: {g}");
 

@@ -23,3 +23,32 @@ pub fn runtime_or_exit() -> deco::Runtime {
 pub fn small() -> bool {
     std::env::args().any(|a| a == "--small")
 }
+
+/// `--graph <path>`: run the example on a graph loaded from disk instead
+/// of a generated one. `.snap` files load through the binary snapshot
+/// reader (O(read), validated); anything else parses as edge-list text
+/// through the streaming `read_edge_list_file` (buffered, never holds the
+/// whole file in memory). Load errors exit with a message — a mistyped
+/// path must not silently fall back to the generated workload.
+#[allow(dead_code)]
+pub fn graph_from_args() -> Option<deco::graph::Graph> {
+    let mut args = std::env::args();
+    while let Some(a) = args.next() {
+        if a == "--graph" {
+            let path = args.next().unwrap_or_else(|| {
+                eprintln!("--graph requires a path");
+                std::process::exit(2);
+            });
+            let loaded = if path.ends_with(".snap") {
+                deco::graph::io::read_snapshot_file(&path).map_err(|e| e.to_string())
+            } else {
+                deco::graph::io::read_edge_list_file(&path).map_err(|e| e.to_string())
+            };
+            return Some(loaded.unwrap_or_else(|e| {
+                eprintln!("could not load graph from {path}: {e}");
+                std::process::exit(2);
+            }));
+        }
+    }
+    None
+}
