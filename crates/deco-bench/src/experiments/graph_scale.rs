@@ -12,6 +12,7 @@
 //! writes, so `bench-trend` tracks build/load times *and* bytes per edge
 //! per round across runs.
 
+use crate::records::append_trend_records;
 use crate::table::Table;
 use deco_engine::mailbox::{DoubleBuffer, MailboxPlan, RingBuffer};
 use deco_engine::protocols::FloodMax;
@@ -297,36 +298,6 @@ pub fn run(rt: &Runtime) -> String {
     ]);
 
     out
-}
-
-/// Appends `(name, value)` records to the `DECO_BENCH_JSON` file in the
-/// criterion shim's line format, so `bench-trend` joins them by name. The
-/// value lands in `mean_ns`/`min_ns` (nanoseconds for the timing records,
-/// bytes for the footprint records — the tool compares numbers, the name
-/// carries the unit). Silently skipped when the variable is unset; write
-/// failures are reported but never fail the experiment.
-fn append_trend_records(records: &[(&str, u64)]) {
-    let Ok(path) = std::env::var("DECO_BENCH_JSON") else {
-        return;
-    };
-    if path.is_empty() {
-        return;
-    }
-    let mut buf = String::new();
-    for (name, value) in records {
-        let _ = writeln!(
-            buf,
-            "{{\"name\":\"{name}\",\"mean_ns\":{value},\"min_ns\":{value},\"iters\":1}}"
-        );
-    }
-    if let Err(e) = std::fs::OpenOptions::new()
-        .create(true)
-        .append(true)
-        .open(&path)
-        .and_then(|mut f| std::io::Write::write_all(&mut f, buf.as_bytes()))
-    {
-        eprintln!("warning: could not append bench records to {path}: {e}");
-    }
 }
 
 fn rate(edges: usize, d: std::time::Duration) -> String {

@@ -10,6 +10,7 @@
 //! comparison (the `engine-*` and `solver-par` sweeps) construct their own
 //! fixed lineups on top, so their results stay comparable across CI legs.
 
+pub mod churn;
 pub mod defcol;
 pub mod engine_async;
 pub mod engine_matrix;
@@ -53,6 +54,7 @@ pub fn all() -> Vec<(&'static str, Runner)> {
         ("engine-async", engine_async::run),
         ("engine-shard", engine_shard::run),
         ("graph-scale", graph_scale::run),
+        ("churn", churn::run),
         ("solver-par", solver_par::run),
         ("trace-profile", trace_profile::run),
     ]

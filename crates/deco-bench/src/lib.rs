@@ -10,5 +10,6 @@
 #![warn(missing_docs)]
 
 pub mod experiments;
+pub mod records;
 pub mod table;
 pub mod workloads;

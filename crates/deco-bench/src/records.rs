@@ -1,0 +1,68 @@
+//! Machine-readable trend records shared by the experiments.
+//!
+//! The criterion shim writes one JSON object per line to the file named by
+//! `DECO_BENCH_JSON`; experiments append their headline numbers to the same
+//! file in the same shape, so `bench-trend` joins benchmark and experiment
+//! series by name without a second format.
+
+use std::fmt::Write as _;
+
+/// Appends `(name, value)` records to the `DECO_BENCH_JSON` file in the
+/// criterion shim's line format, so `bench-trend` joins them by name. The
+/// value lands in `mean_ns`/`min_ns` (nanoseconds for timing records, raw
+/// counts or bytes for the rest — the tool compares numbers, the name
+/// carries the unit). Silently skipped when the variable is unset; write
+/// failures are reported but never fail the experiment.
+pub fn append_trend_records(records: &[(&str, u64)]) {
+    let Ok(path) = std::env::var("DECO_BENCH_JSON") else {
+        return;
+    };
+    if path.is_empty() {
+        return;
+    }
+    let mut buf = String::new();
+    for (name, value) in records {
+        let _ = writeln!(
+            buf,
+            "{{\"name\":\"{name}\",\"mean_ns\":{value},\"min_ns\":{value},\"iters\":1}}"
+        );
+    }
+    if let Err(e) = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&path)
+        .and_then(|mut f| std::io::Write::write_all(&mut f, buf.as_bytes()))
+    {
+        eprintln!("warning: could not append bench records to {path}: {e}");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // One test, not several: the env variable is process-global and the
+    // test harness is multithreaded.
+    #[test]
+    fn appends_line_json_records_and_skips_when_unset() {
+        let dir = std::env::temp_dir().join("deco-records-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("trend.json");
+        let _ = std::fs::remove_file(&path);
+        std::env::set_var("DECO_BENCH_JSON", &path);
+        append_trend_records(&[("a/b", 7), ("c", 9)]);
+        append_trend_records(&[("d", 11)]);
+        std::env::remove_var("DECO_BENCH_JSON");
+        append_trend_records(&[("ignored", 1)]); // unset: must be a no-op
+        let text = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert_eq!(
+            lines[0],
+            "{\"name\":\"a/b\",\"mean_ns\":7,\"min_ns\":7,\"iters\":1}"
+        );
+        assert!(lines[2].contains("\"name\":\"d\""));
+        assert!(!text.contains("ignored"));
+        let _ = std::fs::remove_file(&path);
+    }
+}

@@ -41,10 +41,13 @@ pub mod budget;
 pub mod defective;
 pub mod instance;
 pub mod lists;
+pub mod repair;
+pub mod session;
 pub mod slack;
 pub mod solver;
 pub mod space;
 
 pub use instance::ListInstance;
 pub use lists::{ColorList, SubspacePartition};
+pub use session::{Session, SessionError, UpdateReport};
 pub use solver::{RunReport, SolveBranch, SolveError, SolveStats, Solver, SolverConfig, Strategy};

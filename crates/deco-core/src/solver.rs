@@ -736,6 +736,10 @@ pub struct RunReport {
 /// [`RunReport::wall_time`] is identical for every engine and thread
 /// count; only the substrate speed changes.
 ///
+/// A thin wrapper over the session API: opens a
+/// [`Session`](crate::session::Session) and returns its zero-update report,
+/// so static and dynamic callers run the identical pipeline.
+///
 /// # Errors
 ///
 /// Returns [`SolveError`] when the solver recursion fails structurally
@@ -746,8 +750,8 @@ pub fn solve_two_delta_minus_one(
     config: SolverConfig,
     rt: &Runtime,
 ) -> Result<RunReport, SolveError> {
-    let inst = crate::instance::two_delta_minus_one(g);
-    solve_pipeline(g, inst, node_ids, config, rt)
+    let mut session = crate::session::Session::open(g, node_ids, config, rt)?;
+    Ok(session.report())
 }
 
 /// Solves an arbitrary `(deg(e)+1)`-list instance over `g` end to end on

@@ -12,7 +12,7 @@
 //! same assembly core and produce bit-identical [`Graph`]s for the same
 //! edge sequence.
 
-use crate::graph::assemble_csr;
+use crate::graph::{assemble_csr, validate_edge};
 use crate::{BuildGraphError, Graph, NodeId};
 
 /// Pre-sized, validate-on-insert builder for large graphs.
@@ -85,22 +85,8 @@ impl Builder {
     /// [`BuildGraphError::SelfLoop`] if `u == v`,
     /// [`BuildGraphError::NodeOutOfRange`] if an endpoint is outside `0..n`.
     pub fn add_edge(&mut self, u: usize, v: usize) -> Result<(), BuildGraphError> {
-        if u == v {
-            return Err(BuildGraphError::SelfLoop {
-                node: NodeId::from(u),
-            });
-        }
-        let n = self.n;
-        for w in [u, v] {
-            if w >= n {
-                return Err(BuildGraphError::NodeOutOfRange {
-                    node: NodeId::from(w),
-                    n,
-                });
-            }
-        }
-        let (a, b) = if u <= v { (u, v) } else { (v, u) };
-        self.edges.push([NodeId::from(a), NodeId::from(b)]);
+        let edge = validate_edge(self.n, NodeId::from(u), NodeId::from(v))?;
+        self.edges.push(edge);
         Ok(())
     }
 

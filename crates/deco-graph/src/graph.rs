@@ -56,6 +56,28 @@ impl fmt::Display for BuildGraphError {
 
 impl std::error::Error for BuildGraphError {}
 
+/// The one edge-validation rule every construction surface shares: rejects
+/// self-loops and out-of-range endpoints, and returns the edge normalized
+/// (smaller endpoint first). Duplicate detection is *not* done here — it is
+/// global, and each surface decides where to pay for it (the builders defer
+/// it to the O(n + m) stamp sweep in [`assemble_csr`]; the mutable overlay
+/// checks its live index on insert).
+pub(crate) fn validate_edge(
+    n: usize,
+    u: NodeId,
+    v: NodeId,
+) -> Result<[NodeId; 2], BuildGraphError> {
+    if u == v {
+        return Err(BuildGraphError::SelfLoop { node: u });
+    }
+    for w in [u, v] {
+        if w.index() >= n {
+            return Err(BuildGraphError::NodeOutOfRange { node: w, n });
+        }
+    }
+    Ok(if u.0 <= v.0 { [u, v] } else { [v, u] })
+}
+
 /// Incrementally collects nodes and edges, then validates and freezes them
 /// into a [`Graph`].
 ///
@@ -112,11 +134,32 @@ impl GraphBuilder {
 
     /// Adds the undirected edge `{u, v}`. Order of endpoints is irrelevant.
     ///
-    /// Validation (self-loops, duplicates, range) is deferred to
-    /// [`GraphBuilder::build`] so that callers can add edges in bulk.
+    /// This is the *lenient* path: it accepts anything, and all validation
+    /// (self-loops, duplicates, range) is deferred to
+    /// [`GraphBuilder::build`], so callers can add edges in bulk and get
+    /// one error at the end. When an invalid edge should be reported at its
+    /// insertion site instead — the contract the bulk
+    /// [`Builder`](crate::Builder) and
+    /// [`MutableGraph`](crate::MutableGraph) already enforce — use
+    /// [`GraphBuilder::try_add_edge`].
     pub fn add_edge(&mut self, u: NodeId, v: NodeId) -> &mut Self {
         self.edges.push([u, v]);
         self
+    }
+
+    /// Adds the undirected edge `{u, v}`, validating everything local to
+    /// the edge immediately through the same shared rule as the bulk
+    /// [`Builder`](crate::Builder) (duplicate detection remains global and
+    /// stays at [`GraphBuilder::build`]).
+    ///
+    /// # Errors
+    ///
+    /// [`BuildGraphError::SelfLoop`] if `u == v`,
+    /// [`BuildGraphError::NodeOutOfRange`] if an endpoint is outside `0..n`.
+    pub fn try_add_edge(&mut self, u: NodeId, v: NodeId) -> Result<&mut Self, BuildGraphError> {
+        let edge = validate_edge(self.n, u, v)?;
+        self.edges.push(edge);
+        Ok(self)
     }
 
     /// Adds every edge from an iterator of endpoint pairs.
@@ -139,17 +182,8 @@ impl GraphBuilder {
     pub fn build(self) -> Result<Graph, BuildGraphError> {
         let n = self.n;
         let mut normalized: Vec<[NodeId; 2]> = Vec::with_capacity(self.edges.len());
-        for [u, v] in &self.edges {
-            if u == v {
-                return Err(BuildGraphError::SelfLoop { node: *u });
-            }
-            for w in [u, v] {
-                if w.index() >= n {
-                    return Err(BuildGraphError::NodeOutOfRange { node: *w, n });
-                }
-            }
-            let (a, b) = if u.0 <= v.0 { (*u, *v) } else { (*v, *u) };
-            normalized.push([a, b]);
+        for &[u, v] in &self.edges {
+            normalized.push(validate_edge(n, u, v)?);
         }
         assemble_csr(n, normalized)
     }

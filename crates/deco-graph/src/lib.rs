@@ -36,6 +36,7 @@ mod ids;
 pub mod io;
 mod line_graph;
 pub mod matching;
+mod mutable;
 pub mod partition;
 mod subgraph;
 pub mod traversal;
@@ -44,4 +45,5 @@ pub use builder::Builder;
 pub use graph::{Adjacent, BuildGraphError, Graph, GraphBuilder};
 pub use ids::{EdgeId, NodeId};
 pub use line_graph::LineGraph;
+pub use mutable::{EdgeUpdate, MutableGraph, MutateError};
 pub use subgraph::{edge_degree_within, max_edge_degree_within, EdgeSubgraph};

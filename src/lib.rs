@@ -3,7 +3,8 @@
 //! Facade over the workspace crates reproducing Balliu–Kuhn–Olivetti
 //! (PODC 2020):
 //!
-//! * [`graph`] — CSR graphs, line graphs, seeded generators, colorings.
+//! * [`graph`] — CSR graphs, line graphs, seeded generators, colorings,
+//!   and [`MutableGraph`] for edge churn with CSR snapshots on demand.
 //! * [`local`] — the LOCAL model: networks, the serial reference runner,
 //!   the [`local::Executor`] contract.
 //! * [`engine`] — the high-throughput round-execution engine (flat
@@ -17,7 +18,8 @@
 //! * [`algos`] — Linial, Cole–Vishkin, class elimination, Luby, greedy;
 //!   every protocol entry point takes `&Runtime`.
 //! * [`core_alg`] — the Theorem 4.1 solver; pipeline entry points return
-//!   a structured [`core_alg::RunReport`].
+//!   a structured [`core_alg::RunReport`], and [`Session`] keeps a live
+//!   coloring under [`EdgeUpdate`] churn via incremental repair.
 //! * [`trace`] — zero-cost-when-off tracing and metrics shared by every
 //!   engine: set `DECO_TRACE=jsonl` (or `ring`) and `RunReport.metrics`
 //!   carries a per-phase [`trace::MetricsReport`]; unset, the
@@ -25,14 +27,15 @@
 //!
 //! ## Quickstart
 //!
-//! One runtime value selects the engine for the whole pipeline; the
-//! environment (or the builder) decides which engine that is, and the
-//! result is bit-identical either way:
+//! A [`Session`] holds a live coloring over a mutable graph: open it once
+//! (the full pipeline runs, on whichever engine the runtime carries), then
+//! apply edge updates — each repaired incrementally in O(deg(e)) instead of
+//! a pipeline re-run. The one-shot solve is the zero-update special case.
 //!
 //! ```
-//! use deco::core_alg::solver::{solve_two_delta_minus_one, SolverConfig};
+//! use deco::core_alg::solver::SolverConfig;
 //! use deco::graph::generators;
-//! use deco::Runtime;
+//! use deco::{EdgeUpdate, Runtime, Session};
 //!
 //! // Honors DECO_ENGINE_THREADS / DECO_ENGINE_ASYNC / DECO_ENGINE_SHARDS /
 //! // DECO_SHARD_TRANSPORT; a clean environment means the serial reference
@@ -42,30 +45,32 @@
 //!
 //! let g = generators::random_regular(40, 6, 7);
 //! let ids: Vec<u64> = (1..=40).collect();
-//! let report = solve_two_delta_minus_one(&g, &ids, SolverConfig::default(), &rt)
+//! let mut session = Session::open(&g, &ids, SolverConfig::default(), &rt)
 //!     .expect("solver succeeds");
 //!
-//! // The structured report: coloring + totals + attribution, no
-//! // re-deriving stats by hand.
+//! // One edge arrives. The repair is greedy and local: exactly one edge
+//! // recolored, the 2Δ−1 palette bound intact — no pipeline re-run.
+//! let update = session
+//!     .apply(EdgeUpdate::insert(0usize, 2usize))
+//!     .expect("repair succeeds");
+//! assert_eq!(update.recolored, 1);
+//! assert!(update.palette_max <= update.palette_bound);
+//! println!(
+//!     "update {}: {} recolored, {} messages, palette {}/{}, {:?}",
+//!     update.update, update.recolored, update.messages,
+//!     update.palette_max, update.palette_bound, update.wall_time,
+//! );
+//!
+//! // The session report covers the base solve plus every repair, with the
+//! // same invariants the one-shot report has.
+//! let report = session.report();
 //! assert!(report.colors.is_complete());
-//! assert!(report.colors.distinct_colors() <= 2 * 6 - 1);
 //! assert_eq!(report.rounds, report.x_rounds + report.cost.actual_rounds());
 //! assert!(report.messages > 0);
 //! println!(
 //!     "{}: {} rounds, {} messages, {:?}",
 //!     report.engine_descriptor, report.rounds, report.messages, report.wall_time,
 //! );
-//!
-//! // An explicit engine is one builder away, and observationally
-//! // identical (everything except wall time).
-//! let rt2 = Runtime::builder().threads(2).build();
-//! assert_eq!(rt2.descriptor(), "barrier(threads=2)");
-//! let report2 = solve_two_delta_minus_one(&g, &ids, SolverConfig::default(), &rt2)
-//!     .expect("solver succeeds");
-//! assert_eq!(report.colors, report2.colors);
-//! assert_eq!(report.rounds, report2.rounds);
-//! assert_eq!(report.messages, report2.messages);
-//! assert_eq!(report.solve_stats, report2.solve_stats);
 //! ```
 
 pub use deco_algos as algos;
@@ -76,4 +81,6 @@ pub use deco_local as local;
 pub use deco_runtime as runtime;
 pub use deco_trace as trace;
 
+pub use deco_core::{Session, SessionError, UpdateReport};
+pub use deco_graph::{EdgeUpdate, MutableGraph, MutateError};
 pub use deco_runtime::{Engine, Runtime, RuntimeBuilder};
