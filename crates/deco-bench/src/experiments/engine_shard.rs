@@ -8,6 +8,9 @@
 use crate::table::Table;
 use deco_engine::protocols::StaggeredSum;
 use deco_engine::shard::framed::{run_framed, ChannelTransport, ProtocolSpec};
+use deco_engine::shard::net::TcpTransport;
+#[cfg(unix)]
+use deco_engine::shard::net::UdsTransport;
 use deco_engine::{
     AsyncExecutor, Executor, GraphSpec, IdFlavor, ParallelExecutor, Scenario, SerialExecutor,
     ShardPlan, ShardedExecutor,
@@ -121,6 +124,59 @@ pub fn run(_rt: &Runtime) -> String {
          O(shards) edges, dense random families approach the (k-1)/k ceiling).\n",
         worst_cut * 100.0
     );
+
+    // Part 1b: the same framed workload over the socket transports
+    // (in-process worker threads over real sockets — the spawn modes need
+    // the `deco-shardd` binary, which the integration suites cover). The
+    // frames are transport-invariant, so byte accounting must agree with
+    // the channel runs exactly; wall-clock shows what the kernel socket
+    // path costs over an in-process channel.
+    out.push_str("## socket transports (regular(64,8), staggered-sum, shards=4)\n\n");
+    {
+        let scenario = Scenario::new(
+            GraphSpec::RandomRegular { n: 64, d: 8 },
+            IdFlavor::Shuffled,
+            2026,
+        );
+        let g = scenario.graph();
+        let net = scenario.network(&g);
+        let ids = net.ids().to_vec();
+        let spec = ProtocolSpec::StaggeredSum { spread: 7 };
+        let mut t = Table::new(["transport", "time", "exch B", "total B"]);
+        let mut baseline: Option<deco_engine::shard::framed::FramedRun> = None;
+        let mut leg = |label: &str, run: &dyn Fn() -> deco_engine::shard::framed::FramedRun| {
+            let (d, run) = time(run);
+            if let Some(base) = &baseline {
+                assert_eq!(base.outcome.outputs, run.outcome.outputs, "{label}");
+                assert_eq!(base.exchange_bytes, run.exchange_bytes, "{label}");
+                assert_eq!(base.total_bytes, run.total_bytes, "{label}");
+            }
+            t.row([
+                label.to_string(),
+                format!("{d:.1?}"),
+                run.exchange_bytes.to_string(),
+                run.total_bytes.to_string(),
+            ]);
+            baseline.get_or_insert(run);
+        };
+        leg("channel", &|| {
+            run_framed(&ChannelTransport, &g, &ids, spec, 4, 1, 100).unwrap()
+        });
+        leg("tcp", &|| {
+            run_framed(&TcpTransport::in_process(), &g, &ids, spec, 4, 1, 100).unwrap()
+        });
+        #[cfg(unix)]
+        leg("uds", &|| {
+            run_framed(&UdsTransport::in_process(), &g, &ids, spec, 4, 1, 100).unwrap()
+        });
+        out.push_str(&t.render());
+        out.push_str(
+            "\nSame frames on every pipe: the byte columns are asserted equal across\n\
+             transports before the table renders. `DECO_SHARD_TRANSPORT=tcp|uds`\n\
+             selects these pipes through the runtime facade; `DECO_SHARD_TIMEOUT_MS`\n\
+             bounds every per-frame wait (see the shard-faults suite).\n\n",
+        );
+    }
 
     // Part 2: the four-way differential on one representative family,
     // including the in-process typed executor at threads-per-shard > 1.
@@ -244,5 +300,7 @@ mod tests {
         assert!(r.contains("cut fraction and exchange volume"));
         assert!(r.contains("four-way lineup"));
         assert!(r.contains("exch B/round"));
+        assert!(r.contains("socket transports"));
+        assert!(r.contains("| tcp"));
     }
 }

@@ -1,16 +1,59 @@
 //! `deco-shardd` — one shard worker process of the framed sharded engine.
 //!
-//! Spawned by the subprocess [`ShardTransport`] with a frame pipe on
-//! stdin/stdout: reads the `Init` frame (topology, IDs, protocol spec,
-//! shard assignment), rebuilds its shard of the network, then answers the
-//! coordinator's per-round `SendReq`/`Deliver` frames until `Shutdown`.
-//! All protocol logic lives in `deco_engine::shard::framed`; this binary
-//! is only the stdio shell around it.
+//! Spawned by a [`ShardTransport`] and speaks the framed worker protocol
+//! over one of three carriers:
+//!
+//! * no arguments — frames on stdin/stdout (the subprocess transport);
+//! * `--connect <host:port>` — dial the coordinator's TCP listener;
+//! * `--connect-uds <path>` — dial the coordinator's Unix-domain socket
+//!   (Unix only).
+//!
+//! Whatever the carrier, it reads the `Init` frame (topology, IDs,
+//! protocol spec, shard assignment), rebuilds its shard of the network,
+//! then answers the coordinator's per-round `SendReq`/`Deliver` frames
+//! until `Shutdown`. All protocol logic lives in
+//! `deco_engine::shard::framed`; this binary is only the shell around it.
+//!
+//! `--stall` (test hook, stdio mode only) reads and discards frames
+//! without ever answering — a wedged worker for exercising the
+//! coordinator's receive deadline. Unknown arguments exit with status 2.
 //!
 //! [`ShardTransport`]: deco_engine::shard::framed::ShardTransport
 
+use std::io::Read;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: deco-shardd [--connect <host:port> | --connect-uds <path> | --stall]\n\
+         serves one shard of the framed engine over stdio (default), TCP, or a Unix socket"
+    );
+    std::process::exit(2);
+}
+
+/// Reads stdin forever without answering — a deliberately wedged worker.
+fn stall() -> std::io::Result<()> {
+    let mut sink = [0u8; 4096];
+    let mut stdin = std::io::stdin().lock();
+    loop {
+        if stdin.read(&mut sink)? == 0 {
+            return Ok(()); // coordinator hung up; exit quietly
+        }
+    }
+}
+
 fn main() {
-    if let Err(e) = deco_engine::shard::framed::serve_stdio() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.as_slice() {
+        [] => deco_engine::shard::framed::serve_stdio(),
+        [flag] if flag == "--stall" => stall(),
+        [flag, addr] if flag == "--connect" => deco_engine::shard::net::connect_and_serve_tcp(addr),
+        #[cfg(unix)]
+        [flag, path] if flag == "--connect-uds" => {
+            deco_engine::shard::net::connect_and_serve_uds(std::path::Path::new(path))
+        }
+        _ => usage(),
+    };
+    if let Err(e) = result {
         eprintln!("deco-shardd: {e}");
         std::process::exit(1);
     }

@@ -8,7 +8,8 @@
 //! | `DECO_ENGINE_THREADS` | unset/empty/`0` = auto, else a thread count | worker threads (threads *per shard* when sharding) |
 //! | `DECO_ENGINE_ASYNC` | unset/empty/`0` = barrier, `1` = async | round substrate of the parallel engine |
 //! | `DECO_ENGINE_SHARDS` | unset/empty/`0` = unsharded, else a shard count | partition the network over that many shards |
-//! | `DECO_SHARD_TRANSPORT` | unset/empty/`threads`, `channel`, `process` | which byte pipe the *framed* shard entry points use |
+//! | `DECO_SHARD_TRANSPORT` | unset/empty/`threads`, `channel`, `process`, `tcp`, `uds` | which byte pipe the *framed* shard entry points use |
+//! | `DECO_SHARD_TIMEOUT_MS` | unset/empty = 5000, `0` = no deadline, else milliseconds | per-frame receive deadline of the framed coordinator |
 //! | `DECO_TRACE` | unset/empty/`0`/`off`, `ring`, `jsonl` | trace sink ([`deco_trace`]); `jsonl` writes to `DECO_TRACE_PATH` (default `trace.jsonl`) |
 //!
 //! Malformed values are **structured errors**, never silent fallbacks and
@@ -51,6 +52,11 @@ pub const ENV_ASYNC: &str = "DECO_ENGINE_ASYNC";
 pub const ENV_SHARDS: &str = "DECO_ENGINE_SHARDS";
 /// `DECO_SHARD_TRANSPORT` — byte pipe of the framed shard layer.
 pub const ENV_TRANSPORT: &str = "DECO_SHARD_TRANSPORT";
+/// `DECO_SHARD_TIMEOUT_MS` — per-frame receive deadline of the framed
+/// coordinator, in milliseconds (empty = 5000, `0` = no deadline).
+pub const ENV_SHARD_TIMEOUT: &str = "DECO_SHARD_TIMEOUT_MS";
+/// Default per-frame deadline when `DECO_SHARD_TIMEOUT_MS` is unset.
+pub const DEFAULT_SHARD_TIMEOUT_MS: u64 = 5_000;
 /// `DECO_TRACE` — trace sink selection (`off` / `ring` / `jsonl`).
 pub const ENV_TRACE: &str = "DECO_TRACE";
 /// `DECO_TRACE_PATH` — JSONL output path (consumed by `deco-trace` at
@@ -61,13 +67,15 @@ pub const ENV_TRACE_PATH: &str = deco_trace::ENV_TRACE_PATH;
 /// Which substrate carries cross-shard traffic. `Threads` is the typed
 /// in-process engine (shard workers are threads exchanging typed messages
 /// directly — the only substrate that can run *arbitrary* protocols, so
-/// [`crate::shard::ShardedExecutor::execute`] always uses it). `Channel`
-/// and `Process` select the byte pipe that framed entry points
+/// [`crate::shard::ShardedExecutor::execute`] always uses it). The rest
+/// select the byte pipe that framed entry points
 /// ([`crate::shard::framed::run_framed`], which runs *named*
 /// [`crate::shard::framed::ProtocolSpec`] protocols) should speak:
-/// in-process `mpsc` workers or `deco-shardd` child processes over stdio.
-/// The choice is carried on the executor so descriptors, experiment
-/// reports, and the CI matrix all attribute runs to the right pipe.
+/// in-process `mpsc` workers, `deco-shardd` child processes over stdio, or
+/// `deco-shardd` workers dialing in over TCP / Unix-domain sockets — the
+/// multi-host shape. The choice is carried on the executor so descriptors,
+/// experiment reports, and the CI matrix all attribute runs to the right
+/// pipe.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum ShardTransportKind {
     /// Typed in-process shard threads (no framed layer).
@@ -77,6 +85,11 @@ pub enum ShardTransportKind {
     Channel,
     /// Framed workers as `deco-shardd` child processes over stdio.
     Process,
+    /// Framed workers dialing in over TCP (`deco-shardd --connect`).
+    Tcp,
+    /// Framed workers dialing in over Unix-domain sockets
+    /// (`deco-shardd --connect-uds`).
+    Uds,
 }
 
 impl std::fmt::Display for ShardTransportKind {
@@ -85,6 +98,8 @@ impl std::fmt::Display for ShardTransportKind {
             ShardTransportKind::Threads => "threads",
             ShardTransportKind::Channel => "channel",
             ShardTransportKind::Process => "process",
+            ShardTransportKind::Tcp => "tcp",
+            ShardTransportKind::Uds => "uds",
         })
     }
 }
@@ -168,7 +183,8 @@ pub fn parse_shards(raw: &str) -> Result<usize, EngineEnvError> {
 }
 
 /// Parses a `DECO_SHARD_TRANSPORT` value: empty or `threads` = the typed
-/// in-process substrate, `channel` / `process` = the framed byte pipes.
+/// in-process substrate, `channel` / `process` / `tcp` / `uds` = the
+/// framed byte pipes.
 ///
 /// # Errors
 ///
@@ -178,12 +194,33 @@ pub fn parse_transport(raw: &str) -> Result<ShardTransportKind, EngineEnvError> 
         "" | "threads" => Ok(ShardTransportKind::Threads),
         "channel" => Ok(ShardTransportKind::Channel),
         "process" => Ok(ShardTransportKind::Process),
+        "tcp" => Ok(ShardTransportKind::Tcp),
+        "uds" => Ok(ShardTransportKind::Uds),
         other => Err(EngineEnvError {
             var: ENV_TRANSPORT,
             value: other.to_string(),
-            expected: "threads, channel, or process (empty = threads)",
+            expected: "threads, channel, process, tcp, or uds (empty = threads)",
         }),
     }
+}
+
+/// Parses a `DECO_SHARD_TIMEOUT_MS` value: `None` when empty (callers fall
+/// back to [`DEFAULT_SHARD_TIMEOUT_MS`]), `Some(0)` = no deadline, else
+/// the per-frame deadline in milliseconds.
+///
+/// # Errors
+///
+/// [`EngineEnvError`] when the value is not a non-negative integer.
+pub fn parse_timeout_ms(raw: &str) -> Result<Option<u64>, EngineEnvError> {
+    let raw = raw.trim();
+    if raw.is_empty() {
+        return Ok(None);
+    }
+    raw.parse().map(Some).map_err(|_| EngineEnvError {
+        var: ENV_SHARD_TIMEOUT,
+        value: raw.to_string(),
+        expected: "a per-frame deadline in milliseconds (0 = no deadline, empty = 5000)",
+    })
 }
 
 /// Parses a `DECO_TRACE` value: empty, `0`, or `off` = tracing disabled,
@@ -527,9 +564,26 @@ mod tests {
             parse_transport("process").unwrap(),
             ShardTransportKind::Process
         );
-        let err = parse_transport("tcp").unwrap_err();
+        assert_eq!(parse_transport("tcp").unwrap(), ShardTransportKind::Tcp);
+        assert_eq!(parse_transport(" uds ").unwrap(), ShardTransportKind::Uds);
+        let err = parse_transport("smoke-signals").unwrap_err();
         assert_eq!(err.var, ENV_TRANSPORT);
-        assert_eq!(err.value, "tcp");
+        assert_eq!(err.value, "smoke-signals");
+        assert!(err.expected.contains("tcp"));
+    }
+
+    #[test]
+    fn timeout_parsing_is_strict() {
+        assert_eq!(parse_timeout_ms("").unwrap(), None);
+        assert_eq!(parse_timeout_ms(" \n").unwrap(), None);
+        assert_eq!(parse_timeout_ms("0").unwrap(), Some(0));
+        assert_eq!(parse_timeout_ms(" 250 ").unwrap(), Some(250));
+        for bad in ["soon", "-5", "1.5", "100ms"] {
+            let err = parse_timeout_ms(bad).unwrap_err();
+            assert_eq!(err.var, ENV_SHARD_TIMEOUT, "{bad}");
+            assert_eq!(err.value, bad.trim(), "{bad}");
+            assert!(err.to_string().contains("DECO_SHARD_TIMEOUT_MS"), "{bad}");
+        }
     }
 
     #[test]
@@ -613,6 +667,14 @@ mod tests {
             EngineSelection::Sharded(
                 ShardedExecutor::new(2).with_transport(ShardTransportKind::Process),
             ),
+            EngineSelection::Sharded(
+                ShardedExecutor::new(4).with_transport(ShardTransportKind::Tcp),
+            ),
+            EngineSelection::Sharded(
+                ShardedExecutor::new(2)
+                    .with_threads_per_shard(2)
+                    .with_transport(ShardTransportKind::Uds),
+            ),
         ];
         for sel in lineup {
             let descriptor = sel.to_string();
@@ -632,7 +694,7 @@ mod tests {
             "barrier(threads=two)",
             "turbo(threads=2)",
             "sharded(shards=0,threads=1,transport=channel)",
-            "sharded(shards=2,threads=1,transport=tcp)",
+            "sharded(shards=2,threads=1,transport=carrier-pigeon)",
             "sharded(shards=2,threads=1)",
             "sharded(threads=1,shards=2,transport=channel)",
         ] {

@@ -1,0 +1,459 @@
+//! Deterministic fault injection for shard transports.
+//!
+//! [`FaultTransport`] wraps any [`ShardTransport`] and perturbs the frame
+//! stream according to a [`FaultPlan`]: drop the Nth request to a shard,
+//! drop or delay or truncate its Nth response, or kill a shard outright
+//! after it has produced a given number of frames. The wrapped transport
+//! is otherwise untouched — the coordinator cannot tell a `FaultTransport`
+//! apart from a flaky network.
+//!
+//! Plans are data, not randomness: the same plan against the same graph
+//! produces the same byte stream every run, which is what lets the fault
+//! suite (`tests/shard_faults.rs`) pin *exact* outcomes — transient faults
+//! must recover bit-identically to a clean run, fatal ones must surface as
+//! a specific [`ShardFailed`](super::framed::ShardFailed) cause. For sweep
+//! testing, [`FaultPlan::seeded`] derives a small plan from a `u64` seed,
+//! deterministically.
+//!
+//! Fault semantics, in coordinator terms:
+//!
+//! * **Dropped request** — the worker never sees it; the retry resends the
+//!   same sequence number and the worker executes it as new.
+//! * **Dropped response** — the worker *did* execute; the retry is deduped
+//!   by sequence number and answered from the worker's response cache, so
+//!   recovery is bit-identical (the simulation step runs exactly once).
+//! * **Delayed response** — under the deadline it is ordinary jitter; at
+//!   or over the deadline the coordinator times out, retries, and the
+//!   stashed frame is redelivered (a late duplicate the sequence layer
+//!   absorbs).
+//! * **Truncated response** — the frame arrives torn mid-body; the decode
+//!   fails and the shard is reported `Malformed`.
+//! * **Killed shard** — every later receive (and send) fails like a
+//!   severed pipe; the shard is reported `Disconnected`.
+//!
+//! Each fault op fires exactly once. Frame ordinals are per-shard and
+//! per-direction, starting at 1.
+
+use super::framed::{ShardConn, ShardTransport};
+use rand::prelude::*;
+use std::io;
+use std::time::Duration;
+
+/// One injected fault, addressed to a shard and a frame ordinal.
+///
+/// Request ordinals count coordinator→worker frames (the `Init` frame is
+/// request 1); response ordinals count worker→coordinator frames (the
+/// `InitAck` is response 1, and each simulated round contributes two more:
+/// the cut-out report and the delivery ack).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultOp {
+    /// Swallow the `nth` request sent to `shard`; the worker never sees it.
+    DropRequest {
+        /// Target shard index.
+        shard: usize,
+        /// 1-based ordinal of the request frame to drop.
+        nth: u64,
+    },
+    /// Swallow the `nth` response from `shard` after the worker produced it.
+    DropResponse {
+        /// Target shard index.
+        shard: usize,
+        /// 1-based ordinal of the response frame to drop.
+        nth: u64,
+    },
+    /// Hold the `nth` response from `shard` for `ms` milliseconds. At or
+    /// over the receive deadline this manifests as a timeout plus a late
+    /// duplicate; under it, as jitter.
+    DelayResponse {
+        /// Target shard index.
+        shard: usize,
+        /// 1-based ordinal of the response frame to delay.
+        nth: u64,
+        /// Delay in milliseconds.
+        ms: u64,
+    },
+    /// Deliver only the first half of the `nth` response from `shard`.
+    TruncateResponse {
+        /// Target shard index.
+        shard: usize,
+        /// 1-based ordinal of the response frame to truncate.
+        nth: u64,
+    },
+    /// Sever `shard` permanently once it has delivered `after_frames`
+    /// response frames; that frame and everything after it is lost.
+    KillShard {
+        /// Target shard index.
+        shard: usize,
+        /// Response-frame count at which the shard dies.
+        after_frames: u64,
+    },
+}
+
+impl FaultOp {
+    /// The shard this op targets.
+    pub fn shard(&self) -> usize {
+        match *self {
+            FaultOp::DropRequest { shard, .. }
+            | FaultOp::DropResponse { shard, .. }
+            | FaultOp::DelayResponse { shard, .. }
+            | FaultOp::TruncateResponse { shard, .. }
+            | FaultOp::KillShard { shard, .. } => shard,
+        }
+    }
+
+    /// Whether recovery from this op alone should be invisible (transient)
+    /// as opposed to a structured shard failure (fatal).
+    pub fn is_transient(&self, timeout_ms: u64) -> bool {
+        match *self {
+            FaultOp::DropRequest { .. } | FaultOp::DropResponse { .. } => true,
+            FaultOp::DelayResponse { ms, .. } => timeout_ms == 0 || ms < timeout_ms,
+            FaultOp::TruncateResponse { .. } | FaultOp::KillShard { .. } => false,
+        }
+    }
+}
+
+/// An ordered set of [`FaultOp`]s to inject into one run.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct FaultPlan {
+    ops: Vec<FaultOp>,
+}
+
+impl FaultPlan {
+    /// An empty plan: the wrapped transport behaves exactly like the inner
+    /// one (the fault suite pins this too).
+    pub fn new() -> FaultPlan {
+        FaultPlan::default()
+    }
+
+    /// Adds an arbitrary op.
+    pub fn with(mut self, op: FaultOp) -> FaultPlan {
+        self.ops.push(op);
+        self
+    }
+
+    /// Drops the `nth` request to `shard`.
+    pub fn drop_request(self, shard: usize, nth: u64) -> FaultPlan {
+        self.with(FaultOp::DropRequest { shard, nth })
+    }
+
+    /// Drops the `nth` response from `shard`.
+    pub fn drop_response(self, shard: usize, nth: u64) -> FaultPlan {
+        self.with(FaultOp::DropResponse { shard, nth })
+    }
+
+    /// Delays the `nth` response from `shard` by `ms` milliseconds.
+    pub fn delay_response(self, shard: usize, nth: u64, ms: u64) -> FaultPlan {
+        self.with(FaultOp::DelayResponse { shard, nth, ms })
+    }
+
+    /// Truncates the `nth` response from `shard` mid-frame.
+    pub fn truncate_response(self, shard: usize, nth: u64) -> FaultPlan {
+        self.with(FaultOp::TruncateResponse { shard, nth })
+    }
+
+    /// Kills `shard` after it has delivered `after_frames` responses.
+    pub fn kill_shard(self, shard: usize, after_frames: u64) -> FaultPlan {
+        self.with(FaultOp::KillShard {
+            shard,
+            after_frames,
+        })
+    }
+
+    /// The ops in this plan.
+    pub fn ops(&self) -> &[FaultOp] {
+        &self.ops
+    }
+
+    /// Whether every op in the plan is transient under a `timeout_ms`
+    /// receive budget — i.e. whether a run under this plan must recover
+    /// bit-identically rather than fail.
+    pub fn is_transient(&self, timeout_ms: u64) -> bool {
+        self.ops.iter().all(|op| op.is_transient(timeout_ms))
+    }
+
+    /// Derives a small plan (one to three ops) deterministically from
+    /// `seed`, targeting shard indices below `shards`. The same seed
+    /// always yields the same plan; sweeping seeds sweeps the fault space.
+    pub fn seeded(seed: u64, shards: usize) -> FaultPlan {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut plan = FaultPlan::new();
+        let shards = shards.max(1);
+        for _ in 0..rng.gen_range(1..=3usize) {
+            let shard = rng.gen_range(0..shards);
+            let nth = rng.gen_range(1..=6u64);
+            plan = match rng.gen_range(0..5u32) {
+                0 => plan.drop_request(shard, nth),
+                1 => plan.drop_response(shard, nth),
+                2 => plan.delay_response(shard, nth, rng.gen_range(1..=300u64)),
+                3 => plan.truncate_response(shard, nth),
+                _ => plan.kill_shard(shard, nth),
+            };
+        }
+        plan
+    }
+}
+
+/// A [`ShardTransport`] decorator that injects the faults of a
+/// [`FaultPlan`] into the connections of any inner transport.
+#[derive(Debug, Clone)]
+pub struct FaultTransport<T> {
+    inner: T,
+    plan: FaultPlan,
+}
+
+impl<T> FaultTransport<T> {
+    /// Wraps `inner`, injecting `plan`.
+    pub fn new(inner: T, plan: FaultPlan) -> FaultTransport<T> {
+        FaultTransport { inner, plan }
+    }
+}
+
+impl<T: ShardTransport> ShardTransport for FaultTransport<T> {
+    type Conn = FaultConn<T::Conn>;
+
+    fn launch(&self, shards: usize) -> io::Result<Vec<FaultConn<T::Conn>>> {
+        Ok(self
+            .inner
+            .launch(shards)?
+            .into_iter()
+            .enumerate()
+            .map(|(s, conn)| FaultConn {
+                inner: conn,
+                ops: self
+                    .plan
+                    .ops
+                    .iter()
+                    .filter(|op| op.shard() == s)
+                    .copied()
+                    .collect(),
+                sends: 0,
+                recvs: 0,
+                killed: false,
+                pending: None,
+            })
+            .collect())
+    }
+
+    fn label(&self) -> &'static str {
+        "fault"
+    }
+}
+
+/// One shard's connection with its slice of the fault plan applied.
+pub struct FaultConn<C> {
+    inner: C,
+    ops: Vec<FaultOp>,
+    sends: u64,
+    recvs: u64,
+    killed: bool,
+    pending: Option<Vec<u8>>,
+}
+
+impl<C> FaultConn<C> {
+    fn severed() -> io::Error {
+        io::Error::new(io::ErrorKind::BrokenPipe, "shard killed by fault plan")
+    }
+
+    /// Removes and returns the op addressed to the current frame ordinal
+    /// in the given direction, if any.
+    fn take_op(&mut self, response: bool, ordinal: u64) -> Option<FaultOp> {
+        let idx = self.ops.iter().position(|op| match *op {
+            FaultOp::DropRequest { nth, .. } => !response && nth == ordinal,
+            FaultOp::DropResponse { nth, .. }
+            | FaultOp::DelayResponse { nth, .. }
+            | FaultOp::TruncateResponse { nth, .. } => response && nth == ordinal,
+            FaultOp::KillShard { after_frames, .. } => response && after_frames == ordinal,
+        })?;
+        Some(self.ops.remove(idx))
+    }
+}
+
+impl<C: ShardConn> ShardConn for FaultConn<C> {
+    fn send(&mut self, payload: &[u8]) -> io::Result<()> {
+        if self.killed {
+            return Err(Self::severed());
+        }
+        self.sends += 1;
+        let ordinal = self.sends;
+        if let Some(FaultOp::DropRequest { .. }) = self.take_op(false, ordinal) {
+            // The frame vanishes on the wire: the send itself "succeeds".
+            return Ok(());
+        }
+        self.inner.send(payload)
+    }
+
+    fn recv_timeout(&mut self, timeout: Option<Duration>) -> io::Result<Vec<u8>> {
+        if self.killed {
+            return Err(Self::severed());
+        }
+        // A frame stashed by an over-deadline delay is redelivered as-is:
+        // it already went through fault processing once.
+        if let Some(frame) = self.pending.take() {
+            return Ok(frame);
+        }
+        loop {
+            let frame = self.inner.recv_timeout(timeout)?;
+            self.recvs += 1;
+            let ordinal = self.recvs;
+            match self.take_op(true, ordinal) {
+                Some(FaultOp::KillShard { .. }) => {
+                    self.killed = true;
+                    return Err(Self::severed());
+                }
+                Some(FaultOp::DropResponse { .. }) => continue,
+                Some(FaultOp::TruncateResponse { .. }) => {
+                    return Ok(frame[..frame.len() / 2].to_vec());
+                }
+                Some(FaultOp::DelayResponse { ms, .. }) => {
+                    let delay = Duration::from_millis(ms);
+                    match timeout {
+                        Some(budget) if delay >= budget => {
+                            // The frame is "in flight" past the deadline:
+                            // the coordinator times out now and the frame
+                            // arrives as a late duplicate on the next recv.
+                            std::thread::sleep(budget);
+                            self.pending = Some(frame);
+                            return Err(io::Error::new(
+                                io::ErrorKind::TimedOut,
+                                "response delayed past the receive deadline",
+                            ));
+                        }
+                        _ => {
+                            std::thread::sleep(delay);
+                            return Ok(frame);
+                        }
+                    }
+                }
+                Some(FaultOp::DropRequest { .. }) => unreachable!("request op on response path"),
+                None => return Ok(frame),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seeded_plans_are_deterministic_and_in_range() {
+        for seed in 0..200u64 {
+            let a = FaultPlan::seeded(seed, 4);
+            let b = FaultPlan::seeded(seed, 4);
+            assert_eq!(a, b, "seed {seed} must be reproducible");
+            assert!(!a.ops().is_empty() && a.ops().len() <= 3);
+            assert!(a.ops().iter().all(|op| op.shard() < 4));
+        }
+        // Distinct seeds must explore distinct plans.
+        let distinct: std::collections::HashSet<_> = (0..200u64)
+            .map(|s| format!("{:?}", FaultPlan::seeded(s, 4)))
+            .collect();
+        assert!(
+            distinct.len() > 50,
+            "only {} distinct plans",
+            distinct.len()
+        );
+    }
+
+    #[test]
+    fn transience_classification_matches_op_kinds() {
+        let budget = 200;
+        assert!(FaultPlan::new().drop_request(0, 1).is_transient(budget));
+        assert!(FaultPlan::new().drop_response(0, 1).is_transient(budget));
+        assert!(FaultPlan::new()
+            .delay_response(0, 1, 50)
+            .is_transient(budget));
+        assert!(!FaultPlan::new()
+            .delay_response(0, 1, 200)
+            .is_transient(budget));
+        // No deadline: every delay is jitter.
+        assert!(FaultPlan::new()
+            .delay_response(0, 1, 10_000)
+            .is_transient(0));
+        assert!(!FaultPlan::new()
+            .truncate_response(0, 1)
+            .is_transient(budget));
+        assert!(!FaultPlan::new().kill_shard(0, 1).is_transient(budget));
+    }
+
+    /// In-memory conn whose responses are the bytes it was sent, tagged
+    /// with a receive ordinal — enough to observe fault mechanics.
+    struct EchoConn {
+        queue: std::collections::VecDeque<Vec<u8>>,
+    }
+
+    impl ShardConn for EchoConn {
+        fn send(&mut self, payload: &[u8]) -> io::Result<()> {
+            self.queue.push_back(payload.to_vec());
+            Ok(())
+        }
+        fn recv_timeout(&mut self, _timeout: Option<Duration>) -> io::Result<Vec<u8>> {
+            self.queue
+                .pop_front()
+                .ok_or_else(|| io::Error::new(io::ErrorKind::TimedOut, "queue empty"))
+        }
+    }
+
+    fn echo_fault(plan: FaultPlan) -> FaultConn<EchoConn> {
+        FaultConn {
+            inner: EchoConn {
+                queue: std::collections::VecDeque::new(),
+            },
+            ops: plan.ops().to_vec(),
+            sends: 0,
+            recvs: 0,
+            killed: false,
+            pending: None,
+        }
+    }
+
+    #[test]
+    fn dropped_request_never_reaches_the_inner_conn() {
+        let mut conn = echo_fault(FaultPlan::new().drop_request(0, 2));
+        conn.send(b"one").unwrap();
+        conn.send(b"two").unwrap(); // dropped
+        conn.send(b"three").unwrap();
+        assert_eq!(conn.recv().unwrap(), b"one");
+        assert_eq!(conn.recv().unwrap(), b"three");
+    }
+
+    #[test]
+    fn truncated_response_is_half_the_frame() {
+        let mut conn = echo_fault(FaultPlan::new().truncate_response(0, 1));
+        conn.send(b"0123456789").unwrap();
+        assert_eq!(conn.recv().unwrap(), b"01234");
+        conn.send(b"intact").unwrap();
+        assert_eq!(conn.recv().unwrap(), b"intact", "op fires exactly once");
+    }
+
+    #[test]
+    fn killed_shard_is_sticky_in_both_directions() {
+        let mut conn = echo_fault(FaultPlan::new().kill_shard(0, 1));
+        conn.send(b"hello").unwrap();
+        assert_eq!(
+            conn.recv().unwrap_err().kind(),
+            io::ErrorKind::BrokenPipe,
+            "the fatal frame is lost"
+        );
+        assert_eq!(
+            conn.send(b"again").unwrap_err().kind(),
+            io::ErrorKind::BrokenPipe
+        );
+        assert_eq!(conn.recv().unwrap_err().kind(), io::ErrorKind::BrokenPipe);
+    }
+
+    #[test]
+    fn over_deadline_delay_times_out_then_redelivers() {
+        let mut conn = echo_fault(FaultPlan::new().delay_response(0, 1, 10));
+        conn.send(b"late").unwrap();
+        let err = conn
+            .recv_timeout(Some(Duration::from_millis(5)))
+            .unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::TimedOut);
+        assert_eq!(
+            conn.recv_timeout(Some(Duration::from_millis(5))).unwrap(),
+            b"late",
+            "the delayed frame arrives as a late duplicate"
+        );
+    }
+}

@@ -3,9 +3,10 @@
 //!
 //! The in-process [`ShardedExecutor`](crate::shard::ShardedExecutor) moves
 //! typed messages between shard threads; this module is the same execution
-//! split across *address spaces*. A coordinator owns the round loop and the
-//! cut-message routing; each shard worker owns its programs, arena, and
-//! ghost ports (the identical per-shard round code the typed engine
+//! split across *address spaces* — and, with the socket transports in
+//! [`net`](super::net), across machines. A coordinator owns the round loop
+//! and the cut-message routing; each shard worker owns its programs, arena,
+//! and ghost ports (the identical per-shard round code the typed engine
 //! runs) and speaks only frames:
 //!
 //! ```text
@@ -24,14 +25,36 @@
 //!
 //! Cut messages travel as *opaque* length-delimited entries: the
 //! coordinator routes them between shards without ever decoding a payload,
-//! exactly as a production exchange would. Two transports implement the
+//! exactly as a production exchange would. Four transports implement the
 //! byte pipes: [`ChannelTransport`] runs each worker as an in-process
 //! thread over `mpsc` channels (the default — fast, deterministic, and
-//! testable on a 1-CPU container), and [`ProcessTransport`] spawns one
-//! `deco-shardd` child process per shard over stdio, proving true
-//! multi-process execution. Both run byte-for-byte the same worker loop
-//! ([`serve`]), so the differential suite holds them to identical
-//! observable behavior — and to the serial runner's.
+//! testable on a 1-CPU container), [`ProcessTransport`] spawns one
+//! `deco-shardd` child process per shard over stdio, and
+//! [`TcpTransport`](super::net::TcpTransport) /
+//! [`UdsTransport`](super::net::UdsTransport) carry the same frames over
+//! real sockets, which is the multi-host shape. All run byte-for-byte the
+//! same worker loop ([`serve`]), so the differential suite holds them to
+//! identical observable behavior — and to the serial runner's.
+//!
+//! ## Hardening: sequence numbers, deadlines, retries
+//!
+//! Once frames cross process or machine boundaries, peers can stall, die,
+//! or corrupt bytes, so the coordinator never waits unboundedly. Every
+//! frame in both directions carries a little-endian `u64` **sequence
+//! number** ahead of its tag; responses echo the request's. The
+//! coordinator waits for each response under a per-frame deadline
+//! ([`FramedPolicy`], env-tunable via `DECO_SHARD_TIMEOUT_MS`) and, on
+//! timeout, retransmits the outstanding request a bounded number of times.
+//! Workers deduplicate by sequence number — a retransmitted request is
+//! answered from a one-deep response cache without re-executing the phase,
+//! which makes retries idempotent and recovery bit-identical. Stale
+//! duplicate responses (sequence lower than the outstanding request's) are
+//! discarded on receipt. When the budget is exhausted, or the worker hangs
+//! up or sends garbage, the run fails *structurally*: [`ShardFailed`]
+//! names the shard and the [`ShardFailure`] cause instead of hanging or
+//! panicking. The fault-injection suite (`tests/shard_faults.rs`, built on
+//! [`FaultTransport`](super::fault::FaultTransport)) pins exactly which
+//! faults recover and which surface which cause.
 //!
 //! The framed layer runs *named* protocols ([`ProtocolSpec`]) whose
 //! messages implement [`WireMsg`]; arbitrary user protocols with
@@ -41,8 +64,11 @@
 //! multi-process system boots from configuration rather than code.
 
 use super::plan::ShardPlan;
-use super::wire::{put_bytes, put_u32, put_u64, read_frame, write_frame, Cursor};
+use super::wire::{
+    put_bytes, put_u32, put_u64, read_frame, write_frame, Cursor, FrameReader, WireError,
+};
 use super::worker::ShardWorker;
+use crate::config::{self, EngineEnvError};
 use crate::protocols::{FloodMax, PortEcho, StaggeredSum};
 use deco_graph::Graph;
 use deco_local::arena::PortArena;
@@ -50,8 +76,9 @@ use deco_local::network::Network;
 use deco_local::runner::{NodeProgram, Protocol, RunError, RunOutcome};
 use std::io;
 use std::path::PathBuf;
-use std::process::{Child, ChildStdin, ChildStdout, Command, Stdio};
+use std::process::{Child, ChildStdin, Command, Stdio};
 use std::sync::mpsc;
+use std::time::Duration;
 
 // Coordinator → worker frame tags.
 const T_INIT: u8 = 0x01;
@@ -84,7 +111,7 @@ impl WireMsg for u64 {
         put_u64(out, *self);
     }
     fn decode(c: &mut Cursor<'_>) -> io::Result<u64> {
-        c.u64()
+        Ok(c.u64()?)
     }
 }
 
@@ -137,7 +164,11 @@ impl ProtocolSpec {
             1 => Ok(ProtocolSpec::FloodMax { radius: param }),
             2 => Ok(ProtocolSpec::PortEcho { rounds: param }),
             3 => Ok(ProtocolSpec::StaggeredSum { spread: param }),
-            other => Err(invalid(format!("unknown protocol kind {other}"))),
+            other => Err(WireError::UnknownTag {
+                context: "protocol kind",
+                tag: other,
+            }
+            .into()),
         }
     }
 
@@ -151,6 +182,118 @@ impl ProtocolSpec {
     }
 }
 
+/// Per-frame robustness budget for the framed coordinator: how long to
+/// wait for each response frame and how many times to retransmit an
+/// unanswered request before declaring the shard failed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FramedPolicy {
+    /// Per-frame receive deadline in milliseconds; `0` disables the
+    /// deadline entirely (the coordinator waits forever, pre-hardening
+    /// behavior).
+    pub timeout_ms: u64,
+    /// Retransmissions of an unanswered request before giving up. Retries
+    /// are idempotent: workers answer duplicates from a response cache.
+    pub retries: u32,
+}
+
+impl Default for FramedPolicy {
+    fn default() -> FramedPolicy {
+        FramedPolicy {
+            timeout_ms: config::DEFAULT_SHARD_TIMEOUT_MS,
+            retries: 2,
+        }
+    }
+}
+
+impl FramedPolicy {
+    /// The default policy with the deadline read from `DECO_SHARD_TIMEOUT_MS`
+    /// (unset/empty = the 5000 ms default; `0` = no deadline).
+    ///
+    /// # Errors
+    ///
+    /// [`EngineEnvError`] when the variable is set but not a non-negative
+    /// integer — callers surface this as exit code 2 like every other
+    /// engine env knob.
+    pub fn from_env() -> Result<FramedPolicy, EngineEnvError> {
+        let raw = std::env::var(config::ENV_SHARD_TIMEOUT).unwrap_or_default();
+        let timeout_ms =
+            config::parse_timeout_ms(&raw)?.unwrap_or(config::DEFAULT_SHARD_TIMEOUT_MS);
+        Ok(FramedPolicy {
+            timeout_ms,
+            ..FramedPolicy::default()
+        })
+    }
+
+    /// Replaces the per-frame deadline.
+    pub fn with_timeout_ms(mut self, timeout_ms: u64) -> FramedPolicy {
+        self.timeout_ms = timeout_ms;
+        self
+    }
+
+    /// Replaces the retransmission budget.
+    pub fn with_retries(mut self, retries: u32) -> FramedPolicy {
+        self.retries = retries;
+        self
+    }
+
+    fn timeout(&self) -> Option<Duration> {
+        if self.timeout_ms == 0 {
+            None
+        } else {
+            Some(Duration::from_millis(self.timeout_ms))
+        }
+    }
+}
+
+/// Why a shard was declared failed — the cause inside [`ShardFailed`].
+/// `Copy` on purpose: it travels up into `deco-core`'s `SolveError`
+/// without forcing that type to give up `Copy`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShardFailure {
+    /// The worker sent nothing within the per-frame budget, through every
+    /// retransmission — it is stalled, wedged, or unreachable.
+    Timeout {
+        /// The per-frame deadline that expired, in milliseconds.
+        budget_ms: u64,
+    },
+    /// The worker hung up mid-protocol (process died, pipe broke, socket
+    /// reset).
+    Disconnected,
+    /// The worker sent bytes that do not decode as the expected frame.
+    Malformed,
+}
+
+impl std::fmt::Display for ShardFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match *self {
+            ShardFailure::Timeout { budget_ms } => {
+                write!(f, "no response within the {budget_ms} ms frame budget")
+            }
+            ShardFailure::Disconnected => write!(f, "worker disconnected mid-protocol"),
+            ShardFailure::Malformed => write!(f, "worker sent a malformed frame"),
+        }
+    }
+}
+
+/// Structured failure of one shard: which worker, and why. This is what a
+/// dead, stalled, or corrupted shard surfaces as — within the timeout
+/// budget, instead of a hang or a panic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardFailed {
+    /// Index of the failed shard.
+    pub shard: usize,
+    /// What went wrong.
+    pub cause: ShardFailure,
+}
+
+impl std::fmt::Display for ShardFailed {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "shard {} failed: {}", self.shard, self.cause)
+    }
+}
+
+impl std::error::Error for ShardFailed {}
+
 /// One byte pipe between the coordinator and one shard worker.
 pub trait ShardConn: Send {
     /// Sends one frame payload.
@@ -160,18 +303,31 @@ pub trait ShardConn: Send {
     /// Propagates transport failures (a dead peer surfaces here).
     fn send(&mut self, payload: &[u8]) -> io::Result<()>;
 
+    /// Receives the next frame payload. A `None` deadline blocks until a
+    /// frame arrives; `UnexpectedEof` means the peer shut down cleanly.
+    ///
+    /// Every coordinator-side connection enforces the deadline (`TimedOut`
+    /// when it expires). Worker-side endpoints (stdio, the serving half of
+    /// a socket) only ever block — the coordinator owns all deadlines.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transport failures; `TimedOut` when a deadline expires.
+    fn recv_timeout(&mut self, timeout: Option<Duration>) -> io::Result<Vec<u8>>;
+
     /// Receives the next frame payload, blocking until one arrives.
-    /// `UnexpectedEof` means the peer shut down cleanly.
     ///
     /// # Errors
     ///
     /// Propagates transport failures.
-    fn recv(&mut self) -> io::Result<Vec<u8>>;
+    fn recv(&mut self) -> io::Result<Vec<u8>> {
+        self.recv_timeout(None)
+    }
 }
 
 /// Launches the worker endpoints the coordinator talks to — the *only*
-/// thing that differs between running shards as threads and running them
-/// as processes.
+/// thing that differs between running shards as threads, processes, or
+/// remote peers.
 pub trait ShardTransport {
     /// The connection type this transport hands out.
     type Conn: ShardConn;
@@ -208,10 +364,23 @@ impl ShardConn for ChannelConn {
             .map_err(|_| io::Error::new(io::ErrorKind::BrokenPipe, "shard worker hung up"))
     }
 
-    fn recv(&mut self) -> io::Result<Vec<u8>> {
-        self.rx
-            .recv()
-            .map_err(|_| io::Error::new(io::ErrorKind::UnexpectedEof, "shard worker disconnected"))
+    fn recv_timeout(&mut self, timeout: Option<Duration>) -> io::Result<Vec<u8>> {
+        match timeout {
+            None => self.rx.recv().map_err(|_| {
+                io::Error::new(io::ErrorKind::UnexpectedEof, "shard worker disconnected")
+            }),
+            Some(t) => match self.rx.recv_timeout(t) {
+                Ok(p) => Ok(p),
+                Err(mpsc::RecvTimeoutError::Timeout) => Err(io::Error::new(
+                    io::ErrorKind::TimedOut,
+                    "no frame within the receive deadline",
+                )),
+                Err(mpsc::RecvTimeoutError::Disconnected) => Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "shard worker disconnected",
+                )),
+            },
+        }
     }
 }
 
@@ -249,17 +418,35 @@ impl ShardTransport for ChannelTransport {
 }
 
 /// Multi-process transport: each shard worker is a `deco-shardd` child
-/// process speaking frames over stdio.
+/// process speaking frames over stdio. Child stdout is pumped by a
+/// [`FrameReader`] thread, so receives honor the coordinator's per-frame
+/// deadline — a wedged child surfaces as a timeout (and is killed on
+/// drop), never as a coordinator that hangs forever.
 #[derive(Debug, Clone)]
 pub struct ProcessTransport {
     bin: PathBuf,
+    args: Vec<String>,
 }
 
 impl ProcessTransport {
     /// A transport spawning the worker binary at `bin` (tests use
     /// `env!("CARGO_BIN_EXE_deco-shardd")`).
     pub fn new(bin: impl Into<PathBuf>) -> ProcessTransport {
-        ProcessTransport { bin: bin.into() }
+        ProcessTransport {
+            bin: bin.into(),
+            args: Vec::new(),
+        }
+    }
+
+    /// Extra arguments passed to every spawned worker (tests use
+    /// `--stall` to simulate a wedged child).
+    pub fn with_args<I, S>(mut self, args: I) -> ProcessTransport
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        self.args = args.into_iter().map(Into::into).collect();
+        self
     }
 }
 
@@ -268,7 +455,7 @@ impl ProcessTransport {
 pub struct ProcessConn {
     child: Child,
     stdin: ChildStdin,
-    stdout: io::BufReader<ChildStdout>,
+    reader: FrameReader,
 }
 
 impl ShardConn for ProcessConn {
@@ -276,16 +463,16 @@ impl ShardConn for ProcessConn {
         write_frame(&mut self.stdin, payload)
     }
 
-    fn recv(&mut self) -> io::Result<Vec<u8>> {
-        read_frame(&mut self.stdout)
+    fn recv_timeout(&mut self, timeout: Option<Duration>) -> io::Result<Vec<u8>> {
+        self.reader.recv_timeout(timeout)
     }
 }
 
 impl Drop for ProcessConn {
     fn drop(&mut self) {
         // Normal shutdown already sent Shutdown and the child exited; this
-        // is the abnormal path (coordinator error), where we must not leak
-        // the child.
+        // is the abnormal path (coordinator error, shard declared failed),
+        // where we must not leak the child.
         let _ = self.child.kill();
         let _ = self.child.wait();
     }
@@ -296,18 +483,20 @@ impl ShardTransport for ProcessTransport {
 
     fn launch(&self, shards: usize) -> io::Result<Vec<ProcessConn>> {
         let mut conns = Vec::with_capacity(shards);
-        for _ in 0..shards {
+        for s in 0..shards {
             let mut child = Command::new(&self.bin)
+                .args(&self.args)
                 .stdin(Stdio::piped())
                 .stdout(Stdio::piped())
                 .stderr(Stdio::inherit())
                 .spawn()?;
             let stdin = child.stdin.take().expect("stdin piped");
             let stdout = io::BufReader::new(child.stdout.take().expect("stdout piped"));
+            let reader = FrameReader::spawn(stdout, &format!("proc-{s}"))?;
             conns.push(ProcessConn {
                 child,
                 stdin,
-                stdout,
+                reader,
             });
         }
         Ok(conns)
@@ -355,8 +544,13 @@ impl WorkerInit {
 
     fn decode(payload: &[u8]) -> io::Result<WorkerInit> {
         let mut c = Cursor::new(payload);
-        if c.u8()? != T_INIT {
-            return Err(invalid("expected Init frame"));
+        let tag = c.u8()?;
+        if tag != T_INIT {
+            return Err(WireError::UnknownTag {
+                context: "Init frame",
+                tag,
+            }
+            .into());
         }
         let shards = c.u32()? as usize;
         let shard = c.u32()? as usize;
@@ -364,17 +558,25 @@ impl WorkerInit {
         let max_rounds = c.u64()?;
         let protocol = ProtocolSpec::decode(&mut c)?;
         let n = c.u64()? as usize;
-        let m = c.u64()? as usize;
+        // Counts are capped against the bytes actually present, so a
+        // bit-flipped count can never drive a giant allocation.
+        let m = c.count(8)?;
         let mut edges = Vec::with_capacity(m);
         for _ in 0..m {
             edges.push((c.u32()? as usize, c.u32()? as usize));
+        }
+        if n > c.remaining() / 8 {
+            return Err(WireError::Truncated.into());
         }
         let mut ids = Vec::with_capacity(n);
         for _ in 0..n {
             ids.push(c.u64()?);
         }
         if !c.finished() {
-            return Err(invalid("trailing bytes in Init frame"));
+            return Err(WireError::TrailingBytes {
+                context: "Init frame",
+            }
+            .into());
         }
         Ok(WorkerInit {
             shards,
@@ -403,10 +605,11 @@ pub struct FramedRun {
     /// Fraction of edges crossing shard boundaries.
     pub cut_fraction: f64,
     /// Payload bytes of the cut exchange itself (CutOut + Deliver frames,
-    /// both directions).
+    /// both directions, sequence prefix included).
     pub exchange_bytes: u64,
     /// All frame payload bytes both directions, including init and
-    /// output collection.
+    /// output collection. Retransmissions are not counted — this measures
+    /// the logical exchange, so it is identical across transports.
     pub total_bytes: u64,
 }
 
@@ -422,14 +625,18 @@ impl FramedRun {
     }
 }
 
-/// Error from [`run_framed`]: either the model-level error the serial
-/// runner would also report, or a transport failure.
+/// Error from [`run_framed`]: the model-level error the serial runner
+/// would also report, a structured per-shard failure, or a transport
+/// launch failure.
 #[derive(Debug)]
 pub enum FramedError {
     /// The protocol hit the round limit — the same error, with the same
     /// payload, the serial runner returns.
     Run(RunError),
-    /// The transport failed (worker died, pipe broke, malformed frame).
+    /// One shard died, stalled past its budget, or sent garbage.
+    Shard(ShardFailed),
+    /// The transport itself failed before any shard could be blamed
+    /// (spawn failure, missing binary, bind failure).
     Io(io::Error),
 }
 
@@ -437,6 +644,7 @@ impl std::fmt::Display for FramedError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             FramedError::Run(e) => write!(f, "{e}"),
+            FramedError::Shard(e) => write!(f, "{e}"),
             FramedError::Io(e) => write!(f, "shard transport failed: {e}"),
         }
     }
@@ -450,15 +658,143 @@ impl From<io::Error> for FramedError {
     }
 }
 
-/// Runs `spec` on `(g, ids)` sharded over `transport`, driving the framed
-/// coordinator loop: init, per-round send/route/deliver, output collection.
-/// Observationally identical to the serial runner for every shard count,
-/// thread count, and transport.
+impl From<ShardFailed> for FramedError {
+    fn from(e: ShardFailed) -> FramedError {
+        FramedError::Shard(e)
+    }
+}
+
+/// Coordinator-side wrapper around one shard connection: stamps sequence
+/// numbers on requests, enforces the per-frame deadline on responses,
+/// retransmits on timeout, discards stale duplicates, and classifies
+/// every failure into a [`ShardFailed`].
+struct CoordConn<C: ShardConn> {
+    conn: C,
+    shard: usize,
+    policy: FramedPolicy,
+    seq: u64,
+    last_req: Vec<u8>,
+}
+
+impl<C: ShardConn> CoordConn<C> {
+    fn new(conn: C, shard: usize, policy: FramedPolicy) -> CoordConn<C> {
+        CoordConn {
+            conn,
+            shard,
+            policy,
+            seq: 0,
+            last_req: Vec::new(),
+        }
+    }
+
+    fn fail(&self, cause: ShardFailure) -> ShardFailed {
+        ShardFailed {
+            shard: self.shard,
+            cause,
+        }
+    }
+
+    fn classify(&self, e: &io::Error) -> ShardFailed {
+        self.fail(match e.kind() {
+            io::ErrorKind::TimedOut | io::ErrorKind::WouldBlock => ShardFailure::Timeout {
+                budget_ms: self.policy.timeout_ms,
+            },
+            io::ErrorKind::InvalidData => ShardFailure::Malformed,
+            _ => ShardFailure::Disconnected,
+        })
+    }
+
+    /// Sends one request frame under a fresh sequence number, remembering
+    /// it for retransmission. Returns the logical frame length.
+    fn request(&mut self, payload: &[u8]) -> Result<u64, ShardFailed> {
+        self.seq += 1;
+        let mut frame = Vec::with_capacity(8 + payload.len());
+        put_u64(&mut frame, self.seq);
+        frame.extend_from_slice(payload);
+        let len = frame.len() as u64;
+        self.last_req = frame;
+        match self.conn.send(&self.last_req) {
+            Ok(()) => Ok(len),
+            Err(e) => Err(self.classify(&e)),
+        }
+    }
+
+    /// Awaits the response to the outstanding request: enforces the
+    /// deadline, retransmits up to the retry budget, skips stale duplicate
+    /// responses, and checks the leading tag. Returns the response payload
+    /// (tag first, sequence prefix stripped) and the logical frame length.
+    fn response(&mut self, expect: u8) -> Result<(Vec<u8>, u64), ShardFailed> {
+        let mut attempts = 0u32;
+        // A peer replaying stale frames forever must not pin us in this
+        // loop; past this budget the stream is declared garbage.
+        let mut stale_budget = 1024u32;
+        loop {
+            match self.conn.recv_timeout(self.policy.timeout()) {
+                Ok(frame) => {
+                    let mut c = Cursor::new(&frame);
+                    let Ok(rseq) = c.u64() else {
+                        return Err(self.fail(ShardFailure::Malformed));
+                    };
+                    if rseq < self.seq {
+                        // Response to a request we already gave up waiting
+                        // for (a retransmission raced its answer).
+                        stale_budget -= 1;
+                        if stale_budget == 0 {
+                            return Err(self.fail(ShardFailure::Malformed));
+                        }
+                        continue;
+                    }
+                    if rseq > self.seq {
+                        return Err(self.fail(ShardFailure::Malformed));
+                    }
+                    return match frame.get(8) {
+                        Some(&t) if t == expect => Ok((frame[8..].to_vec(), frame.len() as u64)),
+                        _ => Err(self.fail(ShardFailure::Malformed)),
+                    };
+                }
+                Err(e)
+                    if e.kind() == io::ErrorKind::TimedOut
+                        || e.kind() == io::ErrorKind::WouldBlock =>
+                {
+                    attempts += 1;
+                    if attempts > self.policy.retries {
+                        return Err(self.fail(ShardFailure::Timeout {
+                            budget_ms: self.policy.timeout_ms,
+                        }));
+                    }
+                    // The request or its response may have been lost in
+                    // transit; retransmit. The worker deduplicates by
+                    // sequence number, so this is idempotent.
+                    if let Err(e) = self.conn.send(&self.last_req) {
+                        return Err(self.classify(&e));
+                    }
+                }
+                Err(e) => return Err(self.classify(&e)),
+            }
+        }
+    }
+
+    /// Best-effort fire-and-forget (Shutdown): failures are ignored — the
+    /// peer may already be gone, which is fine.
+    fn fire(&mut self, payload: &[u8]) {
+        self.seq += 1;
+        let mut frame = Vec::with_capacity(8 + payload.len());
+        put_u64(&mut frame, self.seq);
+        frame.extend_from_slice(payload);
+        let _ = self.conn.send(&frame);
+    }
+}
+
+/// Runs `spec` on `(g, ids)` sharded over `transport` under the default
+/// [`FramedPolicy`], driving the framed coordinator loop: init, per-round
+/// send/route/deliver, output collection. Observationally identical to the
+/// serial runner for every shard count, thread count, and transport.
 ///
 /// # Errors
 ///
 /// [`FramedError::Run`] exactly when the serial runner errors;
-/// [`FramedError::Io`] when the transport fails.
+/// [`FramedError::Shard`] when a worker dies, stalls, or corrupts frames;
+/// [`FramedError::Io`] when the transport fails to launch.
 pub fn run_framed<T: ShardTransport>(
     transport: &T,
     g: &Graph,
@@ -467,6 +803,34 @@ pub fn run_framed<T: ShardTransport>(
     shards: usize,
     threads_per_shard: usize,
     max_rounds: u64,
+) -> Result<FramedRun, FramedError> {
+    run_framed_with(
+        transport,
+        g,
+        ids,
+        spec,
+        shards,
+        threads_per_shard,
+        max_rounds,
+        FramedPolicy::default(),
+    )
+}
+
+/// [`run_framed`] with an explicit robustness [`FramedPolicy`].
+///
+/// # Errors
+///
+/// As [`run_framed`].
+#[allow(clippy::too_many_arguments)]
+pub fn run_framed_with<T: ShardTransport>(
+    transport: &T,
+    g: &Graph,
+    ids: &[u64],
+    spec: ProtocolSpec,
+    shards: usize,
+    threads_per_shard: usize,
+    max_rounds: u64,
+    policy: FramedPolicy,
 ) -> Result<FramedRun, FramedError> {
     let n = g.num_nodes();
     let plan = ShardPlan::new(g, shards);
@@ -495,7 +859,12 @@ pub fn run_framed<T: ShardTransport>(
         .iter()
         .map(|&[u, v]| (u.index(), v.index()))
         .collect();
-    let mut conns = transport.launch(k)?;
+    let mut conns: Vec<CoordConn<T::Conn>> = transport
+        .launch(k)?
+        .into_iter()
+        .enumerate()
+        .map(|(s, c)| CoordConn::new(c, s, policy))
+        .collect();
     let mut total_bytes = 0u64;
     let mut exchange_bytes = 0u64;
 
@@ -515,15 +884,15 @@ pub fn run_framed<T: ShardTransport>(
             ids: ids.to_vec(),
         }
         .encode();
-        total_bytes += init.len() as u64;
-        conn.send(&init)?;
+        total_bytes += conn.request(&init)?;
     }
     let mut active = Vec::with_capacity(k);
     for conn in conns.iter_mut() {
-        let p = expect_frame(conn, T_INIT_ACK)?;
-        total_bytes += p.len() as u64;
+        let (p, got) = conn.response(T_INIT_ACK)?;
+        total_bytes += got;
         let mut c = Cursor::new(&p[1..]);
-        active.push(c.u64()?);
+        let a = c.u64().map_err(|_| conn.fail(ShardFailure::Malformed))?;
+        active.push(a);
     }
 
     let mut total: u64 = active.iter().sum();
@@ -532,7 +901,7 @@ pub fn run_framed<T: ShardTransport>(
     while total > 0 {
         if rounds >= max_rounds {
             for conn in conns.iter_mut() {
-                let _ = conn.send(&[T_SHUTDOWN]);
+                conn.fire(&[T_SHUTDOWN]);
             }
             return Err(FramedError::Run(RunError::RoundLimitExceeded {
                 limit: max_rounds,
@@ -542,47 +911,55 @@ pub fn run_framed<T: ShardTransport>(
         let round_span = deco_trace::round_span(deco_trace::Phase::Round, rounds);
         // Send phase everywhere, then collect every shard's cut-out.
         for conn in conns.iter_mut() {
-            total_bytes += 1;
-            conn.send(&[T_SEND_REQ])?;
+            total_bytes += conn.request(&[T_SEND_REQ])?;
         }
         let cut_span = deco_trace::round_span(deco_trace::Phase::CutExchange, rounds);
         let mut outs: Vec<PortArena<Vec<u8>>> = Vec::with_capacity(k);
         for conn in conns.iter_mut() {
-            let p = expect_frame(conn, T_CUT_OUT)?;
-            total_bytes += p.len() as u64;
-            exchange_bytes += p.len() as u64;
+            let (p, got) = conn.response(T_CUT_OUT)?;
+            total_bytes += got;
+            exchange_bytes += got;
             let mut c = Cursor::new(&p[1..]);
-            messages += c.u64()?;
-            let count = c.u64()? as usize;
-            let mut entries = PortArena::new(count);
-            for i in 0..count {
-                entries.write(i, get_opt_raw(&mut c)?);
-            }
-            if !c.finished() {
-                return Err(invalid("trailing bytes in CutOut frame").into());
-            }
+            let parsed = (|| -> io::Result<(u64, PortArena<Vec<u8>>)> {
+                let sent = c.u64()?;
+                let count = c.count(1)?;
+                let mut entries = PortArena::new(count);
+                for i in 0..count {
+                    entries.write(i, get_opt_raw(&mut c)?);
+                }
+                if !c.finished() {
+                    return Err(WireError::TrailingBytes {
+                        context: "CutOut frame",
+                    }
+                    .into());
+                }
+                Ok((sent, entries))
+            })();
+            let (sent, entries) = parsed.map_err(|_| conn.fail(ShardFailure::Malformed))?;
+            messages += sent;
             outs.push(entries);
         }
         // The cut exchange: route every boundary message to the ghost port
         // of its destination shard, opaquely.
-        for (s, conn) in conns.iter_mut().enumerate() {
+        for (s, conn) in conns.iter_mut().enumerate().take(k) {
             let route = plan.route(s);
             let mut p = vec![T_DELIVER];
             put_u64(&mut p, route.len() as u64);
             for &(t, j) in route {
                 put_opt_raw(&mut p, outs[t as usize].get(j as usize));
             }
-            total_bytes += p.len() as u64;
-            exchange_bytes += p.len() as u64;
-            conn.send(&p)?;
+            let sent = conn.request(&p)?;
+            total_bytes += sent;
+            exchange_bytes += sent;
         }
         drop(cut_span);
         total = 0;
         for conn in conns.iter_mut() {
-            let p = expect_frame(conn, T_DONE)?;
-            total_bytes += p.len() as u64;
+            let (p, got) = conn.response(T_DONE)?;
+            total_bytes += got;
             let mut c = Cursor::new(&p[1..]);
-            total += c.u64()?;
+            let a = c.u64().map_err(|_| conn.fail(ShardFailure::Malformed))?;
+            total += a;
         }
         rounds += 1;
         drop(round_span);
@@ -596,24 +973,34 @@ pub fn run_framed<T: ShardTransport>(
 
     let mut outputs: Vec<u64> = Vec::with_capacity(n);
     for conn in conns.iter_mut() {
-        total_bytes += 1;
-        conn.send(&[T_FINISH])?;
-        let p = expect_frame(conn, T_OUTPUTS)?;
-        total_bytes += p.len() as u64;
+        total_bytes += conn.request(&[T_FINISH])?;
+    }
+    for conn in conns.iter_mut() {
+        let (p, got) = conn.response(T_OUTPUTS)?;
+        total_bytes += got;
         let mut c = Cursor::new(&p[1..]);
-        let count = c.u64()? as usize;
-        for _ in 0..count {
-            outputs.push(c.u64()?);
-        }
-        if !c.finished() {
-            return Err(invalid("trailing bytes in Outputs frame").into());
-        }
+        let parsed = (|| -> io::Result<Vec<u64>> {
+            let count = c.count(8)?;
+            let mut part = Vec::with_capacity(count);
+            for _ in 0..count {
+                part.push(c.u64()?);
+            }
+            if !c.finished() {
+                return Err(WireError::TrailingBytes {
+                    context: "Outputs frame",
+                }
+                .into());
+            }
+            Ok(part)
+        })();
+        let part = parsed.map_err(|_| conn.fail(ShardFailure::Malformed))?;
+        outputs.extend_from_slice(&part);
     }
     if outputs.len() != n {
         return Err(invalid(format!("expected {n} outputs, got {}", outputs.len())).into());
     }
     for conn in conns.iter_mut() {
-        let _ = conn.send(&[T_SHUTDOWN]);
+        conn.fire(&[T_SHUTDOWN]);
     }
     Ok(FramedRun {
         outcome: RunOutcome {
@@ -629,20 +1016,67 @@ pub fn run_framed<T: ShardTransport>(
     })
 }
 
+/// Worker-side request stream: strips sequence numbers off incoming
+/// frames, answers retransmitted duplicates from a one-deep response
+/// cache (without re-executing the phase — this is what makes coordinator
+/// retries idempotent), and stamps responses with the request's sequence.
+struct ReqConn<'c, C: ShardConn> {
+    conn: &'c mut C,
+    last: Option<(u64, Vec<u8>)>,
+}
+
+impl<'c, C: ShardConn> ReqConn<'c, C> {
+    /// Next *new* request as `(seq, payload)`; `None` on clean peer EOF.
+    fn next_request(&mut self) -> io::Result<Option<(u64, Vec<u8>)>> {
+        loop {
+            let frame = match self.conn.recv() {
+                Ok(p) => p,
+                Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => return Ok(None),
+                Err(e) => return Err(e),
+            };
+            let mut c = Cursor::new(&frame);
+            let seq = c.u64()?;
+            if let Some((last_seq, cached)) = &self.last {
+                if seq == *last_seq {
+                    // Retransmission of the request we already answered:
+                    // the coordinator missed our response. Resend it
+                    // verbatim; do NOT re-execute.
+                    let cached = cached.clone();
+                    self.conn.send(&cached)?;
+                    continue;
+                }
+            }
+            return Ok(Some((seq, frame[8..].to_vec())));
+        }
+    }
+
+    /// Sends `payload` as the response to request `seq` and caches it for
+    /// duplicate requests.
+    fn respond(&mut self, seq: u64, payload: &[u8]) -> io::Result<()> {
+        let mut frame = Vec::with_capacity(8 + payload.len());
+        put_u64(&mut frame, seq);
+        frame.extend_from_slice(payload);
+        self.conn.send(&frame)?;
+        self.last = Some((seq, frame));
+        Ok(())
+    }
+}
+
 /// One worker's whole life over an already-established connection: decode
 /// `Init`, rebuild topology and plan, then answer coordinator frames until
 /// `Shutdown` or EOF. This exact function runs inside the `deco-shardd`
-/// binary (over stdio) and inside every [`ChannelTransport`] thread.
+/// binary (over stdio or a dialed-in socket) and inside every
+/// [`ChannelTransport`] thread.
 ///
 /// # Errors
 ///
 /// Propagates transport failures and malformed frames; a clean peer
 /// disconnect is `Ok`.
 pub fn serve<C: ShardConn>(conn: &mut C) -> io::Result<()> {
-    let first = match conn.recv() {
-        Ok(p) => p,
-        Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => return Ok(()),
-        Err(e) => return Err(e),
+    let mut rc = ReqConn { conn, last: None };
+    let (init_seq, first) = match rc.next_request()? {
+        Some(x) => x,
+        None => return Ok(()),
     };
     let init = WorkerInit::decode(&first)?;
     let g = Graph::from_edges(init.n, init.edges.iter().copied())
@@ -658,18 +1092,24 @@ pub fn serve<C: ShardConn>(conn: &mut C) -> io::Result<()> {
     }
     match init.protocol {
         ProtocolSpec::FloodMax { radius } => {
-            serve_protocol(conn, &net, &plan, &init, &FloodMax { radius })
+            serve_protocol(&mut rc, &net, &plan, &init, &FloodMax { radius }, init_seq)
         }
         ProtocolSpec::PortEcho { rounds } => {
-            serve_protocol(conn, &net, &plan, &init, &PortEcho { rounds })
+            serve_protocol(&mut rc, &net, &plan, &init, &PortEcho { rounds }, init_seq)
         }
-        ProtocolSpec::StaggeredSum { spread } => {
-            serve_protocol(conn, &net, &plan, &init, &StaggeredSum { spread })
-        }
+        ProtocolSpec::StaggeredSum { spread } => serve_protocol(
+            &mut rc,
+            &net,
+            &plan,
+            &init,
+            &StaggeredSum { spread },
+            init_seq,
+        ),
     }
 }
 
-/// Serves the worker binary over stdio — `deco-shardd`'s entire `main`.
+/// Serves the worker binary over stdio — `deco-shardd`'s whole `main` when
+/// launched without `--connect`.
 ///
 /// # Errors
 ///
@@ -683,7 +1123,9 @@ pub fn serve_stdio() -> io::Result<()> {
         fn send(&mut self, payload: &[u8]) -> io::Result<()> {
             write_frame(&mut self.stdout.lock(), payload)
         }
-        fn recv(&mut self) -> io::Result<Vec<u8>> {
+        // Worker side: only ever called without a deadline (the
+        // coordinator owns all deadlines), so this blocks.
+        fn recv_timeout(&mut self, _timeout: Option<Duration>) -> io::Result<Vec<u8>> {
             read_frame(&mut self.stdin.lock())
         }
     }
@@ -695,11 +1137,12 @@ pub fn serve_stdio() -> io::Result<()> {
 
 /// The typed half of the worker loop, once the protocol is known.
 fn serve_protocol<C, P>(
-    conn: &mut C,
+    rc: &mut ReqConn<'_, C>,
     net: &Network<'_>,
     plan: &ShardPlan,
     init: &WorkerInit,
     protocol: &P,
+    init_seq: u64,
 ) -> io::Result<()>
 where
     C: ShardConn,
@@ -711,12 +1154,11 @@ where
         ShardWorker::spawn(net, plan, init.shard, init.threads, protocol);
     let mut ack = vec![T_INIT_ACK];
     put_u64(&mut ack, worker.active() as u64);
-    conn.send(&ack)?;
+    rc.respond(init_seq, &ack)?;
     loop {
-        let frame = match conn.recv() {
-            Ok(p) => p,
-            Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => return Ok(()),
-            Err(e) => return Err(e),
+        let (seq, frame) = match rc.next_request()? {
+            Some(x) => x,
+            None => return Ok(()),
         };
         match frame.first().copied() {
             Some(T_SEND_REQ) => {
@@ -727,11 +1169,11 @@ where
                 for i in 0..cut_out.len() {
                     put_opt_msg(&mut p, cut_out.get(i));
                 }
-                conn.send(&p)?;
+                rc.respond(seq, &p)?;
             }
             Some(T_DELIVER) => {
                 let mut c = Cursor::new(&frame[1..]);
-                let count = c.u64()? as usize;
+                let count = c.count(1)?;
                 if count != plan.cut_ports(init.shard).len() {
                     return Err(invalid("Deliver entry count mismatch"));
                 }
@@ -740,12 +1182,15 @@ where
                     ghost.write(i, get_opt_msg(&mut c)?);
                 }
                 if !c.finished() {
-                    return Err(invalid("trailing bytes in Deliver frame"));
+                    return Err(WireError::TrailingBytes {
+                        context: "Deliver frame",
+                    }
+                    .into());
                 }
                 let active = worker.receive_phase(&ghost);
                 let mut p = vec![T_DONE];
                 put_u64(&mut p, active as u64);
-                conn.send(&p)?;
+                rc.respond(seq, &p)?;
             }
             Some(T_FINISH) => {
                 let outs = worker.snapshot_outputs();
@@ -754,22 +1199,23 @@ where
                 for o in outs {
                     put_u64(&mut p, o);
                 }
-                conn.send(&p)?;
+                rc.respond(seq, &p)?;
             }
             Some(T_SHUTDOWN) => return Ok(()),
-            other => return Err(invalid(format!("unexpected frame tag {other:?}"))),
+            Some(other) => {
+                return Err(WireError::UnknownTag {
+                    context: "coordinator request",
+                    tag: other,
+                }
+                .into())
+            }
+            None => {
+                return Err(WireError::Invalid {
+                    context: "empty request frame",
+                }
+                .into())
+            }
         }
-    }
-}
-
-/// Receives a frame and checks its leading tag.
-fn expect_frame<C: ShardConn>(conn: &mut C, tag: u8) -> io::Result<Vec<u8>> {
-    let p = conn.recv()?;
-    match p.first() {
-        Some(&t) if t == tag => Ok(p),
-        other => Err(invalid(format!(
-            "expected frame tag {tag:#04x}, got {other:?}"
-        ))),
     }
 }
 
@@ -796,11 +1242,30 @@ fn get_opt_msg<M: WireMsg>(c: &mut Cursor<'_>) -> io::Result<Option<M>> {
             let mut inner = Cursor::new(b);
             let m = M::decode(&mut inner)?;
             if !inner.finished() {
-                return Err(invalid("trailing bytes in message entry"));
+                return Err(WireError::TrailingBytes {
+                    context: "message entry",
+                }
+                .into());
             }
             Ok(Some(m))
         }
-        other => Err(invalid(format!("bad entry tag {other}"))),
+        other => Err(WireError::UnknownTag {
+            context: "opt entry",
+            tag: other,
+        }
+        .into()),
+    }
+}
+
+/// Encodes an already-encoded opaque entry verbatim (coordinator side:
+/// routing only).
+fn put_opt_raw(out: &mut Vec<u8>, m: Option<&Vec<u8>>) {
+    match m {
+        None => out.push(0),
+        Some(b) => {
+            out.push(1);
+            put_bytes(out, b);
+        }
     }
 }
 
@@ -810,18 +1275,11 @@ fn get_opt_raw(c: &mut Cursor<'_>) -> io::Result<Option<Vec<u8>>> {
     match c.u8()? {
         0 => Ok(None),
         1 => Ok(Some(c.bytes()?.to_vec())),
-        other => Err(invalid(format!("bad entry tag {other}"))),
-    }
-}
-
-/// Re-encodes an opaque entry.
-fn put_opt_raw(out: &mut Vec<u8>, m: Option<&Vec<u8>>) {
-    match m {
-        None => out.push(0),
-        Some(b) => {
-            out.push(1);
-            put_bytes(out, b);
+        other => Err(WireError::UnknownTag {
+            context: "opt entry",
+            tag: other,
         }
+        .into()),
     }
 }
 
@@ -835,6 +1293,7 @@ mod tests {
     use deco_graph::generators;
     use deco_local::network::IdAssignment;
     use deco_local::{Executor, SerialExecutor};
+    use rand::prelude::*;
 
     fn seq_ids(n: usize) -> Vec<u64> {
         (1..=n as u64).collect()
@@ -891,7 +1350,7 @@ mod tests {
         .unwrap_err();
         match err {
             FramedError::Run(e) => assert_eq!(e, serial),
-            FramedError::Io(e) => panic!("unexpected transport error: {e}"),
+            other => panic!("unexpected error: {other}"),
         }
     }
 
@@ -936,6 +1395,117 @@ mod tests {
         assert_eq!(back.protocol, ProtocolSpec::StaggeredSum { spread: 9 });
         assert_eq!(back.edges, vec![(0, 1), (1, 2)]);
         assert_eq!(back.ids, vec![5, 1, 9]);
+    }
+
+    /// Seeded corruption of Init frames: truncations, bit flips, and junk
+    /// suffixes must decode to named errors (or benign value changes) —
+    /// never panic, never allocate beyond the corrupted buffer. The
+    /// interesting case is a bit-flipped edge/id *count*: the capped
+    /// sequence reads reject it instead of pre-allocating gigabytes.
+    #[test]
+    fn worker_init_corruption_never_panics() {
+        let mut rng = StdRng::seed_from_u64(0xBADC0DE);
+        let init = WorkerInit {
+            shards: 4,
+            shard: 1,
+            threads: 2,
+            max_rounds: 50,
+            protocol: ProtocolSpec::FloodMax { radius: 6 },
+            n: 12,
+            edges: (0..11).map(|i| (i, i + 1)).collect(),
+            ids: (1..=12).collect(),
+        };
+        let good = init.encode();
+        WorkerInit::decode(&good).unwrap();
+        for case in 0..400u32 {
+            let mut bad = good.clone();
+            match rng.gen_range(0..3u32) {
+                0 => bad.truncate(rng.gen_range(0..bad.len())),
+                1 => {
+                    let i = rng.gen_range(0..bad.len());
+                    bad[i] ^= 1 << rng.gen_range(0..8u32);
+                }
+                2 => bad.extend_from_slice(&[0xEE; 5]),
+                _ => unreachable!(),
+            }
+            // Reaching the next iteration proves no panic/OOM; errors (the
+            // common case) must be io-typed, which `decode` guarantees.
+            let _ = WorkerInit::decode(&bad);
+            let _ = case;
+        }
+    }
+
+    #[test]
+    fn duplicate_requests_are_answered_from_cache() {
+        // Worker side of the idempotence contract: the same sequence
+        // number asked twice yields the same response bytes without
+        // re-executing the phase (re-execution would advance the round
+        // state and change the CutOut).
+        let (to_worker, from_coord) = mpsc::channel::<Vec<u8>>();
+        let (to_coord, from_worker) = mpsc::channel::<Vec<u8>>();
+        let handle = std::thread::spawn(move || {
+            let mut conn = ChannelConn {
+                tx: to_coord,
+                rx: from_coord,
+            };
+            serve(&mut conn)
+        });
+        let g = generators::cycle(8);
+        let ids: Vec<u64> = (1..=8).collect();
+        let edges: Vec<(usize, usize)> = g
+            .edge_list()
+            .iter()
+            .map(|&[u, v]| (u.index(), v.index()))
+            .collect();
+        let init = WorkerInit {
+            shards: 2,
+            shard: 0,
+            threads: 1,
+            max_rounds: 50,
+            protocol: ProtocolSpec::FloodMax { radius: 3 },
+            n: 8,
+            edges,
+            ids,
+        }
+        .encode();
+        let send = |seq: u64, payload: &[u8]| {
+            let mut f = Vec::new();
+            put_u64(&mut f, seq);
+            f.extend_from_slice(payload);
+            to_worker.send(f).unwrap();
+        };
+        send(1, &init);
+        let ack = from_worker.recv().unwrap();
+        assert_eq!(ack[8], T_INIT_ACK);
+        // Ask for the send phase twice under the same sequence number.
+        send(2, &[T_SEND_REQ]);
+        let first = from_worker.recv().unwrap();
+        assert_eq!(first[8], T_CUT_OUT);
+        send(2, &[T_SEND_REQ]);
+        let second = from_worker.recv().unwrap();
+        assert_eq!(first, second, "duplicate answered from cache, verbatim");
+        send(3, &[T_SHUTDOWN]);
+        handle.join().unwrap().unwrap();
+    }
+
+    #[test]
+    fn zero_timeout_policy_disables_the_deadline() {
+        let p = FramedPolicy::default().with_timeout_ms(0);
+        assert_eq!(p.timeout(), None);
+        let g = generators::cycle(12);
+        let ids = seq_ids(12);
+        let run = run_framed_with(
+            &ChannelTransport,
+            &g,
+            &ids,
+            ProtocolSpec::FloodMax { radius: 3 },
+            2,
+            1,
+            50,
+            p,
+        )
+        .unwrap();
+        assert_eq!(run.shards, 2);
     }
 
     #[test]

@@ -30,13 +30,21 @@
 //!   bit.
 //! * [`framed`] — the same shard roles spoken over **byte frames** through
 //!   a [`framed::ShardTransport`]: an in-process channel transport (the
-//!   default — testable on a 1-CPU container) and a subprocess transport
-//!   that spawns one `deco-shardd` worker process per shard over stdio,
-//!   proving true multi-process execution. Both transports run the
-//!   identical per-shard round code (the private `worker` module), which
-//!   is what makes them interchangeable.
+//!   default — testable on a 1-CPU container), a subprocess transport that
+//!   spawns one `deco-shardd` worker process per shard over stdio, and the
+//!   socket transports in [`net`] (TCP and Unix-domain — the multi-host
+//!   shape, where `deco-shardd --connect` dials in to the coordinator).
+//!   All transports run the identical per-shard round code (the private
+//!   `worker` module), which is what makes them interchangeable. The
+//!   framed coordinator is hardened for a lossy world — per-frame
+//!   deadlines, idempotent retransmission, structured
+//!   [`framed::ShardFailed`] errors — and [`fault`] provides the
+//!   deterministic fault-injection decorator the `shard_faults` suite
+//!   drives to prove it.
 
+pub mod fault;
 pub mod framed;
+pub mod net;
 pub mod plan;
 pub mod wire;
 mod worker;

@@ -1,0 +1,475 @@
+//! Socket transports for the framed shard protocol: TCP and Unix-domain.
+//!
+//! This is the multi-host shape of [`framed`](super::framed): the
+//! coordinator binds a listener, workers **dial in** (`deco-shardd
+//! --connect host:port` / `--connect-uds path`), and the same
+//! length-prefixed frames that cross stdio pipes cross real sockets. The
+//! dial-in direction is deliberate — it is the one that generalizes to
+//! machines behind job schedulers, where the coordinator's address is the
+//! only thing a worker needs to know.
+//!
+//! Each transport launches workers in one of two modes:
+//!
+//! * **spawn** — one `deco-shardd` child per shard, told to dial the
+//!   coordinator back. True multi-process, true sockets; children are
+//!   killed when their connection drops.
+//! * **in-process** — one serving thread per shard on this host, still
+//!   speaking through a real socket pair. Same wire behavior without
+//!   needing the worker binary on `$PATH` (benchmarks and experiments use
+//!   this; the differential suite covers both).
+//!
+//! Connections are accepted under a deadline, receives are pumped through
+//! a [`FrameReader`] so the coordinator's per-frame budget applies, and a
+//! worker that never dials in surfaces as a launch error instead of a
+//! hang. Shard identity is assigned by the `Init` frame, not by accept
+//! order, so the accept race is harmless.
+
+use super::framed::{serve, ShardConn, ShardTransport};
+use super::wire::{read_frame, write_frame, FrameReader};
+use std::io::{self, Read, Write};
+use std::net::{TcpListener, TcpStream};
+#[cfg(unix)]
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+/// How long `launch` waits for all workers to dial in before declaring
+/// the transport dead.
+const DEFAULT_ACCEPT_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// How a socket transport obtains its workers.
+#[derive(Debug, Clone)]
+enum WorkerMode {
+    /// Spawn one `deco-shardd` child per shard and have it dial back.
+    Spawn(PathBuf),
+    /// Serve each shard from a thread in this process, over a real socket.
+    InProcess,
+}
+
+/// Worker-side duplex connection over any byte stream: blocking reads (the
+/// coordinator owns all deadlines), frames out through `w`.
+struct StreamConn<R: Read + Send, W: Write + Send> {
+    r: R,
+    w: W,
+}
+
+impl<R: Read + Send, W: Write + Send> ShardConn for StreamConn<R, W> {
+    fn send(&mut self, payload: &[u8]) -> io::Result<()> {
+        write_frame(&mut self.w, payload)
+    }
+    fn recv_timeout(&mut self, _timeout: Option<Duration>) -> io::Result<Vec<u8>> {
+        read_frame(&mut self.r)
+    }
+}
+
+/// Runs the worker loop over an explicit read/write half pair — the
+/// socket-side equivalent of [`serve_stdio`](super::framed::serve_stdio).
+///
+/// # Errors
+///
+/// Propagates transport failures and malformed frames; a clean peer
+/// disconnect is `Ok`.
+pub fn serve_duplex<R, W>(r: R, w: W) -> io::Result<()>
+where
+    R: Read + Send,
+    W: Write + Send,
+{
+    serve(&mut StreamConn { r, w })
+}
+
+/// Dials `addr` and serves the worker loop over the TCP stream —
+/// `deco-shardd --connect addr`'s whole `main`. Retries the connect
+/// briefly, since the worker may win the race against the coordinator's
+/// listener.
+///
+/// # Errors
+///
+/// Propagates connect failures (after retries) and protocol failures.
+pub fn connect_and_serve_tcp(addr: &str) -> io::Result<()> {
+    let stream = retry_connect(|| TcpStream::connect(addr))?;
+    stream.set_nodelay(true)?;
+    let r = io::BufReader::new(stream.try_clone()?);
+    serve_duplex(r, stream)
+}
+
+/// Dials the Unix-domain socket at `path` and serves the worker loop —
+/// `deco-shardd --connect-uds path`'s whole `main`.
+///
+/// # Errors
+///
+/// Propagates connect failures (after retries) and protocol failures.
+#[cfg(unix)]
+pub fn connect_and_serve_uds(path: &Path) -> io::Result<()> {
+    let stream = retry_connect(|| UnixStream::connect(path))?;
+    let r = io::BufReader::new(stream.try_clone()?);
+    serve_duplex(r, stream)
+}
+
+/// Retries a connect for a short window: the coordinator binds before
+/// launching workers, so the first attempt almost always succeeds, but a
+/// slow host must not turn the race into a spurious failure.
+fn retry_connect<S>(mut connect: impl FnMut() -> io::Result<S>) -> io::Result<S> {
+    let mut last = None;
+    for _ in 0..40 {
+        match connect() {
+            Ok(s) => return Ok(s),
+            Err(e) => {
+                last = Some(e);
+                std::thread::sleep(Duration::from_millis(25));
+            }
+        }
+    }
+    Err(last.unwrap_or_else(|| io::Error::other("connect never attempted")))
+}
+
+/// Coordinator-side endpoint of one socket worker: frames out through the
+/// write half, frames in through a [`FrameReader`] pump (which is what
+/// makes the per-frame deadline enforceable on a blocking socket). For
+/// spawned workers the child handle rides along and is killed on drop, so
+/// a failed run never leaks worker processes.
+pub struct SocketConn {
+    child: Option<Child>,
+    writer: Box<dyn Write + Send>,
+    reader: FrameReader,
+}
+
+impl ShardConn for SocketConn {
+    fn send(&mut self, payload: &[u8]) -> io::Result<()> {
+        write_frame(&mut self.writer, payload)
+    }
+
+    fn recv_timeout(&mut self, timeout: Option<Duration>) -> io::Result<Vec<u8>> {
+        self.reader.recv_timeout(timeout)
+    }
+}
+
+impl Drop for SocketConn {
+    fn drop(&mut self) {
+        if let Some(child) = &mut self.child {
+            let _ = child.kill();
+            let _ = child.wait();
+        }
+    }
+}
+
+/// TCP shard transport: the coordinator listens on an ephemeral loopback
+/// port and every worker dials in. Frames and worker behavior are
+/// byte-identical to every other transport — the differential suite pins
+/// it.
+#[derive(Debug, Clone)]
+pub struct TcpTransport {
+    mode: WorkerMode,
+    accept_timeout: Duration,
+}
+
+impl TcpTransport {
+    /// A transport that spawns the worker binary at `bin` per shard with
+    /// `--connect <addr>` (tests use `env!("CARGO_BIN_EXE_deco-shardd")`).
+    pub fn spawn(bin: impl Into<PathBuf>) -> TcpTransport {
+        TcpTransport {
+            mode: WorkerMode::Spawn(bin.into()),
+            accept_timeout: DEFAULT_ACCEPT_TIMEOUT,
+        }
+    }
+
+    /// A transport serving each shard from an in-process thread over a
+    /// real TCP socket — the wire without the binary dependency.
+    pub fn in_process() -> TcpTransport {
+        TcpTransport {
+            mode: WorkerMode::InProcess,
+            accept_timeout: DEFAULT_ACCEPT_TIMEOUT,
+        }
+    }
+
+    /// Replaces the dial-in accept deadline.
+    pub fn with_accept_timeout(mut self, timeout: Duration) -> TcpTransport {
+        self.accept_timeout = timeout;
+        self
+    }
+}
+
+impl ShardTransport for TcpTransport {
+    type Conn = SocketConn;
+
+    fn launch(&self, shards: usize) -> io::Result<Vec<SocketConn>> {
+        let listener = TcpListener::bind(("127.0.0.1", 0))?;
+        let addr = listener.local_addr()?;
+        let mut children = Vec::new();
+        match &self.mode {
+            WorkerMode::Spawn(bin) => {
+                for _ in 0..shards {
+                    children.push(
+                        Command::new(bin)
+                            .arg("--connect")
+                            .arg(addr.to_string())
+                            .stdin(Stdio::null())
+                            .stdout(Stdio::null())
+                            .stderr(Stdio::inherit())
+                            .spawn()?,
+                    );
+                }
+            }
+            WorkerMode::InProcess => {
+                for s in 0..shards {
+                    std::thread::Builder::new()
+                        .name(format!("deco-shard-tcp-{s}"))
+                        .spawn(move || {
+                            if let Ok(stream) = TcpStream::connect(addr) {
+                                let _ = stream.set_nodelay(true);
+                                if let Ok(clone) = stream.try_clone() {
+                                    let _ = serve_duplex(io::BufReader::new(clone), stream);
+                                }
+                            }
+                        })?;
+                }
+            }
+        }
+        let streams = accept_n(
+            shards,
+            self.accept_timeout,
+            || {
+                listener.set_nonblocking(true)?;
+                Ok(())
+            },
+            || listener.accept().map(|(s, _)| s),
+        )?;
+        let mut conns = Vec::with_capacity(shards);
+        for (i, stream) in streams.into_iter().enumerate() {
+            stream.set_nonblocking(false)?;
+            let _ = stream.set_nodelay(true);
+            let reader = FrameReader::spawn(stream.try_clone()?, &format!("tcp-{i}"))?;
+            conns.push(SocketConn {
+                child: children.pop(),
+                writer: Box::new(stream),
+                reader,
+            });
+        }
+        Ok(conns)
+    }
+
+    fn label(&self) -> &'static str {
+        "tcp"
+    }
+}
+
+/// Unix-domain socket shard transport: same dial-in shape as
+/// [`TcpTransport`] over a per-launch socket path in the temp directory
+/// (unlinked as soon as every worker has connected).
+#[cfg(unix)]
+#[derive(Debug, Clone)]
+pub struct UdsTransport {
+    mode: WorkerMode,
+    accept_timeout: Duration,
+}
+
+#[cfg(unix)]
+impl UdsTransport {
+    /// A transport that spawns the worker binary at `bin` per shard with
+    /// `--connect-uds <path>`.
+    pub fn spawn(bin: impl Into<PathBuf>) -> UdsTransport {
+        UdsTransport {
+            mode: WorkerMode::Spawn(bin.into()),
+            accept_timeout: DEFAULT_ACCEPT_TIMEOUT,
+        }
+    }
+
+    /// A transport serving each shard from an in-process thread over a
+    /// real Unix-domain socket.
+    pub fn in_process() -> UdsTransport {
+        UdsTransport {
+            mode: WorkerMode::InProcess,
+            accept_timeout: DEFAULT_ACCEPT_TIMEOUT,
+        }
+    }
+
+    /// Replaces the dial-in accept deadline.
+    pub fn with_accept_timeout(mut self, timeout: Duration) -> UdsTransport {
+        self.accept_timeout = timeout;
+        self
+    }
+}
+
+#[cfg(unix)]
+impl ShardTransport for UdsTransport {
+    type Conn = SocketConn;
+
+    fn launch(&self, shards: usize) -> io::Result<Vec<SocketConn>> {
+        static COUNTER: AtomicU64 = AtomicU64::new(0);
+        let path = std::env::temp_dir().join(format!(
+            "deco-shard-{}-{}.sock",
+            std::process::id(),
+            COUNTER.fetch_add(1, Ordering::Relaxed)
+        ));
+        let _ = std::fs::remove_file(&path);
+        let listener = UnixListener::bind(&path)?;
+        // Unlink the socket path once every worker is connected (or the
+        // launch fails) — connected streams outlive the filesystem name.
+        let _guard = UnlinkGuard(path.clone());
+        let mut children = Vec::new();
+        match &self.mode {
+            WorkerMode::Spawn(bin) => {
+                for _ in 0..shards {
+                    children.push(
+                        Command::new(bin)
+                            .arg("--connect-uds")
+                            .arg(&path)
+                            .stdin(Stdio::null())
+                            .stdout(Stdio::null())
+                            .stderr(Stdio::inherit())
+                            .spawn()?,
+                    );
+                }
+            }
+            WorkerMode::InProcess => {
+                for s in 0..shards {
+                    let path = path.clone();
+                    std::thread::Builder::new()
+                        .name(format!("deco-shard-uds-{s}"))
+                        .spawn(move || {
+                            if let Ok(stream) = UnixStream::connect(&path) {
+                                if let Ok(clone) = stream.try_clone() {
+                                    let _ = serve_duplex(io::BufReader::new(clone), stream);
+                                }
+                            }
+                        })?;
+                }
+            }
+        }
+        let streams = accept_n(
+            shards,
+            self.accept_timeout,
+            || {
+                listener.set_nonblocking(true)?;
+                Ok(())
+            },
+            || listener.accept().map(|(s, _)| s),
+        )?;
+        let mut conns = Vec::with_capacity(shards);
+        for (i, stream) in streams.into_iter().enumerate() {
+            stream.set_nonblocking(false)?;
+            let reader = FrameReader::spawn(stream.try_clone()?, &format!("uds-{i}"))?;
+            conns.push(SocketConn {
+                child: children.pop(),
+                writer: Box::new(stream),
+                reader,
+            });
+        }
+        Ok(conns)
+    }
+
+    fn label(&self) -> &'static str {
+        "uds"
+    }
+}
+
+/// Removes a Unix socket path on drop (including every error path).
+#[cfg(unix)]
+struct UnlinkGuard(PathBuf);
+
+#[cfg(unix)]
+impl Drop for UnlinkGuard {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_file(&self.0);
+    }
+}
+
+/// Accepts exactly `n` connections under `timeout`, polling a nonblocking
+/// listener. A worker that never dials in turns into a `TimedOut` launch
+/// error instead of a coordinator that hangs in `accept`.
+fn accept_n<S>(
+    n: usize,
+    timeout: Duration,
+    set_nonblocking: impl FnOnce() -> io::Result<()>,
+    mut accept: impl FnMut() -> io::Result<S>,
+) -> io::Result<Vec<S>> {
+    set_nonblocking()?;
+    let deadline = Instant::now() + timeout;
+    let mut streams = Vec::with_capacity(n);
+    while streams.len() < n {
+        match accept() {
+            Ok(s) => streams.push(s),
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                if Instant::now() >= deadline {
+                    return Err(io::Error::new(
+                        io::ErrorKind::TimedOut,
+                        format!(
+                            "only {}/{n} shard workers dialed in before the accept deadline",
+                            streams.len()
+                        ),
+                    ));
+                }
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(streams)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::framed::{run_framed, ChannelTransport, ProtocolSpec};
+    use super::*;
+    use deco_graph::generators;
+
+    fn seq_ids(n: usize) -> Vec<u64> {
+        (1..=n as u64).collect()
+    }
+
+    #[test]
+    fn in_process_tcp_matches_channel_bit_for_bit() {
+        let g = generators::random_regular(24, 4, 5);
+        let ids = seq_ids(24);
+        let spec = ProtocolSpec::FloodMax { radius: 4 };
+        let a = run_framed(&ChannelTransport, &g, &ids, spec, 2, 1, 50).unwrap();
+        let b = run_framed(&TcpTransport::in_process(), &g, &ids, spec, 2, 1, 50).unwrap();
+        assert_eq!(a.outcome.outputs, b.outcome.outputs);
+        assert_eq!(a.outcome.rounds, b.outcome.rounds);
+        assert_eq!(a.outcome.messages, b.outcome.messages);
+        assert_eq!(
+            a.exchange_bytes, b.exchange_bytes,
+            "same frames, same bytes"
+        );
+        assert_eq!(a.total_bytes, b.total_bytes);
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn in_process_uds_matches_channel_bit_for_bit() {
+        let g = generators::cycle(20);
+        let ids = seq_ids(20);
+        let spec = ProtocolSpec::StaggeredSum { spread: 4 };
+        let a = run_framed(&ChannelTransport, &g, &ids, spec, 4, 1, 50).unwrap();
+        let b = run_framed(&UdsTransport::in_process(), &g, &ids, spec, 4, 1, 50).unwrap();
+        assert_eq!(a.outcome.outputs, b.outcome.outputs);
+        assert_eq!(a.outcome.messages, b.outcome.messages);
+        assert_eq!(
+            a.exchange_bytes, b.exchange_bytes,
+            "same frames, same bytes"
+        );
+        assert_eq!(a.total_bytes, b.total_bytes);
+    }
+
+    #[test]
+    fn missing_workers_time_out_at_accept() {
+        // Nothing ever dials in: launch must fail within the deadline, not
+        // hang the coordinator in accept().
+        let t = TcpTransport::in_process().with_accept_timeout(Duration::from_millis(100));
+        let listener = TcpListener::bind(("127.0.0.1", 0)).unwrap();
+        let start = Instant::now();
+        let err = accept_n(
+            1,
+            t.accept_timeout,
+            || {
+                listener.set_nonblocking(true)?;
+                Ok(())
+            },
+            || listener.accept().map(|(s, _)| s),
+        )
+        .unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::TimedOut);
+        assert!(start.elapsed() < Duration::from_secs(5));
+    }
+}

@@ -4,14 +4,108 @@
 //! followed by the payload bytes ("bincode-style": fixed-width LE integers,
 //! `u8` presence tags for options, length-prefixed sequences — no
 //! self-description, both ends share the schema). The subprocess transport
-//! speaks exactly this over stdio; the in-process channel transport hands
-//! the same payloads over `mpsc`, so one codec serves both.
+//! speaks exactly this over stdio, the socket transports over TCP/UDS
+//! streams; the in-process channel transport hands the same payloads over
+//! `mpsc`, so one codec serves all of them.
+//!
+//! Every way the codec can reject bytes is a named [`WireError`] variant —
+//! a corrupted stream surfaces as a typed error, never a panic, and never
+//! an attacker-chosen allocation: [`read_frame`] grows its buffer only as
+//! bytes actually arrive, so a forged multi-gigabyte length prefix costs
+//! nothing. [`FrameReader`] pumps whole frames off a blocking stream on a
+//! background thread, which is what gives transports whose raw reads cannot
+//! time out (child stdio pipes, connected sockets) a receive deadline
+//! without ever tearing a frame mid-read.
 
+use std::fmt;
 use std::io::{self, Read, Write};
+use std::sync::mpsc;
+use std::time::Duration;
 
 /// Upper bound on a single frame, as a sanity guard against a desynced
 /// stream being interpreted as a gigantic length.
 const MAX_FRAME: u32 = 1 << 30;
+
+/// A structural defect in a frame or payload — every way the codec rejects
+/// bytes, as a named value. Corruption decodes to one of these; it never
+/// panics and never drives an allocation larger than the bytes on the wire.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WireError {
+    /// The stream ended cleanly before a length prefix (peer shutdown).
+    Eof,
+    /// The length prefix exceeds the 1 GiB frame sanity bound.
+    Oversized {
+        /// The claimed payload length.
+        len: u32,
+    },
+    /// The stream ended mid-frame: the prefix promised more than arrived.
+    ShortFrame {
+        /// Bytes the length prefix promised.
+        expected: usize,
+        /// Bytes that actually arrived.
+        got: usize,
+    },
+    /// A payload read ran past the end of the buffer.
+    Truncated,
+    /// An unknown tag byte where a tagged value was expected.
+    UnknownTag {
+        /// Which decoder saw the tag.
+        context: &'static str,
+        /// The offending byte.
+        tag: u8,
+    },
+    /// A decoder finished but bytes were left over.
+    TrailingBytes {
+        /// Which decoder had leftovers.
+        context: &'static str,
+    },
+    /// A structurally readable frame whose contents contradict the schema
+    /// (impossible counts, out-of-range indices, mismatched lengths).
+    Invalid {
+        /// What was contradicted.
+        context: &'static str,
+    },
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            WireError::Eof => write!(f, "stream closed before a frame length prefix"),
+            WireError::Oversized { len } => {
+                write!(f, "frame length {len} exceeds the {MAX_FRAME} sanity bound")
+            }
+            WireError::ShortFrame { expected, got } => {
+                write!(
+                    f,
+                    "frame truncated: length prefix promised {expected} bytes, got {got}"
+                )
+            }
+            WireError::Truncated => write!(f, "frame payload truncated"),
+            WireError::UnknownTag { context, tag } => {
+                write!(f, "unknown tag {tag:#04x} in {context}")
+            }
+            WireError::TrailingBytes { context } => write!(f, "trailing bytes after {context}"),
+            WireError::Invalid { context } => write!(f, "invalid frame: {context}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+impl From<WireError> for io::Error {
+    fn from(e: WireError) -> io::Error {
+        let kind = match e {
+            WireError::Eof | WireError::ShortFrame { .. } | WireError::Truncated => {
+                io::ErrorKind::UnexpectedEof
+            }
+            WireError::Oversized { .. }
+            | WireError::UnknownTag { .. }
+            | WireError::TrailingBytes { .. }
+            | WireError::Invalid { .. } => io::ErrorKind::InvalidData,
+        };
+        io::Error::new(kind, e.to_string())
+    }
+}
 
 /// Writes one length-prefixed frame.
 ///
@@ -29,21 +123,36 @@ pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> io::Result<()> {
 /// Reads one length-prefixed frame. EOF before the length prefix surfaces
 /// as `UnexpectedEof` (a clean peer shutdown for callers that care).
 ///
+/// The buffer grows only as bytes arrive, so a forged length prefix cannot
+/// trigger an up-front allocation — a prefix that promises more bytes than
+/// the stream delivers is a [`WireError::ShortFrame`].
+///
 /// # Errors
 ///
-/// Propagates read failures; an oversized length prefix is `InvalidData`.
+/// Propagates read failures; structural defects surface as the matching
+/// [`WireError`] converted to `io::Error` (`UnexpectedEof` / `InvalidData`).
 pub fn read_frame(r: &mut impl Read) -> io::Result<Vec<u8>> {
     let mut len = [0u8; 4];
-    r.read_exact(&mut len)?;
+    if let Err(e) = r.read_exact(&mut len) {
+        return Err(if e.kind() == io::ErrorKind::UnexpectedEof {
+            WireError::Eof.into()
+        } else {
+            e
+        });
+    }
     let len = u32::from_le_bytes(len);
     if len > MAX_FRAME {
-        return Err(io::Error::new(
-            io::ErrorKind::InvalidData,
-            format!("frame length {len} exceeds the {MAX_FRAME} sanity bound"),
-        ));
+        return Err(WireError::Oversized { len }.into());
     }
-    let mut payload = vec![0u8; len as usize];
-    r.read_exact(&mut payload)?;
+    let mut payload = Vec::new();
+    r.by_ref().take(u64::from(len)).read_to_end(&mut payload)?;
+    if payload.len() < len as usize {
+        return Err(WireError::ShortFrame {
+            expected: len as usize,
+            got: payload.len(),
+        }
+        .into());
+    }
     Ok(payload)
 }
 
@@ -60,7 +169,7 @@ impl<'a> Cursor<'a> {
         Cursor { buf, pos: 0 }
     }
 
-    fn take(&mut self, n: usize) -> io::Result<&'a [u8]> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
         let end = self.pos.checked_add(n).filter(|&e| e <= self.buf.len());
         match end {
             Some(end) => {
@@ -68,10 +177,7 @@ impl<'a> Cursor<'a> {
                 self.pos = end;
                 Ok(s)
             }
-            None => Err(io::Error::new(
-                io::ErrorKind::UnexpectedEof,
-                "frame payload truncated",
-            )),
+            None => Err(WireError::Truncated),
         }
     }
 
@@ -79,8 +185,8 @@ impl<'a> Cursor<'a> {
     ///
     /// # Errors
     ///
-    /// `UnexpectedEof` when the payload is exhausted.
-    pub fn u8(&mut self) -> io::Result<u8> {
+    /// [`WireError::Truncated`] when the payload is exhausted.
+    pub fn u8(&mut self) -> Result<u8, WireError> {
         Ok(self.take(1)?[0])
     }
 
@@ -88,8 +194,8 @@ impl<'a> Cursor<'a> {
     ///
     /// # Errors
     ///
-    /// `UnexpectedEof` when the payload is exhausted.
-    pub fn u32(&mut self) -> io::Result<u32> {
+    /// [`WireError::Truncated`] when the payload is exhausted.
+    pub fn u32(&mut self) -> Result<u32, WireError> {
         Ok(u32::from_le_bytes(
             self.take(4)?.try_into().expect("4 bytes"),
         ))
@@ -99,21 +205,45 @@ impl<'a> Cursor<'a> {
     ///
     /// # Errors
     ///
-    /// `UnexpectedEof` when the payload is exhausted.
-    pub fn u64(&mut self) -> io::Result<u64> {
+    /// [`WireError::Truncated`] when the payload is exhausted.
+    pub fn u64(&mut self) -> Result<u64, WireError> {
         Ok(u64::from_le_bytes(
             self.take(8)?.try_into().expect("8 bytes"),
         ))
+    }
+
+    /// Reads a little-endian `u64` that claims to count `elem_bytes`-sized
+    /// elements still to come, rejecting counts the remaining payload could
+    /// not possibly hold. This is the allocation cap for sequence decoders:
+    /// a bit-flipped count can never drive `Vec::with_capacity` beyond the
+    /// bytes actually on the wire.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::Truncated`] when the payload is exhausted or the count
+    /// overruns the remaining bytes.
+    pub fn count(&mut self, elem_bytes: usize) -> Result<usize, WireError> {
+        let count = self.u64()?;
+        let count = usize::try_from(count).map_err(|_| WireError::Truncated)?;
+        if count > self.remaining() / elem_bytes.max(1) {
+            return Err(WireError::Truncated);
+        }
+        Ok(count)
     }
 
     /// Reads a length-prefixed byte string.
     ///
     /// # Errors
     ///
-    /// `UnexpectedEof` when the payload is exhausted.
-    pub fn bytes(&mut self) -> io::Result<&'a [u8]> {
+    /// [`WireError::Truncated`] when the payload is exhausted.
+    pub fn bytes(&mut self) -> Result<&'a [u8], WireError> {
         let len = self.u32()? as usize;
         self.take(len)
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
     }
 
     /// Whether the payload is fully consumed (decoders assert this so a
@@ -139,9 +269,89 @@ pub fn put_bytes(out: &mut Vec<u8>, b: &[u8]) {
     out.extend_from_slice(b);
 }
 
+/// Background frame pump: a thread does blocking [`read_frame`] reads and
+/// queues whole frames, so the owner can wait **with a deadline** even on
+/// streams whose raw reads cannot time out (child stdio pipes, connected
+/// sockets). Because the pump only ever hands over complete frames, a
+/// deadline can expire without leaving the stream desynced mid-frame — the
+/// late frame is simply delivered on the next receive.
+#[derive(Debug)]
+pub struct FrameReader {
+    rx: mpsc::Receiver<io::Result<Vec<u8>>>,
+    /// The pump's terminal error, replayed on every receive after it died.
+    dead: Option<(io::ErrorKind, String)>,
+}
+
+impl FrameReader {
+    /// Spawns the pump thread over `r`. The thread exits when the stream
+    /// errors/EOFs or when this `FrameReader` is dropped.
+    ///
+    /// # Errors
+    ///
+    /// Propagates thread-spawn failure.
+    pub fn spawn<R: Read + Send + 'static>(mut r: R, name: &str) -> io::Result<FrameReader> {
+        let (tx, rx) = mpsc::channel::<io::Result<Vec<u8>>>();
+        std::thread::Builder::new()
+            .name(format!("deco-frame-pump-{name}"))
+            .spawn(move || loop {
+                match read_frame(&mut r) {
+                    Ok(p) => {
+                        if tx.send(Ok(p)).is_err() {
+                            return;
+                        }
+                    }
+                    Err(e) => {
+                        let _ = tx.send(Err(e));
+                        return;
+                    }
+                }
+            })?;
+        Ok(FrameReader { rx, dead: None })
+    }
+
+    /// Next whole frame. A `None` deadline blocks until the stream delivers
+    /// or dies.
+    ///
+    /// # Errors
+    ///
+    /// `TimedOut` when the deadline expires first; otherwise the pump's
+    /// terminal stream error, which is sticky — every receive after the
+    /// stream died reports the same error kind.
+    pub fn recv_timeout(&mut self, timeout: Option<Duration>) -> io::Result<Vec<u8>> {
+        if let Some((kind, msg)) = &self.dead {
+            return Err(io::Error::new(*kind, msg.clone()));
+        }
+        let item = match timeout {
+            None => self.rx.recv().map_err(|_| pump_gone())?,
+            Some(t) => match self.rx.recv_timeout(t) {
+                Ok(item) => item,
+                Err(mpsc::RecvTimeoutError::Timeout) => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::TimedOut,
+                        "no frame within the receive deadline",
+                    ))
+                }
+                Err(mpsc::RecvTimeoutError::Disconnected) => return Err(pump_gone()),
+            },
+        };
+        match item {
+            Ok(p) => Ok(p),
+            Err(e) => {
+                self.dead = Some((e.kind(), e.to_string()));
+                Err(e)
+            }
+        }
+    }
+}
+
+fn pump_gone() -> io::Error {
+    io::Error::new(io::ErrorKind::UnexpectedEof, "frame pump exited")
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use rand::prelude::*;
 
     #[test]
     fn frames_round_trip() {
@@ -170,16 +380,194 @@ mod tests {
         assert_eq!(c.u64().unwrap(), u64::MAX - 1);
         assert_eq!(c.bytes().unwrap(), b"xyz");
         assert!(c.finished());
-        assert!(c.u8().is_err(), "reading past the end errors");
+        assert_eq!(c.u8().unwrap_err(), WireError::Truncated);
     }
 
     #[test]
     fn oversized_length_prefix_is_rejected() {
         let mut buf = Vec::new();
         buf.extend_from_slice(&(MAX_FRAME + 1).to_le_bytes());
+        let mut r = &buf[..];
+        let err = read_frame(&mut r).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("sanity bound"));
+    }
+
+    #[test]
+    fn forged_length_prefix_does_not_preallocate() {
+        // A prefix claiming the full 1 GiB with 3 bytes behind it must fail
+        // as a short frame after reading only those 3 bytes — the capped
+        // read allocates for what arrives, not for what the prefix claims.
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&MAX_FRAME.to_le_bytes());
+        buf.extend_from_slice(b"abc");
+        let mut r = &buf[..];
+        let err = read_frame(&mut r).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
+        assert!(err.to_string().contains("promised"));
+    }
+
+    #[test]
+    fn count_rejects_impossible_sequence_lengths() {
+        let mut out = Vec::new();
+        put_u64(&mut out, u64::MAX); // claims 2^64-1 elements...
+        put_u64(&mut out, 42); // ...over 8 remaining bytes
+        let mut c = Cursor::new(&out);
+        assert_eq!(c.count(8).unwrap_err(), WireError::Truncated);
+
+        let mut ok = Vec::new();
+        put_u64(&mut ok, 1);
+        put_u64(&mut ok, 42);
+        let mut c = Cursor::new(&ok);
+        assert_eq!(c.count(8).unwrap(), 1);
+        assert_eq!(c.u64().unwrap(), 42);
+    }
+
+    /// Seeded property loop: truncations, bit flips, and appended junk fed
+    /// to a structured decoder must always yield a named `WireError` or a
+    /// benign re-decode — never a panic, never an allocation beyond the
+    /// corrupted buffer itself.
+    #[test]
+    fn seeded_corruption_yields_named_errors_never_panics() {
+        // A miniature schema exercising every cursor read: tag byte, u32,
+        // counted u64 sequence, length-prefixed bytes, finished() check.
+        fn decode(payload: &[u8]) -> Result<(), WireError> {
+            let mut c = Cursor::new(payload);
+            match c.u8()? {
+                0xAB => {}
+                tag => {
+                    return Err(WireError::UnknownTag {
+                        context: "probe",
+                        tag,
+                    })
+                }
+            }
+            let _ = c.u32()?;
+            let n = c.count(8)?;
+            for _ in 0..n {
+                let _ = c.u64()?;
+            }
+            let _ = c.bytes()?;
+            if !c.finished() {
+                return Err(WireError::TrailingBytes { context: "probe" });
+            }
+            Ok(())
+        }
+
+        let mut rng = StdRng::seed_from_u64(0xD15EA5E);
+        for case in 0..500u32 {
+            // Build a valid payload...
+            let mut payload = vec![0xABu8];
+            put_u32(&mut payload, rng.gen_range(0..1000u32));
+            let n = rng.gen_range(0..6usize);
+            put_u64(&mut payload, n as u64);
+            for _ in 0..n {
+                put_u64(&mut payload, rng.gen_range(0..1u64 << 20));
+            }
+            let blen = rng.gen_range(0..10usize);
+            let blob: Vec<u8> = (0..blen).map(|i| i as u8).collect();
+            put_bytes(&mut payload, &blob);
+            decode(&payload).unwrap_or_else(|e| panic!("case {case}: valid payload: {e}"));
+
+            // ...then corrupt it one of four ways.
+            let mut bad = payload.clone();
+            match rng.gen_range(0..4u32) {
+                0 => bad.truncate(rng.gen_range(0..bad.len())),
+                1 => {
+                    let i = rng.gen_range(0..bad.len());
+                    bad[i] ^= 1 << rng.gen_range(0..8u32);
+                }
+                2 => bad.extend_from_slice(b"junk"),
+                // Oversized interior count: claims far more elements than
+                // the payload holds.
+                3 => {
+                    let huge = u64::MAX - rng.gen_range(0..9u64);
+                    bad.splice(5..13, huge.to_le_bytes());
+                }
+                _ => unreachable!(),
+            }
+            // Either the corruption is benign (a data bit flipped) or it is
+            // a *named* error; reaching here at all proves no panic.
+            let _ = decode(&bad);
+        }
+    }
+
+    /// Seeded property loop at the frame layer: corrupted length prefixes
+    /// and short streams always produce named errors.
+    #[test]
+    fn seeded_frame_corruption_is_rejected() {
+        let mut rng = StdRng::seed_from_u64(0xF00DF00D);
+        for _ in 0..200 {
+            let len = rng.gen_range(0..64usize);
+            let payload: Vec<u8> = (0..len).map(|_| rng.gen_range(0..256u32) as u8).collect();
+            let mut buf = Vec::new();
+            write_frame(&mut buf, &payload).unwrap();
+
+            match rng.gen_range(0..3u32) {
+                // Truncate the stream mid-frame (or mid-prefix).
+                0 => {
+                    let cut = rng.gen_range(0..buf.len());
+                    buf.truncate(cut);
+                    let err = read_frame(&mut &buf[..]).unwrap_err();
+                    assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
+                }
+                // Inflate the length prefix past the sanity bound.
+                1 => {
+                    let huge = MAX_FRAME + 1 + rng.gen_range(0..1000u32);
+                    buf[..4].copy_from_slice(&huge.to_le_bytes());
+                    let err = read_frame(&mut &buf[..]).unwrap_err();
+                    assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+                }
+                // Inflate the prefix within bounds: promised > delivered.
+                2 => {
+                    let claimed = (len + 1 + rng.gen_range(0..100usize)) as u32;
+                    buf[..4].copy_from_slice(&claimed.to_le_bytes());
+                    let err = read_frame(&mut &buf[..]).unwrap_err();
+                    assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
+                }
+                _ => unreachable!(),
+            }
+        }
+    }
+
+    #[test]
+    fn frame_reader_delivers_and_times_out() {
+        use std::io::Cursor as IoCursor;
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"one").unwrap();
+        write_frame(&mut buf, b"two").unwrap();
+        let mut fr = FrameReader::spawn(IoCursor::new(buf), "test").unwrap();
         assert_eq!(
-            read_frame(&mut &buf[..]).unwrap_err().kind(),
-            io::ErrorKind::InvalidData
+            fr.recv_timeout(Some(Duration::from_millis(500))).unwrap(),
+            b"one"
         );
+        assert_eq!(fr.recv_timeout(None).unwrap(), b"two");
+        // Stream exhausted: EOF, and the error is sticky.
+        for _ in 0..2 {
+            let err = fr
+                .recv_timeout(Some(Duration::from_millis(50)))
+                .unwrap_err();
+            assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
+        }
+    }
+
+    #[test]
+    fn frame_reader_deadline_expires_on_a_silent_stream() {
+        // A reader that blocks forever: the pump never delivers, the
+        // deadline must fire.
+        struct Stalled;
+        impl Read for Stalled {
+            fn read(&mut self, _buf: &mut [u8]) -> io::Result<usize> {
+                std::thread::sleep(Duration::from_secs(3600));
+                Ok(0)
+            }
+        }
+        let mut fr = FrameReader::spawn(Stalled, "stall").unwrap();
+        let start = std::time::Instant::now();
+        let err = fr
+            .recv_timeout(Some(Duration::from_millis(50)))
+            .unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::TimedOut);
+        assert!(start.elapsed() < Duration::from_secs(5));
     }
 }

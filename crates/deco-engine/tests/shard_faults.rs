@@ -1,0 +1,385 @@
+//! Fault-injection suite for the hardened framed shard coordinator.
+//!
+//! Every test drives a real framed run through a
+//! [`FaultTransport`](deco_engine::shard::fault::FaultTransport) with a
+//! *deterministic* fault plan and demands one of exactly two outcomes:
+//!
+//! * **Transient faults** (dropped frames, delays, late duplicates) —
+//!   the run recovers and its observables are **bit-identical** to a clean
+//!   run: outputs, rounds, messages, and both byte counters (retransmitted
+//!   frames are never counted, so byte accounting is fault-invariant).
+//! * **Fatal faults** (truncation, kills, stalls past the retry budget) —
+//!   the run terminates within the deadline budget with the exact
+//!   structured [`ShardFailed`] the plan predicts. Never a hang, never a
+//!   panic.
+//!
+//! A seeded sweep then walks a swath of the fault space and holds every
+//! plan to the transient-or-structured dichotomy, and the four-way
+//! differential pushes an injected fault through all four framed
+//! transports (channel, process, TCP, Unix-domain) at once.
+
+use deco_engine::protocols::FloodMax;
+use deco_engine::shard::fault::{FaultPlan, FaultTransport};
+use deco_engine::shard::framed::{
+    run_framed, run_framed_with, ChannelTransport, FramedError, FramedPolicy, FramedRun,
+    ProcessTransport, ProtocolSpec, ShardFailure,
+};
+use deco_engine::shard::net::TcpTransport;
+#[cfg(unix)]
+use deco_engine::shard::net::UdsTransport;
+use deco_engine::{Executor, GraphSpec, IdFlavor, Scenario, SerialExecutor};
+use std::time::{Duration, Instant};
+
+/// The worker binary built alongside this test crate.
+fn shardd_bin() -> &'static str {
+    env!("CARGO_BIN_EXE_deco-shardd")
+}
+
+const SHARDS: usize = 2;
+const MAX_ROUNDS: u64 = 50;
+const SPEC: ProtocolSpec = ProtocolSpec::FloodMax { radius: 4 };
+
+fn scenario() -> Scenario {
+    Scenario::new(GraphSpec::Cycle { n: 24 }, IdFlavor::Shuffled, 5)
+}
+
+/// A clean reference run over the channel transport (every transport is
+/// byte-identical to it — `tests/sharded.rs` pins that).
+fn clean_run() -> FramedRun {
+    let scenario = scenario();
+    let g = scenario.graph();
+    let net = scenario.network(&g);
+    run_framed(
+        &ChannelTransport,
+        &g,
+        net.ids(),
+        SPEC,
+        SHARDS,
+        1,
+        MAX_ROUNDS,
+    )
+    .expect("clean run succeeds")
+}
+
+/// Runs the standard workload through `plan` over the channel transport.
+fn faulted_run(plan: FaultPlan, policy: FramedPolicy) -> Result<FramedRun, FramedError> {
+    let scenario = scenario();
+    let g = scenario.graph();
+    let net = scenario.network(&g);
+    run_framed_with(
+        &FaultTransport::new(ChannelTransport, plan),
+        &g,
+        net.ids(),
+        SPEC,
+        SHARDS,
+        1,
+        MAX_ROUNDS,
+        policy,
+    )
+}
+
+fn assert_bit_identical(clean: &FramedRun, run: &FramedRun, what: &str) {
+    assert_eq!(
+        clean.outcome.outputs, run.outcome.outputs,
+        "[{what}] outputs"
+    );
+    assert_eq!(clean.outcome.rounds, run.outcome.rounds, "[{what}] rounds");
+    assert_eq!(
+        clean.outcome.messages, run.outcome.messages,
+        "[{what}] messages"
+    );
+    assert_eq!(clean.cut_edges, run.cut_edges, "[{what}] cut edges");
+    assert_eq!(
+        clean.exchange_bytes, run.exchange_bytes,
+        "[{what}] exchange bytes (retransmits must not be counted)"
+    );
+    assert_eq!(
+        clean.total_bytes, run.total_bytes,
+        "[{what}] total bytes (retransmits must not be counted)"
+    );
+}
+
+fn policy(timeout_ms: u64, retries: u32) -> FramedPolicy {
+    FramedPolicy::default()
+        .with_timeout_ms(timeout_ms)
+        .with_retries(retries)
+}
+
+#[test]
+fn dropped_request_recovers_bit_identically() {
+    // Request 2 (the first SendReq) to shard 0 vanishes; the coordinator
+    // times out, retransmits, and the worker executes it as new.
+    let clean = clean_run();
+    let run = faulted_run(FaultPlan::new().drop_request(0, 2), policy(150, 2))
+        .expect("transient fault must recover");
+    assert_bit_identical(&clean, &run, "drop request");
+}
+
+#[test]
+fn dropped_response_recovers_bit_identically() {
+    // Response 2 (the first CutOut) from shard 0 vanishes *after* the
+    // worker executed the round. The retransmitted request is deduped by
+    // sequence number and answered from the response cache — the round
+    // runs exactly once, so recovery is bit-identical.
+    let clean = clean_run();
+    let run = faulted_run(FaultPlan::new().drop_response(0, 2), policy(150, 2))
+        .expect("transient fault must recover");
+    assert_bit_identical(&clean, &run, "drop response");
+}
+
+#[test]
+fn delay_under_the_deadline_is_jitter() {
+    let clean = clean_run();
+    let run = faulted_run(FaultPlan::new().delay_response(0, 2, 30), policy(500, 2))
+        .expect("sub-deadline delay must recover");
+    assert_bit_identical(&clean, &run, "short delay");
+}
+
+#[test]
+fn delay_past_the_deadline_recovers_through_the_late_duplicate() {
+    // The response outlives the budget: the coordinator times out and
+    // retransmits; the late frame then arrives as a duplicate of the same
+    // sequence number, which the coordinator accepts (same seq, same
+    // payload) — still bit-identical.
+    let clean = clean_run();
+    let run = faulted_run(FaultPlan::new().delay_response(0, 2, 200), policy(100, 2))
+        .expect("late duplicate must recover");
+    assert_bit_identical(&clean, &run, "late duplicate");
+}
+
+#[test]
+fn truncated_response_is_a_pinned_malformed_failure() {
+    let start = Instant::now();
+    let err = faulted_run(FaultPlan::new().truncate_response(0, 2), policy(150, 2))
+        .expect_err("torn frame is fatal");
+    match err {
+        FramedError::Shard(e) => {
+            assert_eq!(e.shard, 0);
+            assert_eq!(e.cause, ShardFailure::Malformed);
+        }
+        other => panic!("expected ShardFailed, got {other}"),
+    }
+    assert!(start.elapsed() < Duration::from_secs(10), "no hang");
+}
+
+#[test]
+fn killed_shard_is_a_pinned_disconnect() {
+    let start = Instant::now();
+    let err = faulted_run(FaultPlan::new().kill_shard(1, 2), policy(150, 2))
+        .expect_err("severed shard is fatal");
+    match err {
+        FramedError::Shard(e) => {
+            assert_eq!(e.shard, 1);
+            assert_eq!(e.cause, ShardFailure::Disconnected);
+        }
+        other => panic!("expected ShardFailed, got {other}"),
+    }
+    assert!(start.elapsed() < Duration::from_secs(10), "no hang");
+}
+
+#[test]
+fn stalled_shard_times_out_within_the_retry_budget() {
+    // Drop the response to the original request AND to both retransmits:
+    // to the coordinator this is a shard that went silent. With
+    // timeout=150ms and retries=2 the failure must land in well under the
+    // 10 s bound — and be blamed on the right shard with the right budget.
+    let start = Instant::now();
+    let err = faulted_run(
+        FaultPlan::new()
+            .drop_response(0, 2)
+            .drop_response(0, 3)
+            .drop_response(0, 4),
+        policy(150, 2),
+    )
+    .expect_err("silent shard is fatal");
+    match err {
+        FramedError::Shard(e) => {
+            assert_eq!(e.shard, 0);
+            assert_eq!(e.cause, ShardFailure::Timeout { budget_ms: 150 });
+        }
+        other => panic!("expected ShardFailed, got {other}"),
+    }
+    let elapsed = start.elapsed();
+    assert!(
+        elapsed < Duration::from_secs(10),
+        "stall must resolve within the budget, took {elapsed:?}"
+    );
+}
+
+#[test]
+fn seeded_fault_sweep_never_hangs_or_panics() {
+    // A swath of the fault space: every seeded plan must either recover
+    // bit-identically or fail with a structured ShardFailed — and always
+    // terminate promptly. (A plan whose fatal op addresses a frame the run
+    // never reaches is a clean run; that is fine and asserted identical.)
+    let clean = clean_run();
+    let start = Instant::now();
+    for seed in 0..32u64 {
+        let plan = FaultPlan::seeded(seed, SHARDS);
+        match faulted_run(plan.clone(), policy(120, 1)) {
+            Ok(run) => assert_bit_identical(&clean, &run, &format!("seed {seed} {plan:?}")),
+            Err(FramedError::Shard(_)) => {}
+            Err(other) => panic!("seed {seed} {plan:?}: unstructured failure: {other}"),
+        }
+    }
+    assert!(
+        start.elapsed() < Duration::from_secs(60),
+        "sweep must stay inside its deadline budget"
+    );
+}
+
+#[test]
+fn four_way_differential_recovers_through_injected_faults() {
+    // The same transient plan injected over every framed transport: all
+    // four recoveries must match the serial oracle and each other exactly.
+    let scenario = scenario();
+    let g = scenario.graph();
+    let net = scenario.network(&g);
+    let serial = SerialExecutor
+        .execute(&net, &FloodMax { radius: 4 }, MAX_ROUNDS)
+        .expect("oracle succeeds");
+    let plan = || {
+        FaultPlan::new()
+            .drop_response(0, 2)
+            .delay_response(1, 3, 20)
+    };
+    let pol = policy(400, 2);
+    let mut runs: Vec<(&str, FramedRun)> = Vec::new();
+    let run = |r: Result<FramedRun, FramedError>, label: &str| {
+        r.unwrap_or_else(|e| panic!("[{label}] must recover: {e}"))
+    };
+    runs.push((
+        "channel",
+        run(
+            run_framed_with(
+                &FaultTransport::new(ChannelTransport, plan()),
+                &g,
+                net.ids(),
+                SPEC,
+                SHARDS,
+                1,
+                MAX_ROUNDS,
+                pol,
+            ),
+            "channel",
+        ),
+    ));
+    runs.push((
+        "process",
+        run(
+            run_framed_with(
+                &FaultTransport::new(ProcessTransport::new(shardd_bin()), plan()),
+                &g,
+                net.ids(),
+                SPEC,
+                SHARDS,
+                1,
+                MAX_ROUNDS,
+                pol,
+            ),
+            "process",
+        ),
+    ));
+    runs.push((
+        "tcp",
+        run(
+            run_framed_with(
+                &FaultTransport::new(TcpTransport::spawn(shardd_bin()), plan()),
+                &g,
+                net.ids(),
+                SPEC,
+                SHARDS,
+                1,
+                MAX_ROUNDS,
+                pol,
+            ),
+            "tcp",
+        ),
+    ));
+    #[cfg(unix)]
+    runs.push((
+        "uds",
+        run(
+            run_framed_with(
+                &FaultTransport::new(UdsTransport::spawn(shardd_bin()), plan()),
+                &g,
+                net.ids(),
+                SPEC,
+                SHARDS,
+                1,
+                MAX_ROUNDS,
+                pol,
+            ),
+            "uds",
+        ),
+    ));
+    let (first_label, first) = &runs[0];
+    assert_eq!(serial.outputs, first.outcome.outputs, "[{first_label}]");
+    assert_eq!(serial.rounds, first.outcome.rounds, "[{first_label}]");
+    assert_eq!(serial.messages, first.outcome.messages, "[{first_label}]");
+    for (label, run) in &runs[1..] {
+        assert_bit_identical(first, run, &format!("{first_label} vs {label}"));
+    }
+}
+
+#[test]
+fn fault_decorator_composes_with_socket_transports() {
+    // FaultTransport over a *socket* transport: the fault layer sits above
+    // the FrameReader pump, so injected drops trigger real retransmissions
+    // across a real TCP stream — and recovery is still bit-identical.
+    let clean = clean_run();
+    let scenario = scenario();
+    let g = scenario.graph();
+    let net = scenario.network(&g);
+    let run = run_framed_with(
+        &FaultTransport::new(
+            TcpTransport::in_process(),
+            FaultPlan::new().drop_response(1, 2),
+        ),
+        &g,
+        net.ids(),
+        SPEC,
+        SHARDS,
+        1,
+        MAX_ROUNDS,
+        policy(300, 2),
+    )
+    .expect("transient fault over tcp must recover");
+    assert_bit_identical(&clean, &run, "fault over tcp");
+}
+
+#[test]
+fn wedged_subprocess_worker_is_killed_on_timeout() {
+    // Satellite fix: ProcessTransport used to have no read deadline — a
+    // wedged `deco-shardd` child (here: `--stall`, which reads and
+    // discards frames without ever answering) hung the coordinator
+    // forever. Now the same timeout budget applies, the failure is
+    // structured, and dropping the connection kills the child.
+    let scenario = scenario();
+    let g = scenario.graph();
+    let net = scenario.network(&g);
+    let start = Instant::now();
+    let err = run_framed_with(
+        &ProcessTransport::new(shardd_bin()).with_args(["--stall"]),
+        &g,
+        net.ids(),
+        SPEC,
+        SHARDS,
+        1,
+        MAX_ROUNDS,
+        policy(150, 1),
+    )
+    .expect_err("a wedged worker must time out, not hang");
+    match err {
+        FramedError::Shard(e) => {
+            assert_eq!(e.shard, 0, "the first awaited response is shard 0's");
+            assert_eq!(e.cause, ShardFailure::Timeout { budget_ms: 150 });
+        }
+        other => panic!("expected ShardFailed, got {other}"),
+    }
+    let elapsed = start.elapsed();
+    assert!(
+        elapsed < Duration::from_secs(10),
+        "timeout must fire within the budget, took {elapsed:?}"
+    );
+}

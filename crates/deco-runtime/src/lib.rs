@@ -193,6 +193,7 @@ impl Executor for Engine {
 pub struct Runtime {
     engine: Engine,
     max_rounds: u64,
+    shard_timeout_ms: u64,
 }
 
 impl Runtime {
@@ -206,6 +207,7 @@ impl Runtime {
         Runtime {
             engine,
             max_rounds: DEFAULT_MAX_ROUNDS,
+            shard_timeout_ms: config::DEFAULT_SHARD_TIMEOUT_MS,
         }
     }
 
@@ -243,6 +245,24 @@ impl Runtime {
     /// schedule). Exceeding it is [`RunError::RoundLimitExceeded`].
     pub fn max_rounds(&self) -> u64 {
         self.max_rounds
+    }
+
+    /// The per-frame receive deadline, in milliseconds, that framed shard
+    /// runs made through this runtime enforce on every worker response
+    /// (`0` disables the deadline). Layered like every other knob:
+    /// [`RuntimeBuilder::shard_timeout_ms`] wins, else
+    /// `DECO_SHARD_TIMEOUT_MS`, else 5000. The typed in-process executor
+    /// path never blocks on a pipe, so the budget only matters to framed
+    /// transports.
+    pub fn shard_timeout_ms(&self) -> u64 {
+        self.shard_timeout_ms
+    }
+
+    /// The [`FramedPolicy`](deco_engine::shard::framed::FramedPolicy) this
+    /// runtime hands to framed shard coordinators: default retry budget,
+    /// deadline from [`Runtime::shard_timeout_ms`].
+    pub fn framed_policy(&self) -> deco_engine::shard::framed::FramedPolicy {
+        deco_engine::shard::framed::FramedPolicy::default().with_timeout_ms(self.shard_timeout_ms)
     }
 
     /// The stable one-line engine descriptor (see the [`Engine`]
@@ -333,6 +353,7 @@ pub struct RuntimeBuilder {
     shards: Option<usize>,
     transport: Option<ShardTransportKind>,
     max_rounds: Option<u64>,
+    shard_timeout_ms: Option<u64>,
     trace: Option<deco_trace::TraceMode>,
 }
 
@@ -373,6 +394,13 @@ impl RuntimeBuilder {
         self
     }
 
+    /// Sets the per-frame receive deadline for framed shard runs, in
+    /// milliseconds (`0` = no deadline; see [`Runtime::shard_timeout_ms`]).
+    pub fn shard_timeout_ms(mut self, ms: u64) -> RuntimeBuilder {
+        self.shard_timeout_ms = Some(ms);
+        self
+    }
+
     /// Selects the trace sink [`build`](RuntimeBuilder::build) installs
     /// process-globally: [`deco_trace::TraceMode::Off`] (the default — the
     /// zero-cost path), `Ring`, or `Jsonl` (path from `DECO_TRACE_PATH`,
@@ -386,9 +414,10 @@ impl RuntimeBuilder {
     /// Fills every knob the builder has *not* set from its environment
     /// variable, parsing with the pure parsers of [`deco_engine::config`]:
     /// `DECO_ENGINE_THREADS`, `DECO_ENGINE_ASYNC`, `DECO_ENGINE_SHARDS`,
-    /// `DECO_SHARD_TRANSPORT`, `DECO_TRACE`. Explicit builder settings take precedence
-    /// variable by variable — `.threads(4).from_env()` honors
-    /// `DECO_ENGINE_SHARDS` while ignoring `DECO_ENGINE_THREADS`.
+    /// `DECO_SHARD_TRANSPORT`, `DECO_SHARD_TIMEOUT_MS`, `DECO_TRACE`.
+    /// Explicit builder settings take precedence variable by variable —
+    /// `.threads(4).from_env()` honors `DECO_ENGINE_SHARDS` while ignoring
+    /// `DECO_ENGINE_THREADS`.
     ///
     /// # Errors
     ///
@@ -412,6 +441,14 @@ impl RuntimeBuilder {
         fill(&mut self.mode, config::ENV_ASYNC, parse_mode)?;
         fill(&mut self.shards, config::ENV_SHARDS, parse_shards)?;
         fill(&mut self.transport, config::ENV_TRANSPORT, parse_transport)?;
+        // The timeout parser is tri-state itself (empty = default), so it
+        // does not fit the plain `fill` shape: an empty variable leaves
+        // the knob unset and the build falls back to the default budget.
+        if self.shard_timeout_ms.is_none() {
+            if let Some(raw) = std::env::var_os(config::ENV_SHARD_TIMEOUT) {
+                self.shard_timeout_ms = config::parse_timeout_ms(&raw.to_string_lossy())?;
+            }
+        }
         fill(&mut self.trace, config::ENV_TRACE, parse_trace)?;
         Ok(self)
     }
@@ -450,6 +487,9 @@ impl RuntimeBuilder {
         Runtime {
             engine,
             max_rounds: self.max_rounds.unwrap_or(DEFAULT_MAX_ROUNDS),
+            shard_timeout_ms: self
+                .shard_timeout_ms
+                .unwrap_or(config::DEFAULT_SHARD_TIMEOUT_MS),
         }
     }
 }
@@ -500,6 +540,33 @@ mod tests {
         assert_eq!(
             *Runtime::builder().shards(0).build().engine(),
             Engine::serial()
+        );
+    }
+
+    #[test]
+    fn shard_timeout_knob_defaults_and_overrides() {
+        assert_eq!(
+            Runtime::builder().build().shard_timeout_ms(),
+            config::DEFAULT_SHARD_TIMEOUT_MS
+        );
+        let rt = Runtime::builder().shard_timeout_ms(250).build();
+        assert_eq!(rt.shard_timeout_ms(), 250);
+        assert_eq!(rt.framed_policy().timeout_ms, 250);
+        // 0 = explicit "no deadline", distinct from unset.
+        assert_eq!(
+            Runtime::builder()
+                .shard_timeout_ms(0)
+                .build()
+                .shard_timeout_ms(),
+            0
+        );
+        // The knob never selects an engine.
+        assert_eq!(
+            Runtime::builder()
+                .shard_timeout_ms(250)
+                .build()
+                .descriptor(),
+            "serial"
         );
     }
 

@@ -8,14 +8,22 @@
 //! restores the prior environment on exit — including variables the CI
 //! matrix itself pins (these tests must pass identically on every CI leg).
 
-use deco_engine::config::{ENV_ASYNC, ENV_SHARDS, ENV_THREADS, ENV_TRANSPORT};
+use deco_engine::config::{
+    DEFAULT_SHARD_TIMEOUT_MS, ENV_ASYNC, ENV_SHARDS, ENV_SHARD_TIMEOUT, ENV_THREADS, ENV_TRANSPORT,
+};
 use deco_engine::{EngineMode, ParallelExecutor, ShardTransportKind, ShardedExecutor};
 use deco_runtime::{Engine, Runtime, DEFAULT_MAX_ROUNDS};
 use std::sync::{Mutex, MutexGuard};
 
 static ENV_LOCK: Mutex<()> = Mutex::new(());
 
-const VARS: [&str; 4] = [ENV_THREADS, ENV_ASYNC, ENV_SHARDS, ENV_TRANSPORT];
+const VARS: [&str; 5] = [
+    ENV_THREADS,
+    ENV_ASYNC,
+    ENV_SHARDS,
+    ENV_TRANSPORT,
+    ENV_SHARD_TIMEOUT,
+];
 
 /// Runs `body` with the engine environment set to exactly `vars` (every
 /// other engine variable removed), restoring the prior environment after.
@@ -175,6 +183,39 @@ fn builder_never_reads_an_overridden_malformed_variable() {
     });
     assert_eq!(err.var, ENV_THREADS);
     assert_eq!(err.value, "three");
+}
+
+#[test]
+fn builder_timeout_overrides_env_timeout() {
+    // Builder wins on the timeout knob while the environment still picks
+    // the engine.
+    let rt = with_env(&[(ENV_SHARDS, "2"), (ENV_SHARD_TIMEOUT, "9000")], || {
+        Runtime::builder()
+            .shard_timeout_ms(250)
+            .from_env()
+            .expect("env parses")
+            .build()
+    });
+    assert_eq!(rt.shard_timeout_ms(), 250);
+    assert_eq!(*rt.engine(), Engine::Sharded(ShardedExecutor::new(2)));
+    // Environment alone fills the unset knob…
+    let rt = with_env(&[(ENV_SHARD_TIMEOUT, "750")], || {
+        Runtime::from_env().unwrap()
+    });
+    assert_eq!(rt.shard_timeout_ms(), 750);
+    // …an *empty* variable means "use the default"…
+    let rt = with_env(&[(ENV_SHARD_TIMEOUT, "")], || Runtime::from_env().unwrap());
+    assert_eq!(rt.shard_timeout_ms(), DEFAULT_SHARD_TIMEOUT_MS);
+    // …0 disables the deadline entirely…
+    let rt = with_env(&[(ENV_SHARD_TIMEOUT, "0")], || Runtime::from_env().unwrap());
+    assert_eq!(rt.shard_timeout_ms(), 0);
+    // …and a malformed value is a structured error naming the variable
+    // (which the binaries turn into exit status 2).
+    let err = with_env(&[(ENV_SHARD_TIMEOUT, "soon")], || {
+        Runtime::from_env().unwrap_err()
+    });
+    assert_eq!(err.var, ENV_SHARD_TIMEOUT);
+    assert_eq!(err.value, "soon");
 }
 
 #[test]
