@@ -25,6 +25,7 @@ pub mod lem44;
 pub mod lem45;
 pub mod linial_exp;
 pub mod related_work;
+pub mod serve_load;
 pub mod solver_par;
 pub mod thm41_budget;
 pub mod thm41_measured;
@@ -55,6 +56,7 @@ pub fn all() -> Vec<(&'static str, Runner)> {
         ("engine-shard", engine_shard::run),
         ("graph-scale", graph_scale::run),
         ("churn", churn::run),
+        ("serve-load", serve_load::run),
         ("solver-par", solver_par::run),
         ("trace-profile", trace_profile::run),
     ]

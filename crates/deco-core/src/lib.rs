@@ -40,6 +40,7 @@
 pub mod budget;
 pub mod defective;
 pub mod instance;
+pub mod jsonl;
 pub mod lists;
 pub mod repair;
 pub mod session;
@@ -48,6 +49,7 @@ pub mod solver;
 pub mod space;
 
 pub use instance::ListInstance;
+pub use jsonl::{RunReportLine, UpdateReportLine};
 pub use lists::{ColorList, SubspacePartition};
 pub use session::{Session, SessionError, UpdateReport};
 pub use solver::{RunReport, SolveBranch, SolveError, SolveStats, Solver, SolverConfig, Strategy};

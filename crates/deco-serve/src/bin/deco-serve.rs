@@ -1,0 +1,130 @@
+//! The `deco-serve` daemon binary, plus a `client` subcommand for
+//! scripting against a running daemon (CI readiness polls and shutdown).
+//!
+//! ```text
+//! deco-serve [--addr A] [--workers N] [--queue N]   # run the daemon
+//! deco-serve client <addr> status                   # print a status line
+//! deco-serve client <addr> ping [delay_ms]          # liveness probe
+//! deco-serve client <addr> shutdown                 # drain and stop it
+//! ```
+//!
+//! Configuration comes from the `DECO_SERVE_*` / `DECO_ENGINE_*`
+//! environment (flags override); malformed values print the structured
+//! error and exit 2, per the repo-wide contract.
+
+use deco_serve::client::Client;
+use deco_serve::config::{self, ServeConfig};
+use deco_serve::server::Server;
+use deco_serve::transport::ServeAddr;
+use deco_serve::wire::Response;
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: deco-serve [--addr A] [--workers N] [--queue N]\n       \
+         deco-serve client <addr> status|ping [delay_ms]|shutdown"
+    );
+    ExitCode::from(2)
+}
+
+fn fail(msg: impl std::fmt::Display) -> ExitCode {
+    eprintln!("deco-serve: {msg}");
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let strs: Vec<&str> = args.iter().map(String::as_str).collect();
+    match strs.split_first() {
+        Some((&"client", rest)) => run_client(rest),
+        Some((&"--help", _)) | Some((&"-h", _)) => usage(),
+        _ => run_daemon(&strs),
+    }
+}
+
+fn run_daemon(args: &[&str]) -> ExitCode {
+    let mut cfg = match ServeConfig::from_env() {
+        Ok(cfg) => cfg,
+        Err(e) => return fail(e),
+    };
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let Some(value) = it.next() else {
+            return usage();
+        };
+        let parsed = match *flag {
+            "--addr" => config::parse_addr(value).map(|a| cfg.addr = a),
+            "--workers" => config::parse_workers(value).map(|w| cfg.workers = w),
+            "--queue" => config::parse_queue(value).map(|q| cfg.queue_bound = q),
+            _ => return usage(),
+        };
+        if let Err(e) = parsed {
+            return fail(format!("{flag} {}", e.expected));
+        }
+    }
+    let handle = match Server::start(cfg.clone()) {
+        Ok(h) => h,
+        Err(e) => return fail(format!("cannot listen on {}: {e}", cfg.addr)),
+    };
+    eprintln!(
+        "deco-serve listening on {} ({} workers, queue {}, engine {})",
+        handle.addr(),
+        cfg.effective_workers(),
+        cfg.queue_bound,
+        cfg.runtime.descriptor()
+    );
+    handle.join();
+    eprintln!("deco-serve: drained and stopped");
+    ExitCode::SUCCESS
+}
+
+fn run_client(args: &[&str]) -> ExitCode {
+    let (addr, cmd, rest) = match args {
+        [addr, cmd, rest @ ..] => (*addr, *cmd, rest),
+        _ => return usage(),
+    };
+    let addr = match ServeAddr::parse(addr) {
+        Ok(a) => a,
+        Err(e) => return fail(e),
+    };
+    let mut client = match Client::connect(&addr) {
+        Ok(c) => c,
+        Err(e) => return fail(format!("cannot connect to {addr}: {e}")),
+    };
+    let outcome = match (cmd, rest) {
+        ("status", []) => client.status().map(|s| {
+            println!(
+                "served={} errors={} queued={} active={} sessions={} engine={}",
+                s.served, s.errors, s.queued, s.active, s.sessions, s.engine
+            );
+        }),
+        ("ping", rest) => {
+            let delay = match rest {
+                [] => 0,
+                [d] => match d.parse::<u64>() {
+                    Ok(d) => d,
+                    Err(_) => return usage(),
+                },
+                _ => return usage(),
+            };
+            client.ping(delay).and_then(|resp| match resp {
+                Response::Pong => {
+                    println!("pong");
+                    Ok(())
+                }
+                other => Err(std::io::Error::new(
+                    std::io::ErrorKind::InvalidData,
+                    format!("expected pong, got {other:?}"),
+                )),
+            })
+        }
+        ("shutdown", []) => client.shutdown().map(|served| {
+            println!("shutting down after {served} requests");
+        }),
+        _ => return usage(),
+    };
+    match outcome {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => fail(e),
+    }
+}

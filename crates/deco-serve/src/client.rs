@@ -1,0 +1,258 @@
+//! Synchronous client for the serving protocol.
+//!
+//! One request in flight at a time: [`Client::request`] writes a frame,
+//! then reads frames until the terminal response for that request
+//! arrives, buffering any `progress` frames it passes (drain them with
+//! [`Client::take_progress`]). The client mirrors the daemon's logical
+//! frame accounting — requests at actual line cost, responses at
+//! canonical cost — so a client's [`FrameStats`] agree with the daemon's
+//! counters for the same traffic on every transport.
+
+use crate::transport::{dial, Duplex, ServeAddr};
+use crate::wire::{DaemonStatus, GraphSource, Request, RequestFrame, Response, ResponseFrame};
+use deco_graph::EdgeUpdate;
+use std::io::{self, BufRead, BufReader, Read, Write};
+
+/// Logical frame and byte counters, mirroring the daemon's (the client's
+/// `out` is the daemon's `in` and vice versa).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FrameStats {
+    /// Response frames received.
+    pub frames_in: u64,
+    /// Request frames sent.
+    pub frames_out: u64,
+    /// Response bytes, at canonical cost.
+    pub bytes_in: u64,
+    /// Request bytes, actual line bytes + newline.
+    pub bytes_out: u64,
+}
+
+/// A connected client.
+pub struct Client {
+    reader: BufReader<Box<dyn Read + Send>>,
+    writer: Box<dyn Write + Send>,
+    next_id: u64,
+    stats: FrameStats,
+    progress: Vec<ResponseFrame>,
+}
+
+impl Client {
+    /// Wraps an already-open connection (what
+    /// [`ServerHandle::connect`](crate::server::ServerHandle::connect)
+    /// returns for in-process daemons).
+    pub fn from_duplex(duplex: Duplex) -> Client {
+        Client {
+            reader: BufReader::new(duplex.reader),
+            writer: duplex.writer,
+            next_id: 0,
+            stats: FrameStats::default(),
+            progress: Vec::new(),
+        }
+    }
+
+    /// Dials a listening daemon.
+    ///
+    /// # Errors
+    ///
+    /// Connect failures (in-process daemons cannot be dialed — see
+    /// [`dial`]).
+    pub fn connect(addr: &ServeAddr) -> io::Result<Client> {
+        dial(addr).map(Client::from_duplex)
+    }
+
+    /// The logical frame counters so far.
+    pub fn stats(&self) -> FrameStats {
+        self.stats
+    }
+
+    /// Drains the `progress` frames buffered since the last call.
+    pub fn take_progress(&mut self) -> Vec<ResponseFrame> {
+        std::mem::take(&mut self.progress)
+    }
+
+    /// Writes one raw request line without waiting for a response — the
+    /// pipelining/fault-injection entry the protocol tests use. The line
+    /// is counted as one logical frame whether or not it parses.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures.
+    pub fn send_line(&mut self, line: &str) -> io::Result<()> {
+        self.stats.frames_out += 1;
+        self.stats.bytes_out += line.len() as u64 + 1;
+        self.writer.write_all(line.as_bytes())?;
+        self.writer.write_all(b"\n")?;
+        self.writer.flush()?;
+        Ok(())
+    }
+
+    /// Reads the next response frame, whatever it is.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures, EOF, and unparseable lines.
+    pub fn recv(&mut self) -> io::Result<ResponseFrame> {
+        self.read_frame()
+    }
+
+    /// Sends `req` and blocks until its terminal response.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures, EOF before the terminal response, and protocol
+    /// violations (an unparseable line, or a terminal frame for a
+    /// different request id).
+    pub fn request(&mut self, req: Request) -> io::Result<Response> {
+        let id = format!("c{}", self.next_id);
+        self.next_id += 1;
+        let line = RequestFrame {
+            id: id.clone(),
+            req,
+        }
+        .encode();
+        self.stats.frames_out += 1;
+        self.stats.bytes_out += line.len() as u64 + 1;
+        self.writer.write_all(line.as_bytes())?;
+        self.writer.write_all(b"\n")?;
+        self.writer.flush()?;
+        loop {
+            let frame = self.read_frame()?;
+            if !frame.is_terminal() {
+                self.progress.push(frame);
+                continue;
+            }
+            if frame.id != id {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("terminal response for {:?}, expected {id:?}", frame.id),
+                ));
+            }
+            return Ok(frame.resp);
+        }
+    }
+
+    fn read_frame(&mut self) -> io::Result<ResponseFrame> {
+        let mut buf = String::new();
+        loop {
+            buf.clear();
+            if self.reader.read_line(&mut buf)? == 0 {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "daemon closed the connection",
+                ));
+            }
+            let line = buf.trim_end_matches(['\n', '\r']);
+            if line.is_empty() {
+                continue;
+            }
+            let frame = ResponseFrame::parse(line)
+                .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+            self.stats.frames_in += 1;
+            self.stats.bytes_in += frame.wire_cost();
+            return Ok(frame);
+        }
+    }
+
+    /// Submits a one-shot solve.
+    ///
+    /// # Errors
+    ///
+    /// See [`Client::request`].
+    pub fn solve(
+        &mut self,
+        graph: GraphSource,
+        engine: Option<&str>,
+        progress: bool,
+    ) -> io::Result<Response> {
+        self.request(Request::Solve {
+            graph,
+            engine: engine.map(str::to_string),
+            progress,
+        })
+    }
+
+    /// Opens a named churn session.
+    ///
+    /// # Errors
+    ///
+    /// See [`Client::request`].
+    pub fn open_session(
+        &mut self,
+        session: &str,
+        graph: GraphSource,
+        engine: Option<&str>,
+    ) -> io::Result<Response> {
+        self.request(Request::OpenSession {
+            session: session.to_string(),
+            graph,
+            engine: engine.map(str::to_string),
+        })
+    }
+
+    /// Applies one update to an open session.
+    ///
+    /// # Errors
+    ///
+    /// See [`Client::request`].
+    pub fn update(&mut self, session: &str, update: EdgeUpdate) -> io::Result<Response> {
+        self.request(Request::Update {
+            session: session.to_string(),
+            update,
+        })
+    }
+
+    /// Closes a session.
+    ///
+    /// # Errors
+    ///
+    /// See [`Client::request`].
+    pub fn close_session(&mut self, session: &str) -> io::Result<Response> {
+        self.request(Request::CloseSession {
+            session: session.to_string(),
+        })
+    }
+
+    /// Fetches a daemon status snapshot.
+    ///
+    /// # Errors
+    ///
+    /// See [`Client::request`]; a non-`status` terminal response is
+    /// `InvalidData`.
+    pub fn status(&mut self) -> io::Result<DaemonStatus> {
+        match self.request(Request::Status)? {
+            Response::Status(s) => Ok(s),
+            other => Err(unexpected("status", &other)),
+        }
+    }
+
+    /// Liveness probe; `delay_ms > 0` makes the worker hold the request
+    /// (the queue tests' load knob).
+    ///
+    /// # Errors
+    ///
+    /// See [`Client::request`].
+    pub fn ping(&mut self, delay_ms: u64) -> io::Result<Response> {
+        self.request(Request::Ping { delay_ms })
+    }
+
+    /// Asks the daemon to drain and exit; returns its lifetime served
+    /// count.
+    ///
+    /// # Errors
+    ///
+    /// See [`Client::request`]; a non-`shutting_down` terminal response
+    /// is `InvalidData`.
+    pub fn shutdown(&mut self) -> io::Result<u64> {
+        match self.request(Request::Shutdown)? {
+            Response::ShuttingDown { served } => Ok(served),
+            other => Err(unexpected("shutting_down", &other)),
+        }
+    }
+}
+
+fn unexpected(wanted: &str, got: &Response) -> io::Error {
+    io::Error::new(
+        io::ErrorKind::InvalidData,
+        format!("expected a {wanted} response, got {got:?}"),
+    )
+}

@@ -1,0 +1,62 @@
+//! # deco-serve — coloring as a service
+//!
+//! A long-lived daemon serving the edge-coloring stack over a
+//! newline-delimited line-JSON protocol: one-shot solves
+//! ([`wire::Request::Solve`], inline edges or a `DECOSNAP` snapshot
+//! path), churn sessions over `deco-core`'s incremental
+//! [`Session`](deco_core::Session)
+//! (`open_session`/`update`/`close_session`), liveness and introspection
+//! (`ping`, `status`), and drained shutdown. Requests flow through a
+//! bounded queue into a worker pool of [`Runtime`](deco_runtime::Runtime)
+//! handles; responses are streamed JSONL frames embedding the stable
+//! report codecs from `deco_core::jsonl`, so every line the daemon emits
+//! is a round-trip-parseable artifact.
+//!
+//! Three transports carry identical frames: TCP, Unix-domain sockets, and
+//! an in-process byte pipe for tests and the `serve-load` experiment.
+//! Frame and byte accounting is *logical* (each frame counted once, at
+//! canonical cost — see [`wire`]), so the numbers agree bit for bit
+//! across all three.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use deco_serve::config::ServeConfig;
+//! use deco_serve::server::Server;
+//! use deco_serve::wire::GraphSource;
+//! use deco_graph::generators;
+//!
+//! let handle = Server::start(ServeConfig::default()).unwrap(); // in-process
+//! let mut client = handle.connect().unwrap();
+//!
+//! let g = generators::random_regular(20, 4, 7);
+//! let report = client
+//!     .solve(GraphSource::from_graph(&g), None, false)
+//!     .unwrap()
+//!     .into_report()
+//!     .unwrap();
+//! assert_eq!(report.colors.len(), g.num_edges());
+//!
+//! client.shutdown().unwrap();
+//! handle.join();
+//! ```
+//!
+//! The `deco-serve` binary wraps [`Server`] behind the
+//! `DECO_SERVE_*` environment knobs (see [`config`]) and ships a `client`
+//! subcommand for scripting (`deco-serve client tcp:127.0.0.1:7401
+//! status`).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod config;
+pub mod server;
+pub mod transport;
+pub mod wire;
+
+pub use client::{Client, FrameStats};
+pub use config::ServeConfig;
+pub use server::{Server, ServerHandle};
+pub use transport::ServeAddr;
+pub use wire::{DaemonStatus, ErrorCode, GraphSource, Request, Response};

@@ -6,17 +6,19 @@
 //!
 //! Run with: `cargo run --release --example link_scheduling` (add
 //! `-- --small` for a CI-sized mesh); the engine follows the
-//! `DECO_ENGINE_*` environment.
+//! `DECO_ENGINE_*` environment. With `-- --serve tcp:host:port` the
+//! schedule is computed by a running `deco-serve` daemon instead — same
+//! coloring, same verification, the solve just happens on the other
+//! side of a socket.
 
 use deco::core_alg::solver::{solve_two_delta_minus_one, SolverConfig};
 use deco::graph::{generators, EdgeId};
 
 #[path = "util/mod.rs"]
 mod util;
-use util::{runtime_or_exit, small};
+use util::{runtime_or_exit, serve_addr, small, solve_via_daemon};
 
 fn main() {
-    let rt = runtime_or_exit();
     // A mesh network: nodes on a torus (each radio reaches 4 neighbors)
     // plus some long-range shortcut links.
     let side = if small() { 6 } else { 12 };
@@ -42,9 +44,16 @@ fn main() {
     let ids: Vec<u64> = (1..=net.num_nodes() as u64).collect();
     println!("mesh network: {net}");
 
-    let result = solve_two_delta_minus_one(&net, &ids, SolverConfig::default(), &rt)
-        .expect("solver succeeds");
-    let slots = result.colors.max_color().map_or(0, |c| c + 1);
+    let colors = match serve_addr() {
+        Some(addr) => solve_via_daemon(&addr, &net),
+        None => {
+            let rt = runtime_or_exit();
+            solve_two_delta_minus_one(&net, &ids, SolverConfig::default(), &rt)
+                .expect("solver succeeds")
+                .colors
+        }
+    };
+    let slots = colors.max_color().map_or(0, |c| c + 1);
     println!(
         "TDMA schedule: {} links in {} slots (bound 2Δ−1 = {})",
         net.num_edges(),
@@ -55,7 +64,7 @@ fn main() {
     // Per-slot utilization: how many links transmit simultaneously.
     let mut per_slot = vec![0usize; slots as usize];
     for e in net.edges() {
-        per_slot[result.colors.get(e).expect("complete") as usize] += 1;
+        per_slot[colors.get(e).expect("complete") as usize] += 1;
     }
     println!("slot utilization (links per slot):");
     for (slot, count) in per_slot.iter().enumerate() {
@@ -70,7 +79,7 @@ fn main() {
         let mut seen = std::collections::HashSet::new();
         for e in net.incident_edges(v) {
             assert!(
-                seen.insert(result.colors.get(e).expect("complete")),
+                seen.insert(colors.get(e).expect("complete")),
                 "collision at node {v}"
             );
         }
@@ -81,7 +90,7 @@ fn main() {
         "example: link {first_link} ({} -- {}) transmits in slot {}",
         net.endpoints(first_link)[0],
         net.endpoints(first_link)[1],
-        result.colors.get(first_link).expect("complete")
+        colors.get(first_link).expect("complete")
     );
     println!("schedule verified: collision-free");
 }

@@ -6,17 +6,19 @@
 //!
 //! Run with: `cargo run --release --example switch_fabric` (add
 //! `-- --small` for a CI-sized switch); the engine follows the
-//! `DECO_ENGINE_*` environment.
+//! `DECO_ENGINE_*` environment. With `-- --serve tcp:host:port` the
+//! decomposition is computed by a running `deco-serve` daemon instead —
+//! same matchings, same verification, solved on the other side of a
+//! socket.
 
 use deco::core_alg::solver::{solve_two_delta_minus_one, SolverConfig};
 use deco::graph::generators;
 
 #[path = "util/mod.rs"]
 mod util;
-use util::{runtime_or_exit, small};
+use util::{runtime_or_exit, serve_addr, small, solve_via_daemon};
 
 fn main() {
-    let rt = runtime_or_exit();
     // 24×24 switch; each input has packets for 6 distinct outputs
     // (8×8 with 3 outputs under --small).
     let (inputs, outputs, load) = if small() {
@@ -34,9 +36,16 @@ fn main() {
         demand.max_degree()
     );
 
-    let result = solve_two_delta_minus_one(&demand, &ids, SolverConfig::default(), &rt)
-        .expect("solver succeeds");
-    let cells = result.colors.max_color().map_or(0, |c| c + 1) as usize;
+    let colors = match serve_addr() {
+        Some(addr) => solve_via_daemon(&addr, &demand),
+        None => {
+            let rt = runtime_or_exit();
+            solve_two_delta_minus_one(&demand, &ids, SolverConfig::default(), &rt)
+                .expect("solver succeeds")
+                .colors
+        }
+    };
+    let cells = colors.max_color().map_or(0, |c| c + 1) as usize;
     println!(
         "schedule: {} cell times (edge coloring bound 2Δ−1 = {}; Kőnig/Vizing \
          optimum for bipartite is Δ = {})",
@@ -49,7 +58,7 @@ fn main() {
     for cell in 0..cells.min(4) {
         let matching: Vec<String> = demand
             .edges()
-            .filter(|&e| result.colors.get(e) == Some(cell as u32))
+            .filter(|&e| colors.get(e) == Some(cell as u32))
             .map(|e| {
                 let [i, o] = demand.endpoints(e);
                 format!("{}→{}", i.0, o.0 - inputs as u32)
@@ -69,7 +78,7 @@ fn main() {
     for v in demand.nodes() {
         let mut seen = std::collections::HashSet::new();
         for e in demand.incident_edges(v) {
-            assert!(seen.insert(result.colors.get(e).expect("complete")));
+            assert!(seen.insert(colors.get(e).expect("complete")));
         }
     }
     println!("all {cells} crossbar configurations verified conflict-free");

@@ -20,6 +20,11 @@
 //! * [`core_alg`] — the Theorem 4.1 solver; pipeline entry points return
 //!   a structured [`core_alg::RunReport`], and [`Session`] keeps a live
 //!   coloring under [`EdgeUpdate`] churn via incremental repair.
+//! * [`serve`] — coloring as a service: the `deco-serve` daemon speaks a
+//!   newline-delimited line-JSON protocol over TCP, Unix sockets, or
+//!   in-process pipes ([`serve::Request`] covers one-shot solves, churn
+//!   sessions, status, and drain-on-shutdown), with [`serve::Client`] as
+//!   the typed companion.
 //! * [`trace`] — zero-cost-when-off tracing and metrics shared by every
 //!   engine: set `DECO_TRACE=jsonl` (or `ring`) and `RunReport.metrics`
 //!   carries a per-phase [`trace::MetricsReport`]; unset, the
@@ -79,6 +84,7 @@ pub use deco_engine as engine;
 pub use deco_graph as graph;
 pub use deco_local as local;
 pub use deco_runtime as runtime;
+pub use deco_serve as serve;
 pub use deco_trace as trace;
 
 pub use deco_core::{Session, SessionError, UpdateReport};
